@@ -1,0 +1,78 @@
+// Figure 1 — the 6x6 example matrix and its assembly tree.
+//
+// Renders the matrix pattern (F marks fill-in of the factor) and the
+// fundamental assembly tree, matching the paper's drawing: pivots (1,2)
+// and (3,4) feed the root variables (5,6).
+#include <iostream>
+#include <set>
+
+#include "memfront/sparse/generators.hpp"
+#include "memfront/sparse/permutation.hpp"
+#include "memfront/symbolic/assembly_tree.hpp"
+#include "memfront/symbolic/structure.hpp"
+
+int main() {
+  using namespace memfront;
+  const CscMatrix a = figure1_matrix();
+  const Graph g = Graph::from_matrix(a);
+  SymbolicOptions opt;
+  opt.symmetric = true;
+  opt.small_npiv = 0;
+  opt.fill_ratio = -1.0;  // amalgamation off: show fundamental supernodes
+  opt.fill_ratio_small = -1.0;
+  const SymbolicResult r =
+      build_assembly_tree(g, identity_permutation(6), opt);
+  const FrontalStructure structure = compute_structure(r.tree, g, r.perm);
+
+  // Factor pattern: entries of A plus fill (row sets per node).
+  std::set<std::pair<index_t, index_t>> pattern;
+  for (index_t j = 0; j < 6; ++j) {
+    pattern.emplace(j, j);
+    for (index_t i : a.column(j)) pattern.emplace(i, j);
+  }
+  std::set<std::pair<index_t, index_t>> factor = pattern;
+  for (index_t node = 0; node < r.tree.num_nodes(); ++node) {
+    const auto rows = structure.rows(node);
+    for (index_t c = 0; c < r.tree.npiv(node); ++c)
+      for (std::size_t k = static_cast<std::size_t>(c); k < rows.size(); ++k) {
+        factor.emplace(rows[k], r.tree.first_col(node) + c);
+        factor.emplace(r.tree.first_col(node) + c, rows[k]);
+      }
+  }
+
+  std::cout << "Figure 1: matrix (X = entry, F = fill-in) and assembly "
+               "tree\n\n    ";
+  for (index_t j = 0; j < 6; ++j) std::cout << ' ' << j + 1;
+  std::cout << '\n';
+  for (index_t i = 0; i < 6; ++i) {
+    std::cout << "  " << i + 1 << " ";
+    for (index_t j = 0; j < 6; ++j) {
+      const bool orig = pattern.count({i, j}) > 0;
+      const bool fill = !orig && factor.count({i, j}) > 0;
+      std::cout << ' ' << (orig ? 'X' : fill ? 'F' : '.');
+    }
+    std::cout << '\n';
+  }
+
+  std::cout << "\nAssembly tree (fundamental supernodes; 1-based "
+               "variables):\n";
+  for (index_t i = r.tree.num_nodes() - 1; i >= 0; --i) {
+    std::cout << "  node " << i << ": pivots {";
+    for (index_t c = r.tree.first_col(i);
+         c < r.tree.first_col(i) + r.tree.npiv(i); ++c)
+      std::cout << (c > r.tree.first_col(i) ? "," : "")
+                << r.perm[static_cast<std::size_t>(c)] + 1;
+    std::cout << "}  nfront=" << r.tree.nfront(i)
+              << "  cb=" << r.tree.ncb(i);
+    if (r.tree.parent(i) != kNone)
+      std::cout << "  -> parent node " << r.tree.parent(i);
+    else
+      std::cout << "  (root)";
+    std::cout << '\n';
+  }
+  std::cout << "\nThe paper draws {5,6} as one root; fundamental supernodes\n"
+               "split it into the chain {5} -> {6} because 6 has two\n"
+               "children. Relaxed amalgamation (the default) merges it "
+               "back.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 2 — distribution of the assembly tree over the processors:
+// subtrees at the bottom (type 1), 1D-parallel type-2 nodes above, the
+// 2D-parallel type-3 root on top. Also checks the paper's remark that on
+// large numbers of processors ~80% of the flops are in type-2 nodes.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace memfront;
+  using namespace memfront::bench;
+  const BenchOptions opt = parse_options(argc, argv);
+  const Problem p = make_problem(ProblemId::kBmwCra1, opt.scale);
+
+  std::cout << "Figure 2: tree distribution over processors ("
+            << p.name << ", scale=" << opt.scale << ")\n\n";
+  TextTable table({"procs", "subtrees", "type1 nodes", "type2 nodes",
+                   "type3 nodes", "flops in subtrees %", "flops type2 %",
+                   "flops type3 %"});
+  for (index_t procs : {4, 8, 16, 32}) {
+    ExperimentSetup setup = baseline_setup(p, opt, OrderingKind::kNestedDissection,
+                                           false);
+    setup.nprocs = procs;
+    const PreparedExperiment prepared = prepare_experiment(p.matrix, setup);
+    const AssemblyTree& tree = prepared.analysis.tree;
+    const StaticMapping& m = prepared.mapping;
+    count_t n1 = 0, n2 = 0, n3 = 0;
+    count_t f_sub = 0, f2 = 0, f3 = 0, total = 0;
+    for (index_t i = 0; i < tree.num_nodes(); ++i) {
+      const count_t f = tree.flops(i);
+      total += f;
+      switch (m.type[static_cast<std::size_t>(i)]) {
+        case NodeType::kType1:
+          ++n1;
+          if (m.subtrees.in_subtree(i)) f_sub += f;
+          break;
+        case NodeType::kType2:
+          ++n2;
+          f2 += f;
+          break;
+        case NodeType::kType3:
+          ++n3;
+          f3 += f;
+          break;
+      }
+    }
+    table.row();
+    table.cell(procs);
+    table.cell(static_cast<count_t>(m.subtrees.roots.size()));
+    table.cell(n1);
+    table.cell(n2);
+    table.cell(n3);
+    table.cell(100.0 * static_cast<double>(f_sub) / static_cast<double>(total), 1);
+    table.cell(100.0 * static_cast<double>(f2) / static_cast<double>(total), 1);
+    table.cell(100.0 * static_cast<double>(f3) / static_cast<double>(total), 1);
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: more processors -> finer subtrees, more of\n"
+               "the flops migrate to the 1D/2D-parallel upper part (the\n"
+               "paper quotes ~80% in type 2 on large machines).\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 3 — 1D blocking of type-2 nodes under the default (workload)
+// strategy: regular row blocks for unsymmetric fronts, irregular
+// (flop-balanced, shrinking) blocks for symmetric fronts.
+#include <iostream>
+
+#include "memfront/core/slave_selection.hpp"
+#include "memfront/support/table.hpp"
+
+int main() {
+  using namespace memfront;
+  const index_t nfront = 1200, npiv = 200;
+  std::vector<SlaveCandidate> cands;
+  for (index_t q = 1; q <= 4; ++q) cands.push_back({q, 0});
+
+  std::cout << "Figure 3: type-2 blocking with the default strategy\n"
+               "(nfront=" << nfront << ", npiv=" << npiv
+            << ", 4 slaves)\n\n";
+  for (bool sym : {false, true}) {
+    SelectionProblem p{.nfront = nfront, .npiv = npiv, .symmetric = sym,
+                       .max_slaves = 4, .min_rows_per_slave = 1};
+    const auto shares = workload_selection(p, cands, /*master_load=*/10,
+                                           /*master_task_flops=*/1);
+    std::cout << (sym ? "Symmetric (irregular blocks, equal flops):\n"
+                      : "Unsymmetric (regular blocks):\n");
+    TextTable table({"slave", "rows", "entries", "flops"});
+    for (const auto& s : shares) {
+      table.row();
+      table.cell(static_cast<count_t>(s.proc));
+      table.cell(s.rows);
+      table.cell(s.entries);
+      table.cell(s.flops);
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "Shape to observe: unsymmetric rows are equal; symmetric\n"
+               "blocks shrink down the trapezoid (later rows are longer)\n"
+               "while flops stay balanced — exactly the paper's drawing.\n";
+  return 0;
+}

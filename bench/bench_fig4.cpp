@@ -1,0 +1,47 @@
+// Figure 4 — the memory-based slave selection (Algorithm 1) as a
+// water-filling: the master levels the least-loaded processors up to a
+// watermark without raising the current memory peak.
+#include <iostream>
+
+#include "memfront/core/slave_selection.hpp"
+#include "memfront/support/table.hpp"
+
+int main() {
+  using namespace memfront;
+  // The figure's snapshot: P0 (master) selects among P1..P3 with unequal
+  // memory loads; the current peak is held by the fullest processor.
+  const index_t nfront = 400, npiv = 100;
+  std::vector<SlaveCandidate> cands{
+      {1, 40'000}, {2, 90'000}, {3, 140'000}};
+  SelectionProblem p{.nfront = nfront, .npiv = npiv, .symmetric = false,
+                     .max_slaves = 3, .min_rows_per_slave = 1};
+  const auto shares = memory_selection(p, cands);
+
+  std::cout << "Figure 4: memory-based slave selection (Algorithm 1)\n"
+               "front " << nfront << "x" << nfront << ", npiv=" << npiv
+            << ", surface to distribute = "
+            << (static_cast<count_t>(nfront) * nfront -
+                static_cast<count_t>(npiv) * nfront)
+            << " entries\n\n";
+  TextTable table({"proc", "memory before", "rows given", "block entries",
+                   "memory after"});
+  for (const auto& c : cands) {
+    count_t rows = 0, entries = 0;
+    for (const auto& s : shares)
+      if (s.proc == c.proc) {
+        rows = s.rows;
+        entries = s.entries;
+      }
+    table.row();
+    table.cell(static_cast<count_t>(c.proc));
+    table.cell(c.metric);
+    table.cell(rows);
+    table.cell(entries);
+    table.cell(c.metric + entries);
+  }
+  table.print(std::cout);
+  std::cout << "\nShape to observe: memory is levelled — the emptier the\n"
+               "processor, the more rows it receives; the final loads are\n"
+               "nearly equal and the previous peak holder got the least.\n";
+  return 0;
+}

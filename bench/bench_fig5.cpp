@@ -1,0 +1,97 @@
+// Figure 5 — the coherence problem of instantaneous memory information.
+//
+// The paper's scenario: a master picks its slaves from memory information
+// that is one message latency old; meanwhile the apparently-empty
+// processor has just received (or been designated for) a large task. We
+// reconstruct exactly that situation with the real library components
+// (History + Algorithm 1) and measure the peak with fresh vs stale views,
+// then sweep the staleness on a full simulation for context.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "memfront/core/slave_selection.hpp"
+#include "memfront/sim/memory_view.hpp"
+
+int main(int argc, char** argv) {
+  using namespace memfront;
+  using namespace memfront::bench;
+  const BenchOptions opt = parse_options(argc, argv);
+
+  std::cout << "Figure 5: the coherence problem of memory information\n\n";
+  // Machine state: P1..P3 announced histories. P1 received a large slave
+  // block at t=1.0 (500k entries); P2, P3 are moderately loaded.
+  History p1, p2, p3;
+  p1.add(0.5, 100'000);
+  p1.add(1.0, 500'000);  // the "new task" of the figure
+  p2.add(0.5, 300'000);
+  p3.add(0.5, 350'000);
+
+  const index_t nfront = 800, npiv = 400;  // surface = 320k entries
+  SelectionProblem problem{.nfront = nfront, .npiv = npiv,
+                           .symmetric = false, .max_slaves = 3,
+                           .min_rows_per_slave = 1};
+  const double select_time = 1.00001;  // just after P1's allocation
+
+  TextTable table({"view", "P1 sees", "P2 sees", "P3 sees",
+                   "rows to P1/P2/P3", "worst proc after (M)"});
+  for (double delay : {0.0, 0.01}) {
+    const double at = select_time - delay;
+    const count_t m1 = p1.value_at(at), m2 = p2.value_at(at),
+                  m3 = p3.value_at(at);
+    const auto shares = memory_selection(
+        problem, {{1, m1}, {2, m2}, {3, m3}});
+    count_t rows[4] = {0, 0, 0, 0};
+    count_t blocks[4] = {0, 0, 0, 0};
+    for (const auto& s : shares) {
+      rows[s.proc] = s.rows;
+      blocks[s.proc] = s.entries;
+    }
+    // True final memory = *actual* memory plus the assigned block.
+    const count_t actual[4] = {0, p1.current(), p2.current(), p3.current()};
+    count_t worst = 0;
+    for (int q = 1; q <= 3; ++q)
+      worst = std::max(worst, actual[q] + blocks[q]);
+    table.row();
+    table.cell(delay == 0.0 ? "fresh (impossible)" : "stale (reality)");
+    table.cell(m1);
+    table.cell(m2);
+    table.cell(m3);
+    std::ostringstream r;
+    r << rows[1] << "/" << rows[2] << "/" << rows[3];
+    table.cell(r.str());
+    table.cell(static_cast<double>(worst) / 1e6, 3);
+  }
+  table.print(std::cout);
+  std::cout << "\nWith a stale view the master still believes P1 is the\n"
+               "emptiest processor and loads it further on top of the task\n"
+               "it just received - the peak grows, exactly the paper's\n"
+               "Figure 5. The Section 5.1 mechanisms (announcing choices\n"
+               "immediately and predicting incoming masters) close this\n"
+               "window.\n\n";
+
+  // Context: a full-simulation staleness sweep. At our problem scale the
+  // front surfaces are large relative to the memory spread, so Algorithm 1
+  // degenerates to near-equal splits and the sweep is flat - which is
+  // itself informative (the coherence window matters when fronts are
+  // small relative to stacks, as at the paper's scale).
+  const Problem p = make_problem(ProblemId::kTwotone, opt.scale);
+  ExperimentSetup setup = memory_setup(p, opt, OrderingKind::kAmf, false);
+  setup.slave_strategy = SlaveStrategy::kMemory;
+  setup.task_strategy = TaskStrategy::kLifo;
+  const PreparedExperiment prepared = prepare_experiment(p.matrix, setup);
+  TextTable sweep({"info delay (s)", "max peak (M)", "mean peak (M)"});
+  for (double delay : {0.0, 2e-5, 1e-2, 1e9}) {
+    ExperimentSetup s = setup;
+    s.machine.info_delay = delay;
+    const ExperimentOutcome o = run_prepared(prepared, s);
+    sweep.row();
+    std::ostringstream d;
+    d << std::scientific << std::setprecision(0) << delay;
+    sweep.cell(d.str());
+    sweep.cell(mentries(o.max_stack_peak), 3);
+    sweep.cell(o.parallel.avg_stack_peak / 1e6, 3);
+  }
+  std::cout << "Full-simulation staleness sweep (TWOTONE/AMF analogue):\n";
+  sweep.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Figure 6 — predicting the activation of upcoming master tasks.
+//
+// The paper's two panels: without prediction, processor P0 - about to
+// activate a large master task - looks empty and is selected as a slave;
+// the master activation then pushes it over the global peak. With the
+// prediction mechanism (Section 5.1) the announced cost of the incoming
+// master steers the selection away. We reconstruct the panels with the
+// real selection code, then run the mechanism toggles on full simulations.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "memfront/core/slave_selection.hpp"
+
+int main(int argc, char** argv) {
+  using namespace memfront;
+  using namespace memfront::bench;
+  const BenchOptions opt = parse_options(argc, argv);
+
+  std::cout << "Figure 6: prediction of incoming master tasks\n\n";
+  // P0 is about to activate a master task costing 600k entries; P2 is
+  // moderately loaded. P1 selects slaves for a front with a 250k surface.
+  const count_t p0_mem = 50'000, p2_mem = 300'000;
+  const count_t incoming_master = 600'000;
+  SelectionProblem problem{.nfront = 600, .npiv = 100, .symmetric = false,
+                           .max_slaves = 2, .min_rows_per_slave = 1};
+
+  TextTable table({"mode", "P0 metric", "P2 metric", "rows P0/P2",
+                   "peak after master activation (M)"});
+  for (bool predict : {false, true}) {
+    const count_t m0 = p0_mem + (predict ? incoming_master : 0);
+    const auto shares = memory_selection(problem, {{0, m0}, {2, p2_mem}});
+    count_t blocks[3] = {0, 0, 0};
+    count_t rows[3] = {0, 0, 0};
+    for (const auto& s : shares) {
+      blocks[s.proc] = s.entries;
+      rows[s.proc] = s.rows;
+    }
+    // After the slave blocks land, P0 activates its master task.
+    const count_t p0_final = p0_mem + blocks[0] + incoming_master;
+    const count_t p2_final = p2_mem + blocks[2];
+    table.row();
+    table.cell(predict ? "with prediction (6b)" : "without prediction (6a)");
+    table.cell(m0);
+    table.cell(p2_mem);
+    std::ostringstream r;
+    r << rows[0] << "/" << rows[2];
+    table.cell(r.str());
+    table.cell(static_cast<double>(std::max(p0_final, p2_final)) / 1e6, 3);
+  }
+  table.print(std::cout);
+  std::cout << "\nWithout prediction the selection loads P0 (it looks\n"
+               "empty), and the master activation stacks on top: the peak\n"
+               "grows. With the announced master cost P0 is avoided - the\n"
+               "paper's panel (b).\n\n";
+
+  std::cout << "Full-simulation mechanism toggles (max / mean peak, M):\n";
+  TextTable grid({"Matrix/ordering", "no mechanisms", "+subtree bcast",
+                  "+master prediction", "+both (paper)"});
+  struct Case {
+    ProblemId id;
+    OrderingKind kind;
+  };
+  for (const Case c : {Case{ProblemId::kTwotone, OrderingKind::kAmf},
+                       Case{ProblemId::kUltrasound3, OrderingKind::kAmf},
+                       Case{ProblemId::kXenon2, OrderingKind::kPord},
+                       Case{ProblemId::kBmwCra1, OrderingKind::kAmf}}) {
+    const Problem p = make_problem(c.id, opt.scale);
+    ExperimentSetup base = memory_setup(p, opt, c.kind, false);
+    base.task_strategy = TaskStrategy::kLifo;
+    const PreparedExperiment prepared = prepare_experiment(p.matrix, base);
+    grid.row();
+    grid.cell(p.name + "/" + ordering_name(c.kind));
+    for (auto [subtree, predict] :
+         {std::pair{false, false}, {true, false}, {false, true},
+          {true, true}}) {
+      ExperimentSetup s = base;
+      s.subtree_broadcast = subtree;
+      s.master_prediction = predict;
+      const ExperimentOutcome o = run_prepared(prepared, s);
+      std::ostringstream os;
+      os << std::fixed << std::setprecision(3) << mentries(o.max_stack_peak)
+         << " / " << o.parallel.avg_stack_peak / 1e6;
+      grid.cell(os.str());
+    }
+  }
+  grid.print(std::cout);
+  std::cout << "\nAt our scale the toggles move peaks only on selection-\n"
+               "sensitive cases; the micro-scenario above isolates the\n"
+               "mechanism the paper's Figure 6 illustrates.\n";
+  return 0;
+}

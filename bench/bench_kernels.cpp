@@ -1,0 +1,116 @@
+// Micro-benchmarks of the computational kernels (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "memfront/frontal/extend_add.hpp"
+#include "memfront/frontal/partial_factor.hpp"
+#include "memfront/ordering/ordering.hpp"
+#include "memfront/solver/analysis.hpp"
+#include "memfront/sparse/generators.hpp"
+#include "memfront/support/rng.hpp"
+#include "memfront/symbolic/col_counts.hpp"
+#include "memfront/symbolic/etree.hpp"
+
+namespace {
+
+using namespace memfront;
+
+DenseMatrix random_front(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  DenseMatrix m(n, n);
+  for (index_t c = 0; c < n; ++c)
+    for (index_t r = 0; r < n; ++r)
+      m(r, c) = r == c ? 4.0 * static_cast<double>(n) : rng.real(-1, 1);
+  return m;
+}
+
+void BM_PartialLu(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  const index_t npiv = n / 2;
+  const DenseMatrix original = random_front(n, 1);
+  for (auto _ : state) {
+    DenseMatrix work = original;
+    benchmark::DoNotOptimize(partial_lu(work, npiv));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          elimination_flops(n, npiv, false));
+}
+BENCHMARK(BM_PartialLu)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_PartialLdlt(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  const index_t npiv = n / 2;
+  const DenseMatrix original = random_front(n, 2);
+  for (auto _ : state) {
+    DenseMatrix work = original;
+    benchmark::DoNotOptimize(partial_ldlt(work, npiv));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          elimination_flops(n, npiv, true));
+}
+BENCHMARK(BM_PartialLdlt)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_ExtendAdd(benchmark::State& state) {
+  const auto n = static_cast<index_t>(state.range(0));
+  DenseMatrix parent(n, n);
+  std::vector<index_t> parent_rows(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i)
+    parent_rows[static_cast<std::size_t>(i)] = 2 * i;
+  const index_t ncb = n / 2;
+  DenseMatrix cb = random_front(ncb, 3);
+  std::vector<index_t> child_rows(static_cast<std::size_t>(ncb));
+  for (index_t i = 0; i < ncb; ++i)
+    child_rows[static_cast<std::size_t>(i)] = 4 * i;
+  for (auto _ : state) {
+    extend_add(parent, parent_rows, cb, child_rows);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * square(ncb));
+}
+BENCHMARK(BM_ExtendAdd)->Arg(128)->Arg(512);
+
+const CscMatrix& bench_matrix() {
+  static const CscMatrix m = grid_matrix({.nx = 20, .ny = 20, .nz = 10,
+                                          .dof = 1, .wide_stencil = true,
+                                          .symmetric_values = true,
+                                          .seed = 5});
+  return m;
+}
+
+void BM_OrderingAmd(benchmark::State& state) {
+  const Graph g = Graph::from_matrix(bench_matrix());
+  for (auto _ : state) benchmark::DoNotOptimize(amd_order(g));
+}
+BENCHMARK(BM_OrderingAmd);
+
+void BM_OrderingAmf(benchmark::State& state) {
+  const Graph g = Graph::from_matrix(bench_matrix());
+  for (auto _ : state) benchmark::DoNotOptimize(amf_order(g));
+}
+BENCHMARK(BM_OrderingAmf);
+
+void BM_OrderingNestedDissection(benchmark::State& state) {
+  const Graph g = Graph::from_matrix(bench_matrix());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(nested_dissection_order(g, 1));
+}
+BENCHMARK(BM_OrderingNestedDissection);
+
+void BM_EtreeAndCounts(benchmark::State& state) {
+  const Graph g = Graph::from_matrix(bench_matrix());
+  for (auto _ : state) {
+    const auto parent = elimination_tree(g);
+    benchmark::DoNotOptimize(column_counts(g, parent));
+  }
+}
+BENCHMARK(BM_EtreeAndCounts);
+
+void BM_FullAnalysis(benchmark::State& state) {
+  AnalysisOptions opt;
+  opt.ordering = OrderingKind::kAmd;
+  opt.want_structure = false;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(analyze(bench_matrix(), opt));
+}
+BENCHMARK(BM_FullAnalysis);
+
+}  // namespace

@@ -1,0 +1,56 @@
+// Table 4 — absolute maximum stack peaks (millions of entries) on the two
+// illustrative cases, separating the gains of static splitting and of the
+// dynamic memory strategy: {no split, split} x {workload, memory}.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace memfront;
+  using namespace memfront::bench;
+  const BenchOptions opt = parse_options(argc, argv);
+
+  const Problem ultra = make_problem(ProblemId::kUltrasound3, opt.scale);
+  const Problem xenon = make_problem(ProblemId::kXenon2, opt.scale);
+
+  auto peaks = [&](const Problem& p, OrderingKind kind) {
+    // Returns {workload/nosplit, workload/split, memory/nosplit,
+    // memory/split} peaks in entries.
+    std::vector<count_t> out;
+    for (bool split : {false, true}) {
+      const CellResult cell = run_cell(p, opt, kind, split, split);
+      out.push_back(cell.baseline_peak);
+      out.push_back(cell.memory_peak);
+    }
+    return std::vector<count_t>{out[0], out[2], out[1], out[3]};
+  };
+  const std::vector<count_t> u = peaks(ultra, OrderingKind::kNestedDissection);
+  const std::vector<count_t> x = peaks(xenon, OrderingKind::kAmf);
+
+  std::cout << "Table 4: max stack peak over processors (millions of "
+               "entries)\n(ours | paper), " << opt.nprocs
+            << " procs, scale=" << opt.scale << "\n\n";
+  TextTable table({"strategy", "ULTRASOUND3-METIS", "XENON2-AMF"});
+  const auto paper = paper_table4();
+  const char* names[] = {"MUMPS dynamic, no split", "MUMPS dynamic, split",
+                         "memory dynamic, no split", "memory dynamic, split"};
+  for (int r = 0; r < 4; ++r) {
+    table.row();
+    table.cell(names[r]);
+    std::ostringstream a, b;
+    a << std::fixed << std::setprecision(2)
+      << mentries(u[static_cast<std::size_t>(r)]) << " | "
+      << paper[static_cast<std::size_t>(r)].ultrasound3_metis;
+    b << std::fixed << std::setprecision(2)
+      << mentries(x[static_cast<std::size_t>(r)]) << " | "
+      << paper[static_cast<std::size_t>(r)].xenon2_amf;
+    table.cell(a.str());
+    table.cell(b.str());
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: both the static splitting and the dynamic\n"
+               "memory strategy lower the peak, and they compose (paper:\n"
+               "7.56 -> 5.73 and 3.14 -> 1.52 Mentries). Absolute values\n"
+               "differ because our matrices are scaled-down analogues.\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Memory analysis example: how the reordering technique shapes the
+// assembly tree and the sequential stack peak — the observation (from the
+// authors' earlier work [12]) that motivates the paper's ordering sweep.
+#include <iostream>
+
+#include "memfront/solver/analysis.hpp"
+#include "memfront/sparse/problems.hpp"
+#include "memfront/support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace memfront;
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.6;
+
+  std::cout << "Tree topology and sequential stack peak per ordering\n\n";
+  for (ProblemId id : {ProblemId::kXenon2, ProblemId::kMsdoor}) {
+    const Problem p = make_problem(id, scale);
+    std::cout << p.name << " (n=" << p.matrix.nrows()
+              << ", nnz=" << p.matrix.nnz() << ")\n";
+    TextTable table({"ordering", "tree nodes", "max front", "factor entries",
+                     "flops", "stack peak", "peak (no Liu)"});
+    for (OrderingKind kind : paper_orderings()) {
+      AnalysisOptions opt;
+      opt.ordering = kind;
+      opt.symmetric = p.symmetric;
+      opt.want_structure = false;
+      const Analysis with_liu = analyze(p.matrix, opt);
+      opt.liu_reorder = false;
+      const Analysis without = analyze(p.matrix, opt);
+      index_t max_front = 0;
+      for (index_t i = 0; i < with_liu.tree.num_nodes(); ++i)
+        max_front = std::max(max_front, with_liu.tree.nfront(i));
+      table.row();
+      table.cell(ordering_name(kind));
+      table.cell(with_liu.tree.num_nodes());
+      table.cell(max_front);
+      table.cell(with_liu.tree.total_factor_entries());
+      table.cell(with_liu.tree.total_flops());
+      table.cell(with_liu.memory.peak);
+      table.cell(without.memory.peak);
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "Liu's child reordering [15] never hurts the sequential\n"
+               "peak; the tree topology (deep AMD/AMF chains vs balanced\n"
+               "dissection trees) drives both memory and scheduling.\n";
+  return 0;
+}

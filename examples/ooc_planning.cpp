@@ -1,0 +1,53 @@
+// Out-of-core planning example (the paper's concluding motivation):
+// factors are written once and not reread before the solve, so they can
+// live on disk — what must stay in memory is the stack. This example
+// quantifies the in-core footprint split and what the memory-based
+// scheduling buys in that setting.
+#include <iostream>
+
+#include "memfront/core/experiment.hpp"
+#include "memfront/sparse/problems.hpp"
+#include "memfront/support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace memfront;
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.7;
+  const index_t nprocs = 16;
+
+  std::cout << "In-core footprint if factors go to disk (out-of-core),\n"
+            << nprocs << " processors, both scheduling strategies\n\n";
+  TextTable table({"Matrix", "factors (M)", "stack wl (M)", "stack mem (M)",
+                   "stack = % of total (wl)", "OOC gain %"});
+  for (ProblemId id : {ProblemId::kBmwCra1, ProblemId::kPre2,
+                       ProblemId::kXenon2}) {
+    const Problem p = make_problem(id, scale);
+    ExperimentSetup base;
+    base.nprocs = nprocs;
+    base.symmetric = p.symmetric;
+    base.ordering = OrderingKind::kNestedDissection;
+    ExperimentSetup mem = base;
+    mem.slave_strategy = SlaveStrategy::kMemoryImproved;
+    mem.task_strategy = TaskStrategy::kMemoryAware;
+    mem.split_threshold = 100'000;
+    const PreparedExperiment prepared = prepare_experiment(p.matrix, base);
+    const ExperimentOutcome wl = run_prepared(prepared, base);
+    const ExperimentOutcome mm = run_experiment(p.matrix, mem);
+    const double factors =
+        static_cast<double>(prepared.analysis.tree.total_factor_entries()) /
+        1e6;
+    const double swl = static_cast<double>(wl.max_stack_peak) / 1e6;
+    const double smm = static_cast<double>(mm.max_stack_peak) / 1e6;
+    table.row();
+    table.cell(p.name);
+    table.cell(factors, 2);
+    table.cell(swl, 3);
+    table.cell(smm, 3);
+    table.cell(100.0 * swl / (swl + factors / nprocs), 1);
+    table.cell(100.0 * (swl - smm) / swl, 1);
+  }
+  table.print(std::cout);
+  std::cout << "\nWith factors on disk the stack *is* the memory footprint:\n"
+               "every % the memory-based scheduling shaves off the stack\n"
+               "peak directly shrinks the machine needed (Section 7).\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Configuration of the dynamic scheduling strategies under study.
+#pragma once
+
+#include "memfront/sim/machine.hpp"
+#include "memfront/support/types.hpp"
+
+namespace memfront {
+
+/// Slave-selection strategy for type-2 masters (Sections 3, 4, 5.1).
+enum class SlaveStrategy {
+  kWorkload,        // MUMPS default: less-loaded processors, balanced work
+  kMemory,          // Algorithm 1 on instantaneous memory
+  kMemoryImproved,  // Algorithm 1 + subtree peaks + master prediction (5.1)
+};
+
+/// Local task-selection strategy for the pool (Section 5.2).
+enum class TaskStrategy {
+  kLifo,         // MUMPS default: stack pool, depth-first
+  kMemoryAware,  // Algorithm 2
+};
+
+struct SchedConfig {
+  MachineParams machine{};
+  SlaveStrategy slave_strategy = SlaveStrategy::kWorkload;
+  TaskStrategy task_strategy = TaskStrategy::kLifo;
+  /// Section 5.1 mechanisms (only consulted by kMemoryImproved and the
+  /// memory-aware metric): announce subtree peaks / predict masters.
+  bool subtree_broadcast = true;
+  bool master_prediction = true;
+  /// 0 = no cap (nprocs - 1).
+  index_t max_slaves = 0;
+  /// Granularity constraint: no slave gets fewer rows than this (unless
+  /// the front itself is smaller).
+  index_t min_rows_per_slave = 4;
+};
+
+const char* slave_strategy_name(SlaveStrategy s);
+const char* task_strategy_name(TaskStrategy s);
+
+}  // namespace memfront

@@ -1,0 +1,68 @@
+#include "memfront/core/experiment.hpp"
+
+#include "memfront/support/stats.hpp"
+
+namespace memfront {
+
+PreparedExperiment prepare_experiment(const CscMatrix& matrix,
+                                      const ExperimentSetup& setup) {
+  AnalysisOptions options;
+  options.ordering = setup.ordering;
+  options.symmetric = setup.symmetric;
+  options.want_structure = false;  // scheduling experiments are symbolic
+  options.split_master_threshold = setup.split_threshold;
+  options.split_relative = setup.split_relative;
+  options.seed = setup.seed;
+  PreparedExperiment prepared{.analysis = analyze(matrix, options),
+                              .mapping = {}};
+  MappingOptions mapping = setup.mapping;
+  mapping.nprocs = setup.nprocs;
+  prepared.mapping = compute_mapping(prepared.analysis.tree,
+                                     prepared.analysis.memory, mapping);
+  return prepared;
+}
+
+ExperimentOutcome run_prepared(const PreparedExperiment& prepared,
+                               const ExperimentSetup& setup, Trace* trace) {
+  SchedConfig config;
+  config.machine = setup.machine;
+  config.machine.nprocs = setup.nprocs;
+  config.slave_strategy = setup.slave_strategy;
+  config.task_strategy = setup.task_strategy;
+  config.subtree_broadcast = setup.subtree_broadcast;
+  config.master_prediction = setup.master_prediction;
+
+  ExperimentOutcome outcome;
+  outcome.parallel = simulate_parallel_factorization(
+      prepared.analysis.tree, prepared.analysis.memory, prepared.mapping,
+      prepared.analysis.traversal, config, trace);
+  outcome.max_stack_peak = outcome.parallel.max_stack_peak;
+  outcome.makespan = outcome.parallel.makespan;
+  outcome.sequential_peak = prepared.analysis.memory.peak;
+  outcome.num_nodes = prepared.analysis.tree.num_nodes();
+  outcome.num_split_nodes = prepared.analysis.num_split_nodes;
+  return outcome;
+}
+
+ExperimentOutcome run_experiment(const CscMatrix& matrix,
+                                 const ExperimentSetup& setup, Trace* trace) {
+  return run_prepared(prepare_experiment(matrix, setup), setup, trace);
+}
+
+StrategyComparison compare_strategies(const CscMatrix& matrix,
+                                      ExperimentSetup baseline_setup,
+                                      ExperimentSetup memory_setup) {
+  StrategyComparison cmp;
+  const ExperimentOutcome base = run_experiment(matrix, baseline_setup);
+  const ExperimentOutcome mem = run_experiment(matrix, memory_setup);
+  cmp.baseline_peak = base.max_stack_peak;
+  cmp.memory_peak = mem.max_stack_peak;
+  cmp.percent_decrease =
+      percent_decrease(static_cast<double>(base.max_stack_peak),
+                       static_cast<double>(mem.max_stack_peak));
+  cmp.baseline_makespan = base.makespan;
+  cmp.memory_makespan = mem.makespan;
+  return cmp;
+}
+
+}  // namespace memfront

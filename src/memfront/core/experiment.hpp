@@ -1,0 +1,74 @@
+// High-level experiment runner: matrix -> analysis -> mapping -> simulated
+// parallel factorization. Every table/figure bench is built on this.
+#pragma once
+
+#include <cstdint>
+
+#include "memfront/core/parallel_factor.hpp"
+#include "memfront/solver/analysis.hpp"
+
+namespace memfront {
+
+struct ExperimentSetup {
+  index_t nprocs = 32;
+  OrderingKind ordering = OrderingKind::kNestedDissection;
+  bool symmetric = false;
+  /// 0 = no static splitting; otherwise the master-part entry threshold
+  /// (the paper's 2M-entry rule, scaled to our problem sizes).
+  count_t split_threshold = 0;
+  /// Relative floor: effective threshold >= split_relative * biggest
+  /// master (keeps the splitting in the paper's ~2-piece regime).
+  double split_relative = 0.0;
+  SlaveStrategy slave_strategy = SlaveStrategy::kWorkload;
+  TaskStrategy task_strategy = TaskStrategy::kLifo;
+  bool subtree_broadcast = true;
+  bool master_prediction = true;
+  MappingOptions mapping{};  // nprocs is overridden by `nprocs` above
+  MachineParams machine{};   // likewise
+  std::uint64_t seed = 0;
+};
+
+/// Analysis + static mapping; reusable across dynamic-strategy variants
+/// (the paper compares strategies on the *same* static decisions).
+struct PreparedExperiment {
+  Analysis analysis;
+  StaticMapping mapping;
+};
+
+PreparedExperiment prepare_experiment(const CscMatrix& matrix,
+                                      const ExperimentSetup& setup);
+
+struct ExperimentOutcome {
+  count_t max_stack_peak = 0;   // the paper's metric (entries)
+  double makespan = 0.0;        // stands in for factorization time
+  count_t sequential_peak = 0;  // analysis-phase sequential peak
+  index_t num_nodes = 0;
+  index_t num_split_nodes = 0;
+  ParallelResult parallel;
+};
+
+ExperimentOutcome run_prepared(const PreparedExperiment& prepared,
+                               const ExperimentSetup& setup,
+                               Trace* trace = nullptr);
+
+/// prepare + run in one call.
+ExperimentOutcome run_experiment(const CscMatrix& matrix,
+                                 const ExperimentSetup& setup,
+                                 Trace* trace = nullptr);
+
+/// The paper's headline comparison on one (matrix, ordering) cell:
+/// percentage decrease of the max stack peak when switching the dynamic
+/// strategy from workload-based to memory-based (Tables 2/3/5).
+struct StrategyComparison {
+  count_t baseline_peak = 0;
+  count_t memory_peak = 0;
+  double percent_decrease = 0.0;
+  double baseline_makespan = 0.0;
+  double memory_makespan = 0.0;
+};
+
+StrategyComparison compare_strategies(const CscMatrix& matrix,
+                                      ExperimentSetup baseline_setup,
+                                      ExperimentSetup memory_setup);
+
+}  // namespace memfront

@@ -1,0 +1,183 @@
+#include "memfront/core/slave_selection.hpp"
+
+#include <algorithm>
+
+#include "memfront/support/error.hpp"
+#include "memfront/symbolic/assembly_tree.hpp"
+
+namespace memfront {
+namespace {
+
+void sort_candidates(std::vector<SlaveCandidate>& candidates) {
+  std::sort(candidates.begin(), candidates.end(),
+            [](const SlaveCandidate& a, const SlaveCandidate& b) {
+              return a.metric != b.metric ? a.metric < b.metric
+                                          : a.proc < b.proc;
+            });
+}
+
+/// Materializes contiguous row ranges (in candidate order) into shares,
+/// dropping empty ones.
+std::vector<SlaveShare> make_shares(const SelectionProblem& p,
+                                    const std::vector<SlaveCandidate>& cands,
+                                    const std::vector<index_t>& rows) {
+  std::vector<SlaveShare> shares;
+  index_t start = 0;
+  for (std::size_t j = 0; j < rows.size(); ++j) {
+    if (rows[j] <= 0) continue;
+    SlaveShare share;
+    share.proc = cands[j].proc;
+    share.row_start = start;
+    share.rows = rows[j];
+    share.entries =
+        slave_block_entries(p.nfront, p.npiv, start, rows[j], p.symmetric);
+    // Solve on the L21 rows plus the (position-dependent, for symmetric
+    // trapezoids) Schur update on the block's contribution entries.
+    const count_t cb_part =
+        share.entries - static_cast<count_t>(share.rows) * p.npiv;
+    share.flops = static_cast<count_t>(share.rows) * p.npiv * p.npiv +
+                  (p.symmetric ? 1 : 2) * static_cast<count_t>(p.npiv) *
+                      cb_part;
+    shares.push_back(share);
+    start += rows[j];
+  }
+  return shares;
+}
+
+}  // namespace
+
+count_t slave_block_entries(index_t nfront, index_t npiv, index_t row_start,
+                            index_t rows, bool symmetric) {
+  if (!symmetric) return static_cast<count_t>(rows) * nfront;
+  // Row at global position g (0-based in the front) stores g+1 entries of
+  // the lower triangle.
+  const count_t lo = npiv + row_start;
+  return triangle(lo + rows) - triangle(lo);
+}
+
+std::vector<SlaveShare> memory_selection(const SelectionProblem& p,
+                                         std::vector<SlaveCandidate> candidates) {
+  const index_t total_rows = p.nfront - p.npiv;
+  check(total_rows > 0, "memory_selection: nothing to distribute");
+  if (candidates.empty()) return {};
+  sort_candidates(candidates);
+
+  // Surface of the frontal matrix available to slaves, and the average
+  // entry width of one row (exact for the unsymmetric case).
+  const count_t surface =
+      front_entries(p.nfront, p.symmetric) -
+      master_entries(p.nfront, p.npiv, p.symmetric);
+  const double row_unit =
+      static_cast<double>(surface) / static_cast<double>(total_rows);
+
+  index_t limit = static_cast<index_t>(candidates.size());
+  if (p.max_slaves > 0) limit = std::min(limit, p.max_slaves);
+  limit = std::min<index_t>(
+      limit, std::max<index_t>(1, total_rows / std::max<index_t>(
+                                                   1, p.min_rows_per_slave)));
+
+  // Biggest i with sum_{j<=i} (M[i] - M[j]) <= surface (the sum is
+  // monotone in i because candidates are sorted).
+  index_t chosen = 1;
+  count_t prefix = candidates[0].metric;
+  for (index_t i = 2; i <= limit; ++i) {
+    const count_t mi = candidates[static_cast<std::size_t>(i - 1)].metric;
+    const count_t cost = static_cast<count_t>(i) * mi -
+                         (prefix + mi);  // Σ (M[i]-M[j]) over j=1..i
+    if (cost <= surface)
+      chosen = i;
+    else
+      break;
+    prefix += mi;
+  }
+
+  // Water-fill toward the memory of the highest selected processor, then
+  // split the remaining rows equitably.
+  const count_t watermark =
+      candidates[static_cast<std::size_t>(chosen - 1)].metric;
+  std::vector<index_t> rows(static_cast<std::size_t>(chosen), 0);
+  index_t remaining = total_rows;
+  for (index_t j = 0; j < chosen && remaining > 0; ++j) {
+    const double deficit = static_cast<double>(
+        watermark - candidates[static_cast<std::size_t>(j)].metric);
+    const index_t r = std::min<index_t>(
+        remaining, static_cast<index_t>(deficit / row_unit));
+    rows[static_cast<std::size_t>(j)] = r;
+    remaining -= r;
+  }
+  const index_t each = remaining / chosen;
+  index_t extra = remaining % chosen;
+  for (index_t j = 0; j < chosen; ++j) {
+    rows[static_cast<std::size_t>(j)] += each + (extra > 0 ? 1 : 0);
+    if (extra > 0) --extra;
+  }
+  return make_shares(p, candidates, rows);
+}
+
+std::vector<SlaveShare> workload_selection(const SelectionProblem& p,
+                                           std::vector<SlaveCandidate> candidates,
+                                           count_t master_load,
+                                           count_t master_task_flops) {
+  const index_t total_rows = p.nfront - p.npiv;
+  check(total_rows > 0, "workload_selection: nothing to distribute");
+  if (candidates.empty()) return {};
+  sort_candidates(candidates);
+
+  // Keep only processors less loaded than the master; if none qualifies,
+  // fall back to the single least-loaded one.
+  std::vector<SlaveCandidate> eligible;
+  for (const SlaveCandidate& c : candidates)
+    if (c.metric < master_load) eligible.push_back(c);
+  if (eligible.empty()) eligible.push_back(candidates.front());
+
+  index_t limit = static_cast<index_t>(eligible.size());
+  if (p.max_slaves > 0) limit = std::min(limit, p.max_slaves);
+  limit = std::min<index_t>(
+      limit, std::max<index_t>(1, total_rows / std::max<index_t>(
+                                                   1, p.min_rows_per_slave)));
+
+  // Choose the slave count so each slave's task is comparable to the
+  // master's own work on this node.
+  const count_t per_row =
+      std::max<count_t>(1, slave_flops(p.nfront, p.npiv, 1, p.symmetric));
+  const count_t balanced_rows = std::max<count_t>(
+      p.min_rows_per_slave,
+      master_task_flops / per_row);
+  index_t nslaves = static_cast<index_t>(
+      std::min<count_t>(limit, (total_rows + balanced_rows - 1) / balanced_rows));
+  nslaves = std::max<index_t>(1, nslaves);
+  eligible.resize(static_cast<std::size_t>(nslaves));
+
+  std::vector<index_t> rows(static_cast<std::size_t>(nslaves), 0);
+  if (!p.symmetric) {
+    // Regular blocking (Figure 3 left).
+    const index_t each = total_rows / nslaves;
+    index_t extra = total_rows % nslaves;
+    for (index_t j = 0; j < nslaves; ++j) {
+      rows[static_cast<std::size_t>(j)] = each + (extra > 0 ? 1 : 0);
+      if (extra > 0) --extra;
+    }
+  } else {
+    // Irregular blocking balancing flops: later rows of the trapezoid are
+    // longer, so later blocks get fewer rows (Figure 3 right).
+    std::vector<double> weight(static_cast<std::size_t>(total_rows));
+    double total_weight = 0.0;
+    for (index_t r = 0; r < total_rows; ++r) {
+      weight[static_cast<std::size_t>(r)] =
+          static_cast<double>(p.npiv) * p.npiv +
+          static_cast<double>(p.npiv) * (r + 1);
+      total_weight += weight[static_cast<std::size_t>(r)];
+    }
+    const double target = total_weight / static_cast<double>(nslaves);
+    index_t j = 0;
+    double acc = 0.0;
+    for (index_t r = 0; r < total_rows; ++r) {
+      ++rows[static_cast<std::size_t>(j)];
+      acc += weight[static_cast<std::size_t>(r)];
+      if (acc >= target * static_cast<double>(j + 1) && j + 1 < nslaves) ++j;
+    }
+  }
+  return make_shares(p, eligible, rows);
+}
+
+}  // namespace memfront

@@ -1,0 +1,60 @@
+// Slave selection strategies for type-2 (1D-parallel) fronts.
+//
+// Pure functions of a candidate snapshot, so both the simulator and the
+// unit/property tests drive them directly.
+//
+// * workload_selection: the MUMPS default (Section 3) — only processors
+//   less loaded than the master, work balanced against the master's own
+//   task, regular row blocks (unsymmetric) or equal-flop irregular blocks
+//   (symmetric, Figure 3).
+// * memory_selection: Algorithm 1 — sort by memory metric, level memory
+//   up to the smallest feasible watermark without exceeding the surface of
+//   the front, split the remaining rows equitably (Figure 4).
+#pragma once
+
+#include <vector>
+
+#include "memfront/support/types.hpp"
+
+namespace memfront {
+
+struct SlaveCandidate {
+  index_t proc = 0;
+  count_t metric = 0;  // memory (entries) or workload (flops)
+};
+
+struct SlaveShare {
+  index_t proc = 0;
+  index_t row_start = 0;  // offset within the nfront-npiv distributed rows
+  index_t rows = 0;
+  count_t entries = 0;    // memory the slave allocates for its block
+  count_t flops = 0;
+};
+
+/// Entries of a slave block holding `rows` rows starting at `row_start`
+/// (0-based within the non-fully-summed rows). Symmetric blocks are
+/// trapezoidal (Figure 3).
+count_t slave_block_entries(index_t nfront, index_t npiv, index_t row_start,
+                            index_t rows, bool symmetric);
+
+struct SelectionProblem {
+  index_t nfront = 0;
+  index_t npiv = 0;
+  bool symmetric = false;
+  index_t max_slaves = 0;        // hard cap (>=1)
+  index_t min_rows_per_slave = 1;
+};
+
+/// Algorithm 1. `candidates` need not be sorted. Never returns an empty
+/// result when candidates exist and rows remain.
+std::vector<SlaveShare> memory_selection(const SelectionProblem& problem,
+                                         std::vector<SlaveCandidate> candidates);
+
+/// MUMPS default. `master_load` is the master's own workload and
+/// `master_task_flops` the cost of its part of this node.
+std::vector<SlaveShare> workload_selection(const SelectionProblem& problem,
+                                           std::vector<SlaveCandidate> candidates,
+                                           count_t master_load,
+                                           count_t master_task_flops);
+
+}  // namespace memfront

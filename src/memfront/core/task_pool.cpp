@@ -1,0 +1,2 @@
+// TaskPool is header-only; this translation unit anchors the library.
+#include "memfront/core/task_pool.hpp"

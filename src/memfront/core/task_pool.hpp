@@ -1,0 +1,39 @@
+// Per-processor pool of ready tasks (Section 5.2, Figure 7).
+//
+// The pool only holds tasks *statically assigned* to the processor (type-1
+// nodes and type-2 masters); slave tasks bypass it. Managed as a stack:
+// push on ready, default selection pops the top, which yields a
+// depth-first traversal.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "memfront/support/types.hpp"
+
+namespace memfront {
+
+class TaskPool {
+ public:
+  bool empty() const noexcept { return tasks_.empty(); }
+  std::size_t size() const noexcept { return tasks_.size(); }
+
+  void push(index_t node) { tasks_.push_back(node); }
+
+  /// Bottom..top; the stack top is the last element.
+  std::span<const index_t> tasks() const noexcept { return tasks_; }
+
+  index_t top() const { return tasks_.back(); }
+
+  /// Removes and returns the task at `position` (0 = bottom).
+  index_t take(std::size_t position) {
+    const index_t node = tasks_[position];
+    tasks_.erase(tasks_.begin() + static_cast<std::ptrdiff_t>(position));
+    return node;
+  }
+
+ private:
+  std::vector<index_t> tasks_;
+};
+
+}  // namespace memfront

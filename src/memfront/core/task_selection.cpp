@@ -1,0 +1,29 @@
+#include "memfront/core/task_selection.hpp"
+
+#include "memfront/support/error.hpp"
+
+namespace memfront {
+
+std::size_t select_task_lifo(std::span<const index_t> pool) {
+  check(!pool.empty(), "select_task_lifo: empty pool");
+  return pool.size() - 1;
+}
+
+std::size_t select_task_memory_aware(std::span<const index_t> pool,
+                                     const TaskSelectionContext& ctx) {
+  check(!pool.empty(), "select_task_memory_aware: empty pool");
+  const std::size_t top = pool.size() - 1;
+  // Inside a subtree we never deviate from depth-first: subtrees are the
+  // memory-critical phase and interrupting them only grows the stack.
+  if (ctx.in_subtree(pool[top])) return top;
+  for (std::size_t k = pool.size(); k-- > 0;) {
+    const index_t node = pool[k];
+    if (ctx.activation_entries(node) + ctx.projected_memory <=
+        ctx.observed_peak)
+      return k;
+    if (ctx.in_subtree(node)) return k;
+  }
+  return top;
+}
+
+}  // namespace memfront

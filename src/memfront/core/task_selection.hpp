@@ -1,0 +1,34 @@
+// Task-selection strategies for the local pool (Section 5.2).
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "memfront/support/types.hpp"
+
+namespace memfront {
+
+struct TaskSelectionContext {
+  /// Memory the task allocates on activation (front / master part).
+  std::function<count_t(index_t node)> activation_entries;
+  /// Whether the node belongs to a leave subtree.
+  std::function<bool(index_t node)> in_subtree;
+  /// Current memory of the processor, including the projected peak of any
+  /// subtree currently in progress ("current memory (including peak of
+  /// subtree)" in Algorithm 2).
+  count_t projected_memory = 0;
+  /// Memory peak observed on this processor since the beginning of the
+  /// factorization.
+  count_t observed_peak = 0;
+};
+
+/// Default strategy: top of the stack.
+std::size_t select_task_lifo(std::span<const index_t> pool);
+
+/// Algorithm 2: keep depth-first inside subtrees; outside, prefer tasks
+/// that do not raise the observed peak, falling back to subtree tasks and
+/// finally to the top of the pool. Returns the pool position to activate.
+std::size_t select_task_memory_aware(std::span<const index_t> pool,
+                                     const TaskSelectionContext& ctx);
+
+}  // namespace memfront

@@ -1,0 +1,49 @@
+#include "memfront/frontal/block_cyclic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "memfront/support/error.hpp"
+
+namespace memfront {
+namespace {
+
+/// Rows of an n-long dimension owned by grid coordinate `coord` out of `p`
+/// with block size b (ScaLAPACK NUMROC).
+count_t numroc(index_t n, index_t b, index_t coord, index_t p) {
+  const count_t full_blocks = n / b;
+  count_t mine = (full_blocks / p) * b;  // complete rounds
+  const count_t extra = full_blocks % p;
+  if (coord < extra)
+    mine += b;  // one more full block
+  else if (coord == extra)
+    mine += n % b;  // the trailing partial block
+  return mine;
+}
+
+}  // namespace
+
+BlockCyclicLayout choose_grid(index_t nprocs, index_t block) {
+  check(nprocs >= 1, "choose_grid: need processes");
+  index_t pr = static_cast<index_t>(std::sqrt(static_cast<double>(nprocs)));
+  while (pr > 1 && nprocs % pr != 0) --pr;
+  return {.pr = pr, .pc = nprocs / pr, .block = block};
+}
+
+count_t entries_on_process(const BlockCyclicLayout& layout, index_t n,
+                           index_t prow, index_t pcol) {
+  return numroc(n, layout.block, prow, layout.pr) *
+         numroc(n, layout.block, pcol, layout.pc);
+}
+
+count_t max_entries_per_process(const BlockCyclicLayout& layout, index_t n) {
+  // Coordinate 0 always owns the most blocks in each dimension.
+  return entries_on_process(layout, n, 0, 0);
+}
+
+count_t dense_lu_flops(index_t n) {
+  const count_t nn = n;
+  return 2 * nn * nn * nn / 3 + nn * nn / 2;
+}
+
+}  // namespace memfront

@@ -1,0 +1,35 @@
+// 2D block-cyclic distribution model for the type-3 root node.
+//
+// MUMPS hands the root front to ScaLAPACK (Section 3, third parallelism
+// type). We model the same distribution: a pr x pc process grid, square
+// blocks, and report per-process entry counts and flop shares; the actual
+// numeric root factorization in the sequential solver uses partial_lu on
+// the whole front.
+#pragma once
+
+#include "memfront/support/types.hpp"
+
+namespace memfront {
+
+struct BlockCyclicLayout {
+  index_t pr = 1;     // process grid rows
+  index_t pc = 1;     // process grid cols
+  index_t block = 32; // square block size
+};
+
+/// Near-square process grid for `nprocs` processes (pr <= pc, pr*pc == as
+/// many processes as the grid can use; leftover processes idle, as in
+/// ScaLAPACK practice).
+BlockCyclicLayout choose_grid(index_t nprocs, index_t block = 32);
+
+/// Entries of an n x n matrix owned by grid process (prow, pcol).
+count_t entries_on_process(const BlockCyclicLayout& layout, index_t n,
+                           index_t prow, index_t pcol);
+
+/// max over grid processes of entries_on_process.
+count_t max_entries_per_process(const BlockCyclicLayout& layout, index_t n);
+
+/// Dense LU flop count (2/3 n^3 + lower order).
+count_t dense_lu_flops(index_t n);
+
+}  // namespace memfront

@@ -1,0 +1,2 @@
+// DenseMatrix is header-only; this translation unit anchors the library.
+#include "memfront/frontal/dense_matrix.hpp"

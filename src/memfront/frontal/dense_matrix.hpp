@@ -1,0 +1,51 @@
+// Column-major dense matrix used for frontal matrices.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "memfront/support/types.hpp"
+
+namespace memfront {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(index_t rows, index_t cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+              0.0) {}
+
+  index_t rows() const noexcept { return rows_; }
+  index_t cols() const noexcept { return cols_; }
+
+  double& operator()(index_t r, index_t c) {
+    return data_[static_cast<std::size_t>(c) * rows_ + r];
+  }
+  double operator()(index_t r, index_t c) const {
+    return data_[static_cast<std::size_t>(c) * rows_ + r];
+  }
+
+  std::span<double> column(index_t c) {
+    return {data_.data() + static_cast<std::size_t>(c) * rows_,
+            static_cast<std::size_t>(rows_)};
+  }
+  std::span<const double> column(index_t c) const {
+    return {data_.data() + static_cast<std::size_t>(c) * rows_,
+            static_cast<std::size_t>(rows_)};
+  }
+
+  void swap_rows(index_t r1, index_t r2) {
+    if (r1 == r2) return;
+    for (index_t c = 0; c < cols_; ++c) std::swap((*this)(r1, c), (*this)(r2, c));
+  }
+
+  std::span<const double> data() const { return data_; }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace memfront

@@ -1,0 +1,33 @@
+#include "memfront/frontal/extend_add.hpp"
+
+#include <vector>
+
+#include "memfront/support/error.hpp"
+
+namespace memfront {
+
+void extend_add(DenseMatrix& parent, std::span<const index_t> parent_rows,
+                const DenseMatrix& child_cb,
+                std::span<const index_t> child_rows) {
+  check(child_cb.rows() == static_cast<index_t>(child_rows.size()) &&
+            child_cb.cols() == child_cb.rows(),
+        "extend_add: child size mismatch");
+  check(parent.rows() == static_cast<index_t>(parent_rows.size()),
+        "extend_add: parent size mismatch");
+  // Both index lists are sorted: a single merge pass gives the positions.
+  std::vector<index_t> position(child_rows.size());
+  std::size_t p = 0;
+  for (std::size_t c = 0; c < child_rows.size(); ++c) {
+    while (p < parent_rows.size() && parent_rows[p] < child_rows[c]) ++p;
+    check(p < parent_rows.size() && parent_rows[p] == child_rows[c],
+          "extend_add: child row missing from parent front");
+    position[c] = static_cast<index_t>(p);
+  }
+  for (index_t cc = 0; cc < child_cb.cols(); ++cc) {
+    const index_t pc = position[static_cast<std::size_t>(cc)];
+    for (index_t cr = 0; cr < child_cb.rows(); ++cr)
+      parent(position[static_cast<std::size_t>(cr)], pc) += child_cb(cr, cc);
+  }
+}
+
+}  // namespace memfront

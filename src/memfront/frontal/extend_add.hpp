@@ -1,0 +1,19 @@
+// Extend-add assembly: scatter a child's contribution block into the
+// parent's frontal matrix (Section 2: "summed with the values contained in
+// the frontal matrix of the parent").
+#pragma once
+
+#include <span>
+
+#include "memfront/frontal/dense_matrix.hpp"
+
+namespace memfront {
+
+/// parent_rows / child_rows are the sorted global index lists of the two
+/// fronts; every child row must appear among the parent's rows. The child
+/// matrix is its (ncb x ncb) contribution block, child_rows its index set.
+void extend_add(DenseMatrix& parent, std::span<const index_t> parent_rows,
+                const DenseMatrix& child_cb,
+                std::span<const index_t> child_rows);
+
+}  // namespace memfront

@@ -1,0 +1,35 @@
+// Partial factorization of a frontal matrix.
+//
+// Eliminates the first `npiv` variables of a square front of order nfront,
+// leaving the Schur complement (contribution block) in the trailing
+// (nfront-npiv)² block. Pivoting is restricted to the fully-summed rows
+// (the multifrontal constraint); pivots that would be numerically tiny are
+// perturbed (static pivoting), which is safe for the diagonally-dominant
+// matrices our generators emit.
+#pragma once
+
+#include <vector>
+
+#include "memfront/frontal/dense_matrix.hpp"
+
+namespace memfront {
+
+struct PartialFactorResult {
+  /// Local pivot row chosen at each elimination step k (a row in [k,npiv)).
+  std::vector<index_t> pivot_rows;
+  /// Number of pivots that needed a static perturbation.
+  index_t perturbations = 0;
+};
+
+/// In-place partial LU with row pivoting among the fully-summed rows.
+/// After return, the leading npiv columns hold L (unit diagonal) below the
+/// diagonal and U on/above; columns npiv.. hold U12 in the pivot rows and
+/// the Schur complement in the rest.
+PartialFactorResult partial_lu(DenseMatrix& front, index_t npiv);
+
+/// In-place partial LDLᵀ without pivoting (full square storage kept
+/// numerically symmetric). Column j of the leading block holds L (unit
+/// diagonal) scaled entries below the diagonal and D(j) on the diagonal.
+PartialFactorResult partial_ldlt(DenseMatrix& front, index_t npiv);
+
+}  // namespace memfront

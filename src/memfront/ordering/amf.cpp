@@ -1,0 +1,10 @@
+#include "memfront/ordering/ordering.hpp"
+#include "memfront/ordering/quotient_graph.hpp"
+
+namespace memfront {
+
+std::vector<index_t> amf_order(const Graph& g) {
+  return minimum_degree_order(g, {.metric = MdMetric::kApproxFill});
+}
+
+}  // namespace memfront

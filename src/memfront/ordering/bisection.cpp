@@ -1,0 +1,194 @@
+#include "memfront/ordering/bisection.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "memfront/support/error.hpp"
+#include "memfront/support/rng.hpp"
+
+namespace memfront {
+namespace {
+
+/// BFS from `root`; returns visit order.
+std::vector<index_t> bfs_order(const Graph& g, index_t root,
+                               std::vector<index_t>& visited, index_t pass) {
+  std::vector<index_t> order{root};
+  visited[static_cast<std::size_t>(root)] = pass;
+  for (std::size_t head = 0; head < order.size(); ++head)
+    for (index_t w : g.neighbors(order[head]))
+      if (visited[static_cast<std::size_t>(w)] != pass) {
+        visited[static_cast<std::size_t>(w)] = pass;
+        order.push_back(w);
+      }
+  return order;
+}
+
+struct FmState {
+  std::vector<signed char> side;   // 0 or 1
+  std::vector<count_t> gain;       // cut decrease if vertex moved
+  count_t cut = 0;
+  count_t size[2] = {0, 0};
+};
+
+count_t compute_gains(const Graph& g, FmState& s) {
+  s.cut = 0;
+  for (index_t v = 0; v < g.num_vertices(); ++v) {
+    count_t internal = 0, external = 0;
+    for (index_t w : g.neighbors(v))
+      (s.side[w] == s.side[v] ? internal : external) += 1;
+    s.gain[v] = external - internal;
+    s.cut += external;
+  }
+  s.cut /= 2;
+  return s.cut;
+}
+
+}  // namespace
+
+Bisection bisect(const Graph& g, const BisectionOptions& options) {
+  const index_t n = g.num_vertices();
+  Bisection result;
+  if (n == 0) return result;
+  if (n == 1) {
+    result.part_a.push_back(0);
+    return result;
+  }
+
+  // Handle disconnected graphs: distribute whole components greedily; a
+  // separator is only needed when one component spans both sides.
+  std::vector<index_t> component;
+  const index_t ncomp = g.components(component);
+
+  FmState s;
+  s.side.assign(static_cast<std::size_t>(n), 0);
+  s.gain.assign(static_cast<std::size_t>(n), 0);
+
+  if (ncomp > 1) {
+    // Component sizes, largest first, greedy into the lighter side.
+    std::vector<count_t> csize(static_cast<std::size_t>(ncomp), 0);
+    for (index_t v = 0; v < n; ++v) ++csize[component[v]];
+    std::vector<index_t> by_size(static_cast<std::size_t>(ncomp));
+    for (index_t c = 0; c < ncomp; ++c) by_size[c] = c;
+    std::sort(by_size.begin(), by_size.end(),
+              [&](index_t a, index_t b) { return csize[a] > csize[b]; });
+    std::vector<signed char> comp_side(static_cast<std::size_t>(ncomp), 0);
+    count_t sz[2] = {0, 0};
+    for (index_t c : by_size) {
+      const int lighter = sz[0] <= sz[1] ? 0 : 1;
+      comp_side[c] = static_cast<signed char>(lighter);
+      sz[lighter] += csize[c];
+    }
+    for (index_t v = 0; v < n; ++v) {
+      if (comp_side[component[v]] == 0)
+        result.part_a.push_back(v);
+      else
+        result.part_b.push_back(v);
+    }
+    if (!result.part_a.empty() && !result.part_b.empty()) return result;
+    // One giant component: fall through to the connected algorithm.
+    result.part_a.clear();
+    result.part_b.clear();
+  }
+
+  // Region growing: BFS from a pseudo-peripheral vertex, first half -> 0.
+  std::vector<index_t> visited(static_cast<std::size_t>(n), 0);
+  Rng rng(options.seed + 1);
+  index_t root = static_cast<index_t>(rng.below(static_cast<std::uint64_t>(n)));
+  std::vector<index_t> order = bfs_order(g, root, visited, 1);
+  root = order.back();
+  order = bfs_order(g, root, visited, 2);
+  std::fill(s.side.begin(), s.side.end(), static_cast<signed char>(1));
+  const std::size_t half = order.size() / 2;
+  for (std::size_t k = 0; k < half; ++k) s.side[order[k]] = 0;
+  // Vertices unreachable from root (other components) stay on side 1.
+  s.size[0] = static_cast<count_t>(half);
+  s.size[1] = static_cast<count_t>(n) - s.size[0];
+
+  // FM refinement: passes of single-vertex moves with rollback to the best
+  // prefix. Balance constraint keeps both sides above the tolerance floor.
+  const auto min_side = static_cast<count_t>(
+      (0.5 - options.balance_tolerance) * static_cast<double>(n));
+  std::vector<index_t> moved;
+  for (int pass = 0; pass < options.fm_passes; ++pass) {
+    compute_gains(g, s);
+    std::priority_queue<std::pair<count_t, index_t>> queue;
+    std::vector<bool> locked(static_cast<std::size_t>(n), false);
+    for (index_t v = 0; v < n; ++v) queue.emplace(s.gain[v], v);
+    count_t best_cut = s.cut;
+    count_t current_cut = s.cut;
+    std::size_t best_prefix = 0;
+    moved.clear();
+    while (!queue.empty() &&
+           moved.size() < static_cast<std::size_t>(n)) {
+      auto [gain, v] = queue.top();
+      queue.pop();
+      if (locked[v] || gain != s.gain[v]) continue;
+      const int from = s.side[v];
+      if (s.size[from] - 1 < min_side) continue;
+      locked[v] = true;
+      s.side[v] = static_cast<signed char>(1 - from);
+      --s.size[from];
+      ++s.size[1 - from];
+      current_cut -= gain;
+      moved.push_back(v);
+      for (index_t w : g.neighbors(v)) {
+        if (locked[w]) continue;
+        s.gain[w] += (s.side[w] == s.side[v]) ? -2 : 2;
+        queue.emplace(s.gain[w], w);
+      }
+      if (current_cut < best_cut) {
+        best_cut = current_cut;
+        best_prefix = moved.size();
+      }
+    }
+    // Roll back moves after the best prefix.
+    for (std::size_t k = moved.size(); k > best_prefix; --k) {
+      const index_t v = moved[k - 1];
+      const int from = s.side[v];
+      s.side[v] = static_cast<signed char>(1 - from);
+      --s.size[from];
+      ++s.size[1 - from];
+    }
+    if (best_prefix == 0) break;  // converged
+  }
+
+  // Vertex separator: greedy cover of the cut edges, preferring endpoints
+  // that cover many cut edges (breaks ties toward the larger side).
+  std::vector<count_t> cut_degree(static_cast<std::size_t>(n), 0);
+  for (index_t v = 0; v < n; ++v)
+    for (index_t w : g.neighbors(v))
+      if (s.side[w] != s.side[v]) ++cut_degree[v];
+  std::vector<bool> in_separator(static_cast<std::size_t>(n), false);
+  std::priority_queue<std::pair<count_t, index_t>> cover;
+  for (index_t v = 0; v < n; ++v)
+    if (cut_degree[v] > 0) cover.emplace(cut_degree[v], v);
+  while (!cover.empty()) {
+    auto [deg, v] = cover.top();
+    cover.pop();
+    if (in_separator[v] || deg != cut_degree[v] || cut_degree[v] == 0)
+      continue;
+    in_separator[v] = true;
+    cut_degree[v] = 0;
+    for (index_t w : g.neighbors(v)) {
+      if (s.side[w] == s.side[v] || in_separator[w]) continue;
+      if (cut_degree[w] > 0) {
+        --cut_degree[w];
+        cover.emplace(cut_degree[w], w);
+      }
+    }
+  }
+
+  for (index_t v = 0; v < n; ++v) {
+    if (in_separator[v])
+      result.separator.push_back(v);
+    else if (s.side[v] == 0)
+      result.part_a.push_back(v);
+    else
+      result.part_b.push_back(v);
+  }
+  // Degenerate splits (one side empty) make no progress; callers detect
+  // this by part sizes and fall back to minimum degree.
+  return result;
+}
+
+}  // namespace memfront

@@ -1,0 +1,30 @@
+// Graph bisection with a vertex separator.
+//
+// BFS region growing from a pseudo-peripheral vertex, Fiduccia-Mattheyses
+// edge-cut refinement, then a greedy vertex cover of the cut edges. This is
+// the kernel under the nested-dissection (METIS stand-in) and multisection
+// (PORD stand-in) orderings.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "memfront/ordering/graph.hpp"
+
+namespace memfront {
+
+struct Bisection {
+  std::vector<index_t> part_a;
+  std::vector<index_t> part_b;
+  std::vector<index_t> separator;  // disjoint from both parts
+};
+
+struct BisectionOptions {
+  double balance_tolerance = 0.15;  // allowed deviation from a 50/50 split
+  int fm_passes = 4;
+  std::uint64_t seed = 0;
+};
+
+Bisection bisect(const Graph& g, const BisectionOptions& options = {});
+
+}  // namespace memfront

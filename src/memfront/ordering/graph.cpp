@@ -1,0 +1,67 @@
+#include "memfront/ordering/graph.hpp"
+
+#include <algorithm>
+
+#include "memfront/support/error.hpp"
+
+namespace memfront {
+
+Graph::Graph(index_t n, std::vector<count_t> ptr, std::vector<index_t> adj)
+    : n_(n), ptr_(std::move(ptr)), adj_(std::move(adj)) {
+  check(ptr_.size() == static_cast<std::size_t>(n_) + 1,
+        "Graph: ptr size mismatch");
+  check(ptr_.back() == static_cast<count_t>(adj_.size()),
+        "Graph: adj size mismatch");
+}
+
+Graph Graph::from_matrix(const CscMatrix& a) {
+  return from_symmetric_pattern(a.symmetrized_pattern());
+}
+
+Graph Graph::from_symmetric_pattern(const CscMatrix& pattern) {
+  check(pattern.nrows() == pattern.ncols(), "Graph: pattern must be square");
+  std::vector<count_t> ptr(pattern.colptr().begin(), pattern.colptr().end());
+  std::vector<index_t> adj(pattern.rowind().begin(), pattern.rowind().end());
+  return Graph(pattern.ncols(), std::move(ptr), std::move(adj));
+}
+
+Graph Graph::induced(std::span<const index_t> vertices) const {
+  std::vector<index_t> local(static_cast<std::size_t>(n_), kNone);
+  for (std::size_t i = 0; i < vertices.size(); ++i)
+    local[static_cast<std::size_t>(vertices[i])] = static_cast<index_t>(i);
+  std::vector<count_t> ptr(vertices.size() + 1, 0);
+  std::vector<index_t> adj;
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    for (index_t w : neighbors(vertices[i])) {
+      const index_t lw = local[static_cast<std::size_t>(w)];
+      if (lw != kNone) adj.push_back(lw);
+    }
+    ptr[i + 1] = static_cast<count_t>(adj.size());
+  }
+  return Graph(static_cast<index_t>(vertices.size()), std::move(ptr),
+               std::move(adj));
+}
+
+index_t Graph::components(std::vector<index_t>& component) const {
+  component.assign(static_cast<std::size_t>(n_), kNone);
+  index_t count = 0;
+  std::vector<index_t> stack;
+  for (index_t s = 0; s < n_; ++s) {
+    if (component[static_cast<std::size_t>(s)] != kNone) continue;
+    stack.push_back(s);
+    component[static_cast<std::size_t>(s)] = count;
+    while (!stack.empty()) {
+      const index_t v = stack.back();
+      stack.pop_back();
+      for (index_t w : neighbors(v))
+        if (component[static_cast<std::size_t>(w)] == kNone) {
+          component[static_cast<std::size_t>(w)] = count;
+          stack.push_back(w);
+        }
+    }
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace memfront

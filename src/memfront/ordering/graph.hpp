@@ -1,0 +1,54 @@
+// Undirected adjacency graph (CSR-like), the input of all orderings.
+//
+// Built from the symmetrized pattern of a square matrix: no self loops,
+// every edge stored in both directions, neighbor lists sorted.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "memfront/sparse/csc.hpp"
+#include "memfront/support/types.hpp"
+
+namespace memfront {
+
+class Graph {
+ public:
+  Graph() = default;
+  Graph(index_t n, std::vector<count_t> ptr, std::vector<index_t> adj);
+
+  /// Adjacency structure of the square matrix `a` (pattern of A+Aᵀ,
+  /// diagonal removed).
+  static Graph from_matrix(const CscMatrix& a);
+
+  /// Assumes `pattern` is already a symmetric diagonal-free pattern.
+  static Graph from_symmetric_pattern(const CscMatrix& pattern);
+
+  index_t num_vertices() const noexcept { return n_; }
+  count_t num_edges() const noexcept {  // undirected edge count
+    return static_cast<count_t>(adj_.size()) / 2;
+  }
+
+  index_t degree(index_t v) const {
+    return static_cast<index_t>(ptr_[v + 1] - ptr_[v]);
+  }
+
+  std::span<const index_t> neighbors(index_t v) const {
+    return {adj_.data() + ptr_[v],
+            static_cast<std::size_t>(ptr_[v + 1] - ptr_[v])};
+  }
+
+  /// Subgraph induced by `vertices` (which must be unique). Vertex i of the
+  /// result corresponds to vertices[i].
+  Graph induced(std::span<const index_t> vertices) const;
+
+  /// Connected components; result[v] = component id, returns the count.
+  index_t components(std::vector<index_t>& component) const;
+
+ private:
+  index_t n_ = 0;
+  std::vector<count_t> ptr_{0};
+  std::vector<index_t> adj_;
+};
+
+}  // namespace memfront

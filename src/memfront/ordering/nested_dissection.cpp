@@ -1,0 +1,100 @@
+#include "memfront/ordering/nested_dissection.hpp"
+
+#include <algorithm>
+
+#include "memfront/ordering/bisection.hpp"
+#include "memfront/ordering/ordering.hpp"
+#include "memfront/ordering/quotient_graph.hpp"
+#include "memfront/support/error.hpp"
+
+namespace memfront {
+namespace {
+
+struct NdContext {
+  const NdOptions& opt;
+  std::vector<index_t> order;  // elimination order, global ids
+  // For multisection mode: separators per recursion depth, deepest first.
+  std::vector<std::vector<index_t>> level_separators;
+};
+
+void order_with_md(const Graph& sub, std::span<const index_t> global,
+                   bool amf, std::vector<index_t>& out) {
+  const MdOptions md{.metric = amf ? MdMetric::kApproxFill
+                                   : MdMetric::kExternalDegree};
+  for (index_t local : minimum_degree_order(sub, md))
+    out.push_back(global[static_cast<std::size_t>(local)]);
+}
+
+void recurse(NdContext& ctx, const Graph& sub,
+             std::vector<index_t> global, std::size_t depth,
+             std::uint64_t seed) {
+  if (sub.num_vertices() <= ctx.opt.leaf_size) {
+    order_with_md(sub, global, ctx.opt.amf_leaves, ctx.order);
+    return;
+  }
+  Bisection cut = bisect(sub, {.seed = seed});
+  // A failed split (everything on one side) would loop forever: fall back
+  // to minimum degree for this whole subgraph.
+  if (cut.part_a.empty() || cut.part_b.empty()) {
+    order_with_md(sub, global, ctx.opt.amf_leaves, ctx.order);
+    return;
+  }
+
+  auto to_global = [&](const std::vector<index_t>& locals) {
+    std::vector<index_t> ids;
+    ids.reserve(locals.size());
+    for (index_t v : locals)
+      ids.push_back(global[static_cast<std::size_t>(v)]);
+    return ids;
+  };
+
+  recurse(ctx, sub.induced(cut.part_a), to_global(cut.part_a), depth + 1,
+          seed * 2 + 1);
+  recurse(ctx, sub.induced(cut.part_b), to_global(cut.part_b), depth + 1,
+          seed * 2 + 2);
+
+  if (cut.separator.empty()) return;
+  std::vector<index_t> sep_global = to_global(cut.separator);
+  if (ctx.opt.multisection) {
+    if (ctx.level_separators.size() <= depth)
+      ctx.level_separators.resize(depth + 1);
+    auto& bucket = ctx.level_separators[depth];
+    bucket.insert(bucket.end(), sep_global.begin(), sep_global.end());
+  } else {
+    // Classic ND: the separator is eliminated right after its two halves,
+    // ordered by minimum degree on its induced subgraph.
+    order_with_md(sub.induced(cut.separator), sep_global, false, ctx.order);
+  }
+}
+
+}  // namespace
+
+std::vector<index_t> nested_dissection(const Graph& g, const NdOptions& opt) {
+  const index_t n = g.num_vertices();
+  NdContext ctx{.opt = opt, .order = {}, .level_separators = {}};
+  ctx.order.reserve(static_cast<std::size_t>(n));
+  std::vector<index_t> all(static_cast<std::size_t>(n));
+  for (index_t v = 0; v < n; ++v) all[static_cast<std::size_t>(v)] = v;
+  recurse(ctx, g, std::move(all), 0, opt.seed + 7);
+
+  if (opt.multisection) {
+    // Multisection: separators eliminated deepest level first, each level
+    // ordered by minimum degree on its induced subgraph.
+    for (std::size_t depth = ctx.level_separators.size(); depth > 0; --depth) {
+      auto& ids = ctx.level_separators[depth - 1];
+      if (ids.empty()) continue;
+      std::sort(ids.begin(), ids.end());
+      order_with_md(g.induced(ids), ids, false, ctx.order);
+    }
+  }
+  check(ctx.order.size() == static_cast<std::size_t>(n),
+        "nested_dissection: incomplete order");
+  return ctx.order;
+}
+
+std::vector<index_t> nested_dissection_order(const Graph& g,
+                                             std::uint64_t seed) {
+  return nested_dissection(g, {.seed = seed});
+}
+
+}  // namespace memfront

@@ -1,0 +1,43 @@
+#include "memfront/ordering/ordering.hpp"
+
+#include "memfront/ordering/nested_dissection.hpp"
+#include "memfront/sparse/permutation.hpp"
+#include "memfront/support/error.hpp"
+
+namespace memfront {
+
+std::string ordering_name(OrderingKind kind) {
+  switch (kind) {
+    case OrderingKind::kNatural: return "NATURAL";
+    case OrderingKind::kAmd: return "AMD";
+    case OrderingKind::kAmf: return "AMF";
+    case OrderingKind::kNestedDissection: return "METIS";  // stand-in
+    case OrderingKind::kPord: return "PORD";               // stand-in
+    case OrderingKind::kRcm: return "RCM";
+  }
+  check(false, "ordering_name: unknown kind");
+  return {};
+}
+
+std::vector<OrderingKind> paper_orderings() {
+  return {OrderingKind::kNestedDissection, OrderingKind::kPord,
+          OrderingKind::kAmd, OrderingKind::kAmf};
+}
+
+std::vector<index_t> compute_ordering(const Graph& g, OrderingKind kind,
+                                      std::uint64_t seed) {
+  switch (kind) {
+    case OrderingKind::kNatural:
+      return identity_permutation(g.num_vertices());
+    case OrderingKind::kAmd: return amd_order(g);
+    case OrderingKind::kAmf: return amf_order(g);
+    case OrderingKind::kNestedDissection:
+      return nested_dissection_order(g, seed);
+    case OrderingKind::kPord: return pord_order(g, seed);
+    case OrderingKind::kRcm: return rcm_order(g);
+  }
+  check(false, "compute_ordering: unknown kind");
+  return {};
+}
+
+}  // namespace memfront

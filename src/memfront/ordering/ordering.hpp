@@ -1,0 +1,43 @@
+// Fill-reducing ordering façade.
+//
+// The paper evaluates four orderings because they yield different assembly
+// tree *topologies* (deep AMD/AMF trees vs. balanced METIS/PORD trees); the
+// scheduling experiments sweep over all of them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "memfront/ordering/graph.hpp"
+
+namespace memfront {
+
+enum class OrderingKind {
+  kNatural,           // identity (baseline / tests)
+  kAmd,               // approximate minimum degree [1]
+  kAmf,               // approximate minimum fill (as in MUMPS)
+  kNestedDissection,  // our METIS stand-in (recursive bisection + FM)
+  kPord,              // our PORD stand-in (multisection hybrid)
+  kRcm,               // reverse Cuthill-McKee (band-oriented; extra)
+};
+
+std::string ordering_name(OrderingKind kind);
+
+/// The four orderings of the paper's evaluation, in table-column order
+/// (METIS, PORD, AMD, AMF).
+std::vector<OrderingKind> paper_orderings();
+
+/// Returns the elimination order: perm[k] = vertex eliminated k-th.
+std::vector<index_t> compute_ordering(const Graph& g, OrderingKind kind,
+                                      std::uint64_t seed = 0);
+
+// Individual algorithms (exposed for tests and ablation).
+std::vector<index_t> amd_order(const Graph& g);
+std::vector<index_t> amf_order(const Graph& g);
+std::vector<index_t> rcm_order(const Graph& g);
+std::vector<index_t> nested_dissection_order(const Graph& g,
+                                             std::uint64_t seed = 0);
+std::vector<index_t> pord_order(const Graph& g, std::uint64_t seed = 0);
+
+}  // namespace memfront

@@ -1,0 +1,26 @@
+// PORD stand-in: multisection hybrid ordering.
+//
+// PORD couples bottom-up (minimum-degree-like) and top-down (separator)
+// ordering [17]. Our analogue: nested dissection with *larger* leaves
+// ordered bottom-up by AMF, and all separators deferred and eliminated
+// level-by-level at the end (multisection). This yields a fourth distinct
+// assembly-tree topology — bushier subtrees under a taller top — which is
+// the property the paper's ordering sweep depends on.
+#include <algorithm>
+
+#include "memfront/ordering/nested_dissection.hpp"
+#include "memfront/ordering/ordering.hpp"
+
+namespace memfront {
+
+std::vector<index_t> pord_order(const Graph& g, std::uint64_t seed) {
+  const index_t n = g.num_vertices();
+  NdOptions opt;
+  opt.leaf_size = std::max<index_t>(256, n / 24);
+  opt.amf_leaves = true;
+  opt.multisection = true;
+  opt.seed = seed + 1000003;
+  return nested_dissection(g, opt);
+}
+
+}  // namespace memfront

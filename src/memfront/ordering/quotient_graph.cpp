@@ -1,0 +1,313 @@
+#include "memfront/ordering/quotient_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+
+#include "memfront/support/error.hpp"
+
+namespace memfront {
+namespace {
+
+enum class NodeState : unsigned char {
+  kVariable,  // alive supervariable representative
+  kAbsorbed,  // merged into another supervariable
+  kElement,   // eliminated, now an element (clique)
+  kDeadElement,
+  kDense,     // deferred to the end of the order
+};
+
+struct HeapEntry {
+  count_t score;
+  index_t vertex;
+  bool operator>(const HeapEntry& o) const {
+    return score != o.score ? score > o.score : vertex > o.vertex;
+  }
+};
+
+class MdEngine {
+ public:
+  MdEngine(const Graph& g, const MdOptions& opt) : g_(g), opt_(opt) {
+    const auto n = static_cast<std::size_t>(g.num_vertices());
+    state_.assign(n, NodeState::kVariable);
+    svsize_.assign(n, 1);
+    score_.assign(n, 0);
+    degree_.assign(n, 0);
+    elsize_.assign(n, 0);
+    mark_.assign(n, 0);
+    wstamp_.assign(n, 0);
+    w_.assign(n, 0);
+    member_next_.assign(n, kNone);
+    member_last_.resize(n);
+    adjvar_.resize(n);
+    adjel_.resize(n);
+    elvars_.resize(n);
+    for (std::size_t v = 0; v < n; ++v)
+      member_last_[v] = static_cast<index_t>(v);
+  }
+
+  std::vector<index_t> run() {
+    const index_t n = g_.num_vertices();
+    index_t threshold = opt_.dense_threshold;
+    if (threshold == kNone) {
+      threshold = std::max<index_t>(
+          64, static_cast<index_t>(10.0 * std::sqrt(static_cast<double>(n))));
+    }
+
+    std::vector<index_t> dense;
+    for (index_t v = 0; v < n; ++v) {
+      if (g_.degree(v) > threshold) {
+        state_[v] = NodeState::kDense;
+        dense.push_back(v);
+      }
+    }
+    // Initial adjacency: alive variables only; dense vertices drop out of
+    // the quotient graph entirely (classic AMD treatment).
+    for (index_t v = 0; v < n; ++v) {
+      if (state_[v] != NodeState::kVariable) continue;
+      auto& a = adjvar_[v];
+      for (index_t w : g_.neighbors(v))
+        if (state_[w] == NodeState::kVariable) a.push_back(w);
+      degree_[v] = static_cast<count_t>(a.size());
+      score_[v] = initial_score(v);
+      heap_.push({score_[v], v});
+    }
+
+    std::vector<index_t> order;
+    order.reserve(static_cast<std::size_t>(n));
+    index_t remaining = n - static_cast<index_t>(dense.size());
+    while (remaining > 0) {
+      const index_t p = pop_pivot();
+      remaining -= emit(p, order);
+      eliminate(p);
+    }
+    // Dense vertices join the final (root) front, smallest degree first.
+    std::sort(dense.begin(), dense.end(), [&](index_t a, index_t b) {
+      const index_t da = g_.degree(a), db = g_.degree(b);
+      return da != db ? da < db : a < b;
+    });
+    for (index_t v : dense) order.push_back(v);
+    check(order.size() == static_cast<std::size_t>(n),
+          "minimum degree: incomplete order");
+    return order;
+  }
+
+ private:
+  count_t weighted_adjvar(index_t v) const {
+    count_t s = 0;
+    for (index_t w : adjvar_[v])
+      if (state_[w] == NodeState::kVariable) s += svsize_[w];
+    return s;
+  }
+
+  count_t initial_score(index_t v) const {
+    const count_t d = degree_[v];
+    if (opt_.metric == MdMetric::kExternalDegree) return d;
+    return d * (d - 1) / 2;
+  }
+
+  index_t pop_pivot() {
+    while (!heap_.empty()) {
+      const HeapEntry top = heap_.top();
+      heap_.pop();
+      if (state_[top.vertex] == NodeState::kVariable &&
+          score_[top.vertex] == top.score)
+        return top.vertex;
+    }
+    check(false, "minimum degree: pivot heap exhausted early");
+    return kNone;
+  }
+
+  /// Appends the supervariable's original vertices to `order`.
+  index_t emit(index_t p, std::vector<index_t>& order) {
+    index_t emitted = 0;
+    for (index_t v = p; v != kNone; v = member_next_[v]) {
+      order.push_back(v);
+      ++emitted;
+    }
+    return emitted;
+  }
+
+  void eliminate(index_t p) {
+    ++stamp_;
+    lp_.clear();
+    mark_[p] = stamp_;
+    for (index_t v : adjvar_[p]) add_to_lp(v);
+    for (index_t e : adjel_[p]) {
+      if (state_[e] != NodeState::kElement) continue;
+      for (index_t v : elvars_[e]) add_to_lp(v);
+      state_[e] = NodeState::kDeadElement;
+      elvars_[e].clear();
+      elvars_[e].shrink_to_fit();
+    }
+
+    // p becomes element Lp.
+    state_[p] = NodeState::kElement;
+    elvars_[p] = lp_;
+    count_t lp_size = 0;
+    for (index_t v : lp_) lp_size += svsize_[v];
+    elsize_[p] = lp_size;
+    adjvar_[p].clear();
+    adjvar_[p].shrink_to_fit();
+    adjel_[p].clear();
+    adjel_[p].shrink_to_fit();
+
+    // w[e] = |Le ∩ Lp| (size-weighted) for every element adjacent to Lp.
+    ++wpass_;
+    for (index_t v : lp_) {
+      for (index_t e : adjel_[v]) {
+        if (state_[e] != NodeState::kElement) continue;
+        if (wstamp_[e] != wpass_) {
+          wstamp_[e] = wpass_;
+          w_[e] = 0;
+        }
+        w_[e] += svsize_[v];
+      }
+    }
+
+    // Update each variable of Lp: prune lists, recompute degree, rescore.
+    for (index_t v : lp_) {
+      auto& ev = adjel_[v];
+      std::size_t keep = 0;
+      for (index_t e : ev)
+        if (state_[e] == NodeState::kElement) ev[keep++] = e;
+      ev.resize(keep);
+      ev.push_back(p);
+
+      auto& av = adjvar_[v];
+      keep = 0;
+      count_t var_degree = 0;
+      for (index_t u : av) {
+        if (state_[u] != NodeState::kVariable) continue;  // absorbed/dead
+        if (mark_[u] == stamp_ || u == p) continue;       // covered by Lp
+        av[keep++] = u;
+        var_degree += svsize_[u];
+      }
+      av.resize(keep);
+
+      count_t elem_degree = lp_size - svsize_[v];
+      count_t max_clique = elem_degree;
+      for (index_t e : ev) {
+        if (e == p) continue;
+        const count_t ext = std::max<count_t>(0, elsize_[e] - w_[e]);
+        elem_degree += ext;
+        max_clique = std::max(max_clique, elsize_[e] - svsize_[v]);
+      }
+      degree_[v] = var_degree + elem_degree;
+      score_[v] = rescore(v, max_clique);
+    }
+
+    detect_supervariables();
+
+    for (index_t v : lp_)
+      if (state_[v] == NodeState::kVariable) heap_.push({score_[v], v});
+  }
+
+  count_t rescore(index_t v, count_t max_clique) const {
+    const count_t d = degree_[v];
+    if (opt_.metric == MdMetric::kExternalDegree) return d;
+    // Approximate fill: a d-clique would be created, minus the pairs that
+    // are already connected inside v's largest adjacent element.
+    const count_t m = std::clamp<count_t>(max_clique, 0, d);
+    return std::max<count_t>(0, d * (d - 1) / 2 - m * (m - 1) / 2);
+  }
+
+  void add_to_lp(index_t v) {
+    if (state_[v] != NodeState::kVariable || mark_[v] == stamp_) return;
+    mark_[v] = stamp_;
+    lp_.push_back(v);
+  }
+
+  /// Indistinguishable variables inside Lp (identical pruned adjacency,
+  /// both variable and element lists) are merged: mass elimination.
+  void detect_supervariables() {
+    hash_buckets_.clear();
+    for (index_t v : lp_) {
+      if (state_[v] != NodeState::kVariable) continue;
+      std::uint64_t h = 0;
+      for (index_t u : adjvar_[v]) h += static_cast<std::uint64_t>(u) + 1;
+      for (index_t e : adjel_[v])
+        h += (static_cast<std::uint64_t>(e) + 1) * 0x9e3779b9ULL;
+      hash_buckets_[h].push_back(v);
+    }
+    for (auto& [h, bucket] : hash_buckets_) {
+      if (bucket.size() < 2) continue;
+      for (std::size_t i = 0; i < bucket.size(); ++i) {
+        const index_t u = bucket[i];
+        if (state_[u] != NodeState::kVariable) continue;
+        for (std::size_t j = i + 1; j < bucket.size(); ++j) {
+          const index_t v = bucket[j];
+          if (state_[v] != NodeState::kVariable) continue;
+          if (!indistinguishable(u, v)) continue;
+          // Merge v into u.
+          svsize_[u] += svsize_[v];
+          state_[v] = NodeState::kAbsorbed;
+          member_next_[member_last_[u]] = v;
+          member_last_[u] = member_last_[v];
+          adjvar_[v].clear();
+          adjvar_[v].shrink_to_fit();
+          adjel_[v].clear();
+          adjel_[v].shrink_to_fit();
+          // Weighted element sizes are unchanged: u's size grew by exactly
+          // the size v contributed (u and v belong to the same elements).
+        }
+      }
+    }
+  }
+
+  bool indistinguishable(index_t u, index_t v) {
+    if (adjvar_[u].size() != adjvar_[v].size() ||
+        adjel_[u].size() != adjel_[v].size())
+      return false;
+    auto sorted_equal = [](std::vector<index_t>& a, std::vector<index_t>& b) {
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      return a == b;
+    };
+    // Variable lists must match *excluding the pair itself* (u and v are
+    // typically adjacent through an original edge).
+    auto strip = [&](std::vector<index_t> list, index_t other) {
+      list.erase(std::remove(list.begin(), list.end(), other), list.end());
+      std::sort(list.begin(), list.end());
+      return list;
+    };
+    if (!sorted_equal(adjel_[u], adjel_[v])) return false;
+    return strip(adjvar_[u], v) == strip(adjvar_[v], u);
+  }
+
+  const Graph& g_;
+  MdOptions opt_;
+  std::vector<NodeState> state_;
+  std::vector<count_t> svsize_;
+  std::vector<count_t> score_;
+  std::vector<count_t> degree_;
+  std::vector<count_t> elsize_;
+  std::vector<index_t> mark_;
+  std::vector<index_t> wstamp_;
+  std::vector<count_t> w_;
+  std::vector<index_t> member_next_;
+  std::vector<index_t> member_last_;
+  std::vector<std::vector<index_t>> adjvar_;
+  std::vector<std::vector<index_t>> adjel_;
+  std::vector<std::vector<index_t>> elvars_;
+  std::vector<index_t> lp_;
+  index_t stamp_ = 0;
+  index_t wpass_ = 0;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap_;
+  std::unordered_map<std::uint64_t, std::vector<index_t>> hash_buckets_;
+};
+
+}  // namespace
+
+std::vector<index_t> minimum_degree_order(const Graph& g,
+                                          const MdOptions& options) {
+  if (g.num_vertices() == 0) return {};
+  MdEngine engine(g, options);
+  return engine.run();
+}
+
+}  // namespace memfront

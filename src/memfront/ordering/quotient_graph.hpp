@@ -1,0 +1,33 @@
+// Quotient-graph minimum-degree elimination engine.
+//
+// One engine serves both AMD (approximate external degree, Amestoy-Davis-
+// Duff [1]) and AMF (approximate minimum fill, as implemented in MUMPS):
+// only the pivot score differs. Features: mass elimination of
+// supervariables (indistinguishable-variable detection by hashing),
+// element absorption, lazy max-heap pivot selection, and the classic
+// "dense row" deferral that keeps LP-style matrices (GUPTA3) tractable.
+#pragma once
+
+#include <vector>
+
+#include "memfront/ordering/graph.hpp"
+
+namespace memfront {
+
+enum class MdMetric {
+  kExternalDegree,  // AMD
+  kApproxFill,      // AMF
+};
+
+struct MdOptions {
+  MdMetric metric = MdMetric::kExternalDegree;
+  /// Variables whose initial degree exceeds this are ordered last (joined
+  /// to the root front). kNone means "auto" (10·sqrt(n), at least 64).
+  index_t dense_threshold = kNone;
+};
+
+/// Returns the elimination order (perm[k] = vertex eliminated k-th).
+std::vector<index_t> minimum_degree_order(const Graph& g,
+                                          const MdOptions& options);
+
+}  // namespace memfront

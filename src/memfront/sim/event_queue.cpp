@@ -1,0 +1,2 @@
+// EventQueue is header-only; this translation unit anchors the library.
+#include "memfront/sim/event_queue.hpp"

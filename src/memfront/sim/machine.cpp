@@ -1,0 +1,2 @@
+// Machine is header-only; this translation unit anchors the library.
+#include "memfront/sim/machine.hpp"

@@ -1,0 +1,53 @@
+// Cost model of the simulated distributed-memory machine.
+//
+// Stands in for the paper's 32-processor IBM SP node (see DESIGN.md):
+// uniform processors with a flop rate, and a latency/bandwidth message
+// model. Entries are the data unit everywhere, matching the paper.
+#pragma once
+
+#include "memfront/support/types.hpp"
+
+namespace memfront {
+
+struct MachineParams {
+  index_t nprocs = 32;
+  double flop_rate = 1e9;           // flops / second / processor
+  double latency = 2e-5;            // seconds / message
+  double bandwidth = 2e8;           // entries / second on a link
+  double assemble_rate = 4e8;       // entries / second for extend-add
+  /// Age of the remote state every processor sees (Section 4 "as
+  /// up-to-date view as possible"). Defaults to one message latency.
+  double info_delay = 2e-5;
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineParams& params) : params_(params) {}
+
+  const MachineParams& params() const noexcept { return params_; }
+
+  double transfer_time(count_t entries) const {
+    return params_.latency +
+           static_cast<double>(entries) / params_.bandwidth;
+  }
+  double compute_time(count_t flops) const {
+    return static_cast<double>(flops) / params_.flop_rate;
+  }
+  double assemble_time(count_t entries) const {
+    return static_cast<double>(entries) / params_.assemble_rate;
+  }
+
+  void count_message(count_t entries) {
+    ++messages_;
+    comm_entries_ += entries;
+  }
+  count_t messages() const noexcept { return messages_; }
+  count_t comm_entries() const noexcept { return comm_entries_; }
+
+ private:
+  MachineParams params_;
+  count_t messages_ = 0;
+  count_t comm_entries_ = 0;
+};
+
+}  // namespace memfront

@@ -1,0 +1,2 @@
+// History is header-only; this translation unit anchors the library.
+#include "memfront/sim/memory_view.hpp"

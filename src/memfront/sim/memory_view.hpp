@@ -1,0 +1,68 @@
+// Time-stamped counters modelling asynchronously broadcast state.
+//
+// The paper's processors broadcast memory *increments* as they happen, so
+// everyone holds a slightly stale view of everyone else (Figure 5 shows
+// why that staleness matters). We model the exact same information flow
+// without P² messages: every announced quantity is a step function of
+// time, and a reader at processor q samples it at (now - info_delay).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "memfront/support/error.hpp"
+#include "memfront/support/types.hpp"
+
+namespace memfront {
+
+/// Cumulative step function of simulated time.
+class History {
+ public:
+  History() { points_.emplace_back(-1.0, 0); }
+
+  void add(double t, count_t delta) {
+    check(t >= points_.back().first, "History: time must be monotone");
+    if (delta == 0) return;
+    const count_t v = points_.back().second + delta;
+    if (points_.back().first == t)
+      points_.back().second = v;
+    else
+      points_.emplace_back(t, v);
+  }
+
+  /// Replaces the current value (used for max-style announcements).
+  void set(double t, count_t value) { add(t, value - current()); }
+
+  count_t current() const { return points_.back().second; }
+
+  /// Value at time t (the last change at or before t).
+  count_t value_at(double t) const {
+    // Typical queries are near the end; walk back first, bisect otherwise.
+    if (points_.back().first <= t) return points_.back().second;
+    std::size_t lo = 0, hi = points_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi + 1) / 2;
+      if (points_[mid].first <= t)
+        lo = mid;
+      else
+        hi = mid - 1;
+    }
+    return points_[lo].second;
+  }
+
+  std::size_t size() const { return points_.size(); }
+
+ private:
+  std::vector<std::pair<double, count_t>> points_;
+};
+
+/// The announced state of one processor, as seen by the others.
+struct AnnouncedState {
+  History memory;          // stack entries (announced at allocation time)
+  History workload;        // remaining flops assigned to the processor
+  History subtree_peak;    // Σ peaks of subtrees currently being processed
+  History pending_master;  // cost of the largest ready-but-unactivated
+                           // upper-part task (Section 5.1 prediction)
+};
+
+}  // namespace memfront

@@ -1,0 +1,13 @@
+#include "memfront/sim/trace.hpp"
+
+#include <ostream>
+
+namespace memfront {
+
+void Trace::write_csv(std::ostream& os) const {
+  os << "time,proc,stack_entries\n";
+  for (const Sample& s : samples_)
+    os << s.time << ',' << s.proc << ',' << s.stack_entries << '\n';
+}
+
+}  // namespace memfront

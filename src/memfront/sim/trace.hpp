@@ -1,0 +1,45 @@
+// Per-processor memory/time traces for the figure benches and examples.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "memfront/support/types.hpp"
+
+namespace memfront {
+
+class Trace {
+ public:
+  struct Sample {
+    double time;
+    index_t proc;
+    count_t stack_entries;
+  };
+  struct Annotation {
+    double time;
+    index_t proc;
+    std::string label;
+  };
+
+  void record(double time, index_t proc, count_t stack_entries) {
+    samples_.push_back({time, proc, stack_entries});
+  }
+  void annotate(double time, index_t proc, std::string label) {
+    annotations_.push_back({time, proc, std::move(label)});
+  }
+
+  const std::vector<Sample>& samples() const noexcept { return samples_; }
+  const std::vector<Annotation>& annotations() const noexcept {
+    return annotations_;
+  }
+
+  /// CSV: time,proc,stack_entries — one line per change.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<Sample> samples_;
+  std::vector<Annotation> annotations_;
+};
+
+}  // namespace memfront

@@ -1,0 +1,55 @@
+// Analysis phase: ordering + symbolic factorization + memory analysis.
+//
+// This is the single entry point both the sequential numeric solver and
+// the parallel scheduling simulator build on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "memfront/ordering/ordering.hpp"
+#include "memfront/sparse/csc.hpp"
+#include "memfront/symbolic/assembly_tree.hpp"
+#include "memfront/symbolic/splitting.hpp"
+#include "memfront/symbolic/structure.hpp"
+#include "memfront/symbolic/tree_memory.hpp"
+
+namespace memfront {
+
+struct AnalysisOptions {
+  OrderingKind ordering = OrderingKind::kAmd;
+  /// Use the symmetric (LDLᵀ, triangular-entry) model. Requires a
+  /// structurally and numerically symmetric matrix for the numeric phase.
+  bool symmetric = false;
+  /// Reorder children for minimal sequential stack (Liu [15]); the paper's
+  /// initial pool ordering relies on this.
+  bool liu_reorder = true;
+  /// Compute explicit frontal row structures (needed by the numeric
+  /// solver; scheduling-only callers skip it).
+  bool want_structure = true;
+  /// Static splitting of large type-2 masters (0 = off). See Section 6.
+  count_t split_master_threshold = 0;
+  /// Relative floor for the split threshold (see SplitOptions).
+  double split_relative = 0.0;
+  index_t split_min_npiv = 16;
+  SymbolicOptions symbolic{};
+  std::uint64_t seed = 0;
+};
+
+struct Analysis {
+  AnalysisOptions options;
+  CscMatrix permuted;            // P A Pᵀ with values (when input had them)
+  AssemblyTree tree;
+  std::vector<index_t> perm;     // final elimination order (new -> old)
+  std::optional<FrontalStructure> structure;
+  TreeMemory memory;             // peaks for the *current* child order
+  index_t num_split_nodes = 0;
+
+  /// Traversal order induced by the (possibly Liu-reordered) child lists;
+  /// the order the sequential factorization actually follows.
+  std::vector<index_t> traversal;
+};
+
+Analysis analyze(const CscMatrix& a, const AnalysisOptions& options);
+
+}  // namespace memfront

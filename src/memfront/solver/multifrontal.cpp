@@ -1,0 +1,26 @@
+#include "memfront/solver/multifrontal.hpp"
+
+#include "memfront/support/error.hpp"
+
+namespace memfront {
+
+MultifrontalSolver::MultifrontalSolver(const CscMatrix& a,
+                                       AnalysisOptions options)
+    : analysis_(analyze(a, options)) {}
+
+void MultifrontalSolver::factorize() {
+  factorization_ = numeric_factorize(analysis_);
+  factorized_ = true;
+}
+
+std::vector<double> MultifrontalSolver::solve(std::span<const double> b) const {
+  require(factorized_, "MultifrontalSolver::solve before factorize()");
+  return solve_factorized(analysis_, factorization_, b);
+}
+
+const Factorization& MultifrontalSolver::factorization() const {
+  require(factorized_, "MultifrontalSolver::factorization before factorize()");
+  return factorization_;
+}
+
+}  // namespace memfront

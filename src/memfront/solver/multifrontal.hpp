@@ -1,0 +1,38 @@
+// Public façade: analyse + factorize + solve in one object.
+//
+// Quickstart:
+//   MultifrontalSolver solver(matrix, {.ordering = OrderingKind::kAmd});
+//   solver.factorize();
+//   std::vector<double> x = solver.solve(b);
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "memfront/solver/numeric_factor.hpp"
+#include "memfront/solver/solve.hpp"
+
+namespace memfront {
+
+class MultifrontalSolver {
+ public:
+  /// Runs the analysis phase immediately.
+  explicit MultifrontalSolver(const CscMatrix& a, AnalysisOptions options = {});
+
+  /// Numeric phase; must precede solve().
+  void factorize();
+
+  /// Solves A x = b (original ordering). Requires factorize().
+  std::vector<double> solve(std::span<const double> b) const;
+
+  const Analysis& analysis() const noexcept { return analysis_; }
+  const Factorization& factorization() const;
+  bool factorized() const noexcept { return factorized_; }
+
+ private:
+  Analysis analysis_;
+  Factorization factorization_;
+  bool factorized_ = false;
+};
+
+}  // namespace memfront

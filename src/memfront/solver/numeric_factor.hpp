@@ -1,0 +1,40 @@
+// Numeric multifrontal factorization (sequential, in-core).
+//
+// Follows the analysis traversal; maintains the paper's three storage
+// areas (factors / CB stack / current front) and *measures* the stack peak
+// in model entries, which tests compare against the analysis prediction.
+#pragma once
+
+#include <vector>
+
+#include "memfront/solver/analysis.hpp"
+
+namespace memfront {
+
+struct NodeFactor {
+  /// nfront x npiv panel, column-major: L (unit diagonal) strictly below
+  /// the diagonal, U11 / D on and above it.
+  std::vector<double> panel;
+  /// npiv x ncb block, column-major: U12 (unsymmetric only).
+  std::vector<double> u12;
+};
+
+struct FactorStats {
+  count_t measured_stack_peak = 0;  // entries (model units)
+  count_t factor_entries = 0;
+  index_t perturbations = 0;
+};
+
+struct Factorization {
+  bool symmetric = false;
+  std::vector<NodeFactor> nodes;
+  /// Global pivoting effect: position k of the elimination order holds the
+  /// (permuted) matrix row row_of[k] after the in-front row swaps.
+  std::vector<index_t> row_of;
+  FactorStats stats;
+};
+
+/// Requires analysis.structure and values on analysis.permuted.
+Factorization numeric_factorize(const Analysis& analysis);
+
+}  // namespace memfront

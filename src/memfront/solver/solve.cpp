@@ -1,0 +1,98 @@
+#include "memfront/solver/solve.hpp"
+
+#include "memfront/support/error.hpp"
+
+namespace memfront {
+
+std::vector<double> solve_factorized(const Analysis& analysis,
+                                     const Factorization& fact,
+                                     std::span<const double> b) {
+  const AssemblyTree& tree = analysis.tree;
+  const FrontalStructure& structure = *analysis.structure;
+  const index_t n = tree.num_cols();
+  check(b.size() == static_cast<std::size_t>(n), "solve: rhs size mismatch");
+  const bool sym = fact.symmetric;
+
+  // Permute the rhs into elimination order, then apply the pivoting row
+  // permutation picked up during factorization.
+  std::vector<double> y(static_cast<std::size_t>(n));
+  for (index_t k = 0; k < n; ++k)
+    y[static_cast<std::size_t>(k)] = b[static_cast<std::size_t>(
+        analysis.perm[static_cast<std::size_t>(fact.row_of[k])])];
+
+  // Forward: L y' = y, node by node in elimination order. Updates to rows
+  // outside the node's pivots land on ancestor pivots directly.
+  for (index_t i = 0; i < tree.num_nodes(); ++i) {
+    const index_t nfront = tree.nfront(i);
+    const index_t npiv = tree.npiv(i);
+    const index_t fc = tree.first_col(i);
+    const auto rows = structure.rows(i);
+    const NodeFactor& nf = fact.nodes[static_cast<std::size_t>(i)];
+    for (index_t j = 0; j < npiv; ++j) {
+      const double xj = y[static_cast<std::size_t>(fc + j)];
+      if (xj == 0.0) continue;
+      const double* col = nf.panel.data() + static_cast<std::size_t>(j) * nfront;
+      for (index_t r = j + 1; r < nfront; ++r)
+        y[static_cast<std::size_t>(rows[r])] -= col[r] * xj;
+    }
+  }
+
+  if (sym) {
+    // Diagonal scaling, then the Lᵀ sweep in reverse order.
+    for (index_t i = 0; i < tree.num_nodes(); ++i) {
+      const index_t nfront = tree.nfront(i);
+      const index_t npiv = tree.npiv(i);
+      const index_t fc = tree.first_col(i);
+      const NodeFactor& nf = fact.nodes[static_cast<std::size_t>(i)];
+      for (index_t j = 0; j < npiv; ++j)
+        y[static_cast<std::size_t>(fc + j)] /=
+            nf.panel[static_cast<std::size_t>(j) * nfront + j];
+    }
+    for (index_t i = tree.num_nodes() - 1; i >= 0; --i) {
+      const index_t nfront = tree.nfront(i);
+      const index_t npiv = tree.npiv(i);
+      const index_t fc = tree.first_col(i);
+      const auto rows = structure.rows(i);
+      const NodeFactor& nf = fact.nodes[static_cast<std::size_t>(i)];
+      for (index_t j = npiv - 1; j >= 0; --j) {
+        double s = y[static_cast<std::size_t>(fc + j)];
+        const double* col =
+            nf.panel.data() + static_cast<std::size_t>(j) * nfront;
+        for (index_t r = j + 1; r < nfront; ++r)
+          s -= col[r] * y[static_cast<std::size_t>(rows[r])];
+        y[static_cast<std::size_t>(fc + j)] = s;
+      }
+    }
+  } else {
+    // Backward: U x = y', reverse node order; U12 references ancestor
+    // pivots already solved.
+    for (index_t i = tree.num_nodes() - 1; i >= 0; --i) {
+      const index_t nfront = tree.nfront(i);
+      const index_t npiv = tree.npiv(i);
+      const index_t ncb = nfront - npiv;
+      const index_t fc = tree.first_col(i);
+      const auto rows = structure.rows(i);
+      const NodeFactor& nf = fact.nodes[static_cast<std::size_t>(i)];
+      for (index_t j = npiv - 1; j >= 0; --j) {
+        double s = y[static_cast<std::size_t>(fc + j)];
+        for (index_t t = 0; t < ncb; ++t)
+          s -= nf.u12[static_cast<std::size_t>(t) * npiv + j] *
+               y[static_cast<std::size_t>(rows[npiv + t])];
+        for (index_t t = j + 1; t < npiv; ++t)
+          s -= nf.panel[static_cast<std::size_t>(t) * nfront + j] *
+               y[static_cast<std::size_t>(fc + t)];
+        y[static_cast<std::size_t>(fc + j)] =
+            s / nf.panel[static_cast<std::size_t>(j) * nfront + j];
+      }
+    }
+  }
+
+  // Back to the original ordering.
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (index_t k = 0; k < n; ++k)
+    x[static_cast<std::size_t>(analysis.perm[static_cast<std::size_t>(k)])] =
+        y[static_cast<std::size_t>(k)];
+  return x;
+}
+
+}  // namespace memfront

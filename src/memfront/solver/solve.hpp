@@ -1,0 +1,16 @@
+// Triangular solves using the multifrontal factors.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "memfront/solver/numeric_factor.hpp"
+
+namespace memfront {
+
+/// Solves A x = b (b and x in the ORIGINAL row/column order).
+std::vector<double> solve_factorized(const Analysis& analysis,
+                                     const Factorization& fact,
+                                     std::span<const double> b);
+
+}  // namespace memfront

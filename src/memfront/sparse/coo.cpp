@@ -1,0 +1,75 @@
+#include "memfront/sparse/coo.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "memfront/sparse/csc.hpp"
+#include "memfront/support/error.hpp"
+
+namespace memfront {
+
+CooMatrix::CooMatrix(index_t nrows, index_t ncols)
+    : nrows_(nrows), ncols_(ncols) {
+  require(nrows >= 0 && ncols >= 0, "CooMatrix: negative dimension");
+}
+
+void CooMatrix::add(index_t row, index_t col, double value) {
+  require(row >= 0 && row < nrows_ && col >= 0 && col < ncols_,
+          "CooMatrix::add: index out of range");
+  rows_.push_back(row);
+  cols_.push_back(col);
+  values_.push_back(value);
+}
+
+void CooMatrix::add_symmetric(index_t row, index_t col, double value) {
+  add(row, col, value);
+  if (row != col) add(col, row, value);
+}
+
+CscMatrix CooMatrix::to_csc() const {
+  const auto nnz = static_cast<std::size_t>(this->nnz());
+  // Counting sort by column, then sort each column by row and fuse
+  // duplicates.
+  std::vector<count_t> colptr(static_cast<std::size_t>(ncols_) + 1, 0);
+  for (index_t c : cols_) ++colptr[static_cast<std::size_t>(c) + 1];
+  for (index_t j = 0; j < ncols_; ++j) colptr[j + 1] += colptr[j];
+
+  std::vector<index_t> rowind(nnz);
+  std::vector<double> values(nnz);
+  std::vector<count_t> next(colptr.begin(), colptr.end() - 1);
+  for (std::size_t k = 0; k < nnz; ++k) {
+    const count_t slot = next[cols_[k]]++;
+    rowind[static_cast<std::size_t>(slot)] = rows_[k];
+    values[static_cast<std::size_t>(slot)] = values_[k];
+  }
+
+  // Sort within each column and sum duplicates in place.
+  std::vector<count_t> out_colptr(static_cast<std::size_t>(ncols_) + 1, 0);
+  count_t out = 0;
+  std::vector<std::pair<index_t, double>> buffer;
+  for (index_t j = 0; j < ncols_; ++j) {
+    buffer.clear();
+    for (count_t k = colptr[j]; k < colptr[j + 1]; ++k)
+      buffer.emplace_back(rowind[static_cast<std::size_t>(k)],
+                          values[static_cast<std::size_t>(k)]);
+    std::sort(buffer.begin(), buffer.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (std::size_t k = 0; k < buffer.size(); ++k) {
+      if (out > out_colptr[j] &&
+          rowind[static_cast<std::size_t>(out - 1)] == buffer[k].first) {
+        values[static_cast<std::size_t>(out - 1)] += buffer[k].second;
+      } else {
+        rowind[static_cast<std::size_t>(out)] = buffer[k].first;
+        values[static_cast<std::size_t>(out)] = buffer[k].second;
+        ++out;
+      }
+    }
+    out_colptr[j + 1] = out;
+  }
+  rowind.resize(static_cast<std::size_t>(out));
+  values.resize(static_cast<std::size_t>(out));
+  return CscMatrix(nrows_, ncols_, std::move(out_colptr), std::move(rowind),
+                   std::move(values));
+}
+
+}  // namespace memfront

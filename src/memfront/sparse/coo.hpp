@@ -1,0 +1,47 @@
+// Coordinate-format sparse matrix builder.
+//
+// COO is the assembly format: generators and the Matrix-Market reader push
+// (row, col, value) triplets here, duplicates are summed on conversion to
+// CSC. Storage type of the values is always double; pattern-only use sets
+// values to 1.0.
+#pragma once
+
+#include <vector>
+
+#include "memfront/support/types.hpp"
+
+namespace memfront {
+
+class CscMatrix;
+
+class CooMatrix {
+ public:
+  CooMatrix(index_t nrows, index_t ncols);
+
+  index_t nrows() const noexcept { return nrows_; }
+  index_t ncols() const noexcept { return ncols_; }
+  count_t nnz() const noexcept { return static_cast<count_t>(rows_.size()); }
+
+  /// Appends one triplet. Indices are 0-based and bounds-checked.
+  void add(index_t row, index_t col, double value);
+
+  /// Appends value at (row,col) and, when row != col, also at (col,row).
+  void add_symmetric(index_t row, index_t col, double value);
+
+  /// Converts to compressed sparse column form; duplicate triplets are
+  /// summed. The COO content is left untouched.
+  CscMatrix to_csc() const;
+
+  const std::vector<index_t>& rows() const noexcept { return rows_; }
+  const std::vector<index_t>& cols() const noexcept { return cols_; }
+  const std::vector<double>& values() const noexcept { return values_; }
+
+ private:
+  index_t nrows_;
+  index_t ncols_;
+  std::vector<index_t> rows_;
+  std::vector<index_t> cols_;
+  std::vector<double> values_;
+};
+
+}  // namespace memfront

@@ -1,0 +1,178 @@
+#include "memfront/sparse/csc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "memfront/support/error.hpp"
+
+namespace memfront {
+
+CscMatrix::CscMatrix(index_t nrows, index_t ncols, std::vector<count_t> colptr,
+                     std::vector<index_t> rowind, std::vector<double> values)
+    : nrows_(nrows),
+      ncols_(ncols),
+      colptr_(std::move(colptr)),
+      rowind_(std::move(rowind)),
+      values_(std::move(values)) {
+  check(nrows_ >= 0 && ncols_ >= 0, "CscMatrix: negative dimension");
+  check(colptr_.size() == static_cast<std::size_t>(ncols_) + 1,
+        "CscMatrix: colptr size mismatch");
+  check(colptr_.front() == 0, "CscMatrix: colptr must start at 0");
+  check(colptr_.back() == static_cast<count_t>(rowind_.size()),
+        "CscMatrix: colptr/rowind size mismatch");
+  check(values_.empty() || values_.size() == rowind_.size(),
+        "CscMatrix: values size mismatch");
+  for (index_t j = 0; j < ncols_; ++j) {
+    check(colptr_[j] <= colptr_[j + 1], "CscMatrix: colptr not monotone");
+    for (count_t k = colptr_[j]; k < colptr_[j + 1]; ++k) {
+      const index_t r = rowind_[static_cast<std::size_t>(k)];
+      check(r >= 0 && r < nrows_, "CscMatrix: row index out of range");
+      if (k > colptr_[j])
+        check(rowind_[static_cast<std::size_t>(k - 1)] < r,
+              "CscMatrix: rows not sorted/unique within column");
+    }
+  }
+}
+
+CscMatrix CscMatrix::transpose() const {
+  std::vector<count_t> tptr(static_cast<std::size_t>(nrows_) + 1, 0);
+  for (index_t r : rowind_) ++tptr[static_cast<std::size_t>(r) + 1];
+  for (index_t i = 0; i < nrows_; ++i) tptr[i + 1] += tptr[i];
+  std::vector<index_t> tind(rowind_.size());
+  std::vector<double> tval(values_.empty() ? 0 : rowind_.size());
+  std::vector<count_t> next(tptr.begin(), tptr.end() - 1);
+  for (index_t j = 0; j < ncols_; ++j) {
+    for (count_t k = colptr_[j]; k < colptr_[j + 1]; ++k) {
+      const index_t r = rowind_[static_cast<std::size_t>(k)];
+      const count_t slot = next[r]++;
+      tind[static_cast<std::size_t>(slot)] = j;
+      if (!values_.empty())
+        tval[static_cast<std::size_t>(slot)] =
+            values_[static_cast<std::size_t>(k)];
+    }
+  }
+  // Column-major sweep over A emits rows of A in increasing j per row of
+  // Aᵀ's columns, so tind is already sorted within each column.
+  return CscMatrix(ncols_, nrows_, std::move(tptr), std::move(tind),
+                   std::move(tval));
+}
+
+CscMatrix CscMatrix::symmetrized_pattern() const {
+  require(nrows_ == ncols_, "symmetrized_pattern: matrix must be square");
+  const CscMatrix at = transpose();
+  std::vector<count_t> ptr(static_cast<std::size_t>(ncols_) + 1, 0);
+  std::vector<index_t> ind;
+  ind.reserve(rowind_.size() * 2);
+  for (index_t j = 0; j < ncols_; ++j) {
+    // Merge the two sorted columns, dropping the diagonal.
+    auto a = column(j);
+    auto b = at.column(j);
+    std::size_t ia = 0, ib = 0;
+    while (ia < a.size() || ib < b.size()) {
+      index_t r;
+      if (ib == b.size() || (ia < a.size() && a[ia] <= b[ib])) {
+        r = a[ia];
+        if (ib < b.size() && b[ib] == r) ++ib;
+        ++ia;
+      } else {
+        r = b[ib++];
+      }
+      if (r != j) ind.push_back(r);
+    }
+    ptr[j + 1] = static_cast<count_t>(ind.size());
+  }
+  return CscMatrix(nrows_, ncols_, std::move(ptr), std::move(ind), {});
+}
+
+CscMatrix CscMatrix::aat_pattern() const {
+  // Column j of A·Aᵀ has pattern ∪ { struct(A(:,k)) : A(j,k) != 0 }.
+  // We build it row-wise: for every column k of A, all pairs of rows in
+  // that column are connected. To avoid quadratic blowup on dense columns
+  // we mark rows per target column via Aᵀ traversal.
+  const CscMatrix at = transpose();  // column i of `at` = row i of A
+  std::vector<count_t> ptr(static_cast<std::size_t>(nrows_) + 1, 0);
+  std::vector<index_t> ind;
+  std::vector<index_t> mark(static_cast<std::size_t>(nrows_), kNone);
+  for (index_t i = 0; i < nrows_; ++i) {
+    const std::size_t start = ind.size();
+    for (index_t k : at.column(i)) {     // columns k with A(i,k) != 0
+      for (index_t r : column(k)) {      // rows r with A(r,k) != 0
+        if (r == i || mark[r] == i) continue;
+        mark[r] = i;
+        ind.push_back(r);
+      }
+    }
+    std::sort(ind.begin() + static_cast<std::ptrdiff_t>(start), ind.end());
+    ptr[i + 1] = static_cast<count_t>(ind.size());
+  }
+  return CscMatrix(nrows_, nrows_, std::move(ptr), std::move(ind), {});
+}
+
+CscMatrix CscMatrix::permuted(std::span<const index_t> perm) const {
+  require(nrows_ == ncols_, "permuted: matrix must be square");
+  require(perm.size() == static_cast<std::size_t>(ncols_),
+          "permuted: permutation size mismatch");
+  std::vector<index_t> inv(static_cast<std::size_t>(ncols_), kNone);
+  for (index_t newi = 0; newi < ncols_; ++newi) {
+    const index_t old = perm[newi];
+    require(old >= 0 && old < ncols_ && inv[old] == kNone,
+            "permuted: not a permutation");
+    inv[old] = newi;
+  }
+  std::vector<count_t> ptr(static_cast<std::size_t>(ncols_) + 1, 0);
+  for (index_t newj = 0; newj < ncols_; ++newj)
+    ptr[newj + 1] =
+        ptr[newj] + (colptr_[perm[newj] + 1] - colptr_[perm[newj]]);
+  std::vector<index_t> ind(rowind_.size());
+  std::vector<double> val(values_.empty() ? 0 : rowind_.size());
+  std::vector<std::pair<index_t, double>> buffer;
+  for (index_t newj = 0; newj < ncols_; ++newj) {
+    const index_t oldj = perm[newj];
+    buffer.clear();
+    for (count_t k = colptr_[oldj]; k < colptr_[oldj + 1]; ++k) {
+      const auto kk = static_cast<std::size_t>(k);
+      buffer.emplace_back(inv[rowind_[kk]],
+                          values_.empty() ? 0.0 : values_[kk]);
+    }
+    std::sort(buffer.begin(), buffer.end());
+    for (std::size_t t = 0; t < buffer.size(); ++t) {
+      const auto slot = static_cast<std::size_t>(ptr[newj]) + t;
+      ind[slot] = buffer[t].first;
+      if (!values_.empty()) val[slot] = buffer[t].second;
+    }
+  }
+  return CscMatrix(nrows_, ncols_, std::move(ptr), std::move(ind),
+                   std::move(val));
+}
+
+bool CscMatrix::pattern_symmetric() const {
+  if (nrows_ != ncols_) return false;
+  const CscMatrix at = transpose();
+  return at.colptr_ == colptr_ && at.rowind_ == rowind_;
+}
+
+void CscMatrix::multiply(std::span<const double> x,
+                         std::span<double> y) const {
+  require(has_values(), "multiply: pattern-only matrix");
+  require(x.size() == static_cast<std::size_t>(ncols_) &&
+              y.size() == static_cast<std::size_t>(nrows_),
+          "multiply: size mismatch");
+  std::fill(y.begin(), y.end(), 0.0);
+  for (index_t j = 0; j < ncols_; ++j)
+    for (count_t k = colptr_[j]; k < colptr_[j + 1]; ++k) {
+      const auto kk = static_cast<std::size_t>(k);
+      y[rowind_[kk]] += values_[kk] * x[j];
+    }
+}
+
+double CscMatrix::residual_inf(std::span<const double> x,
+                               std::span<const double> b) const {
+  std::vector<double> ax(static_cast<std::size_t>(nrows_));
+  multiply(x, ax);
+  double r = 0.0;
+  for (std::size_t i = 0; i < ax.size(); ++i)
+    r = std::max(r, std::abs(ax[i] - b[i]));
+  return r;
+}
+
+}  // namespace memfront

@@ -1,0 +1,80 @@
+// Compressed sparse column matrix.
+//
+// The canonical storage for all algorithms: column pointers (64-bit),
+// row indices sorted within each column, no duplicates. Values may be empty
+// for pattern-only matrices (orderings and symbolic analysis never touch
+// values).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "memfront/support/types.hpp"
+
+namespace memfront {
+
+class CscMatrix {
+ public:
+  CscMatrix() = default;
+
+  /// Takes ownership of prebuilt arrays; validates the CSC invariants
+  /// (monotone colptr, in-range sorted unique row indices, value size).
+  CscMatrix(index_t nrows, index_t ncols, std::vector<count_t> colptr,
+            std::vector<index_t> rowind, std::vector<double> values);
+
+  index_t nrows() const noexcept { return nrows_; }
+  index_t ncols() const noexcept { return ncols_; }
+  count_t nnz() const noexcept { return colptr_.empty() ? 0 : colptr_.back(); }
+  bool has_values() const noexcept { return !values_.empty(); }
+
+  std::span<const count_t> colptr() const noexcept { return colptr_; }
+  std::span<const index_t> rowind() const noexcept { return rowind_; }
+  std::span<const double> values() const noexcept { return values_; }
+  std::span<double> mutable_values() noexcept { return values_; }
+
+  /// Row indices of column j.
+  std::span<const index_t> column(index_t j) const {
+    return {rowind_.data() + colptr_[j],
+            static_cast<std::size_t>(colptr_[j + 1] - colptr_[j])};
+  }
+
+  /// Values of column j (empty span for pattern-only matrices).
+  std::span<const double> column_values(index_t j) const {
+    if (values_.empty()) return {};
+    return {values_.data() + colptr_[j],
+            static_cast<std::size_t>(colptr_[j + 1] - colptr_[j])};
+  }
+
+  /// B = Aᵀ (values transposed as well when present).
+  CscMatrix transpose() const;
+
+  /// Pattern of A + Aᵀ without the diagonal — the adjacency structure used
+  /// by fill-reducing orderings. Requires a square matrix.
+  CscMatrix symmetrized_pattern() const;
+
+  /// Pattern of A·Aᵀ (diagonal excluded), used to build LP-style normal
+  /// equations test matrices. Pattern-only result.
+  CscMatrix aat_pattern() const;
+
+  /// Permuted matrix B = P A Pᵀ where row/col i of A becomes
+  /// perm_inverse[i] of B. `perm` maps new index -> old index.
+  CscMatrix permuted(std::span<const index_t> perm) const;
+
+  /// True when the pattern is structurally symmetric.
+  bool pattern_symmetric() const;
+
+  /// Infinity norm of A·x − b; helper for residual checks.
+  double residual_inf(std::span<const double> x, std::span<const double> b) const;
+
+  /// y = A·x.
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+ private:
+  index_t nrows_ = 0;
+  index_t ncols_ = 0;
+  std::vector<count_t> colptr_{0};
+  std::vector<index_t> rowind_;
+  std::vector<double> values_;
+};
+
+}  // namespace memfront

@@ -1,0 +1,188 @@
+#include "memfront/sparse/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "memfront/sparse/coo.hpp"
+#include "memfront/support/error.hpp"
+#include "memfront/support/rng.hpp"
+
+namespace memfront {
+namespace {
+
+/// Makes every row strictly diagonally dominant in place.
+CscMatrix dominate_diagonal(const CooMatrix& coo) {
+  CscMatrix m = coo.to_csc();
+  // Row sums of absolute off-diagonal values.
+  std::vector<double> rowsum(static_cast<std::size_t>(m.nrows()), 0.0);
+  auto vals = m.mutable_values();
+  auto ptr = m.colptr();
+  auto ind = m.rowind();
+  for (index_t j = 0; j < m.ncols(); ++j)
+    for (count_t k = ptr[j]; k < ptr[j + 1]; ++k)
+      if (ind[static_cast<std::size_t>(k)] != j)
+        rowsum[ind[static_cast<std::size_t>(k)]] +=
+            std::abs(vals[static_cast<std::size_t>(k)]);
+  for (index_t j = 0; j < m.ncols(); ++j)
+    for (count_t k = ptr[j]; k < ptr[j + 1]; ++k)
+      if (ind[static_cast<std::size_t>(k)] == j)
+        vals[static_cast<std::size_t>(k)] =
+            rowsum[static_cast<std::size_t>(j)] + 1.0;
+  return m;
+}
+
+}  // namespace
+
+CscMatrix grid_matrix(const GridSpec& spec) {
+  require(spec.nx > 0 && spec.ny > 0 && spec.nz > 0 && spec.dof > 0,
+          "grid_matrix: bad dimensions");
+  const index_t points = spec.nx * spec.ny * spec.nz;
+  const index_t n = points * spec.dof;
+  CooMatrix coo(n, n);
+  Rng rng(spec.seed);
+
+  auto point_id = [&](index_t x, index_t y, index_t z) {
+    return (z * spec.ny + y) * spec.nx + x;
+  };
+  const int reach = spec.wide_stencil ? 1 : 0;  // wide: full 3^d neighborhood
+
+  for (index_t z = 0; z < spec.nz; ++z)
+    for (index_t y = 0; y < spec.ny; ++y)
+      for (index_t x = 0; x < spec.nx; ++x) {
+        const index_t p = point_id(x, y, z);
+        for (int dz = -1; dz <= 1; ++dz)
+          for (int dy = -1; dy <= 1; ++dy)
+            for (int dx = -1; dx <= 1; ++dx) {
+              if (!spec.wide_stencil) {
+                // 5/7-point stencil: axis neighbours only.
+                if (std::abs(dx) + std::abs(dy) + std::abs(dz) > 1) continue;
+              } else {
+                (void)reach;
+              }
+              const index_t nx2 = x + dx, ny2 = y + dy, nz2 = z + dz;
+              if (nx2 < 0 || nx2 >= spec.nx || ny2 < 0 || ny2 >= spec.ny ||
+                  nz2 < 0 || nz2 >= spec.nz)
+                continue;
+              const index_t q = point_id(nx2, ny2, nz2);
+              if (q < p) continue;  // emit each pair once from the low side
+              for (int a = 0; a < spec.dof; ++a)
+                for (int b = 0; b < spec.dof; ++b) {
+                  const index_t row = p * spec.dof + a;
+                  const index_t col = q * spec.dof + b;
+                  if (row == col) {
+                    coo.add(row, col, 0.0);  // fixed up by dominate_diagonal
+                    continue;
+                  }
+                  const double v = rng.real(-1.0, 1.0);
+                  if (spec.symmetric_values) {
+                    coo.add_symmetric(row, col, v);
+                  } else if (row < col) {
+                    coo.add(row, col, v);
+                    coo.add(col, row, rng.real(-1.0, 1.0));
+                  }
+                }
+            }
+      }
+  return dominate_diagonal(coo);
+}
+
+CscMatrix lp_normal_equations(const LpSpec& spec) {
+  require(spec.nrows > 0 && spec.ncols > 0, "lp_normal_equations: bad sizes");
+  Rng rng(spec.seed);
+  // Build the LP constraint matrix A (nrows x ncols), pattern only.
+  CooMatrix a(spec.nrows, spec.ncols);
+  for (index_t j = 0; j < spec.ncols; ++j) {
+    const bool heavy = j < spec.heavy_cols;
+    const index_t deg = heavy
+                            ? std::min<index_t>(spec.heavy_degree, spec.nrows)
+                            : std::min<index_t>(
+                                  static_cast<index_t>(
+                                      1 + rng.below(static_cast<std::uint64_t>(
+                                              2 * spec.col_degree))),
+                                  spec.nrows);
+    for (index_t k = 0; k < deg; ++k)
+      a.add(static_cast<index_t>(rng.below(
+                static_cast<std::uint64_t>(spec.nrows))),
+            j, 1.0);
+  }
+  const CscMatrix acsc = a.to_csc();
+  const CscMatrix pattern = acsc.aat_pattern();
+
+  // Fill values on the A·Aᵀ pattern: symmetric random off-diagonals,
+  // dominated diagonal (keeps LDLᵀ without pivoting stable).
+  CooMatrix b(spec.nrows, spec.nrows);
+  for (index_t j = 0; j < spec.nrows; ++j) {
+    b.add(j, j, 0.0);
+    for (index_t r : pattern.column(j))
+      if (r > j) b.add_symmetric(r, j, rng.real(-1.0, 1.0));
+  }
+  return dominate_diagonal(b);
+}
+
+CscMatrix circuit_matrix(const CircuitSpec& spec) {
+  require(spec.base_nodes > 2 && spec.harmonics > 0, "circuit_matrix: bad spec");
+  Rng rng(spec.seed);
+  const index_t n0 = spec.base_nodes;
+  const index_t n = n0 * spec.harmonics;
+  CooMatrix coo(n, n);
+
+  // Base circuit graph: a ring (keeps it connected) + preferential-ish
+  // random extra edges giving a skewed degree distribution.
+  std::vector<std::pair<index_t, index_t>> base_edges;
+  for (index_t i = 0; i < n0; ++i) base_edges.emplace_back(i, (i + 1) % n0);
+  const auto extra =
+      static_cast<count_t>(n0) * std::max(0, spec.avg_degree - 2) / 2;
+  for (count_t e = 0; e < extra; ++e) {
+    // Square one endpoint's distribution toward low ids: hub formation.
+    const auto u = static_cast<index_t>(
+        rng.below(static_cast<std::uint64_t>(n0)) *
+        rng.below(static_cast<std::uint64_t>(n0)) / static_cast<std::uint64_t>(n0));
+    const auto v = static_cast<index_t>(rng.below(static_cast<std::uint64_t>(n0)));
+    if (u != v) base_edges.emplace_back(u, v);
+  }
+
+  // Replicate the base graph per harmonic (block diagonal).
+  for (int h = 0; h < spec.harmonics; ++h) {
+    const index_t off = h * n0;
+    for (auto [u, v] : base_edges) {
+      const double w = rng.real(-1.0, 1.0);
+      coo.add(off + u, off + v, w);
+      if (rng.real() >= spec.unsym_frac)
+        coo.add(off + v, off + u, rng.real(-1.0, 1.0));
+    }
+  }
+
+  // Nonlinear devices couple all harmonic copies of their node (dense
+  // harmonics x harmonics block) - the harmonic-balance signature.
+  const auto n_nonlinear = static_cast<index_t>(
+      spec.nonlinear_frac * static_cast<double>(n0));
+  for (index_t d = 0; d < n_nonlinear; ++d) {
+    const auto node = static_cast<index_t>(rng.below(static_cast<std::uint64_t>(n0)));
+    for (int h1 = 0; h1 < spec.harmonics; ++h1)
+      for (int h2 = 0; h2 < spec.harmonics; ++h2) {
+        if (h1 == h2) continue;
+        coo.add(h1 * n0 + node, h2 * n0 + node, rng.real(-1.0, 1.0));
+      }
+  }
+
+  for (index_t i = 0; i < n; ++i) coo.add(i, i, 0.0);
+  return dominate_diagonal(coo);
+}
+
+CscMatrix figure1_matrix() {
+  // Variables 1..6 of the paper (0-based here). Pivots (1,2) and (3,4)
+  // update (5) resp. (6); the root eliminates (5,6).
+  CooMatrix coo(6, 6);
+  for (index_t i = 0; i < 6; ++i) coo.add(i, i, 0.0);
+  coo.add_symmetric(0, 1, -1.0);
+  coo.add_symmetric(0, 4, -1.0);
+  coo.add_symmetric(1, 4, -1.0);
+  coo.add_symmetric(2, 3, -1.0);
+  coo.add_symmetric(2, 5, -1.0);
+  coo.add_symmetric(3, 5, -1.0);
+  coo.add_symmetric(4, 5, -1.0);
+  return dominate_diagonal(coo);
+}
+
+}  // namespace memfront

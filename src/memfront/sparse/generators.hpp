@@ -1,0 +1,60 @@
+// Synthetic sparse matrix generators.
+//
+// These stand in for the Rutherford-Boeing / UF / PARASOL matrices of the
+// paper's Table 1 (see DESIGN.md, "Substitutions"). Each generator produces
+// a structurally non-singular matrix with values that make unpivoted
+// factorization stable (diagonally dominant), so the same matrices serve
+// both the numeric solver tests and the scheduling experiments.
+#pragma once
+
+#include <cstdint>
+
+#include "memfront/sparse/csc.hpp"
+
+namespace memfront {
+
+/// dof×dof-block d-dimensional grid operator.
+/// `wide_stencil` selects the 9-point (2D) / 27-point (3D) stencil instead
+/// of 5-point / 7-point. `symmetric_values` emits A = Aᵀ numerically.
+struct GridSpec {
+  index_t nx = 1;
+  index_t ny = 1;
+  index_t nz = 1;          // nz == 1 -> 2D problem
+  int dof = 1;             // degrees of freedom per grid point
+  bool wide_stencil = true;
+  bool symmetric_values = true;
+  std::uint64_t seed = 1;
+};
+CscMatrix grid_matrix(const GridSpec& spec);
+
+/// Normal-equations matrix B = A·Aᵀ of a random sparse LP constraint matrix
+/// with `heavy_cols` high-degree columns (creates the dense rows typical of
+/// GUPTA3). Returns a numerically symmetric positive-definite-ish matrix.
+struct LpSpec {
+  index_t nrows = 1000;    // constraints (order of B)
+  index_t ncols = 3000;    // variables of the LP
+  int col_degree = 3;      // entries per regular column of A
+  index_t heavy_cols = 8;  // number of dense columns of A
+  index_t heavy_degree = 120;
+  std::uint64_t seed = 2;
+};
+CscMatrix lp_normal_equations(const LpSpec& spec);
+
+/// Harmonic-balance circuit matrix: a base circuit graph replicated
+/// `harmonics` times, with the copies of each "nonlinear" node densely
+/// coupled across harmonics (PRE2 / TWOTONE family). Unsymmetric pattern.
+struct CircuitSpec {
+  index_t base_nodes = 2000;
+  int harmonics = 6;
+  int avg_degree = 4;        // average structural degree of the base graph
+  double nonlinear_frac = 0.08;  // fraction of base nodes coupled across harmonics
+  double unsym_frac = 0.3;   // fraction of off-diagonals present one-way only
+  std::uint64_t seed = 3;
+};
+CscMatrix circuit_matrix(const CircuitSpec& spec);
+
+/// The 6x6 matrix of the paper's Figure 1: two 2x2 pivot blocks feeding a
+/// 2x2 root. Values are diagonally dominant.
+CscMatrix figure1_matrix();
+
+}  // namespace memfront

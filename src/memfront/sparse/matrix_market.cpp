@@ -1,0 +1,97 @@
+#include "memfront/sparse/matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "memfront/sparse/coo.hpp"
+#include "memfront/support/error.hpp"
+
+namespace memfront {
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+MatrixMarketData read_matrix_market(std::istream& in) {
+  std::string line;
+  require(static_cast<bool>(std::getline(in, line)),
+          "matrix market: empty stream");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  require(banner == "%%MatrixMarket", "matrix market: bad banner");
+  require(lower(object) == "matrix" && lower(format) == "coordinate",
+          "matrix market: only coordinate matrices supported");
+  field = lower(field);
+  symmetry = lower(symmetry);
+  require(field == "real" || field == "integer" || field == "pattern",
+          "matrix market: unsupported field type");
+  require(symmetry == "general" || symmetry == "symmetric",
+          "matrix market: unsupported symmetry type");
+  const bool pattern = field == "pattern";
+  const bool symmetric = symmetry == "symmetric";
+
+  // Skip comments, read the size line.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream sizes(line);
+  long nrows = 0, ncols = 0, nnz = 0;
+  sizes >> nrows >> ncols >> nnz;
+  require(nrows > 0 && ncols > 0 && nnz >= 0, "matrix market: bad size line");
+
+  CooMatrix coo(static_cast<index_t>(nrows), static_cast<index_t>(ncols));
+  for (long k = 0; k < nnz; ++k) {
+    require(static_cast<bool>(std::getline(in, line)),
+            "matrix market: truncated file");
+    std::istringstream entry(line);
+    long r = 0, c = 0;
+    double v = 1.0;
+    entry >> r >> c;
+    if (!pattern) entry >> v;
+    const auto row = static_cast<index_t>(r - 1);
+    const auto col = static_cast<index_t>(c - 1);
+    if (symmetric)
+      coo.add_symmetric(row, col, v);
+    else
+      coo.add(row, col, v);
+  }
+  return {coo.to_csc(), symmetric};
+}
+
+MatrixMarketData read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "matrix market: cannot open file " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const CscMatrix& m) {
+  const bool pattern = !m.has_values();
+  out << "%%MatrixMarket matrix coordinate "
+      << (pattern ? "pattern" : "real") << " general\n";
+  out << m.nrows() << ' ' << m.ncols() << ' ' << m.nnz() << '\n';
+  for (index_t j = 0; j < m.ncols(); ++j) {
+    auto rows = m.column(j);
+    auto vals = m.column_values(j);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      out << rows[k] + 1 << ' ' << j + 1;
+      if (!pattern) out << ' ' << vals[k];
+      out << '\n';
+    }
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const CscMatrix& m) {
+  std::ofstream out(path);
+  require(out.good(), "matrix market: cannot open file for write " + path);
+  write_matrix_market(out, m);
+}
+
+}  // namespace memfront

@@ -1,0 +1,28 @@
+// Matrix Market (coordinate format) reader / writer.
+//
+// Supports `matrix coordinate real|integer|pattern general|symmetric`.
+// Symmetric files are expanded to full storage on read (the library works
+// with full patterns; symmetry is tracked as a problem attribute instead).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "memfront/sparse/csc.hpp"
+
+namespace memfront {
+
+struct MatrixMarketData {
+  CscMatrix matrix;
+  bool declared_symmetric = false;
+};
+
+MatrixMarketData read_matrix_market(std::istream& in);
+MatrixMarketData read_matrix_market_file(const std::string& path);
+
+/// Writes full (general) coordinate format; pattern-only matrices are
+/// written with the `pattern` field.
+void write_matrix_market(std::ostream& out, const CscMatrix& m);
+void write_matrix_market_file(const std::string& path, const CscMatrix& m);
+
+}  // namespace memfront

@@ -1,0 +1,46 @@
+#include "memfront/sparse/permutation.hpp"
+
+#include <numeric>
+
+#include "memfront/support/error.hpp"
+
+namespace memfront {
+
+bool is_permutation(std::span<const index_t> perm) {
+  const auto n = static_cast<index_t>(perm.size());
+  std::vector<bool> seen(perm.size(), false);
+  for (index_t v : perm) {
+    if (v < 0 || v >= n || seen[static_cast<std::size_t>(v)]) return false;
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+  return true;
+}
+
+std::vector<index_t> invert_permutation(std::span<const index_t> perm) {
+  std::vector<index_t> inv(perm.size(), kNone);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    const index_t v = perm[i];
+    check(v >= 0 && static_cast<std::size_t>(v) < perm.size() &&
+              inv[static_cast<std::size_t>(v)] == kNone,
+          "invert_permutation: input is not a permutation");
+    inv[static_cast<std::size_t>(v)] = static_cast<index_t>(i);
+  }
+  return inv;
+}
+
+std::vector<index_t> compose(std::span<const index_t> first,
+                             std::span<const index_t> second) {
+  check(first.size() == second.size(), "compose: size mismatch");
+  std::vector<index_t> out(first.size());
+  for (std::size_t i = 0; i < first.size(); ++i)
+    out[i] = first[static_cast<std::size_t>(second[i])];
+  return out;
+}
+
+std::vector<index_t> identity_permutation(index_t n) {
+  std::vector<index_t> p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), index_t{0});
+  return p;
+}
+
+}  // namespace memfront

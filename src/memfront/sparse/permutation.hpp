@@ -1,0 +1,28 @@
+// Permutation helpers.
+//
+// Convention used across the library: a permutation is stored as
+// `perm[new_index] = old_index` (the order in which original variables are
+// eliminated). `invert` produces `inv[old_index] = new_index`.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "memfront/support/types.hpp"
+
+namespace memfront {
+
+/// True iff `perm` contains each of 0..n-1 exactly once.
+bool is_permutation(std::span<const index_t> perm);
+
+/// inv[perm[i]] = i.
+std::vector<index_t> invert_permutation(std::span<const index_t> perm);
+
+/// Composition c[i] = first[second[i]]: apply `second` then `first`.
+std::vector<index_t> compose(std::span<const index_t> first,
+                             std::span<const index_t> second);
+
+/// The identity permutation of size n.
+std::vector<index_t> identity_permutation(index_t n);
+
+}  // namespace memfront

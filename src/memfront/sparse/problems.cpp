@@ -1,0 +1,132 @@
+#include "memfront/sparse/problems.hpp"
+
+#include <cmath>
+
+#include "memfront/sparse/generators.hpp"
+#include "memfront/support/error.hpp"
+
+namespace memfront {
+namespace {
+
+index_t scaled(index_t base, double scale) {
+  return std::max<index_t>(2, static_cast<index_t>(std::lround(
+                                  static_cast<double>(base) * scale)));
+}
+
+}  // namespace
+
+std::vector<ProblemId> all_problem_ids() {
+  return {ProblemId::kBmwCra1, ProblemId::kGupta3,      ProblemId::kMsdoor,
+          ProblemId::kShip003, ProblemId::kPre2,        ProblemId::kTwotone,
+          ProblemId::kUltrasound3, ProblemId::kXenon2};
+}
+
+std::vector<ProblemId> unsymmetric_problem_ids() {
+  return {ProblemId::kPre2, ProblemId::kTwotone, ProblemId::kUltrasound3,
+          ProblemId::kXenon2};
+}
+
+std::string problem_name(ProblemId id) {
+  switch (id) {
+    case ProblemId::kBmwCra1: return "BMWCRA_1";
+    case ProblemId::kGupta3: return "GUPTA3";
+    case ProblemId::kMsdoor: return "MSDOOR";
+    case ProblemId::kShip003: return "SHIP_003";
+    case ProblemId::kPre2: return "PRE2";
+    case ProblemId::kTwotone: return "TWOTONE";
+    case ProblemId::kUltrasound3: return "ULTRASOUND3";
+    case ProblemId::kXenon2: return "XENON2";
+  }
+  check(false, "problem_name: unknown id");
+  return {};
+}
+
+Problem make_problem(ProblemId id, double scale) {
+  Problem p;
+  p.id = id;
+  p.name = problem_name(id);
+  switch (id) {
+    case ProblemId::kBmwCra1: {
+      // 3D solid FEM, 3 displacement dof per node, 27-point connectivity.
+      GridSpec g{.nx = scaled(11, scale), .ny = scaled(11, scale),
+                 .nz = scaled(13, scale), .dof = 3, .wide_stencil = true,
+                 .symmetric_values = true, .seed = 11};
+      p.matrix = grid_matrix(g);
+      p.symmetric = true;
+      p.description = "automotive crankshaft model (3D solid FEM analogue)";
+      break;
+    }
+    case ProblemId::kGupta3: {
+      LpSpec g{.nrows = scaled(2200, scale),
+               .ncols = scaled(6000, scale),
+               .col_degree = 3,
+               .heavy_cols = 10,
+               .heavy_degree = scaled(110, scale),
+               .seed = 13};
+      p.matrix = lp_normal_equations(g);
+      p.symmetric = true;
+      p.description = "linear programming matrix A*A' (normal equations)";
+      break;
+    }
+    case ProblemId::kMsdoor: {
+      // 2D shell FEM, 4 dof per node, 9-point connectivity.
+      GridSpec g{.nx = scaled(58, scale), .ny = scaled(110, scale), .nz = 1,
+                 .dof = 4, .wide_stencil = true, .symmetric_values = true,
+                 .seed = 17};
+      p.matrix = grid_matrix(g);
+      p.symmetric = true;
+      p.description = "medium size door (2D shell FEM analogue)";
+      break;
+    }
+    case ProblemId::kShip003: {
+      // Thin 3D structure: large in two dimensions, thin in the third.
+      GridSpec g{.nx = scaled(27, scale), .ny = scaled(27, scale),
+                 .nz = scaled(6, scale), .dof = 3, .wide_stencil = true,
+                 .symmetric_values = true, .seed = 19};
+      p.matrix = grid_matrix(g);
+      p.symmetric = true;
+      p.description = "ship structure (thin 3D shell FEM analogue)";
+      break;
+    }
+    case ProblemId::kPre2: {
+      CircuitSpec g{.base_nodes = scaled(4200, scale), .harmonics = 7,
+                    .avg_degree = 4, .nonlinear_frac = 0.06,
+                    .unsym_frac = 0.35, .seed = 23};
+      p.matrix = circuit_matrix(g);
+      p.symmetric = false;
+      p.description = "AT&T harmonic balance method, large (circuit analogue)";
+      break;
+    }
+    case ProblemId::kTwotone: {
+      CircuitSpec g{.base_nodes = scaled(2400, scale), .harmonics = 5,
+                    .avg_degree = 4, .nonlinear_frac = 0.10,
+                    .unsym_frac = 0.35, .seed = 29};
+      p.matrix = circuit_matrix(g);
+      p.symmetric = false;
+      p.description = "AT&T harmonic balance method (circuit analogue)";
+      break;
+    }
+    case ProblemId::kUltrasound3: {
+      // 3D vector wavefield: 2 dof, 27-point, unsymmetric values.
+      GridSpec g{.nx = scaled(20, scale), .ny = scaled(20, scale),
+                 .nz = scaled(20, scale), .dof = 2, .wide_stencil = true,
+                 .symmetric_values = false, .seed = 31};
+      p.matrix = grid_matrix(g);
+      p.symmetric = false;
+      p.description = "3D ultrasound wave propagation (grid analogue)";
+      break;
+    }
+    case ProblemId::kXenon2: {
+      GridSpec g{.nx = scaled(26, scale), .ny = scaled(26, scale),
+                 .nz = scaled(26, scale), .dof = 1, .wide_stencil = true,
+                 .symmetric_values = false, .seed = 37};
+      p.matrix = grid_matrix(g);
+      p.symmetric = false;
+      p.description = "complex zeolite, sodalite crystals (3D lattice analogue)";
+      break;
+    }
+  }
+  return p;
+}
+
+}  // namespace memfront

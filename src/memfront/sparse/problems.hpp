@@ -1,0 +1,45 @@
+// The eight test problems of the paper's Table 1, as synthetic analogues.
+//
+// Each entry names the original matrix, states which generator family
+// approximates it and at what (scaled-down) size. `scale` multiplies the
+// linear grid dimensions (or base node counts), so scale=1 is the default
+// laptop-size experiment and larger values stress-test.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "memfront/sparse/csc.hpp"
+
+namespace memfront {
+
+enum class ProblemId {
+  kBmwCra1,      // SYM  automotive crankshaft (3D solid FEM, 3 dof)
+  kGupta3,       // SYM  LP normal equations A·Aᵀ, dense rows
+  kMsdoor,       // SYM  medium-size door (2D shell FEM, 4 dof)
+  kShip003,      // SYM  ship structure (thin 3D shell FEM, 3 dof)
+  kPre2,         // UNS  harmonic balance circuit, large
+  kTwotone,      // UNS  harmonic balance circuit, smaller
+  kUltrasound3,  // UNS  3D ultrasound wave propagation (2 dof)
+  kXenon2,       // UNS  zeolite/sodalite crystal (3D lattice)
+};
+
+struct Problem {
+  ProblemId id;
+  std::string name;         // the paper's matrix name
+  std::string description;  // the paper's description column
+  bool symmetric = false;   // the paper's Type column (SYM/UNS)
+  CscMatrix matrix;
+};
+
+/// All eight problems in Table 1 order.
+std::vector<ProblemId> all_problem_ids();
+
+/// The four unsymmetric problems used in Tables 3 and 5.
+std::vector<ProblemId> unsymmetric_problem_ids();
+
+Problem make_problem(ProblemId id, double scale = 1.0);
+
+std::string problem_name(ProblemId id);
+
+}  // namespace memfront

@@ -1,0 +1,31 @@
+// Precondition / invariant checking helpers.
+//
+// `check` is for conditions that guard the public API and for test-visible
+// invariants: it always runs and throws std::logic_error with location info.
+// Hot inner loops use plain assert() instead.
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+namespace memfront {
+
+/// Throws std::logic_error when `condition` is false.
+inline void check(bool condition, std::string_view message,
+                  std::source_location loc = std::source_location::current()) {
+  if (condition) return;
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << " in " << loc.function_name()
+     << ": check failed: " << message;
+  throw std::logic_error(os.str());
+}
+
+/// Throws std::invalid_argument when `condition` is false; for user input.
+inline void require(bool condition, std::string_view message) {
+  if (condition) return;
+  throw std::invalid_argument(std::string(message));
+}
+
+}  // namespace memfront

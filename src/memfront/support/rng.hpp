@@ -1,0 +1,71 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// We avoid <random> engines in library code so that generated test problems
+// are bit-reproducible across standard library implementations.
+#pragma once
+
+#include <cstdint>
+
+#include "memfront/support/types.hpp"
+
+namespace memfront {
+
+/// SplitMix64: used to seed and for cheap stateless hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna; public-domain algorithm.
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed = 0x6d656d66726f6e74ULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    // Modulo bias is negligible for bound << 2^64 (all our uses).
+    return next() % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr index_t uniform(index_t lo, index_t hi) noexcept {
+    return lo + static_cast<index_t>(below(
+                    static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double real() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double real(double lo, double hi) noexcept {
+    return lo + (hi - lo) * real();
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace memfront

@@ -1,0 +1,43 @@
+// Small statistics helpers shared by experiments and tests.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <span>
+
+namespace memfront {
+
+template <typename T>
+double mean(std::span<const T> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (const T& x : xs) s += static_cast<double>(x);
+  return s / static_cast<double>(xs.size());
+}
+
+template <typename T>
+T max_value(std::span<const T> xs) {
+  return xs.empty() ? T{} : *std::max_element(xs.begin(), xs.end());
+}
+
+template <typename T>
+T min_value(std::span<const T> xs) {
+  return xs.empty() ? T{} : *std::min_element(xs.begin(), xs.end());
+}
+
+/// Ratio of max to mean; 1.0 means perfectly balanced, higher is worse.
+template <typename T>
+double imbalance(std::span<const T> xs) {
+  const double m = mean(xs);
+  return m > 0.0 ? static_cast<double>(max_value(xs)) / m : 1.0;
+}
+
+/// Percentage decrease from `before` to `after` (positive = improvement),
+/// matching the convention of Tables 2/3/5 in the paper.
+inline double percent_decrease(double before, double after) {
+  if (before <= 0.0) return 0.0;
+  return 100.0 * (before - after) / before;
+}
+
+}  // namespace memfront

@@ -1,0 +1,66 @@
+// Minimal fixed-width text table printer used by the bench binaries to
+// render the paper's tables.
+#pragma once
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace memfront {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Starts a new row; subsequent cell() calls fill it left to right.
+  void row() { rows_.emplace_back(); }
+
+  void cell(std::string value) { rows_.back().push_back(std::move(value)); }
+
+  void cell(double value, int precision = 1) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    rows_.back().push_back(os.str());
+  }
+
+  template <typename Int>
+    requires std::is_integral_v<Int>
+  void cell(Int value) {
+    rows_.back().push_back(std::to_string(value));
+  }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& r : rows_)
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c)
+        width[c] = std::max(width[c], r[c].size());
+
+    auto rule = [&] {
+      for (auto w : width) os << '+' << std::string(w + 2, '-');
+      os << "+\n";
+    };
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < width.size(); ++c) {
+        const std::string& v = c < cells.size() ? cells[c] : std::string();
+        os << "| " << std::setw(static_cast<int>(width[c])) << v << ' ';
+      }
+      os << "|\n";
+    };
+    rule();
+    line(header_);
+    rule();
+    for (const auto& r : rows_) line(r);
+    rule();
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace memfront

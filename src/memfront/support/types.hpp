@@ -1,0 +1,27 @@
+// Fundamental integer types used throughout memfront.
+//
+// Matrix/graph dimensions fit comfortably in 32 bits at the scales this
+// library targets; entry counts, flop counts and nnz totals need 64 bits.
+#pragma once
+
+#include <cstdint>
+
+namespace memfront {
+
+/// Vertex / row / column / tree-node index. Negative values are sentinels.
+using index_t = std::int32_t;
+
+/// Counts of entries, flops, nonzeros: always 64-bit.
+using count_t = std::int64_t;
+
+/// Sentinel for "no node / no parent / unset".
+inline constexpr index_t kNone = -1;
+
+/// Triangular number: entries of a dense lower triangle of order n
+/// (diagonal included).
+constexpr count_t triangle(count_t n) noexcept { return n * (n + 1) / 2; }
+
+/// Entries of a square dense block of order n.
+constexpr count_t square(count_t n) noexcept { return n * n; }
+
+}  // namespace memfront

@@ -1,0 +1,328 @@
+#include "memfront/symbolic/assembly_tree.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "memfront/sparse/permutation.hpp"
+#include "memfront/support/error.hpp"
+#include "memfront/symbolic/col_counts.hpp"
+#include "memfront/symbolic/etree.hpp"
+
+namespace memfront {
+namespace {
+
+// Σ j   for j in [a, b] inclusive.
+constexpr count_t sum1(count_t a, count_t b) {
+  if (a > b) return 0;
+  return (a + b) * (b - a + 1) / 2;
+}
+// Σ j^2 for j in [a, b] inclusive.
+constexpr count_t sum2(count_t a, count_t b) {
+  auto s = [](count_t m) { return m * (m + 1) * (2 * m + 1) / 6; };
+  if (a > b) return 0;
+  return s(b) - (a > 0 ? s(a - 1) : 0);
+}
+
+}  // namespace
+
+count_t front_entries(index_t nfront, bool symmetric) {
+  return symmetric ? triangle(nfront) : square(nfront);
+}
+
+count_t cb_entries(index_t ncb, bool symmetric) {
+  return symmetric ? triangle(ncb) : square(ncb);
+}
+
+count_t factor_entries(index_t nfront, index_t npiv, bool symmetric) {
+  return front_entries(nfront, symmetric) -
+         cb_entries(nfront - npiv, symmetric);
+}
+
+count_t master_entries(index_t nfront, index_t npiv, bool symmetric) {
+  // The npiv fully-summed rows of the front. In the symmetric case the
+  // master holds only the pivot triangle; the off-diagonal rows (their L21
+  // parts included) live on the slaves (Figure 3, right).
+  if (symmetric) return triangle(npiv);
+  return static_cast<count_t>(npiv) * nfront;
+}
+
+count_t elimination_flops(index_t nfront, index_t npiv, bool symmetric) {
+  // Pivot k (1-based) updates the trailing submatrix of order nfront-k:
+  // unsymmetric: one division per row + rank-1 update (2 flops/entry).
+  const count_t lo = nfront - npiv, hi = static_cast<count_t>(nfront) - 1;
+  if (symmetric) return sum1(lo, hi) + sum2(lo, hi);
+  return sum1(lo, hi) + 2 * sum2(lo, hi);
+}
+
+count_t master_flops(index_t nfront, index_t npiv, bool symmetric) {
+  // Pivot-panel factorization plus the U12 (resp. scaled off-diagonal
+  // block) computation.
+  const count_t ncb = nfront - npiv;
+  const count_t panel = elimination_flops(npiv, npiv, symmetric);
+  const count_t offdiag = static_cast<count_t>(npiv) * npiv * ncb /
+                          (symmetric ? 2 : 1);
+  return panel + offdiag;
+}
+
+count_t slave_flops(index_t nfront, index_t npiv, index_t rows,
+                    bool symmetric) {
+  // L21 block solve + Schur (GEMM) update for `rows` rows.
+  const count_t ncb = nfront - npiv;
+  const count_t solve = static_cast<count_t>(rows) * npiv * npiv;
+  const count_t gemm =
+      (symmetric ? 1 : 2) * static_cast<count_t>(rows) * npiv * ncb;
+  return solve + gemm;
+}
+
+// --------------------------------------------------------------------------
+
+AssemblyTree::AssemblyTree(std::vector<Node> nodes, bool symmetric,
+                           index_t num_cols)
+    : symmetric_(symmetric), num_cols_(num_cols), nodes_(std::move(nodes)) {
+  build_derived();
+}
+
+void AssemblyTree::build_derived() {
+  const auto nn = nodes_.size();
+  children_.assign(nn, {});
+  roots_.clear();
+  col_node_.assign(static_cast<std::size_t>(num_cols_), kNone);
+  for (std::size_t i = 0; i < nn; ++i) {
+    const Node& nd = nodes_[i];
+    check(nd.npiv >= 1 && nd.nfront >= nd.npiv, "AssemblyTree: bad node sizes");
+    if (nd.parent == kNone) {
+      roots_.push_back(static_cast<index_t>(i));
+    } else {
+      check(nd.parent > static_cast<index_t>(i),
+            "AssemblyTree: nodes must be postordered (parent after child)");
+      children_[static_cast<std::size_t>(nd.parent)].push_back(
+          static_cast<index_t>(i));
+    }
+    for (index_t c = nd.first_col; c < nd.first_col + nd.npiv; ++c) {
+      check(col_node_[static_cast<std::size_t>(c)] == kNone,
+            "AssemblyTree: overlapping pivot ranges");
+      col_node_[static_cast<std::size_t>(c)] = static_cast<index_t>(i);
+    }
+  }
+  for (index_t c = 0; c < num_cols_; ++c)
+    check(col_node_[static_cast<std::size_t>(c)] != kNone,
+          "AssemblyTree: column not covered by any node");
+}
+
+count_t AssemblyTree::front_entries(index_t i) const {
+  return memfront::front_entries(nfront(i), symmetric_);
+}
+count_t AssemblyTree::cb_entries(index_t i) const {
+  return memfront::cb_entries(ncb(i), symmetric_);
+}
+count_t AssemblyTree::factor_entries(index_t i) const {
+  return memfront::factor_entries(nfront(i), npiv(i), symmetric_);
+}
+count_t AssemblyTree::master_entries(index_t i) const {
+  return memfront::master_entries(nfront(i), npiv(i), symmetric_);
+}
+count_t AssemblyTree::flops(index_t i) const {
+  return elimination_flops(nfront(i), npiv(i), symmetric_);
+}
+
+count_t AssemblyTree::total_flops() const {
+  count_t total = 0;
+  for (index_t i = 0; i < num_nodes(); ++i) total += flops(i);
+  return total;
+}
+
+count_t AssemblyTree::total_factor_entries() const {
+  count_t total = 0;
+  for (index_t i = 0; i < num_nodes(); ++i) total += factor_entries(i);
+  return total;
+}
+
+bool AssemblyTree::is_postordered() const {
+  for (index_t i = 0; i < num_nodes(); ++i)
+    if (parent(i) != kNone && parent(i) <= i) return false;
+  return true;
+}
+
+// --------------------------------------------------------------------------
+
+SymbolicResult build_assembly_tree(const Graph& adjacency,
+                                   std::span<const index_t> perm,
+                                   const SymbolicOptions& options) {
+  const index_t n = adjacency.num_vertices();
+  check(perm.size() == static_cast<std::size_t>(n),
+        "build_assembly_tree: permutation size mismatch");
+
+  // 1. Permuted adjacency (new labels).
+  const std::vector<index_t> inv = invert_permutation(perm);
+  std::vector<count_t> ptr(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<index_t> adj(static_cast<std::size_t>(adjacency.num_edges()) * 2);
+  {
+    std::size_t pos = 0;
+    std::vector<index_t> scratch;
+    for (index_t newv = 0; newv < n; ++newv) {
+      scratch.clear();
+      for (index_t w : adjacency.neighbors(perm[newv]))
+        scratch.push_back(inv[static_cast<std::size_t>(w)]);
+      std::sort(scratch.begin(), scratch.end());
+      for (index_t w : scratch) adj[pos++] = w;
+      ptr[newv + 1] = static_cast<count_t>(pos);
+    }
+  }
+  Graph permuted(n, std::move(ptr), std::move(adj));
+
+  // 2-3. Elimination tree, postorder, relabel everything by the postorder.
+  const std::vector<index_t> parent0 = elimination_tree(permuted);
+  const std::vector<index_t> post = postorder(parent0);
+  std::vector<index_t> perm2(static_cast<std::size_t>(n));
+  for (index_t k = 0; k < n; ++k)
+    perm2[k] = perm[static_cast<std::size_t>(post[k])];
+  const std::vector<index_t> parent = relabel_tree(parent0, post);
+  // Postordered adjacency (relabel `permuted` by `post`).
+  const std::vector<index_t> inv2 = invert_permutation(perm2);
+  std::vector<count_t> ptr2(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<index_t> adj2(permuted.num_edges() * 2);
+  {
+    std::size_t pos = 0;
+    std::vector<index_t> scratch;
+    for (index_t newv = 0; newv < n; ++newv) {
+      scratch.clear();
+      for (index_t w : adjacency.neighbors(perm2[newv]))
+        scratch.push_back(inv2[static_cast<std::size_t>(w)]);
+      std::sort(scratch.begin(), scratch.end());
+      for (index_t w : scratch) adj2[pos++] = w;
+      ptr2[newv + 1] = static_cast<count_t>(pos);
+    }
+  }
+  Graph g2(n, std::move(ptr2), std::move(adj2));
+
+  // 4. Exact factor column counts.
+  const std::vector<index_t> counts = column_counts(g2, parent);
+
+  // 5. Fundamental supernodes.
+  std::vector<index_t> child_count(static_cast<std::size_t>(n), 0);
+  for (index_t j = 0; j < n; ++j)
+    if (parent[static_cast<std::size_t>(j)] != kNone)
+      ++child_count[static_cast<std::size_t>(parent[j])];
+  std::vector<index_t> snode_start;  // first column of each supernode
+  std::vector<index_t> col_snode(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    const bool fuse = j > 0 && parent[static_cast<std::size_t>(j - 1)] == j &&
+                      child_count[static_cast<std::size_t>(j)] == 1 &&
+                      counts[static_cast<std::size_t>(j)] ==
+                          counts[static_cast<std::size_t>(j - 1)] - 1;
+    if (!fuse) snode_start.push_back(j);
+    col_snode[static_cast<std::size_t>(j)] =
+        static_cast<index_t>(snode_start.size()) - 1;
+  }
+  const auto ns = static_cast<index_t>(snode_start.size());
+  std::vector<index_t> s_npiv(static_cast<std::size_t>(ns));
+  std::vector<index_t> s_nfront(static_cast<std::size_t>(ns));
+  std::vector<index_t> s_parent(static_cast<std::size_t>(ns), kNone);
+  for (index_t s = 0; s < ns; ++s) {
+    const index_t start = snode_start[static_cast<std::size_t>(s)];
+    const index_t end = s + 1 < ns ? snode_start[static_cast<std::size_t>(s + 1)] : n;
+    s_npiv[static_cast<std::size_t>(s)] = end - start;
+    s_nfront[static_cast<std::size_t>(s)] = counts[static_cast<std::size_t>(start)];
+    const index_t p = parent[static_cast<std::size_t>(end - 1)];
+    if (p != kNone) s_parent[static_cast<std::size_t>(s)] = col_snode[static_cast<std::size_t>(p)];
+  }
+
+  // 6. Relaxed amalgamation (children processed before parents because the
+  // supernode ids follow the column postorder).
+  std::vector<bool> alive(static_cast<std::size_t>(ns), true);
+  std::vector<index_t> rep(static_cast<std::size_t>(ns), kNone);  // merged into
+  std::vector<std::vector<index_t>> ranges(static_cast<std::size_t>(ns));
+  for (index_t s = 0; s < ns; ++s) ranges[static_cast<std::size_t>(s)] = {s};
+  const bool sym = options.symmetric;
+  for (index_t s = 0; s < ns; ++s) {
+    const index_t p = s_parent[static_cast<std::size_t>(s)];
+    if (p == kNone) continue;
+    check(p > s && alive[static_cast<std::size_t>(p)],
+          "amalgamation: parent must be alive and later");
+    const index_t np_c = s_npiv[static_cast<std::size_t>(s)];
+    const index_t nf_c = s_nfront[static_cast<std::size_t>(s)];
+    const index_t np_p = s_npiv[static_cast<std::size_t>(p)];
+    const index_t nf_p = s_nfront[static_cast<std::size_t>(p)];
+    const index_t np_m = np_c + np_p;
+    const index_t nf_m = np_c + nf_p;
+    const count_t fe_c = factor_entries(nf_c, np_c, sym);
+    const count_t fe_p = factor_entries(nf_p, np_p, sym);
+    const count_t fe_m = factor_entries(nf_m, np_m, sym);
+    const count_t zeros = fe_m - fe_c - fe_p;
+    const double ratio =
+        fe_m > 0 ? static_cast<double>(zeros) / static_cast<double>(fe_m) : 0.0;
+    const bool merge =
+        (np_c <= options.small_npiv && ratio <= options.fill_ratio_small) ||
+        ratio <= options.fill_ratio;
+    if (!merge) continue;
+    s_npiv[static_cast<std::size_t>(p)] = np_m;
+    s_nfront[static_cast<std::size_t>(p)] = nf_m;
+    alive[static_cast<std::size_t>(s)] = false;
+    rep[static_cast<std::size_t>(s)] = p;
+    auto& rp = ranges[static_cast<std::size_t>(p)];
+    auto& rs = ranges[static_cast<std::size_t>(s)];
+    rp.insert(rp.end(), rs.begin(), rs.end());
+    rs.clear();
+    rs.shrink_to_fit();
+  }
+  auto find_alive = [&](index_t s) {
+    while (s != kNone && !alive[static_cast<std::size_t>(s)])
+      s = rep[static_cast<std::size_t>(s)];
+    return s;
+  };
+
+  // 7. Condense the alive supernodes, postorder them, and lay out the final
+  // elimination order so each node's pivots are contiguous.
+  std::vector<index_t> alive_ids;
+  std::vector<index_t> alive_index(static_cast<std::size_t>(ns), kNone);
+  for (index_t s = 0; s < ns; ++s)
+    if (alive[static_cast<std::size_t>(s)]) {
+      alive_index[static_cast<std::size_t>(s)] =
+          static_cast<index_t>(alive_ids.size());
+      alive_ids.push_back(s);
+    }
+  std::vector<index_t> aparent(alive_ids.size(), kNone);
+  for (std::size_t a = 0; a < alive_ids.size(); ++a) {
+    const index_t p = find_alive(s_parent[static_cast<std::size_t>(alive_ids[a])]);
+    if (p != kNone) aparent[a] = alive_index[static_cast<std::size_t>(p)];
+  }
+  const std::vector<index_t> apost = postorder(aparent);
+  const std::vector<index_t> ainv = invert_permutation(apost);
+
+  std::vector<AssemblyTree::Node> nodes(alive_ids.size());
+  std::vector<index_t> final_perm(static_cast<std::size_t>(n));
+  index_t col_out = 0;
+  for (std::size_t k = 0; k < apost.size(); ++k) {
+    const index_t s = alive_ids[static_cast<std::size_t>(apost[k])];
+    AssemblyTree::Node& nd = nodes[k];
+    nd.first_col = col_out;
+    nd.npiv = s_npiv[static_cast<std::size_t>(s)];
+    nd.nfront = s_nfront[static_cast<std::size_t>(s)];
+    const index_t p = aparent[static_cast<std::size_t>(apost[k])];
+    nd.parent = p == kNone ? kNone : ainv[static_cast<std::size_t>(p)];
+    // Emit this node's pivot columns: its fundamental ranges in ascending
+    // column order (keeps the within-node order consistent with the etree).
+    auto& rs = ranges[static_cast<std::size_t>(s)];
+    std::sort(rs.begin(), rs.end());
+    index_t emitted = 0;
+    for (index_t fs : rs) {
+      const index_t start = snode_start[static_cast<std::size_t>(fs)];
+      const index_t end =
+          fs + 1 < ns ? snode_start[static_cast<std::size_t>(fs + 1)] : n;
+      for (index_t c = start; c < end; ++c) {
+        final_perm[static_cast<std::size_t>(col_out)] =
+            perm2[static_cast<std::size_t>(c)];
+        ++col_out;
+        ++emitted;
+      }
+    }
+    check(emitted == nd.npiv, "amalgamation: pivot count mismatch");
+  }
+  check(col_out == n, "amalgamation: column emission incomplete");
+
+  SymbolicResult result{AssemblyTree(std::move(nodes), sym, n),
+                        std::move(final_perm)};
+  return result;
+}
+
+}  // namespace memfront

@@ -1,0 +1,145 @@
+// Assembly tree: the task-dependency graph of the multifrontal method.
+//
+// Each node owns a contiguous range of pivot columns (in the *final*
+// elimination order produced together with the tree) and a frontal matrix
+// of order `nfront`; eliminating the `npiv` fully-summed variables leaves a
+// contribution block of order nfront-npiv that the parent assembles
+// (Section 2 of the paper).
+//
+// All sizes are reported in **entries**, matching the paper's unit;
+// symmetric problems count triangular storage.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "memfront/ordering/graph.hpp"
+#include "memfront/support/types.hpp"
+
+namespace memfront {
+
+// ---- size / flop model (free functions; used by solver and simulator) ----
+
+/// Entries of a frontal matrix of order nfront.
+count_t front_entries(index_t nfront, bool symmetric);
+/// Entries of a contribution block of order ncb.
+count_t cb_entries(index_t ncb, bool symmetric);
+/// Entries written to the factors by a (nfront, npiv) partial factorization.
+count_t factor_entries(index_t nfront, index_t npiv, bool symmetric);
+/// Entries of the *master part* of a type-2 node: the npiv fully-summed
+/// rows (the paper splits nodes whose master part exceeds 2M entries).
+count_t master_entries(index_t nfront, index_t npiv, bool symmetric);
+/// Elimination flops of a (nfront, npiv) partial factorization.
+count_t elimination_flops(index_t nfront, index_t npiv, bool symmetric);
+/// Master share of the type-2 elimination (pivot panel + U12).
+count_t master_flops(index_t nfront, index_t npiv, bool symmetric);
+/// Slave share for a block of `rows` non-fully-summed rows.
+count_t slave_flops(index_t nfront, index_t npiv, index_t rows,
+                    bool symmetric);
+
+// --------------------------------------------------------------------------
+
+class AssemblyTree {
+ public:
+  struct Node {
+    index_t parent = kNone;
+    index_t npiv = 0;       // fully summed variables
+    index_t nfront = 0;     // order of the frontal matrix
+    index_t first_col = 0;  // first pivot column (final elimination order)
+    /// True for the lower pieces of a split chain (Section 6): the parent
+    /// piece's front *is* this node's contribution block, assembled in
+    /// place — it must not be double counted.
+    bool chain = false;
+  };
+
+  AssemblyTree() = default;
+  AssemblyTree(std::vector<Node> nodes, bool symmetric, index_t num_cols);
+
+  bool symmetric() const noexcept { return symmetric_; }
+  index_t num_nodes() const noexcept {
+    return static_cast<index_t>(nodes_.size());
+  }
+  index_t num_cols() const noexcept { return num_cols_; }
+
+  const Node& node(index_t i) const { return nodes_[static_cast<std::size_t>(i)]; }
+  index_t parent(index_t i) const { return nodes_[static_cast<std::size_t>(i)].parent; }
+  index_t npiv(index_t i) const { return nodes_[static_cast<std::size_t>(i)].npiv; }
+  index_t nfront(index_t i) const { return nodes_[static_cast<std::size_t>(i)].nfront; }
+  index_t ncb(index_t i) const {
+    return nodes_[static_cast<std::size_t>(i)].nfront -
+           nodes_[static_cast<std::size_t>(i)].npiv;
+  }
+  index_t first_col(index_t i) const {
+    return nodes_[static_cast<std::size_t>(i)].first_col;
+  }
+  /// True when node i's CB is consumed in place by its (chain) parent.
+  bool is_chain_link(index_t i) const {
+    return nodes_[static_cast<std::size_t>(i)].chain;
+  }
+
+  std::span<const index_t> children(index_t i) const {
+    return children_[static_cast<std::size_t>(i)];
+  }
+  std::span<const index_t> roots() const { return roots_; }
+
+  /// Mutable child order: Liu's reordering and the schedulers permute it.
+  std::vector<index_t>& mutable_children(index_t i) {
+    return children_[static_cast<std::size_t>(i)];
+  }
+
+  count_t front_entries(index_t i) const;
+  count_t cb_entries(index_t i) const;
+  count_t factor_entries(index_t i) const;
+  count_t master_entries(index_t i) const;
+  count_t flops(index_t i) const;
+
+  count_t total_flops() const;
+  count_t total_factor_entries() const;
+
+  /// Node owning a given column of the final elimination order.
+  index_t node_of_col(index_t col) const {
+    return col_node_[static_cast<std::size_t>(col)];
+  }
+
+  /// True when every node id is greater than all ids in its subtree.
+  bool is_postordered() const;
+
+ private:
+  void build_derived();
+
+  bool symmetric_ = false;
+  index_t num_cols_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<std::vector<index_t>> children_;
+  std::vector<index_t> roots_;
+  std::vector<index_t> col_node_;
+};
+
+/// Options controlling supernode amalgamation.
+struct SymbolicOptions {
+  bool symmetric = false;
+  /// Children with at most this many pivots are merged into their parent
+  /// whenever the relative fill stays below `fill_ratio_small`.
+  index_t small_npiv = 8;
+  double fill_ratio_small = 0.5;
+  /// Larger children merge only when relative fill is below this.
+  double fill_ratio = 0.08;
+};
+
+struct SymbolicResult {
+  AssemblyTree tree;
+  /// Final elimination order: perm[k] = original vertex eliminated k-th
+  /// (the input ordering composed with the tree postorder and amalgamation
+  /// layout). Node i owns columns [first_col, first_col+npiv) of it.
+  std::vector<index_t> perm;
+};
+
+/// Builds the assembly tree: permute -> etree -> postorder -> column counts
+/// -> fundamental supernodes -> relaxed amalgamation -> final layout.
+/// `adjacency` is the symmetrized pattern of the *unpermuted* matrix;
+/// `perm` the fill-reducing order (perm[k] = vertex eliminated k-th).
+SymbolicResult build_assembly_tree(const Graph& adjacency,
+                                   std::span<const index_t> perm,
+                                   const SymbolicOptions& options);
+
+}  // namespace memfront

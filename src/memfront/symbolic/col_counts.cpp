@@ -1,0 +1,30 @@
+#include "memfront/symbolic/col_counts.hpp"
+
+#include "memfront/support/error.hpp"
+
+namespace memfront {
+
+std::vector<index_t> column_counts(const Graph& g,
+                                   std::span<const index_t> parent) {
+  const index_t n = g.num_vertices();
+  std::vector<index_t> counts(static_cast<std::size_t>(n), 1);  // diagonal
+  std::vector<index_t> mark(static_cast<std::size_t>(n), kNone);
+  // Row subtree of row i: for each a(i,j) with j < i, the path from j up
+  // the etree to i contributes one entry to every column it crosses.
+  for (index_t i = 0; i < n; ++i) {
+    mark[static_cast<std::size_t>(i)] = i;
+    for (index_t j : g.neighbors(i)) {
+      if (j >= i) continue;
+      index_t k = j;
+      while (mark[static_cast<std::size_t>(k)] != i) {
+        mark[static_cast<std::size_t>(k)] = i;
+        ++counts[static_cast<std::size_t>(k)];
+        k = parent[static_cast<std::size_t>(k)];
+        check(k != kNone, "column_counts: walked past a root");
+      }
+    }
+  }
+  return counts;
+}
+
+}  // namespace memfront

@@ -1,0 +1,19 @@
+// Column counts of the Cholesky factor of a (symmetrized) pattern.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "memfront/ordering/graph.hpp"
+#include "memfront/support/types.hpp"
+
+namespace memfront {
+
+/// counts[j] = nnz(L(:,j)) including the diagonal, for the factor of the
+/// pattern whose adjacency is `g` with the elimination order 0..n-1 and
+/// elimination tree `parent`. Exact; O(nnz(L)) time via row-subtree
+/// traversal, O(n) workspace.
+std::vector<index_t> column_counts(const Graph& g,
+                                   std::span<const index_t> parent);
+
+}  // namespace memfront

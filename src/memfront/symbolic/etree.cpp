@@ -1,0 +1,84 @@
+#include "memfront/symbolic/etree.hpp"
+
+#include <algorithm>
+
+#include "memfront/sparse/permutation.hpp"
+#include "memfront/support/error.hpp"
+
+namespace memfront {
+
+std::vector<index_t> elimination_tree(const Graph& g) {
+  const index_t n = g.num_vertices();
+  std::vector<index_t> parent(static_cast<std::size_t>(n), kNone);
+  std::vector<index_t> ancestor(static_cast<std::size_t>(n), kNone);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i : g.neighbors(j)) {
+      if (i >= j) continue;  // lower-triangular entries drive the tree
+      index_t r = i;
+      // Climb to the current root of i's subtree, compressing the path.
+      while (ancestor[r] != kNone && ancestor[r] != j) {
+        const index_t next = ancestor[r];
+        ancestor[r] = j;
+        r = next;
+      }
+      if (ancestor[r] == kNone) {
+        ancestor[r] = j;
+        parent[r] = j;
+      }
+    }
+  }
+  return parent;
+}
+
+std::vector<index_t> postorder(std::span<const index_t> parent) {
+  const auto n = static_cast<index_t>(parent.size());
+  // Build child lists (ascending ids since we scan j upward).
+  std::vector<index_t> head(static_cast<std::size_t>(n), kNone);
+  std::vector<index_t> next(static_cast<std::size_t>(n), kNone);
+  std::vector<index_t> roots;
+  for (index_t j = n - 1; j >= 0; --j) {  // reverse scan -> ascending lists
+    const index_t p = parent[j];
+    if (p == kNone) {
+      roots.push_back(j);
+    } else {
+      next[j] = head[p];
+      head[p] = j;
+    }
+  }
+  std::reverse(roots.begin(), roots.end());
+
+  std::vector<index_t> post;
+  post.reserve(static_cast<std::size_t>(n));
+  std::vector<index_t> stack;
+  for (index_t r : roots) {
+    // Iterative DFS emitting a node after all its children.
+    stack.push_back(r);
+    while (!stack.empty()) {
+      const index_t v = stack.back();
+      const index_t child = head[v];
+      if (child != kNone) {
+        head[v] = next[child];  // consume the child edge
+        stack.push_back(child);
+      } else {
+        post.push_back(v);
+        stack.pop_back();
+      }
+    }
+  }
+  check(post.size() == static_cast<std::size_t>(n),
+        "postorder: forest traversal missed nodes");
+  return post;
+}
+
+std::vector<index_t> relabel_tree(std::span<const index_t> parent,
+                                  std::span<const index_t> post) {
+  const auto inv = invert_permutation(post);
+  std::vector<index_t> out(parent.size(), kNone);
+  for (std::size_t k = 0; k < post.size(); ++k) {
+    const index_t p = parent[static_cast<std::size_t>(post[k])];
+    out[k] = p == kNone ? kNone : inv[static_cast<std::size_t>(p)];
+  }
+  return out;
+}
+
+}  // namespace memfront

@@ -1,0 +1,28 @@
+// Elimination tree of a symmetric (or symmetrized) pattern.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "memfront/ordering/graph.hpp"
+#include "memfront/support/types.hpp"
+
+namespace memfront {
+
+/// Elimination tree by Liu's algorithm with path compression.
+/// `g` is the adjacency of the (already permuted) matrix. Returns
+/// parent[j] (kNone for roots).
+std::vector<index_t> elimination_tree(const Graph& g);
+
+/// Children-first (post-) order of a forest given by `parent`.
+/// Children of each node are visited in ascending node id, which makes the
+/// result deterministic. Returns post[k] = node visited k-th.
+std::vector<index_t> postorder(std::span<const index_t> parent);
+
+/// Relabels `parent` by a permutation `post` (post[k] = old id): result
+/// r[k] = position of parent(post[k]) in post. Used to renumber the etree
+/// so that parents follow children.
+std::vector<index_t> relabel_tree(std::span<const index_t> parent,
+                                  std::span<const index_t> post);
+
+}  // namespace memfront

@@ -1,0 +1,91 @@
+#include "memfront/symbolic/mapping.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "memfront/support/error.hpp"
+
+namespace memfront {
+
+StaticMapping compute_mapping(const AssemblyTree& tree,
+                              const TreeMemory& memory,
+                              const MappingOptions& options) {
+  const index_t nn = tree.num_nodes();
+  const index_t nprocs = options.nprocs;
+  check(nprocs >= 1, "compute_mapping: need at least one processor");
+
+  StaticMapping mapping;
+  mapping.subtrees =
+      find_subtrees(tree, memory, nprocs, options.subtree_options);
+  mapping.type.assign(static_cast<std::size_t>(nn), NodeType::kType1);
+  mapping.owner.assign(static_cast<std::size_t>(nn), kNone);
+
+  // Resolve auto thresholds against the tree's biggest front, so the
+  // typing adapts to the problem scale (MUMPS exposes absolute knobs; we
+  // default to relative ones because our test problems span sizes).
+  index_t max_front = 0;
+  for (index_t i = 0; i < nn; ++i)
+    max_front = std::max(max_front, tree.nfront(i));
+  mapping.type2_min_front =
+      options.type2_min_front != kNone
+          ? options.type2_min_front
+          : std::clamp<index_t>(max_front / 4, 16, 256);
+  mapping.type3_min_front =
+      options.type3_min_front != kNone
+          ? options.type3_min_front
+          : std::clamp<index_t>(max_front / 2, 32, 768);
+
+  // Type-3: the largest tree root, if big enough and worth 2D parallelism.
+  index_t type3_node = kNone;
+  if (options.enable_type3 && nprocs >= 4) {
+    for (index_t r : tree.roots())
+      if (!mapping.subtrees.in_subtree(r) &&
+          tree.nfront(r) >= mapping.type3_min_front &&
+          (type3_node == kNone || tree.nfront(r) > tree.nfront(type3_node)))
+        type3_node = r;
+  }
+
+  for (index_t i = 0; i < nn; ++i) {
+    if (mapping.subtrees.in_subtree(i)) {
+      mapping.type[static_cast<std::size_t>(i)] = NodeType::kType1;
+      const index_t s = mapping.subtrees.node_subtree[static_cast<std::size_t>(i)];
+      mapping.owner[static_cast<std::size_t>(i)] =
+          mapping.subtrees.proc[static_cast<std::size_t>(s)];
+      continue;
+    }
+    if (i == type3_node) {
+      mapping.type[static_cast<std::size_t>(i)] = NodeType::kType3;
+      continue;  // all processors participate; no single owner
+    }
+    // Type-2 needs at least one non-fully-summed row to hand to slaves and
+    // more than one processor to hand it to.
+    if (options.enable_type2 && nprocs > 1 &&
+        tree.nfront(i) >= mapping.type2_min_front && tree.ncb(i) > 0) {
+      mapping.type[static_cast<std::size_t>(i)] = NodeType::kType2;
+    }
+  }
+
+  // Static owners for upper-part type-1 nodes and type-2 masters: greedy
+  // balance of factor entries (largest factor first, least-loaded proc).
+  std::vector<index_t> upper;
+  for (index_t i = 0; i < nn; ++i)
+    if (!mapping.subtrees.in_subtree(i) && i != type3_node) upper.push_back(i);
+  std::sort(upper.begin(), upper.end(), [&](index_t a, index_t b) {
+    const count_t fa = tree.factor_entries(a), fb = tree.factor_entries(b);
+    return fa != fb ? fa > fb : a < b;
+  });
+  std::priority_queue<std::pair<count_t, index_t>,
+                      std::vector<std::pair<count_t, index_t>>,
+                      std::greater<>>
+      load;
+  for (index_t p = 0; p < nprocs; ++p) load.emplace(0, p);
+  for (index_t i : upper) {
+    auto [l, p] = load.top();
+    load.pop();
+    mapping.owner[static_cast<std::size_t>(i)] = p;
+    load.emplace(l + tree.factor_entries(i), p);
+  }
+  return mapping;
+}
+
+}  // namespace memfront

@@ -1,0 +1,52 @@
+// Static phase of the MUMPS-like scheduler (Section 3):
+// node typing (type 1 / 2 / 3) and static owner assignment.
+#pragma once
+
+#include <vector>
+
+#include "memfront/symbolic/subtrees.hpp"
+
+namespace memfront {
+
+enum class NodeType : unsigned char {
+  kType1,  // sequential node, one owner
+  kType2,  // 1D-parallel front: static master + dynamically chosen slaves
+  kType3,  // 2D-parallel root (ScaLAPACK-style), all processors
+};
+
+struct MappingOptions {
+  index_t nprocs = 32;
+  /// Upper-part fronts at least this large become type 2.
+  /// kNone = auto: scaled from the largest front of the tree.
+  index_t type2_min_front = kNone;
+  /// The largest tree root becomes type 3 when at least this large.
+  /// kNone = auto.
+  index_t type3_min_front = kNone;
+  bool enable_type2 = true;
+  bool enable_type3 = true;
+  SubtreeOptions subtree_options{};
+};
+
+struct StaticMapping {
+  std::vector<NodeType> type;
+  /// type1: executor; type2: master. type3 nodes involve everyone and have
+  /// owner kNone.
+  std::vector<index_t> owner;
+  Subtrees subtrees;
+  /// Thresholds actually applied (options resolved from auto).
+  index_t type2_min_front = 0;
+  index_t type3_min_front = 0;
+
+  bool is_master_task(index_t node) const {
+    return type[static_cast<std::size_t>(node)] != NodeType::kType3;
+  }
+};
+
+/// Types every node and assigns static owners. Upper-part owners balance
+/// factor memory (the paper: the static mapping of the top of the tree
+/// "only aims at balancing the memory of the corresponding factors").
+StaticMapping compute_mapping(const AssemblyTree& tree,
+                              const TreeMemory& memory,
+                              const MappingOptions& options);
+
+}  // namespace memfront

@@ -1,0 +1,110 @@
+#include "memfront/symbolic/splitting.hpp"
+
+#include <algorithm>
+
+#include "memfront/support/error.hpp"
+
+namespace memfront {
+namespace {
+
+/// Number of chain pieces a node will be cut into, and the pivot count of
+/// each piece (bottom first).
+std::vector<index_t> piece_pivots(const AssemblyTree& tree, index_t node,
+                                  count_t threshold, const SplitOptions& opt) {
+  std::vector<index_t> pieces;
+  index_t npiv = tree.npiv(node);
+  index_t nfront = tree.nfront(node);
+  const bool sym = tree.symmetric();
+  // Bounded chain length: raise the threshold so at most max_pieces
+  // pieces come out of this node.
+  if (opt.max_pieces > 1)
+    threshold = std::max(threshold,
+                         master_entries(nfront, npiv, sym) / opt.max_pieces);
+  while (master_entries(nfront, npiv, sym) > threshold &&
+         static_cast<index_t>(pieces.size()) + 1 <
+             std::max<index_t>(2, opt.max_pieces) &&
+         npiv > 2 * opt.min_npiv) {
+    // Largest bottom piece whose master part fits under the threshold.
+    index_t lo = opt.min_npiv, hi = npiv - opt.min_npiv, best = opt.min_npiv;
+    while (lo <= hi) {
+      const index_t mid = lo + (hi - lo) / 2;
+      if (master_entries(nfront, mid, sym) <= threshold) {
+        best = mid;
+        lo = mid + 1;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    pieces.push_back(best);
+    npiv -= best;
+    nfront -= best;
+  }
+  pieces.push_back(npiv);  // top piece (keeps the original parent)
+  return pieces;
+}
+
+}  // namespace
+
+SplitResult split_large_masters(const AssemblyTree& tree,
+                                const SplitOptions& options) {
+  const index_t nn = tree.num_nodes();
+  // Roots are never split: they carry no master part in the scheduling
+  // sense (the root front is 2D-distributed by ScaLAPACK, Section 3), and
+  // splitting one would turn a distributed front into single-processor
+  // chain masters.
+  count_t threshold = options.master_threshold;
+  if (options.relative_to_max_master > 0.0) {
+    count_t biggest = 0;
+    for (index_t i = 0; i < nn; ++i)
+      if (tree.parent(i) != kNone)
+        biggest = std::max(biggest, tree.master_entries(i));
+    threshold = std::max(
+        threshold, static_cast<count_t>(options.relative_to_max_master *
+                                        static_cast<double>(biggest)));
+  }
+  std::vector<std::vector<index_t>> pieces(static_cast<std::size_t>(nn));
+  std::vector<index_t> new_id(static_cast<std::size_t>(nn));  // bottom piece
+  index_t total = 0;
+  index_t num_split = 0;
+  for (index_t i = 0; i < nn; ++i) {
+    pieces[static_cast<std::size_t>(i)] =
+        tree.parent(i) == kNone
+            ? std::vector<index_t>{tree.npiv(i)}
+            : piece_pivots(tree, i, threshold, options);
+    new_id[static_cast<std::size_t>(i)] = total;
+    total += static_cast<index_t>(pieces[static_cast<std::size_t>(i)].size());
+    if (pieces[static_cast<std::size_t>(i)].size() > 1) ++num_split;
+  }
+
+  std::vector<AssemblyTree::Node> nodes(static_cast<std::size_t>(total));
+  for (index_t i = 0; i < nn; ++i) {
+    const auto& ps = pieces[static_cast<std::size_t>(i)];
+    index_t col = tree.first_col(i);
+    index_t nfront = tree.nfront(i);
+    const index_t base = new_id[static_cast<std::size_t>(i)];
+    for (std::size_t k = 0; k < ps.size(); ++k) {
+      AssemblyTree::Node& nd = nodes[static_cast<std::size_t>(base) + k];
+      nd.npiv = ps[k];
+      nd.nfront = nfront;
+      nd.first_col = col;
+      if (k + 1 < ps.size()) {
+        nd.parent = base + static_cast<index_t>(k) + 1;  // next chain piece
+        nd.chain = true;  // the next piece assembles this CB in place
+      } else {
+        const index_t p = tree.parent(i);
+        nd.parent = p == kNone ? kNone : new_id[static_cast<std::size_t>(p)];
+      }
+      col += ps[k];
+      nfront -= ps[k];
+    }
+  }
+  // Chain pieces are emitted bottom-up in place of the original node, so
+  // the children-before-parents property is preserved; the AssemblyTree
+  // constructor re-checks it.
+  SplitResult result{AssemblyTree(std::move(nodes), tree.symmetric(),
+                                  tree.num_cols()),
+                     std::move(new_id), num_split};
+  return result;
+}
+
+}  // namespace memfront

@@ -1,0 +1,45 @@
+// Static splitting of nodes with large master parts (Section 6).
+//
+// A type-2 node whose master part (the npiv fully-summed rows) exceeds a
+// threshold cannot be scheduled around: the master's memory is a monolith.
+// The paper splits such nodes into a chain — the bottom part eliminates the
+// first pivots and passes a (large) contribution block to the next part.
+#pragma once
+
+#include <vector>
+
+#include "memfront/symbolic/assembly_tree.hpp"
+
+namespace memfront {
+
+struct SplitOptions {
+  /// Maximum allowed master-part entries (the paper uses 2M entries at its
+  /// problem scale; experiments here scale it with the problem).
+  count_t master_threshold = 2'000'000;
+  /// When > 0, the effective threshold is
+  /// max(master_threshold, relative_to_max_master * biggest master).
+  /// The paper's fixed 2M was ~0.5x its biggest master (PRE2: 3.6M); a
+  /// relative floor keeps the splitting in that regime across problem
+  /// scales instead of shredding giant fronts into slivers.
+  double relative_to_max_master = 0.0;
+  /// Upper bound on the chain length of any single node. The paper's
+  /// threshold produced 2-piece chains; long chains keep large
+  /// contribution blocks in flight while chains interleave across
+  /// processors and defeat the purpose of the splitting.
+  index_t max_pieces = 4;
+  /// Never create chain pieces with fewer pivots than this.
+  index_t min_npiv = 16;
+};
+
+struct SplitResult {
+  AssemblyTree tree;
+  /// node_map[old_node] = id of the *bottom* chain piece in the new tree
+  /// (unsplit nodes map to their new id directly).
+  std::vector<index_t> node_map;
+  index_t num_split_nodes = 0;  // original nodes that were split
+};
+
+SplitResult split_large_masters(const AssemblyTree& tree,
+                                const SplitOptions& options);
+
+}  // namespace memfront

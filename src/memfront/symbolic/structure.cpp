@@ -1,0 +1,64 @@
+#include "memfront/symbolic/structure.hpp"
+
+#include <algorithm>
+
+#include "memfront/sparse/permutation.hpp"
+#include "memfront/support/error.hpp"
+
+namespace memfront {
+
+FrontalStructure compute_structure(const AssemblyTree& tree,
+                                   const Graph& adjacency,
+                                   std::span<const index_t> perm) {
+  const index_t n = tree.num_cols();
+  check(perm.size() == static_cast<std::size_t>(n),
+        "compute_structure: permutation size mismatch");
+  const std::vector<index_t> inv = invert_permutation(perm);
+
+  const index_t nn = tree.num_nodes();
+  std::vector<count_t> offsets(static_cast<std::size_t>(nn) + 1, 0);
+  for (index_t i = 0; i < nn; ++i)
+    offsets[static_cast<std::size_t>(i) + 1] =
+        offsets[static_cast<std::size_t>(i)] + tree.nfront(i);
+  std::vector<index_t> rows(static_cast<std::size_t>(offsets.back()));
+
+  std::vector<index_t> mark(static_cast<std::size_t>(n), kNone);
+  std::vector<index_t> gather;
+  for (index_t i = 0; i < nn; ++i) {
+    gather.clear();
+    const index_t fc = tree.first_col(i);
+    const index_t npiv = tree.npiv(i);
+    // Pivots first (marked so merges skip them), then everything else.
+    for (index_t c = fc; c < fc + npiv; ++c)
+      mark[static_cast<std::size_t>(c)] = i;
+    for (index_t c = fc; c < fc + npiv; ++c) {
+      for (index_t w : adjacency.neighbors(perm[static_cast<std::size_t>(c)])) {
+        const index_t r = inv[static_cast<std::size_t>(w)];
+        if (r < fc || mark[static_cast<std::size_t>(r)] == i) continue;
+        mark[static_cast<std::size_t>(r)] = i;
+        gather.push_back(r);
+      }
+    }
+    for (index_t child : tree.children(i)) {
+      const auto b = static_cast<std::size_t>(offsets[child]);
+      const auto e = static_cast<std::size_t>(offsets[child + 1]);
+      // Contribution rows of the child: everything after its pivots.
+      for (std::size_t k = b + static_cast<std::size_t>(tree.npiv(child));
+           k < e; ++k) {
+        const index_t r = rows[k];
+        if (mark[static_cast<std::size_t>(r)] == i) continue;
+        mark[static_cast<std::size_t>(r)] = i;
+        gather.push_back(r);
+      }
+    }
+    std::sort(gather.begin(), gather.end());
+    check(static_cast<index_t>(gather.size()) + npiv == tree.nfront(i),
+          "compute_structure: front size disagrees with column counts");
+    auto out = rows.begin() + static_cast<std::ptrdiff_t>(offsets[i]);
+    for (index_t c = fc; c < fc + npiv; ++c) *out++ = c;
+    std::copy(gather.begin(), gather.end(), out);
+  }
+  return FrontalStructure(std::move(offsets), std::move(rows));
+}
+
+}  // namespace memfront

@@ -1,0 +1,45 @@
+// Explicit frontal row structures (needed only by the numeric solver).
+//
+// Row lists are global indices in the final elimination order; the first
+// npiv entries of a node's list are exactly its pivot columns, the rest is
+// its contribution-block index set.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "memfront/ordering/graph.hpp"
+#include "memfront/symbolic/assembly_tree.hpp"
+
+namespace memfront {
+
+class FrontalStructure {
+ public:
+  FrontalStructure(std::vector<count_t> offsets, std::vector<index_t> rows)
+      : offsets_(std::move(offsets)), rows_(std::move(rows)) {}
+
+  /// Sorted global row indices of node i's front (size nfront(i)).
+  std::span<const index_t> rows(index_t node) const {
+    const auto b = static_cast<std::size_t>(offsets_[node]);
+    const auto e = static_cast<std::size_t>(offsets_[node + 1]);
+    return {rows_.data() + b, e - b};
+  }
+
+  count_t total_entries() const {
+    return static_cast<count_t>(rows_.size());
+  }
+
+ private:
+  std::vector<count_t> offsets_;  // num_nodes + 1
+  std::vector<index_t> rows_;
+};
+
+/// Merges children's contribution indices with the pivots' adjacency.
+/// `adjacency` is the symmetrized pattern of the *original* matrix and
+/// `perm` the final elimination order from build_assembly_tree. Verifies
+/// |rows(i)| == nfront(i) (exactness of counts + amalgamation).
+FrontalStructure compute_structure(const AssemblyTree& tree,
+                                   const Graph& adjacency,
+                                   std::span<const index_t> perm);
+
+}  // namespace memfront

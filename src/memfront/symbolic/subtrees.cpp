@@ -1,0 +1,128 @@
+#include "memfront/symbolic/subtrees.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "memfront/support/error.hpp"
+
+namespace memfront {
+
+Subtrees find_subtrees(const AssemblyTree& tree, const TreeMemory& memory,
+                       index_t nprocs, const SubtreeOptions& options) {
+  const index_t nn = tree.num_nodes();
+  // Subtree flops per node (tree is postordered: children first).
+  std::vector<count_t> subtree_flops(static_cast<std::size_t>(nn), 0);
+  count_t total = 0;
+  for (index_t i = 0; i < nn; ++i) {
+    count_t f = tree.flops(i);
+    for (index_t c : tree.children(i))
+      f += subtree_flops[static_cast<std::size_t>(c)];
+    subtree_flops[static_cast<std::size_t>(i)] = f;
+    total += tree.flops(i);
+  }
+
+  // Geist-Ng top-down: repeatedly replace the costliest candidate by its
+  // children until every candidate fits under the balance target.
+  const count_t target = std::max<count_t>(
+      1, static_cast<count_t>(static_cast<double>(total) /
+                              (static_cast<double>(nprocs) *
+                               options.balance_factor)));
+  using Cand = std::pair<count_t, index_t>;
+  std::priority_queue<Cand> heap;
+  for (index_t r : tree.roots())
+    heap.emplace(subtree_flops[static_cast<std::size_t>(r)], r);
+  std::vector<index_t> accepted;
+  while (!heap.empty()) {
+    auto [cost, node] = heap.top();
+    if (cost <= target) break;  // all remaining candidates are small enough
+    heap.pop();
+    if (tree.children(node).empty()) {
+      // An oversized leaf cannot be split into smaller subtrees. Leaving
+      // it as a one-node subtree would lock a huge front onto a single
+      // processor as type 1; it belongs to the upper part instead, where
+      // type-2 parallelism can distribute it.
+      continue;
+    }
+    for (index_t c : tree.children(node))
+      heap.emplace(subtree_flops[static_cast<std::size_t>(c)], c);
+  }
+  while (!heap.empty()) {
+    accepted.push_back(heap.top().second);
+    heap.pop();
+  }
+
+  // Memory refinement: a subtree whose standalone peak rivals the whole
+  // sequential peak would pin that memory onto one processor.
+  if (options.memory_balance_factor > 0.0) {
+    count_t seq_peak = 0;
+    for (index_t r : tree.roots())
+      seq_peak = std::max(seq_peak,
+                          memory.subtree_peak[static_cast<std::size_t>(r)]);
+    const count_t mem_target = static_cast<count_t>(
+        static_cast<double>(seq_peak) * options.memory_balance_factor /
+        static_cast<double>(nprocs));
+    std::vector<index_t> worklist = std::move(accepted);
+    accepted.clear();
+    while (!worklist.empty()) {
+      const index_t node = worklist.back();
+      worklist.pop_back();
+      if (memory.subtree_peak[static_cast<std::size_t>(node)] <= mem_target) {
+        accepted.push_back(node);
+        continue;
+      }
+      // Oversized: split into children; an oversized leaf moves to the
+      // upper part (no subtree).
+      for (index_t c : tree.children(node)) worklist.push_back(c);
+    }
+  }
+  std::sort(accepted.begin(), accepted.end());
+
+  Subtrees result;
+  result.roots = std::move(accepted);
+  result.node_subtree.assign(static_cast<std::size_t>(nn), kNone);
+  result.flops.reserve(result.roots.size());
+  result.peak.reserve(result.roots.size());
+  // Mark subtree members (descendants of each root). Roots are disjoint by
+  // construction of the candidate frontier.
+  for (std::size_t s = 0; s < result.roots.size(); ++s) {
+    const index_t root = result.roots[s];
+    std::vector<index_t> stack{root};
+    while (!stack.empty()) {
+      const index_t v = stack.back();
+      stack.pop_back();
+      check(result.node_subtree[static_cast<std::size_t>(v)] == kNone,
+            "find_subtrees: overlapping subtrees");
+      result.node_subtree[static_cast<std::size_t>(v)] =
+          static_cast<index_t>(s);
+      for (index_t c : tree.children(v)) stack.push_back(c);
+    }
+    result.flops.push_back(subtree_flops[static_cast<std::size_t>(root)]);
+    result.peak.push_back(memory.subtree_peak[static_cast<std::size_t>(root)]);
+  }
+
+  // LPT processor mapping: largest subtree first onto the least-loaded
+  // processor ("subtree-to-processor mapping balances the computational
+  // work", Section 3).
+  result.proc.assign(result.roots.size(), 0);
+  std::vector<index_t> by_cost(result.roots.size());
+  for (std::size_t i = 0; i < by_cost.size(); ++i)
+    by_cost[i] = static_cast<index_t>(i);
+  std::sort(by_cost.begin(), by_cost.end(), [&](index_t a, index_t b) {
+    return result.flops[static_cast<std::size_t>(a)] >
+           result.flops[static_cast<std::size_t>(b)];
+  });
+  std::priority_queue<std::pair<count_t, index_t>,
+                      std::vector<std::pair<count_t, index_t>>,
+                      std::greater<>>
+      procs;
+  for (index_t p = 0; p < nprocs; ++p) procs.emplace(0, p);
+  for (index_t s : by_cost) {
+    auto [load, p] = procs.top();
+    procs.pop();
+    result.proc[static_cast<std::size_t>(s)] = p;
+    procs.emplace(load + result.flops[static_cast<std::size_t>(s)], p);
+  }
+  return result;
+}
+
+}  // namespace memfront

@@ -1,0 +1,44 @@
+// Geist-Ng leave-subtree detection and subtree-to-processor mapping [10].
+//
+// The bottom of the assembly tree is cut into subtrees whose whole
+// processing is assigned to a single processor (pure type-1 parallelism);
+// everything above is the "upper part" where type-2/3 parallelism and the
+// dynamic schedulers operate.
+#pragma once
+
+#include <vector>
+
+#include "memfront/symbolic/assembly_tree.hpp"
+#include "memfront/symbolic/tree_memory.hpp"
+
+namespace memfront {
+
+struct SubtreeOptions {
+  /// Split candidates until the largest subtree costs at most
+  /// total_flops / (nprocs * balance_factor).
+  double balance_factor = 2.0;
+  /// Memory refinement (the paper's Section 6 remark that "the definition
+  /// of the subtrees should be revised and take memory constraints into
+  /// account"): subtrees whose standalone stack peak exceeds
+  /// sequential_peak * memory_balance_factor / nprocs are split further;
+  /// oversized single nodes move to the upper part where type-2
+  /// parallelism can distribute them. 0 disables the refinement.
+  double memory_balance_factor = 4.0;
+};
+
+struct Subtrees {
+  std::vector<index_t> roots;         // subtree root node ids
+  std::vector<index_t> node_subtree;  // node -> subtree id, kNone = upper part
+  std::vector<index_t> proc;          // subtree -> processor (LPT mapping)
+  std::vector<count_t> flops;         // subtree -> total elimination flops
+  std::vector<count_t> peak;          // subtree -> standalone stack peak
+
+  bool in_subtree(index_t node) const {
+    return node_subtree[static_cast<std::size_t>(node)] != kNone;
+  }
+};
+
+Subtrees find_subtrees(const AssemblyTree& tree, const TreeMemory& memory,
+                       index_t nprocs, const SubtreeOptions& options = {});
+
+}  // namespace memfront

@@ -1,0 +1,70 @@
+#include "memfront/symbolic/tree_memory.hpp"
+
+#include <algorithm>
+
+#include "memfront/support/error.hpp"
+
+namespace memfront {
+namespace {
+
+/// Peak of node i given its children's peaks, with the given child order.
+count_t node_peak(const AssemblyTree& tree, index_t i,
+                  std::span<const index_t> children,
+                  std::span<const count_t> subtree_peak) {
+  count_t prefix_cb = 0;
+  count_t chain_cb = 0;
+  count_t peak = 0;
+  for (index_t c : children) {
+    peak = std::max(peak, prefix_cb + subtree_peak[static_cast<std::size_t>(c)]);
+    prefix_cb += tree.cb_entries(c);
+    if (tree.is_chain_link(c)) chain_cb += tree.cb_entries(c);
+  }
+  // All children CBs coexist just before assembly...
+  peak = std::max(peak, prefix_cb);
+  // ...then chain-child blocks are reused in place as the new front while
+  // the remaining CBs still coexist with it (Section 6 split chains).
+  peak = std::max(peak, prefix_cb - chain_cb + tree.front_entries(i));
+  return peak;
+}
+
+}  // namespace
+
+TreeMemory analyze_tree_memory(const AssemblyTree& tree) {
+  TreeMemory result;
+  result.subtree_peak.assign(static_cast<std::size_t>(tree.num_nodes()), 0);
+  for (index_t i = 0; i < tree.num_nodes(); ++i) {
+    result.subtree_peak[static_cast<std::size_t>(i)] =
+        node_peak(tree, i, tree.children(i), result.subtree_peak);
+  }
+  for (index_t r : tree.roots())
+    result.peak = std::max(result.peak,
+                           result.subtree_peak[static_cast<std::size_t>(r)]);
+  return result;
+}
+
+count_t reorder_children_liu(AssemblyTree& tree) {
+  std::vector<count_t> subtree_peak(static_cast<std::size_t>(tree.num_nodes()),
+                                    0);
+  count_t global = 0;
+  for (index_t i = 0; i < tree.num_nodes(); ++i) {
+    auto& children = tree.mutable_children(i);
+    // Liu: process children in decreasing (peak_c - cb_c).
+    std::stable_sort(children.begin(), children.end(),
+                     [&](index_t a, index_t b) {
+                       const count_t ka =
+                           subtree_peak[static_cast<std::size_t>(a)] -
+                           tree.cb_entries(a);
+                       const count_t kb =
+                           subtree_peak[static_cast<std::size_t>(b)] -
+                           tree.cb_entries(b);
+                       return ka > kb;
+                     });
+    subtree_peak[static_cast<std::size_t>(i)] =
+        node_peak(tree, i, children, subtree_peak);
+    if (tree.parent(i) == kNone)
+      global = std::max(global, subtree_peak[static_cast<std::size_t>(i)]);
+  }
+  return global;
+}
+
+}  // namespace memfront

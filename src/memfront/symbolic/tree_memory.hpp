@@ -1,0 +1,32 @@
+// Sequential stack-memory analysis of an assembly tree (Section 2).
+//
+// The classic working-stack model: processing a node first assembles its
+// front while the children's contribution blocks are still stacked, then
+// frees those blocks, eliminates, and stacks its own contribution block.
+// Child order matters; Liu's ordering [15] minimizes the peak.
+#pragma once
+
+#include <vector>
+
+#include "memfront/symbolic/assembly_tree.hpp"
+
+namespace memfront {
+
+struct TreeMemory {
+  /// Peak of the whole (sequential) factorization, entries.
+  count_t peak = 0;
+  /// Per node: stack peak of processing that node's subtree standalone,
+  /// with the tree's current child order. This is exactly the value a
+  /// processor broadcasts when it starts a subtree (Section 5.1).
+  std::vector<count_t> subtree_peak;
+};
+
+/// Computes peaks with the current child order.
+TreeMemory analyze_tree_memory(const AssemblyTree& tree);
+
+/// Reorders every node's children by decreasing (peak - cb), which is
+/// optimal for the working-stack model (Liu's theorem). Returns the new
+/// global peak.
+count_t reorder_children_liu(AssemblyTree& tree);
+
+}  // namespace memfront

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "memfront/core/slave_selection.hpp"
+#include "memfront/ordering/ordering.hpp"
+#include "memfront/sparse/generators.hpp"
+#include "memfront/sparse/permutation.hpp"
+#include "memfront/sparse/problems.hpp"
+#include "memfront/symbolic/assembly_tree.hpp"
+#include "memfront/symbolic/structure.hpp"
+
+namespace memfront {
+namespace {
+
+TEST(SizeModel, FrontAndCbEntries) {
+  EXPECT_EQ(front_entries(10, false), 100);
+  EXPECT_EQ(front_entries(10, true), 55);
+  EXPECT_EQ(cb_entries(4, false), 16);
+  EXPECT_EQ(cb_entries(4, true), 10);
+  EXPECT_EQ(factor_entries(10, 4, false), 100 - 36);
+  EXPECT_EQ(factor_entries(10, 4, true), 55 - 21);
+}
+
+TEST(SizeModel, MasterPlusSlavesCoverFront) {
+  for (index_t nfront : {10, 37, 128}) {
+    for (index_t npiv : {1, 5, nfront / 2}) {
+      for (bool sym : {false, true}) {
+        // Any row partition of the non-fully-summed part must tile the
+        // front exactly (Figure 3): master part + slave blocks = front.
+        const index_t rows = nfront - npiv;
+        for (index_t nblocks : {1, 2, 3}) {
+          if (rows < nblocks) continue;
+          count_t total = master_entries(nfront, npiv, sym);
+          index_t start = 0;
+          for (index_t b = 0; b < nblocks; ++b) {
+            const index_t r =
+                b + 1 == nblocks ? rows - start : rows / nblocks;
+            total += slave_block_entries(nfront, npiv, start, r, sym);
+            start += r;
+          }
+          EXPECT_EQ(total, front_entries(nfront, sym))
+              << "nfront=" << nfront << " npiv=" << npiv << " sym=" << sym
+              << " blocks=" << nblocks;
+        }
+      }
+    }
+  }
+}
+
+TEST(SizeModel, FlopsMatchLoopComputation) {
+  for (index_t nfront : {5, 20, 51}) {
+    for (index_t npiv : {1, 3, nfront}) {
+      if (npiv > nfront) continue;
+      count_t expect_unsym = 0, expect_sym = 0;
+      for (index_t k = 1; k <= npiv; ++k) {
+        const count_t m = nfront - k;
+        expect_unsym += m + 2 * m * m;
+        expect_sym += m + m * m;
+      }
+      EXPECT_EQ(elimination_flops(nfront, npiv, false), expect_unsym);
+      EXPECT_EQ(elimination_flops(nfront, npiv, true), expect_sym);
+    }
+  }
+}
+
+TEST(SizeModel, FullEliminationFlopsCubic) {
+  // Eliminating everything is a full dense factorization: ~2/3 n³.
+  const count_t f = elimination_flops(100, 100, false);
+  EXPECT_GT(f, 600000);
+  EXPECT_LT(f, 700000);
+}
+
+SymbolicResult figure1_symbolic() {
+  const CscMatrix m = figure1_matrix();
+  const Graph g = Graph::from_matrix(m);
+  // Natural order; amalgamation fully disabled (negative ratios) so the
+  // fundamental supernodes stay visible.
+  SymbolicOptions opt;
+  opt.symmetric = true;
+  opt.small_npiv = 0;
+  opt.fill_ratio = -1.0;
+  opt.fill_ratio_small = -1.0;
+  return build_assembly_tree(g, identity_permutation(6), opt);
+}
+
+TEST(AssemblyTree, Figure1FundamentalSupernodes) {
+  const SymbolicResult r = figure1_symbolic();
+  // The paper's Figure 1 groups {1,2}, {3,4} and the root {5,6}. The
+  // fundamental-supernode tree splits the root into the chain {5} -> {6}
+  // (6 has two children, so {5,6} is not fundamental); relaxed
+  // amalgamation merges it back (checked below).
+  ASSERT_EQ(r.tree.num_nodes(), 4);
+  // Two 2-pivot branch nodes with fronts of order 3.
+  int branch_nodes = 0;
+  for (index_t i = 0; i < r.tree.num_nodes(); ++i)
+    if (r.tree.npiv(i) == 2 && r.tree.nfront(i) == 3) ++branch_nodes;
+  EXPECT_EQ(branch_nodes, 2);
+  // Single root, no contribution block there.
+  ASSERT_EQ(r.tree.roots().size(), 1u);
+  EXPECT_EQ(r.tree.ncb(r.tree.roots()[0]), 0);
+}
+
+TEST(AssemblyTree, Figure1RelaxedAmalgamationMergesZeroFill) {
+  const CscMatrix m = figure1_matrix();
+  const Graph g = Graph::from_matrix(m);
+  SymbolicOptions opt;
+  opt.symmetric = true;
+  opt.small_npiv = 0;        // no small-child rule
+  opt.fill_ratio = 0.0;      // only zero-fill merges allowed
+  opt.fill_ratio_small = 0.0;
+  const SymbolicResult r = build_assembly_tree(g, identity_permutation(6),
+                                               opt);
+  // Zero-fill merging shrinks the fundamental 4-node tree.
+  EXPECT_LT(r.tree.num_nodes(), 4);
+  count_t pivots = 0;
+  for (index_t i = 0; i < r.tree.num_nodes(); ++i) pivots += r.tree.npiv(i);
+  EXPECT_EQ(pivots, 6);
+}
+
+class TreeInvariants
+    : public ::testing::TestWithParam<std::tuple<ProblemId, OrderingKind>> {};
+
+TEST_P(TreeInvariants, StructuralInvariantsHold) {
+  const auto [pid, kind] = GetParam();
+  const Problem problem = make_problem(pid, 0.35);
+  const Graph g = Graph::from_matrix(problem.matrix);
+  const auto order = compute_ordering(g, kind, 7);
+  SymbolicOptions opt;
+  opt.symmetric = problem.symmetric;
+  const SymbolicResult r = build_assembly_tree(g, order, opt);
+  const index_t n = g.num_vertices();
+
+  EXPECT_TRUE(is_permutation(r.perm));
+  EXPECT_TRUE(r.tree.is_postordered());
+  count_t piv_total = 0;
+  for (index_t i = 0; i < r.tree.num_nodes(); ++i) {
+    piv_total += r.tree.npiv(i);
+    EXPECT_GE(r.tree.npiv(i), 1);
+    EXPECT_GE(r.tree.nfront(i), r.tree.npiv(i));
+    if (r.tree.parent(i) == kNone) {
+      EXPECT_EQ(r.tree.ncb(i), 0) << "roots have no contribution block";
+    } else {
+      // The child's contribution fits inside the parent's front.
+      EXPECT_LE(r.tree.ncb(i), r.tree.nfront(r.tree.parent(i)));
+    }
+  }
+  EXPECT_EQ(piv_total, n);
+
+  // Structure agrees with the size model node by node (this is the
+  // strongest check: counts + amalgamation are exact).
+  const FrontalStructure structure =
+      compute_structure(r.tree, g, r.perm);
+  for (index_t i = 0; i < r.tree.num_nodes(); ++i) {
+    EXPECT_EQ(static_cast<index_t>(structure.rows(i).size()),
+              r.tree.nfront(i));
+    // The first npiv rows are exactly the pivot columns.
+    for (index_t k = 0; k < r.tree.npiv(i); ++k)
+      EXPECT_EQ(structure.rows(i)[static_cast<std::size_t>(k)],
+                r.tree.first_col(i) + k);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProblemsTimesOrderings, TreeInvariants,
+    ::testing::Combine(::testing::Values(ProblemId::kMsdoor,
+                                         ProblemId::kTwotone,
+                                         ProblemId::kGupta3),
+                       ::testing::Values(OrderingKind::kAmd,
+                                         OrderingKind::kAmf,
+                                         OrderingKind::kNestedDissection,
+                                         OrderingKind::kPord)),
+    [](const auto& info) {
+      return problem_name(std::get<0>(info.param)) + std::string("_") +
+             ordering_name(std::get<1>(info.param));
+    });
+
+TEST(Amalgamation, ReducesNodeCount) {
+  const Problem p = make_problem(ProblemId::kMsdoor, 0.3);
+  const Graph g = Graph::from_matrix(p.matrix);
+  const auto order = amd_order(g);
+  SymbolicOptions none;
+  none.symmetric = true;
+  none.small_npiv = 0;
+  none.fill_ratio = 0.0;
+  none.fill_ratio_small = 0.0;
+  SymbolicOptions relaxed;
+  relaxed.symmetric = true;  // defaults: small_npiv=8, ratios on
+  const auto strict = build_assembly_tree(g, order, none);
+  const auto loose = build_assembly_tree(g, order, relaxed);
+  EXPECT_LT(loose.tree.num_nodes(), strict.tree.num_nodes());
+  // Total pivots unchanged.
+  count_t a = 0, b = 0;
+  for (index_t i = 0; i < strict.tree.num_nodes(); ++i) a += strict.tree.npiv(i);
+  for (index_t i = 0; i < loose.tree.num_nodes(); ++i) b += loose.tree.npiv(i);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Amalgamation, FactorEntriesOnlyGrow) {
+  // Merging can only add explicit zeros, never remove factor entries.
+  const Problem p = make_problem(ProblemId::kXenon2, 0.3);
+  const Graph g = Graph::from_matrix(p.matrix);
+  const auto order = amd_order(g);
+  SymbolicOptions none;
+  none.small_npiv = 0;
+  none.fill_ratio = 0.0;
+  none.fill_ratio_small = 0.0;
+  const auto strict = build_assembly_tree(g, order, none);
+  const auto loose = build_assembly_tree(g, order, SymbolicOptions{});
+  EXPECT_GE(loose.tree.total_factor_entries(),
+            strict.tree.total_factor_entries());
+  // But not catastrophically (the fill ratio bounds it).
+  EXPECT_LT(static_cast<double>(loose.tree.total_factor_entries()),
+            1.8 * static_cast<double>(strict.tree.total_factor_entries()));
+}
+
+TEST(AssemblyTree, NodeOfColMapsPivots) {
+  const SymbolicResult r = figure1_symbolic();
+  for (index_t i = 0; i < r.tree.num_nodes(); ++i)
+    for (index_t c = r.tree.first_col(i);
+         c < r.tree.first_col(i) + r.tree.npiv(i); ++c)
+      EXPECT_EQ(r.tree.node_of_col(c), i);
+}
+
+TEST(AssemblyTree, RejectsBadTrees) {
+  using Node = AssemblyTree::Node;
+  // Parent before child violates postorder.
+  std::vector<Node> bad{{.parent = kNone, .npiv = 1, .nfront = 1, .first_col = 0},
+                        {.parent = 0, .npiv = 1, .nfront = 1, .first_col = 1}};
+  EXPECT_THROW(AssemblyTree(std::move(bad), false, 2), std::logic_error);
+  // Overlapping pivot ranges.
+  std::vector<Node> overlap{
+      {.parent = 1, .npiv = 2, .nfront = 2, .first_col = 0},
+      {.parent = kNone, .npiv = 1, .nfront = 1, .first_col = 1}};
+  EXPECT_THROW(AssemblyTree(std::move(overlap), false, 2), std::logic_error);
+}
+
+}  // namespace
+}  // namespace memfront

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "memfront/sparse/coo.hpp"
+#include "memfront/sparse/generators.hpp"
+#include "memfront/support/rng.hpp"
+#include "memfront/symbolic/col_counts.hpp"
+#include "memfront/symbolic/etree.hpp"
+
+namespace memfront {
+namespace {
+
+Graph random_connected_graph(index_t n, count_t extra_edges,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  CooMatrix coo(n, n);
+  for (index_t i = 0; i < n; ++i) coo.add(i, i, 1.0);
+  for (index_t i = 0; i + 1 < n; ++i)
+    coo.add_symmetric(i, i + 1, 1.0);  // path keeps it connected
+  for (count_t e = 0; e < extra_edges; ++e) {
+    const auto u = static_cast<index_t>(rng.below(n));
+    const auto v = static_cast<index_t>(rng.below(n));
+    if (u != v) coo.add_symmetric(u, v, 1.0);
+  }
+  return Graph::from_matrix(coo.to_csc());
+}
+
+/// Reference: full symbolic factorization with explicit set union.
+/// Returns per-column factor structures (including the diagonal).
+std::vector<std::set<index_t>> naive_symbolic(const Graph& g) {
+  const index_t n = g.num_vertices();
+  std::vector<std::set<index_t>> cols(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    cols[static_cast<std::size_t>(j)].insert(j);
+    for (index_t w : g.neighbors(j))
+      if (w > j) cols[static_cast<std::size_t>(j)].insert(w);
+  }
+  for (index_t j = 0; j < n; ++j) {
+    const auto& cj = cols[static_cast<std::size_t>(j)];
+    // Fill: the column structure minus the pivot propagates to the first
+    // off-diagonal row (the etree parent).
+    auto it = cj.upper_bound(j);
+    if (it == cj.end()) continue;
+    const index_t parent = *it;
+    for (index_t r : cj)
+      if (r > parent) cols[static_cast<std::size_t>(parent)].insert(r);
+  }
+  return cols;
+}
+
+TEST(Etree, Figure1Example) {
+  const Graph g = Graph::from_matrix(figure1_matrix());
+  const auto parent = elimination_tree(g);
+  // Pattern: (0,1),(0,4),(1,4) | (2,3),(2,5),(3,5) | (4,5).
+  EXPECT_EQ(parent[0], 1);
+  EXPECT_EQ(parent[1], 4);
+  EXPECT_EQ(parent[2], 3);
+  EXPECT_EQ(parent[3], 5);
+  EXPECT_EQ(parent[4], 5);
+  EXPECT_EQ(parent[5], kNone);
+}
+
+TEST(Etree, ParentMatchesNaiveSymbolic) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Graph g = random_connected_graph(40, 60, seed);
+    const auto parent = elimination_tree(g);
+    const auto cols = naive_symbolic(g);
+    for (index_t j = 0; j < 40; ++j) {
+      auto it = cols[static_cast<std::size_t>(j)].upper_bound(j);
+      const index_t expected =
+          it == cols[static_cast<std::size_t>(j)].end() ? kNone : *it;
+      EXPECT_EQ(parent[static_cast<std::size_t>(j)], expected)
+          << "seed " << seed << " column " << j;
+    }
+  }
+}
+
+TEST(Etree, ParentAlwaysLater) {
+  const Graph g = random_connected_graph(100, 150, 3);
+  const auto parent = elimination_tree(g);
+  for (index_t j = 0; j < 100; ++j)
+    if (parent[static_cast<std::size_t>(j)] != kNone)
+      EXPECT_GT(parent[static_cast<std::size_t>(j)], j);
+}
+
+TEST(Postorder, IsChildrenFirstPermutation) {
+  const Graph g = random_connected_graph(60, 80, 4);
+  const auto parent = elimination_tree(g);
+  const auto post = postorder(parent);
+  ASSERT_EQ(post.size(), 60u);
+  // Each node appears after all its children.
+  std::vector<index_t> position(60);
+  for (index_t k = 0; k < 60; ++k)
+    position[static_cast<std::size_t>(post[k])] = k;
+  for (index_t j = 0; j < 60; ++j)
+    if (parent[static_cast<std::size_t>(j)] != kNone)
+      EXPECT_LT(position[static_cast<std::size_t>(j)],
+                position[static_cast<std::size_t>(
+                    parent[static_cast<std::size_t>(j)])]);
+}
+
+TEST(Postorder, HandlesForests) {
+  // parent array of two independent chains: 0->1, 2->3.
+  const std::vector<index_t> parent{1, kNone, 3, kNone};
+  const auto post = postorder(parent);
+  EXPECT_EQ(post, (std::vector<index_t>{0, 1, 2, 3}));
+}
+
+TEST(RelabelTree, ConsistentWithPostorder) {
+  const Graph g = random_connected_graph(50, 70, 5);
+  const auto parent = elimination_tree(g);
+  const auto post = postorder(parent);
+  const auto relabeled = relabel_tree(parent, post);
+  // In the relabeled tree every parent index exceeds the child index.
+  for (index_t k = 0; k < 50; ++k)
+    if (relabeled[static_cast<std::size_t>(k)] != kNone)
+      EXPECT_GT(relabeled[static_cast<std::size_t>(k)], k);
+}
+
+TEST(ColCounts, MatchNaiveSymbolic) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Graph g = random_connected_graph(35, 50, seed * 11);
+    const auto parent = elimination_tree(g);
+    const auto counts = column_counts(g, parent);
+    const auto cols = naive_symbolic(g);
+    for (index_t j = 0; j < 35; ++j)
+      EXPECT_EQ(counts[static_cast<std::size_t>(j)],
+                static_cast<index_t>(cols[static_cast<std::size_t>(j)].size()))
+          << "seed " << seed << " column " << j;
+  }
+}
+
+TEST(ColCounts, DenseLastColumn) {
+  // A clique: every column j has n-j entries.
+  CooMatrix coo(8, 8);
+  for (index_t i = 0; i < 8; ++i)
+    for (index_t j = 0; j <= i; ++j) coo.add_symmetric(i, j, 1.0);
+  const Graph g = Graph::from_matrix(coo.to_csc());
+  const auto counts = column_counts(g, elimination_tree(g));
+  for (index_t j = 0; j < 8; ++j)
+    EXPECT_EQ(counts[static_cast<std::size_t>(j)], 8 - j);
+}
+
+TEST(ColCounts, PathHasTwoPerColumn) {
+  CooMatrix coo(10, 10);
+  for (index_t i = 0; i < 10; ++i) coo.add(i, i, 1.0);
+  for (index_t i = 0; i + 1 < 10; ++i) coo.add_symmetric(i, i + 1, 1.0);
+  const Graph g = Graph::from_matrix(coo.to_csc());
+  const auto counts = column_counts(g, elimination_tree(g));
+  for (index_t j = 0; j + 1 < 10; ++j)
+    EXPECT_EQ(counts[static_cast<std::size_t>(j)], 2);
+  EXPECT_EQ(counts[9], 1);
+}
+
+}  // namespace
+}  // namespace memfront

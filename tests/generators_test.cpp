@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "memfront/sparse/generators.hpp"
+#include "memfront/sparse/problems.hpp"
+
+namespace memfront {
+namespace {
+
+/// Every generated matrix must be usable unpivoted: strict (or equal)
+/// row-diagonal dominance.
+void expect_diagonally_dominant(const CscMatrix& m) {
+  std::vector<double> offdiag(static_cast<std::size_t>(m.nrows()), 0.0);
+  std::vector<double> diag(static_cast<std::size_t>(m.nrows()), 0.0);
+  for (index_t j = 0; j < m.ncols(); ++j) {
+    auto rows = m.column(j);
+    auto vals = m.column_values(j);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      if (rows[k] == j)
+        diag[rows[k]] = std::abs(vals[k]);
+      else
+        offdiag[rows[k]] += std::abs(vals[k]);
+    }
+  }
+  for (index_t i = 0; i < m.nrows(); ++i)
+    EXPECT_GT(diag[static_cast<std::size_t>(i)],
+              offdiag[static_cast<std::size_t>(i)] - 1e-12)
+        << "row " << i;
+}
+
+TEST(GridMatrix, SizesAndStencil2D) {
+  const CscMatrix m = grid_matrix({.nx = 5, .ny = 4, .nz = 1, .dof = 1,
+                                   .wide_stencil = false,
+                                   .symmetric_values = true, .seed = 1});
+  EXPECT_EQ(m.nrows(), 20);
+  // 5-point stencil: interior points have 4 neighbours + diagonal.
+  count_t max_col = 0;
+  for (index_t j = 0; j < m.ncols(); ++j)
+    max_col = std::max<count_t>(max_col,
+                                static_cast<count_t>(m.column(j).size()));
+  EXPECT_EQ(max_col, 5);
+  EXPECT_TRUE(m.pattern_symmetric());
+}
+
+TEST(GridMatrix, WideStencil3D) {
+  const CscMatrix m = grid_matrix({.nx = 4, .ny = 4, .nz = 4, .dof = 1,
+                                   .wide_stencil = true,
+                                   .symmetric_values = true, .seed = 2});
+  EXPECT_EQ(m.nrows(), 64);
+  // 27-point stencil: interior points connect to all 26 neighbours.
+  count_t max_col = 0;
+  for (index_t j = 0; j < m.ncols(); ++j)
+    max_col = std::max<count_t>(max_col,
+                                static_cast<count_t>(m.column(j).size()));
+  EXPECT_EQ(max_col, 27);
+}
+
+TEST(GridMatrix, DofBlocksExpandPattern) {
+  const CscMatrix m = grid_matrix({.nx = 3, .ny = 3, .nz = 1, .dof = 3,
+                                   .wide_stencil = true,
+                                   .symmetric_values = true, .seed = 3});
+  EXPECT_EQ(m.nrows(), 27);
+  // Interior point: 9 stencil points x 3 dof = 27 entries per column.
+  count_t max_col = 0;
+  for (index_t j = 0; j < m.ncols(); ++j)
+    max_col = std::max<count_t>(max_col,
+                                static_cast<count_t>(m.column(j).size()));
+  EXPECT_EQ(max_col, 27);
+}
+
+TEST(GridMatrix, UnsymmetricValuesSymmetricPattern) {
+  const CscMatrix m = grid_matrix({.nx = 6, .ny = 6, .nz = 2, .dof = 1,
+                                   .wide_stencil = true,
+                                   .symmetric_values = false, .seed = 4});
+  EXPECT_TRUE(m.pattern_symmetric());
+  expect_diagonally_dominant(m);
+}
+
+TEST(GridMatrix, DiagonalDominance) {
+  expect_diagonally_dominant(grid_matrix({.nx = 5, .ny = 5, .nz = 3,
+                                          .dof = 2, .wide_stencil = true,
+                                          .symmetric_values = true,
+                                          .seed = 5}));
+}
+
+TEST(LpNormalEquations, DenseRowsAppear) {
+  const CscMatrix m = lp_normal_equations({.nrows = 300, .ncols = 900,
+                                           .col_degree = 3, .heavy_cols = 4,
+                                           .heavy_degree = 60, .seed = 6});
+  EXPECT_EQ(m.nrows(), 300);
+  EXPECT_TRUE(m.pattern_symmetric());
+  count_t max_col = 0;
+  for (index_t j = 0; j < m.ncols(); ++j)
+    max_col = std::max<count_t>(max_col,
+                                static_cast<count_t>(m.column(j).size()));
+  // Heavy columns of A produce near-dense rows in A·Aᵀ.
+  EXPECT_GT(max_col, 40);
+  expect_diagonally_dominant(m);
+}
+
+TEST(CircuitMatrix, HarmonicStructure) {
+  const CscMatrix m = circuit_matrix({.base_nodes = 200, .harmonics = 4,
+                                      .avg_degree = 4, .nonlinear_frac = 0.1,
+                                      .unsym_frac = 0.3, .seed = 7});
+  EXPECT_EQ(m.nrows(), 800);
+  expect_diagonally_dominant(m);
+  // Unsymmetric by construction.
+  EXPECT_FALSE(m.pattern_symmetric());
+  // Harmonic coupling: some entry far off the block diagonal.
+  bool far = false;
+  for (index_t j = 0; j < m.ncols() && !far; ++j)
+    for (index_t r : m.column(j))
+      if (std::abs(r - j) >= 200) {
+        far = true;
+        break;
+      }
+  EXPECT_TRUE(far);
+}
+
+TEST(Figure1Matrix, MatchesPaperStructure) {
+  const CscMatrix m = figure1_matrix();
+  EXPECT_EQ(m.nrows(), 6);
+  EXPECT_TRUE(m.pattern_symmetric());
+  // Variables (1,2) couple to 5; (3,4) couple to 6; (5,6) couple.
+  auto has = [&](index_t r, index_t c) {
+    auto col = m.column(c);
+    return std::find(col.begin(), col.end(), r) != col.end();
+  };
+  EXPECT_TRUE(has(0, 1));
+  EXPECT_TRUE(has(0, 4));
+  EXPECT_TRUE(has(2, 5));
+  EXPECT_TRUE(has(4, 5));
+  EXPECT_FALSE(has(0, 2));  // the two branches are independent
+  EXPECT_FALSE(has(1, 3));
+}
+
+class ProblemsTest : public ::testing::TestWithParam<ProblemId> {};
+
+TEST_P(ProblemsTest, BuildsConsistently) {
+  const Problem p = make_problem(GetParam(), 0.5);
+  EXPECT_FALSE(p.name.empty());
+  EXPECT_FALSE(p.description.empty());
+  EXPECT_GT(p.matrix.nrows(), 10);
+  EXPECT_EQ(p.matrix.nrows(), p.matrix.ncols());
+  EXPECT_GT(p.matrix.nnz(), p.matrix.nrows());  // more than the diagonal
+  expect_diagonally_dominant(p.matrix);
+  if (p.symmetric) {
+    EXPECT_TRUE(p.matrix.pattern_symmetric());
+  }
+}
+
+TEST_P(ProblemsTest, ScaleGrowsProblem) {
+  const Problem small = make_problem(GetParam(), 0.4);
+  const Problem large = make_problem(GetParam(), 0.7);
+  EXPECT_LT(small.matrix.nrows(), large.matrix.nrows());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProblems, ProblemsTest,
+                         ::testing::ValuesIn(all_problem_ids()),
+                         [](const auto& info) {
+                           return problem_name(info.param);
+                         });
+
+TEST(Problems, TypeColumnMatchesTable1) {
+  // Table 1: BMWCRA_1, GUPTA3, MSDOOR, SHIP_003 are SYM; the rest UNS.
+  EXPECT_TRUE(make_problem(ProblemId::kBmwCra1, 0.3).symmetric);
+  EXPECT_TRUE(make_problem(ProblemId::kGupta3, 0.3).symmetric);
+  EXPECT_TRUE(make_problem(ProblemId::kMsdoor, 0.3).symmetric);
+  EXPECT_TRUE(make_problem(ProblemId::kShip003, 0.3).symmetric);
+  EXPECT_FALSE(make_problem(ProblemId::kPre2, 0.3).symmetric);
+  EXPECT_FALSE(make_problem(ProblemId::kTwotone, 0.3).symmetric);
+  EXPECT_FALSE(make_problem(ProblemId::kUltrasound3, 0.3).symmetric);
+  EXPECT_FALSE(make_problem(ProblemId::kXenon2, 0.3).symmetric);
+}
+
+TEST(Problems, UnsymmetricListMatchesTables3And5) {
+  const auto ids = unsymmetric_problem_ids();
+  ASSERT_EQ(ids.size(), 4u);
+  EXPECT_EQ(problem_name(ids[0]), "PRE2");
+  EXPECT_EQ(problem_name(ids[1]), "TWOTONE");
+  EXPECT_EQ(problem_name(ids[2]), "ULTRASOUND3");
+  EXPECT_EQ(problem_name(ids[3]), "XENON2");
+}
+
+}  // namespace
+}  // namespace memfront

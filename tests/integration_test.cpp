@@ -1,0 +1,137 @@
+// End-to-end tests exercising the same pipelines as the paper's tables.
+#include <gtest/gtest.h>
+
+#include "memfront/core/experiment.hpp"
+#include "memfront/solver/multifrontal.hpp"
+#include "memfront/sparse/generators.hpp"
+#include "memfront/sparse/problems.hpp"
+#include "memfront/support/rng.hpp"
+
+namespace memfront {
+namespace {
+
+TEST(Integration, Figure1EndToEnd) {
+  // The 6x6 example: analyse, factor, solve, and simulate on 2 procs.
+  const CscMatrix a = figure1_matrix();
+  AnalysisOptions aopt;
+  aopt.symmetric = true;
+  aopt.ordering = OrderingKind::kNatural;
+  MultifrontalSolver solver(a, aopt);
+  solver.factorize();
+  const std::vector<double> b(6, 1.0);
+  const std::vector<double> x = solver.solve(b);
+  EXPECT_LT(a.residual_inf(x, b), 1e-10);
+
+  ExperimentSetup setup;
+  setup.nprocs = 2;
+  setup.symmetric = true;
+  setup.ordering = OrderingKind::kNatural;
+  const ExperimentOutcome o = run_experiment(a, setup);
+  EXPECT_GT(o.max_stack_peak, 0);
+}
+
+TEST(Integration, Table2CellShape) {
+  // One cell of Table 2: same matrix/ordering, workload vs memory
+  // strategy, 32 processors. Both must complete; the comparison is the
+  // paper's headline number.
+  const Problem p = make_problem(ProblemId::kXenon2, 0.4);
+  ExperimentSetup base;
+  base.nprocs = 32;
+  base.symmetric = p.symmetric;
+  base.ordering = OrderingKind::kAmd;
+  ExperimentSetup mem = base;
+  mem.slave_strategy = SlaveStrategy::kMemoryImproved;
+  mem.task_strategy = TaskStrategy::kMemoryAware;
+  const StrategyComparison cmp = compare_strategies(p.matrix, base, mem);
+  EXPECT_GT(cmp.baseline_peak, 0);
+  EXPECT_GT(cmp.memory_peak, 0);
+  EXPECT_GT(cmp.percent_decrease, -100.0);
+  EXPECT_LT(cmp.percent_decrease, 100.0);
+}
+
+TEST(Integration, MemoryStrategyHelpsOnAverage) {
+  // Across a small grid of problems/orderings the memory-based strategy
+  // should reduce the average max peak (the paper's overall conclusion).
+  double total_gain = 0.0;
+  int cells = 0;
+  for (ProblemId pid : {ProblemId::kXenon2, ProblemId::kTwotone}) {
+    const Problem p = make_problem(pid, 0.35);
+    for (OrderingKind kind :
+         {OrderingKind::kAmd, OrderingKind::kNestedDissection}) {
+      ExperimentSetup base;
+      base.nprocs = 16;
+      base.symmetric = p.symmetric;
+      base.ordering = kind;
+      ExperimentSetup mem = base;
+      mem.slave_strategy = SlaveStrategy::kMemoryImproved;
+      mem.task_strategy = TaskStrategy::kMemoryAware;
+      const StrategyComparison cmp = compare_strategies(p.matrix, base, mem);
+      total_gain += cmp.percent_decrease;
+      ++cells;
+    }
+  }
+  EXPECT_GT(total_gain / cells, 0.0);
+}
+
+TEST(Integration, SequentialPeakIndependentOfProcessorCount) {
+  const Problem p = make_problem(ProblemId::kMsdoor, 0.3);
+  ExperimentSetup s8;
+  s8.nprocs = 8;
+  s8.symmetric = p.symmetric;
+  ExperimentSetup s16 = s8;
+  s16.nprocs = 16;
+  const ExperimentOutcome a = run_experiment(p.matrix, s8);
+  const ExperimentOutcome b = run_experiment(p.matrix, s16);
+  EXPECT_EQ(a.sequential_peak, b.sequential_peak);
+}
+
+TEST(Integration, SplittingUnlocksMemoryGains) {
+  // Table 4's mechanism: with a huge type-2 master the memory strategy is
+  // limited; splitting reduces (or at least never explodes) its peak.
+  const Problem p = make_problem(ProblemId::kPre2, 0.35);
+  ExperimentSetup mem;
+  mem.nprocs = 32;
+  mem.symmetric = p.symmetric;
+  mem.ordering = OrderingKind::kAmf;
+  mem.slave_strategy = SlaveStrategy::kMemoryImproved;
+  ExperimentSetup mem_split = mem;
+  mem_split.split_threshold = 50'000;
+  const ExperimentOutcome no_split = run_experiment(p.matrix, mem);
+  const ExperimentOutcome split = run_experiment(p.matrix, mem_split);
+  EXPECT_GT(no_split.max_stack_peak, 0);
+  EXPECT_GT(split.max_stack_peak, 0);
+  // Splitting may add CB traffic but must not blow the peak up.
+  EXPECT_LT(static_cast<double>(split.max_stack_peak),
+            1.6 * static_cast<double>(no_split.max_stack_peak));
+}
+
+TEST(Integration, MakespanLossIsBounded) {
+  // Table 6: the memory strategy costs time but not catastrophically.
+  const Problem p = make_problem(ProblemId::kShip003, 0.3);
+  ExperimentSetup base;
+  base.nprocs = 16;
+  base.symmetric = p.symmetric;
+  ExperimentSetup mem = base;
+  mem.slave_strategy = SlaveStrategy::kMemoryImproved;
+  mem.task_strategy = TaskStrategy::kMemoryAware;
+  const StrategyComparison cmp = compare_strategies(p.matrix, base, mem);
+  EXPECT_LT(cmp.memory_makespan, 4.0 * cmp.baseline_makespan);
+}
+
+TEST(Integration, PreparedExperimentReusable) {
+  const Problem p = make_problem(ProblemId::kTwotone, 0.3);
+  ExperimentSetup setup;
+  setup.nprocs = 8;
+  setup.symmetric = p.symmetric;
+  const PreparedExperiment prepared = prepare_experiment(p.matrix, setup);
+  ExperimentSetup mem = setup;
+  mem.slave_strategy = SlaveStrategy::kMemory;
+  const ExperimentOutcome a = run_prepared(prepared, setup);
+  const ExperimentOutcome b = run_prepared(prepared, mem);
+  const ExperimentOutcome a2 = run_prepared(prepared, setup);
+  EXPECT_EQ(a.max_stack_peak, a2.max_stack_peak);  // pure function
+  EXPECT_GT(b.max_stack_peak, 0);
+}
+
+}  // namespace
+}  // namespace memfront

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "memfront/core/experiment.hpp"
+#include "memfront/sparse/problems.hpp"
+#include "memfront/support/stats.hpp"
+
+namespace memfront {
+namespace {
+
+ExperimentSetup basic_setup(const Problem& p, index_t nprocs) {
+  ExperimentSetup setup;
+  setup.nprocs = nprocs;
+  setup.symmetric = p.symmetric;
+  setup.ordering = OrderingKind::kNestedDissection;
+  return setup;
+}
+
+class SingleProcParity
+    : public ::testing::TestWithParam<std::tuple<ProblemId, OrderingKind>> {};
+
+TEST_P(SingleProcParity, MatchesSequentialAnalysisPeak) {
+  // On one processor the simulator must execute the exact Liu-ordered
+  // depth-first traversal, so its measured peak equals the analysis peak.
+  const auto [pid, kind] = GetParam();
+  const Problem p = make_problem(pid, 0.25);
+  ExperimentSetup setup = basic_setup(p, 1);
+  setup.ordering = kind;
+  const ExperimentOutcome outcome = run_experiment(p.matrix, setup);
+  EXPECT_EQ(outcome.max_stack_peak, outcome.sequential_peak)
+      << problem_name(pid) << "/" << ordering_name(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProblemsTimesOrderings, SingleProcParity,
+    ::testing::Combine(::testing::Values(ProblemId::kMsdoor,
+                                         ProblemId::kTwotone,
+                                         ProblemId::kXenon2),
+                       ::testing::Values(OrderingKind::kAmd,
+                                         OrderingKind::kAmf,
+                                         OrderingKind::kNestedDissection)),
+    [](const auto& info) {
+      return problem_name(std::get<0>(info.param)) + std::string("_") +
+             ordering_name(std::get<1>(info.param));
+    });
+
+TEST(ParallelSim, DeterministicAcrossRuns) {
+  const Problem p = make_problem(ProblemId::kXenon2, 0.3);
+  const ExperimentSetup setup = basic_setup(p, 16);
+  const ExperimentOutcome a = run_experiment(p.matrix, setup);
+  const ExperimentOutcome b = run_experiment(p.matrix, setup);
+  EXPECT_EQ(a.max_stack_peak, b.max_stack_peak);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.parallel.messages, b.parallel.messages);
+}
+
+class AllStrategiesComplete
+    : public ::testing::TestWithParam<
+          std::tuple<SlaveStrategy, TaskStrategy, ProblemId>> {};
+
+TEST_P(AllStrategiesComplete, RunsToCompletion) {
+  const auto [slave, task, pid] = GetParam();
+  const Problem p = make_problem(pid, 0.3);
+  ExperimentSetup setup = basic_setup(p, 8);
+  setup.slave_strategy = slave;
+  setup.task_strategy = task;
+  const ExperimentOutcome o = run_experiment(p.matrix, setup);
+  EXPECT_GT(o.max_stack_peak, 0);
+  EXPECT_GT(o.makespan, 0.0);
+  // Work conservation: factor entries across processors equal the tree's.
+  count_t factors = 0;
+  for (const auto& pr : o.parallel.procs) factors += pr.factor_entries;
+  PreparedExperiment prepared = prepare_experiment(p.matrix, setup);
+  EXPECT_EQ(factors, prepared.analysis.tree.total_factor_entries());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AllStrategiesComplete,
+    ::testing::Combine(::testing::Values(SlaveStrategy::kWorkload,
+                                         SlaveStrategy::kMemory,
+                                         SlaveStrategy::kMemoryImproved),
+                       ::testing::Values(TaskStrategy::kLifo,
+                                         TaskStrategy::kMemoryAware),
+                       ::testing::Values(ProblemId::kTwotone,
+                                         ProblemId::kMsdoor)),
+    [](const auto& info) {
+      std::string name = slave_strategy_name(std::get<0>(info.param));
+      name += "_";
+      name += task_strategy_name(std::get<1>(info.param));
+      name += "_";
+      name += problem_name(std::get<2>(info.param));
+      for (char& c : name)
+        if (c == '+' || c == '-') c = '_';
+      return name;
+    });
+
+TEST(ParallelSim, Type2NodesExerciseSlaveSelection) {
+  const Problem p = make_problem(ProblemId::kBmwCra1, 0.4);
+  ExperimentSetup setup = basic_setup(p, 16);
+  const ExperimentOutcome o = run_experiment(p.matrix, setup);
+  EXPECT_GT(o.parallel.type2_nodes_run, 0);
+  EXPECT_GT(o.parallel.messages, 0);
+  index_t slave_tasks = 0;
+  for (const auto& pr : o.parallel.procs) slave_tasks += pr.slave_tasks_run;
+  EXPECT_GT(slave_tasks, 0);
+}
+
+TEST(ParallelSim, MoreProcessorsFasterMakespan) {
+  const Problem p = make_problem(ProblemId::kBmwCra1, 0.4);
+  const ExperimentOutcome p1 = run_experiment(p.matrix, basic_setup(p, 1));
+  const ExperimentOutcome p8 = run_experiment(p.matrix, basic_setup(p, 8));
+  EXPECT_LT(p8.makespan, p1.makespan);
+}
+
+TEST(ParallelSim, WorkIsSpreadAcrossProcessors) {
+  const Problem p = make_problem(ProblemId::kXenon2, 0.4);
+  const ExperimentOutcome o = run_experiment(p.matrix, basic_setup(p, 8));
+  index_t active = 0;
+  for (const auto& pr : o.parallel.procs)
+    if (pr.flops_done > 0) ++active;
+  EXPECT_EQ(active, 8);
+}
+
+TEST(ParallelSim, TraceRecordsMemoryEvolution) {
+  const Problem p = make_problem(ProblemId::kTwotone, 0.25);
+  Trace trace;
+  run_experiment(p.matrix, basic_setup(p, 4), &trace);
+  EXPECT_GT(trace.samples().size(), 100u);
+  // Samples are time-monotone.
+  for (std::size_t k = 1; k < trace.samples().size(); ++k)
+    EXPECT_GE(trace.samples()[k].time, trace.samples()[k - 1].time);
+  // Every processor appears.
+  std::vector<bool> seen(4, false);
+  for (const auto& s : trace.samples())
+    seen[static_cast<std::size_t>(s.proc)] = true;
+  for (bool b : seen) EXPECT_TRUE(b);
+}
+
+TEST(ParallelSim, PeakNeverBelowBiggestActivation) {
+  // Lower bound sanity: some node's activation memory must be reached.
+  const Problem p = make_problem(ProblemId::kUltrasound3, 0.3);
+  ExperimentSetup setup = basic_setup(p, 8);
+  const PreparedExperiment prepared = prepare_experiment(p.matrix, setup);
+  count_t biggest = 0;
+  for (index_t i = 0; i < prepared.analysis.tree.num_nodes(); ++i) {
+    if (prepared.mapping.type[static_cast<std::size_t>(i)] == NodeType::kType1)
+      biggest = std::max(biggest, prepared.analysis.tree.front_entries(i));
+  }
+  const ExperimentOutcome o = run_prepared(prepared, setup);
+  EXPECT_GE(o.max_stack_peak, biggest);
+}
+
+TEST(ParallelSim, StalenessMattersForMemoryStrategy) {
+  // With an enormous information delay the memory strategy degrades (it
+  // sees ancient snapshots, Figure 5). Any single instance is noisy, so
+  // the property is asserted on the aggregate peak over several cases.
+  double fresh_total = 0.0, stale_total = 0.0;
+  for (ProblemId pid : {ProblemId::kXenon2, ProblemId::kUltrasound3,
+                        ProblemId::kMsdoor}) {
+    const Problem p = make_problem(pid, 0.35);
+    for (OrderingKind kind :
+         {OrderingKind::kNestedDissection, OrderingKind::kAmd}) {
+      ExperimentSetup fresh = basic_setup(p, 16);
+      fresh.ordering = kind;
+      fresh.slave_strategy = SlaveStrategy::kMemory;
+      fresh.machine.info_delay = 0.0;
+      ExperimentSetup stale = fresh;
+      stale.machine.info_delay = 1e9;  // effectively time-zero knowledge
+      fresh_total +=
+          static_cast<double>(run_experiment(p.matrix, fresh).max_stack_peak);
+      stale_total +=
+          static_cast<double>(run_experiment(p.matrix, stale).max_stack_peak);
+    }
+  }
+  EXPECT_LE(fresh_total, stale_total * 1.02);
+}
+
+TEST(ParallelSim, SplitTreeRunsAndKeepsWorkConserved) {
+  const Problem p = make_problem(ProblemId::kPre2, 0.3);
+  ExperimentSetup setup = basic_setup(p, 16);
+  setup.ordering = OrderingKind::kAmf;
+  setup.split_threshold = 30'000;
+  const PreparedExperiment prepared = prepare_experiment(p.matrix, setup);
+  EXPECT_GT(prepared.analysis.num_split_nodes, 0);
+  const ExperimentOutcome o = run_prepared(prepared, setup);
+  count_t factors = 0;
+  for (const auto& pr : o.parallel.procs) factors += pr.factor_entries;
+  EXPECT_EQ(factors, prepared.analysis.tree.total_factor_entries());
+}
+
+TEST(ParallelSim, BusyTimeBoundedByMakespan) {
+  const Problem p = make_problem(ProblemId::kMsdoor, 0.3);
+  const ExperimentOutcome o = run_experiment(p.matrix, basic_setup(p, 8));
+  for (const auto& pr : o.parallel.procs)
+    EXPECT_LE(pr.busy_time, o.makespan * 1.0001);
+}
+
+}  // namespace
+}  // namespace memfront

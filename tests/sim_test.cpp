@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "memfront/sim/event_queue.hpp"
+#include "memfront/sim/machine.hpp"
+#include "memfront/sim/trace.hpp"
+
+namespace memfront {
+namespace {
+
+TEST(EventQueue, TimeOrdering) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(3.0, [&] { fired.push_back(3); });
+  q.schedule(1.0, [&] { fired.push_back(1); });
+  q.schedule(2.0, [&] { fired.push_back(2); });
+  q.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+  EXPECT_EQ(q.processed(), 3u);
+}
+
+TEST(EventQueue, FifoAtEqualTimes) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i)
+    q.schedule(1.0, [&fired, i] { fired.push_back(i); });
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) q.schedule_after(1.0, tick);
+  };
+  q.schedule(0.0, tick);
+  q.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(q.now(), 4.0);
+}
+
+TEST(EventQueue, RejectsPast) {
+  EventQueue q;
+  q.schedule(5.0, [] {});
+  q.run_one();
+  EXPECT_THROW(q.schedule(4.0, [] {}), std::logic_error);
+}
+
+TEST(Machine, CostModel) {
+  MachineParams params;
+  params.latency = 1e-5;
+  params.bandwidth = 1e8;
+  params.flop_rate = 1e9;
+  params.assemble_rate = 5e8;
+  Machine m(params);
+  EXPECT_DOUBLE_EQ(m.transfer_time(0), 1e-5);
+  EXPECT_DOUBLE_EQ(m.transfer_time(100'000'000), 1.0 + 1e-5);
+  EXPECT_DOUBLE_EQ(m.compute_time(2'000'000'000), 2.0);
+  EXPECT_DOUBLE_EQ(m.assemble_time(500'000'000), 1.0);
+}
+
+TEST(Machine, MessageCounters) {
+  Machine m(MachineParams{});
+  m.count_message(100);
+  m.count_message(50);
+  EXPECT_EQ(m.messages(), 2);
+  EXPECT_EQ(m.comm_entries(), 150);
+}
+
+TEST(Trace, CsvOutput) {
+  Trace t;
+  t.record(0.5, 2, 1000);
+  t.record(1.5, 0, 500);
+  t.annotate(0.7, 2, "activation");
+  std::ostringstream os;
+  t.write_csv(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("time,proc,stack_entries"), std::string::npos);
+  EXPECT_NE(s.find("0.5,2,1000"), std::string::npos);
+  EXPECT_NE(s.find("1.5,0,500"), std::string::npos);
+  EXPECT_EQ(t.annotations().size(), 1u);
+}
+
+}  // namespace
+}  // namespace memfront

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "memfront/core/slave_selection.hpp"
+#include "memfront/support/rng.hpp"
+#include "memfront/symbolic/assembly_tree.hpp"
+
+namespace memfront {
+namespace {
+
+index_t total_rows(const std::vector<SlaveShare>& shares) {
+  index_t r = 0;
+  for (const auto& s : shares) r += s.rows;
+  return r;
+}
+
+void expect_valid_shares(const SelectionProblem& p,
+                         const std::vector<SlaveShare>& shares) {
+  ASSERT_FALSE(shares.empty());
+  EXPECT_EQ(total_rows(shares), p.nfront - p.npiv);
+  index_t expect_start = 0;
+  count_t entries = 0;
+  for (const auto& s : shares) {
+    EXPECT_GT(s.rows, 0);
+    EXPECT_EQ(s.row_start, expect_start);
+    expect_start += s.rows;
+    EXPECT_EQ(s.entries, slave_block_entries(p.nfront, p.npiv, s.row_start,
+                                             s.rows, p.symmetric));
+    entries += s.entries;
+  }
+  // Shares tile the non-master surface exactly.
+  EXPECT_EQ(entries, front_entries(p.nfront, p.symmetric) -
+                         master_entries(p.nfront, p.npiv, p.symmetric));
+}
+
+TEST(MemorySelection, BalancedCandidatesShareEqually) {
+  SelectionProblem p{.nfront = 100, .npiv = 20, .symmetric = false,
+                     .max_slaves = 8, .min_rows_per_slave = 1};
+  std::vector<SlaveCandidate> cands;
+  for (index_t q = 0; q < 8; ++q) cands.push_back({q, 1000});
+  const auto shares = memory_selection(p, cands);
+  expect_valid_shares(p, shares);
+  EXPECT_EQ(shares.size(), 8u);
+  for (const auto& s : shares) EXPECT_EQ(s.rows, 10);
+}
+
+TEST(MemorySelection, WaterFillsTowardLeastLoaded) {
+  // One nearly-empty processor, others heavily loaded: Algorithm 1 must
+  // choose a small set and give most rows to the empty one.
+  SelectionProblem p{.nfront = 100, .npiv = 50, .symmetric = false,
+                     .max_slaves = 8, .min_rows_per_slave = 1};
+  std::vector<SlaveCandidate> cands{{0, 0}, {1, 1'000'000}, {2, 1'000'000},
+                                    {3, 1'000'000}};
+  const auto shares = memory_selection(p, cands);
+  expect_valid_shares(p, shares);
+  EXPECT_EQ(shares.size(), 1u);  // surface too small to level the others
+  EXPECT_EQ(shares[0].proc, 0);
+  EXPECT_EQ(shares[0].rows, 50);
+}
+
+TEST(MemorySelection, PreservesCurrentPeakWhenPossible) {
+  // Candidates at 100, 200, 1000 entries; front surface 50*100=5000.
+  // Leveling {100,200} to 200 costs 100 <= 5000, leveling all three to
+  // 1000 costs 1700 <= 5000 -> all three chosen; nobody exceeds the
+  // previous maximum (1000) by more than the equal remainder share.
+  SelectionProblem p{.nfront = 100, .npiv = 50, .symmetric = false,
+                     .max_slaves = 8, .min_rows_per_slave = 1};
+  std::vector<SlaveCandidate> cands{{0, 100}, {1, 200}, {2, 1000}};
+  const auto shares = memory_selection(p, cands);
+  expect_valid_shares(p, shares);
+  EXPECT_EQ(shares.size(), 3u);
+  // After the water-fill every selected proc ends near the same level:
+  // metric + assigned entries must be within one row of each other plus
+  // the equal remainder.
+  std::vector<count_t> level;
+  for (const auto& s : shares) {
+    count_t metric = 0;
+    for (const auto& c : cands)
+      if (c.proc == s.proc) metric = c.metric;
+    level.push_back(metric + s.entries);
+  }
+  const count_t lo = *std::min_element(level.begin(), level.end());
+  const count_t hi = *std::max_element(level.begin(), level.end());
+  EXPECT_LE(hi - lo, 2 * 100 + 100);  // within ~2 rows of each other
+}
+
+TEST(MemorySelection, RespectsMaxSlaves) {
+  SelectionProblem p{.nfront = 200, .npiv = 100, .symmetric = false,
+                     .max_slaves = 3, .min_rows_per_slave = 1};
+  std::vector<SlaveCandidate> cands;
+  for (index_t q = 0; q < 10; ++q) cands.push_back({q, 10});
+  const auto shares = memory_selection(p, cands);
+  expect_valid_shares(p, shares);
+  EXPECT_LE(shares.size(), 3u);
+}
+
+TEST(MemorySelection, GranularityLimitsSlaveCount) {
+  SelectionProblem p{.nfront = 108, .npiv = 100, .symmetric = false,
+                     .max_slaves = 16, .min_rows_per_slave = 4};
+  std::vector<SlaveCandidate> cands;
+  for (index_t q = 0; q < 16; ++q) cands.push_back({q, 0});
+  const auto shares = memory_selection(p, cands);
+  expect_valid_shares(p, shares);
+  EXPECT_LE(shares.size(), 2u);  // 8 rows / 4 rows-per-slave
+}
+
+TEST(MemorySelection, SymmetricTrapezoidEntries) {
+  SelectionProblem p{.nfront = 60, .npiv = 20, .symmetric = true,
+                     .max_slaves = 4, .min_rows_per_slave = 1};
+  std::vector<SlaveCandidate> cands{{0, 0}, {1, 0}, {2, 0}, {3, 0}};
+  const auto shares = memory_selection(p, cands);
+  expect_valid_shares(p, shares);
+  // Equal rows but trapezoidal storage: later blocks hold more entries.
+  for (std::size_t k = 1; k < shares.size(); ++k)
+    if (shares[k].rows == shares[k - 1].rows)
+      EXPECT_GT(shares[k].entries, shares[k - 1].entries);
+}
+
+class MemorySelectionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MemorySelectionProperty, RandomSnapshotsAlwaysValid) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  for (int trial = 0; trial < 50; ++trial) {
+    const index_t nfront = 20 + static_cast<index_t>(rng.below(300));
+    const index_t npiv =
+        1 + static_cast<index_t>(rng.below(static_cast<std::uint64_t>(
+                std::max<index_t>(1, nfront - 2))));
+    const bool sym = rng.below(2) == 0;
+    SelectionProblem p{.nfront = nfront, .npiv = npiv, .symmetric = sym,
+                       .max_slaves = 1 + static_cast<index_t>(rng.below(12)),
+                       .min_rows_per_slave =
+                           1 + static_cast<index_t>(rng.below(4))};
+    std::vector<SlaveCandidate> cands;
+    const index_t ncand = 1 + static_cast<index_t>(rng.below(12));
+    for (index_t q = 0; q < ncand; ++q)
+      cands.push_back({q, static_cast<count_t>(rng.below(1'000'000))});
+    const auto shares = memory_selection(p, cands);
+    expect_valid_shares(p, shares);
+    // No processor appears twice.
+    std::vector<index_t> procs;
+    for (const auto& s : shares) procs.push_back(s.proc);
+    std::sort(procs.begin(), procs.end());
+    EXPECT_TRUE(std::adjacent_find(procs.begin(), procs.end()) ==
+                procs.end());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemorySelectionProperty,
+                         ::testing::Range(1, 6));
+
+TEST(WorkloadSelection, PrefersLessLoadedThanMaster) {
+  SelectionProblem p{.nfront = 100, .npiv = 20, .symmetric = false,
+                     .max_slaves = 8, .min_rows_per_slave = 1};
+  std::vector<SlaveCandidate> cands{{0, 500}, {1, 2000}, {2, 100}, {3, 900}};
+  const count_t master_load = 1000;
+  const auto shares =
+      workload_selection(p, cands, master_load, /*master_task_flops=*/100000);
+  expect_valid_shares(p, shares);
+  for (const auto& s : shares) EXPECT_NE(s.proc, 1);  // 2000 > master
+}
+
+TEST(WorkloadSelection, FallsBackToLeastLoaded) {
+  SelectionProblem p{.nfront = 50, .npiv = 10, .symmetric = false,
+                     .max_slaves = 8, .min_rows_per_slave = 1};
+  std::vector<SlaveCandidate> cands{{0, 5000}, {1, 9000}};
+  const auto shares = workload_selection(p, cands, /*master_load=*/100,
+                                         /*master_task_flops=*/1000);
+  expect_valid_shares(p, shares);
+  EXPECT_EQ(shares.size(), 1u);
+  EXPECT_EQ(shares[0].proc, 0);
+}
+
+TEST(WorkloadSelection, RegularBlockingUnsymmetric) {
+  SelectionProblem p{.nfront = 130, .npiv = 10, .symmetric = false,
+                     .max_slaves = 4, .min_rows_per_slave = 1};
+  std::vector<SlaveCandidate> cands{{0, 0}, {1, 0}, {2, 0}, {3, 0}};
+  // Tiny master task => many slaves, evenly split (Figure 3 left).
+  const auto shares = workload_selection(p, cands, 10, 1);
+  expect_valid_shares(p, shares);
+  EXPECT_EQ(shares.size(), 4u);
+  for (const auto& s : shares) EXPECT_EQ(s.rows, 30);
+}
+
+TEST(WorkloadSelection, IrregularBlockingSymmetric) {
+  SelectionProblem p{.nfront = 120, .npiv = 20, .symmetric = true,
+                     .max_slaves = 4, .min_rows_per_slave = 1};
+  std::vector<SlaveCandidate> cands{{0, 0}, {1, 0}, {2, 0}, {3, 0}};
+  const auto shares = workload_selection(p, cands, 10, 1);
+  expect_valid_shares(p, shares);
+  ASSERT_EQ(shares.size(), 4u);
+  // Later rows are longer: equal-flop blocks shrink (Figure 3 right).
+  EXPECT_GE(shares.front().rows, shares.back().rows);
+  // ... but flops are balanced within a factor 2.
+  count_t lo = shares[0].flops, hi = shares[0].flops;
+  for (const auto& s : shares) {
+    lo = std::min(lo, s.flops);
+    hi = std::max(hi, s.flops);
+  }
+  EXPECT_LT(static_cast<double>(hi), 2.0 * static_cast<double>(lo));
+}
+
+TEST(WorkloadSelection, BigMasterTaskMeansFewSlaves) {
+  SelectionProblem p{.nfront = 100, .npiv = 50, .symmetric = false,
+                     .max_slaves = 8, .min_rows_per_slave = 1};
+  std::vector<SlaveCandidate> cands;
+  for (index_t q = 0; q < 8; ++q) cands.push_back({q, 0});
+  // Master task dwarfs the slave work: one slave suffices.
+  const auto huge = workload_selection(p, cands, 10, 1'000'000'000);
+  expect_valid_shares(p, huge);
+  EXPECT_EQ(huge.size(), 1u);
+}
+
+}  // namespace
+}  // namespace memfront

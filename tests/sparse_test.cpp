@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "memfront/sparse/coo.hpp"
+#include "memfront/sparse/csc.hpp"
+#include "memfront/sparse/matrix_market.hpp"
+#include "memfront/sparse/permutation.hpp"
+#include "memfront/support/rng.hpp"
+
+namespace memfront {
+namespace {
+
+CscMatrix random_square(index_t n, count_t nnz_target, std::uint64_t seed) {
+  Rng rng(seed);
+  CooMatrix coo(n, n);
+  for (index_t i = 0; i < n; ++i) coo.add(i, i, 1.0 + rng.real());
+  for (count_t k = 0; k < nnz_target; ++k)
+    coo.add(static_cast<index_t>(rng.below(n)),
+            static_cast<index_t>(rng.below(n)), rng.real(-1, 1));
+  return coo.to_csc();
+}
+
+TEST(Coo, DuplicatesAreSummed) {
+  CooMatrix coo(3, 3);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 0, 2.5);
+  coo.add(2, 1, 1.0);
+  const CscMatrix m = coo.to_csc();
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_DOUBLE_EQ(m.column_values(0)[0], 3.5);
+  EXPECT_EQ(m.column(1)[0], 2);
+}
+
+TEST(Coo, AddSymmetricMirrors) {
+  CooMatrix coo(3, 3);
+  coo.add_symmetric(0, 2, 4.0);
+  coo.add_symmetric(1, 1, 7.0);  // diagonal not duplicated
+  const CscMatrix m = coo.to_csc();
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_TRUE(m.pattern_symmetric());
+}
+
+TEST(Coo, OutOfRangeRejected) {
+  CooMatrix coo(2, 2);
+  EXPECT_THROW(coo.add(2, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(coo.add(0, -1, 1.0), std::invalid_argument);
+}
+
+TEST(Csc, InvariantsValidated) {
+  // Non-monotone colptr.
+  EXPECT_THROW(CscMatrix(2, 2, {0, 2, 1}, {0, 1}, {}), std::logic_error);
+  // Unsorted rows within a column.
+  EXPECT_THROW(CscMatrix(2, 1, {0, 2}, {1, 0}, {}), std::logic_error);
+  // Row out of range.
+  EXPECT_THROW(CscMatrix(2, 1, {0, 1}, {5}, {}), std::logic_error);
+}
+
+TEST(Csc, TransposeRoundTrip) {
+  const CscMatrix m = random_square(40, 200, 1);
+  const CscMatrix mtt = m.transpose().transpose();
+  EXPECT_EQ(std::vector<count_t>(m.colptr().begin(), m.colptr().end()),
+            std::vector<count_t>(mtt.colptr().begin(), mtt.colptr().end()));
+  EXPECT_EQ(std::vector<index_t>(m.rowind().begin(), m.rowind().end()),
+            std::vector<index_t>(mtt.rowind().begin(), mtt.rowind().end()));
+  EXPECT_EQ(std::vector<double>(m.values().begin(), m.values().end()),
+            std::vector<double>(mtt.values().begin(), mtt.values().end()));
+}
+
+TEST(Csc, TransposeMovesEntry) {
+  CooMatrix coo(3, 2);
+  coo.add(2, 0, 5.0);
+  const CscMatrix t = coo.to_csc().transpose();
+  EXPECT_EQ(t.nrows(), 2);
+  EXPECT_EQ(t.ncols(), 3);
+  EXPECT_EQ(t.column(2)[0], 0);
+  EXPECT_DOUBLE_EQ(t.column_values(2)[0], 5.0);
+}
+
+TEST(Csc, SymmetrizedPatternIsSymmetricNoDiagonal) {
+  const CscMatrix m = random_square(50, 300, 2);
+  const CscMatrix s = m.symmetrized_pattern();
+  EXPECT_TRUE(s.pattern_symmetric());
+  for (index_t j = 0; j < s.ncols(); ++j)
+    for (index_t r : s.column(j)) EXPECT_NE(r, j);
+}
+
+TEST(Csc, SymmetrizedPatternCoversBothDirections) {
+  CooMatrix coo(4, 4);
+  coo.add(1, 0, 1.0);  // only lower entry
+  coo.add(2, 3, 1.0);  // only upper entry (2 < 3 rowwise)
+  const CscMatrix s = coo.to_csc().symmetrized_pattern();
+  EXPECT_EQ(s.nnz(), 4);  // both edges, both directions
+}
+
+TEST(Csc, AatPatternMatchesBruteForce) {
+  Rng rng(3);
+  CooMatrix coo(15, 25);
+  for (int k = 0; k < 120; ++k)
+    coo.add(static_cast<index_t>(rng.below(15)),
+            static_cast<index_t>(rng.below(25)), 1.0);
+  const CscMatrix a = coo.to_csc();
+  const CscMatrix p = a.aat_pattern();
+  // Brute force: B(i,j) nonzero iff rows i and j share a column of A.
+  const CscMatrix at = a.transpose();
+  for (index_t i = 0; i < 15; ++i)
+    for (index_t j = 0; j < 15; ++j) {
+      if (i == j) continue;
+      bool share = false;
+      for (index_t ki : at.column(i))
+        for (index_t kj : at.column(j))
+          if (ki == kj) share = true;
+      auto col = p.column(j);
+      const bool present =
+          std::find(col.begin(), col.end(), i) != col.end();
+      EXPECT_EQ(present, share) << "entry (" << i << "," << j << ")";
+    }
+}
+
+TEST(Csc, PermutedMatchesDefinition) {
+  const CscMatrix m = random_square(20, 80, 4);
+  Rng rng(5);
+  std::vector<index_t> perm = identity_permutation(20);
+  for (index_t i = 19; i > 0; --i)
+    std::swap(perm[i], perm[rng.below(static_cast<std::uint64_t>(i) + 1)]);
+  const CscMatrix b = m.permuted(perm);
+  // b(i,j) == m(perm[i], perm[j]) — check via dense reconstruction.
+  std::vector<std::vector<double>> dm(20, std::vector<double>(20, 0.0));
+  for (index_t j = 0; j < 20; ++j) {
+    auto rows = m.column(j);
+    auto vals = m.column_values(j);
+    for (std::size_t k = 0; k < rows.size(); ++k) dm[rows[k]][j] = vals[k];
+  }
+  for (index_t j = 0; j < 20; ++j) {
+    auto rows = b.column(j);
+    auto vals = b.column_values(j);
+    std::vector<double> dense(20, 0.0);
+    for (std::size_t k = 0; k < rows.size(); ++k) dense[rows[k]] = vals[k];
+    for (index_t i = 0; i < 20; ++i)
+      EXPECT_DOUBLE_EQ(dense[i], dm[perm[i]][perm[j]]);
+  }
+}
+
+TEST(Csc, MultiplyAndResidual) {
+  CooMatrix coo(2, 2);
+  coo.add(0, 0, 2.0);
+  coo.add(1, 1, 3.0);
+  coo.add(1, 0, 1.0);
+  const CscMatrix m = coo.to_csc();
+  const std::vector<double> x{1.0, 2.0};
+  std::vector<double> y(2);
+  m.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+  EXPECT_DOUBLE_EQ(m.residual_inf(x, y), 0.0);
+}
+
+TEST(Permutation, InvertAndCompose) {
+  const std::vector<index_t> p{2, 0, 1};
+  EXPECT_TRUE(is_permutation(p));
+  const auto inv = invert_permutation(p);
+  EXPECT_EQ(inv, (std::vector<index_t>{1, 2, 0}));
+  const auto id = compose(p, inv);
+  EXPECT_EQ(id, identity_permutation(3));
+}
+
+TEST(Permutation, RejectsNonPermutation) {
+  EXPECT_FALSE(is_permutation(std::vector<index_t>{0, 0, 1}));
+  EXPECT_FALSE(is_permutation(std::vector<index_t>{0, 3, 1}));
+  EXPECT_THROW(invert_permutation(std::vector<index_t>{0, 0}),
+               std::logic_error);
+}
+
+TEST(MatrixMarket, RoundTripGeneral) {
+  const CscMatrix m = random_square(12, 40, 6);
+  std::stringstream ss;
+  write_matrix_market(ss, m);
+  const MatrixMarketData back = read_matrix_market(ss);
+  EXPECT_FALSE(back.declared_symmetric);
+  EXPECT_EQ(back.matrix.nnz(), m.nnz());
+  EXPECT_EQ(std::vector<index_t>(m.rowind().begin(), m.rowind().end()),
+            std::vector<index_t>(back.matrix.rowind().begin(),
+                                 back.matrix.rowind().end()));
+}
+
+TEST(MatrixMarket, SymmetricExpansion) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate real symmetric\n"
+     << "% a comment line\n"
+     << "3 3 3\n"
+     << "1 1 2.0\n"
+     << "3 1 -1.0\n"
+     << "3 3 2.0\n";
+  const MatrixMarketData data = read_matrix_market(ss);
+  EXPECT_TRUE(data.declared_symmetric);
+  EXPECT_EQ(data.matrix.nnz(), 4);  // off-diagonal mirrored
+  EXPECT_TRUE(data.matrix.pattern_symmetric());
+}
+
+TEST(MatrixMarket, PatternField) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate pattern general\n"
+     << "2 2 2\n"
+     << "1 1\n"
+     << "2 1\n";
+  const MatrixMarketData data = read_matrix_market(ss);
+  EXPECT_EQ(data.matrix.nnz(), 2);
+}
+
+TEST(MatrixMarket, RejectsGarbage) {
+  std::stringstream ss("not a matrix market file\n");
+  EXPECT_THROW(read_matrix_market(ss), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace memfront

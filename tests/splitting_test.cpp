@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "memfront/ordering/ordering.hpp"
+#include "memfront/sparse/problems.hpp"
+#include "memfront/symbolic/splitting.hpp"
+#include "memfront/symbolic/tree_memory.hpp"
+
+namespace memfront {
+namespace {
+
+AssemblyTree one_big_node() {
+  // child -> BIG (the split candidate) -> small root.
+  using Node = AssemblyTree::Node;
+  std::vector<Node> nodes{
+      {.parent = 1, .npiv = 20, .nfront = 120, .first_col = 0},
+      {.parent = 2, .npiv = 300, .nfront = 320, .first_col = 20},
+      {.parent = kNone, .npiv = 20, .nfront = 20, .first_col = 320},
+  };
+  return AssemblyTree(std::move(nodes), false, 340);
+}
+
+TEST(Splitting, NoOpBelowThreshold) {
+  const AssemblyTree tree = one_big_node();
+  const SplitResult r = split_large_masters(tree, {.master_threshold =
+                                                       10'000'000});
+  EXPECT_EQ(r.num_split_nodes, 0);
+  EXPECT_EQ(r.tree.num_nodes(), 3);
+  EXPECT_EQ(r.node_map, (std::vector<index_t>{0, 1, 2}));
+}
+
+TEST(Splitting, ChainStructureAndThreshold) {
+  const AssemblyTree tree = one_big_node();
+  // Big node's master part = 300*320 = 96000 entries; force a chain
+  // (max_pieces large enough that the threshold binds).
+  const count_t threshold = 20'000;
+  const SplitResult r =
+      split_large_masters(tree, {.master_threshold = threshold,
+                                 .max_pieces = 16, .min_npiv = 16});
+  EXPECT_EQ(r.num_split_nodes, 1);
+  EXPECT_GT(r.tree.num_nodes(), 3);
+  EXPECT_TRUE(r.tree.is_postordered());
+
+  // Pivots preserved; chain pieces respect the threshold except possibly
+  // the last (top) one bounded by 2*min_npiv pivots.
+  count_t pivots = 0;
+  for (index_t i = 0; i < r.tree.num_nodes(); ++i) {
+    pivots += r.tree.npiv(i);
+    const count_t master = r.tree.master_entries(i);
+    if (r.tree.npiv(i) > 2 * 16 && r.tree.parent(i) != kNone)
+      EXPECT_LE(master, threshold) << "node " << i;
+  }
+  EXPECT_EQ(pivots, 340);
+
+  // The chain is connected and marked: bottom piece -> ... -> top piece.
+  const index_t bottom = r.node_map[1];
+  const index_t top = r.node_map[2] - 1;  // last piece of the big node
+  for (index_t cur = bottom; cur < top; cur = r.tree.parent(cur)) {
+    EXPECT_EQ(r.tree.parent(cur), cur + 1);
+    EXPECT_TRUE(r.tree.is_chain_link(cur));
+  }
+  EXPECT_FALSE(r.tree.is_chain_link(top));
+}
+
+TEST(Splitting, RootsAreNeverSplit) {
+  using Node = AssemblyTree::Node;
+  std::vector<Node> nodes{
+      {.parent = kNone, .npiv = 400, .nfront = 400, .first_col = 0}};
+  const AssemblyTree tree(std::move(nodes), false, 400);
+  const SplitResult r =
+      split_large_masters(tree, {.master_threshold = 1'000});
+  EXPECT_EQ(r.num_split_nodes, 0);
+  EXPECT_EQ(r.tree.num_nodes(), 1);
+}
+
+TEST(Splitting, RelativeThresholdLimitsPieces) {
+  const AssemblyTree tree = one_big_node();
+  const SplitResult r = split_large_masters(
+      tree, {.master_threshold = 1'000, .relative_to_max_master = 0.5,
+             .min_npiv = 16});
+  // Effective threshold = 0.5 * 96000: the big node splits in ~2 pieces.
+  EXPECT_EQ(r.num_split_nodes, 1);
+  EXPECT_LE(r.tree.num_nodes(), 3 + 2);
+}
+
+TEST(Splitting, ChildrenAttachToBottomPiece) {
+  const AssemblyTree tree = one_big_node();
+  const SplitResult r =
+      split_large_masters(tree, {.master_threshold = 20'000, .min_npiv = 16});
+  // The original child (node 0) must now feed the bottom chain piece.
+  const index_t bottom = r.node_map[1];
+  EXPECT_EQ(r.tree.parent(r.node_map[0]), bottom);
+  ASSERT_FALSE(r.tree.children(bottom).empty());
+  EXPECT_EQ(r.tree.children(bottom)[0], r.node_map[0]);
+}
+
+TEST(Splitting, FrontSizesFormAChain) {
+  const AssemblyTree tree = one_big_node();
+  const SplitResult r =
+      split_large_masters(tree, {.master_threshold = 20'000, .min_npiv = 16});
+  // Each piece's front is the previous front minus its pivots; the CB of
+  // piece k equals the front of piece k+1.
+  for (index_t i = r.node_map[1]; i + 1 < r.node_map[2]; ++i) {
+    EXPECT_EQ(r.tree.nfront(i + 1), r.tree.nfront(i) - r.tree.npiv(i));
+    EXPECT_EQ(r.tree.ncb(i), r.tree.nfront(i + 1));
+  }
+}
+
+TEST(Splitting, SymmetricThresholdUsesTriangle) {
+  using Node = AssemblyTree::Node;
+  std::vector<Node> nodes{
+      {.parent = 1, .npiv = 200, .nfront = 210, .first_col = 0},
+      {.parent = kNone, .npiv = 10, .nfront = 10, .first_col = 200}};
+  const AssemblyTree tree(std::move(nodes), true, 210);
+  // Symmetric master part = tri(200) = 20100.
+  const SplitResult keep =
+      split_large_masters(tree, {.master_threshold = 20'100});
+  EXPECT_EQ(keep.num_split_nodes, 0);
+  const SplitResult cut =
+      split_large_masters(tree, {.master_threshold = 20'099});
+  EXPECT_EQ(cut.num_split_nodes, 1);
+}
+
+TEST(Splitting, PreservesTotalFactorEntriesUnsym) {
+  // Splitting a node into a chain re-covers the same factor area:
+  // Σ factor_entries(pieces) == factor_entries(original).
+  using Node = AssemblyTree::Node;
+  std::vector<Node> nodes{
+      {.parent = 1, .npiv = 128, .nfront = 150, .first_col = 0},
+      {.parent = kNone, .npiv = 22, .nfront = 22, .first_col = 128}};
+  const AssemblyTree tree(std::move(nodes), false, 150);
+  const SplitResult r =
+      split_large_masters(tree, {.master_threshold = 4'000, .min_npiv = 16});
+  ASSERT_GT(r.tree.num_nodes(), 2);
+  count_t chain_total = 0;
+  for (index_t i = r.node_map[0]; i < r.node_map[1]; ++i)
+    chain_total += r.tree.factor_entries(i);
+  EXPECT_EQ(chain_total, tree.factor_entries(0));
+}
+
+TEST(Splitting, OnRealProblemKeepsAnalysisConsistent) {
+  const Problem p = make_problem(ProblemId::kPre2, 0.3);
+  const Graph g = Graph::from_matrix(p.matrix);
+  SymbolicOptions opt;
+  const SymbolicResult base = build_assembly_tree(g, amf_order(g), opt);
+  count_t biggest_master = 0;  // over splittable (non-root) nodes
+  for (index_t i = 0; i < base.tree.num_nodes(); ++i)
+    if (base.tree.parent(i) != kNone)
+      biggest_master = std::max(biggest_master, base.tree.master_entries(i));
+  ASSERT_GT(biggest_master, 1000);
+  const count_t threshold = biggest_master / 4;
+  const SplitResult r =
+      split_large_masters(base.tree, {.master_threshold = threshold});
+  EXPECT_GT(r.num_split_nodes, 0);
+  // Memory analysis still runs and the sequential peak stays within a
+  // reasonable factor (chains add CB traffic but no front growth).
+  const TreeMemory before = analyze_tree_memory(base.tree);
+  const TreeMemory after = analyze_tree_memory(r.tree);
+  EXPECT_GT(after.peak, 0);
+  EXPECT_LT(static_cast<double>(after.peak),
+            2.5 * static_cast<double>(before.peak));
+}
+
+}  // namespace
+}  // namespace memfront

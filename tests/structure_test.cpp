@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "memfront/ordering/ordering.hpp"
+#include "memfront/solver/analysis.hpp"
+#include "memfront/sparse/problems.hpp"
+
+namespace memfront {
+namespace {
+
+Analysis small_analysis(ProblemId pid, OrderingKind kind,
+                        count_t split = 0) {
+  const Problem p = make_problem(pid, 0.2);
+  AnalysisOptions opt;
+  opt.ordering = kind;
+  opt.symmetric = p.symmetric;
+  opt.split_master_threshold = split;
+  return analyze(p.matrix, opt);
+}
+
+TEST(Structure, TotalEntriesMatchFrontSum) {
+  const Analysis a = small_analysis(ProblemId::kTwotone, OrderingKind::kAmd);
+  count_t total = 0;
+  for (index_t i = 0; i < a.tree.num_nodes(); ++i) total += a.tree.nfront(i);
+  EXPECT_EQ(a.structure->total_entries(), total);
+}
+
+TEST(Structure, RowsSortedAndPivotsPrefix) {
+  const Analysis a =
+      small_analysis(ProblemId::kXenon2, OrderingKind::kNestedDissection);
+  for (index_t i = 0; i < a.tree.num_nodes(); ++i) {
+    const auto rows = a.structure->rows(i);
+    EXPECT_TRUE(std::is_sorted(rows.begin(), rows.end())) << "node " << i;
+    for (index_t k = 0; k < a.tree.npiv(i); ++k)
+      EXPECT_EQ(rows[static_cast<std::size_t>(k)], a.tree.first_col(i) + k);
+  }
+}
+
+TEST(Structure, ContributionRowsContainedInParentFront) {
+  const Analysis a = small_analysis(ProblemId::kMsdoor, OrderingKind::kAmf);
+  for (index_t i = 0; i < a.tree.num_nodes(); ++i) {
+    const index_t parent = a.tree.parent(i);
+    if (parent == kNone) continue;
+    const auto rows = a.structure->rows(i);
+    const auto prows = a.structure->rows(parent);
+    for (std::size_t k = static_cast<std::size_t>(a.tree.npiv(i));
+         k < rows.size(); ++k) {
+      EXPECT_TRUE(std::binary_search(prows.begin(), prows.end(), rows[k]))
+          << "node " << i << " cb row " << rows[k];
+    }
+  }
+}
+
+TEST(Structure, ContributionRowsExceedOwnPivots) {
+  const Analysis a = small_analysis(ProblemId::kGupta3, OrderingKind::kAmd);
+  for (index_t i = 0; i < a.tree.num_nodes(); ++i) {
+    const auto rows = a.structure->rows(i);
+    const index_t last_piv = a.tree.first_col(i) + a.tree.npiv(i) - 1;
+    for (std::size_t k = static_cast<std::size_t>(a.tree.npiv(i));
+         k < rows.size(); ++k)
+      EXPECT_GT(rows[k], last_piv);
+  }
+}
+
+TEST(Structure, SplitChainRowsAreSuffixes) {
+  // With splitting, a chain piece's rows must be a suffix of the piece
+  // below it (the front is the same matrix minus eliminated pivots).
+  const Analysis a =
+      small_analysis(ProblemId::kTwotone, OrderingKind::kAmf, 2'000);
+  ASSERT_GT(a.num_split_nodes, 0);
+  for (index_t i = 0; i < a.tree.num_nodes(); ++i) {
+    if (!a.tree.is_chain_link(i)) continue;
+    const index_t parent = a.tree.parent(i);
+    const auto rows = a.structure->rows(i);
+    const auto prows = a.structure->rows(parent);
+    ASSERT_EQ(prows.size() + static_cast<std::size_t>(a.tree.npiv(i)),
+              rows.size());
+    for (std::size_t k = 0; k < prows.size(); ++k)
+      EXPECT_EQ(prows[k], rows[k + static_cast<std::size_t>(a.tree.npiv(i))]);
+  }
+}
+
+TEST(Structure, EveryMatrixEntryCoveredByAFront) {
+  // Each (permuted) entry a(r,c) with r,c >= min(r,c)'s node first_col
+  // must appear inside the front of the node owning min(r,c).
+  const Analysis a = small_analysis(ProblemId::kXenon2, OrderingKind::kAmd);
+  const CscMatrix& m = a.permuted;
+  for (index_t c = 0; c < m.ncols(); ++c) {
+    for (index_t r : m.column(c)) {
+      const index_t lo = std::min(r, c), hi = std::max(r, c);
+      const index_t node = a.tree.node_of_col(lo);
+      const auto rows = a.structure->rows(node);
+      EXPECT_TRUE(std::binary_search(rows.begin(), rows.end(), hi))
+          << "entry (" << r << "," << c << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace memfront

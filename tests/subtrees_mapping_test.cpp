@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "memfront/ordering/ordering.hpp"
+#include "memfront/sparse/problems.hpp"
+#include "memfront/support/stats.hpp"
+#include "memfront/symbolic/mapping.hpp"
+
+namespace memfront {
+namespace {
+
+struct Fixture {
+  SymbolicResult symbolic;
+  TreeMemory memory;
+};
+
+Fixture build(ProblemId pid, OrderingKind kind, double scale = 0.3) {
+  const Problem p = make_problem(pid, scale);
+  const Graph g = Graph::from_matrix(p.matrix);
+  SymbolicOptions opt;
+  opt.symmetric = p.symmetric;
+  Fixture f{build_assembly_tree(g, compute_ordering(g, kind, 3), opt), {}};
+  reorder_children_liu(f.symbolic.tree);
+  f.memory = analyze_tree_memory(f.symbolic.tree);
+  return f;
+}
+
+TEST(Subtrees, PartitionIsConsistent) {
+  Fixture f = build(ProblemId::kXenon2, OrderingKind::kNestedDissection);
+  const Subtrees st = find_subtrees(f.symbolic.tree, f.memory, 8);
+  const AssemblyTree& tree = f.symbolic.tree;
+
+  EXPECT_FALSE(st.roots.empty());
+  EXPECT_EQ(st.proc.size(), st.roots.size());
+  EXPECT_EQ(st.flops.size(), st.roots.size());
+
+  // Membership closure: a node is in a subtree iff its subtree root is an
+  // ancestor-or-self; children of subtree members are members of the same.
+  for (index_t i = 0; i < tree.num_nodes(); ++i) {
+    const index_t s = st.node_subtree[static_cast<std::size_t>(i)];
+    if (s == kNone) continue;
+    for (index_t c : tree.children(i))
+      EXPECT_EQ(st.node_subtree[static_cast<std::size_t>(c)], s);
+  }
+  // Upper part is closed upward: the parent of an upper node is upper.
+  for (index_t i = 0; i < tree.num_nodes(); ++i) {
+    if (st.node_subtree[static_cast<std::size_t>(i)] != kNone) continue;
+    const index_t par = tree.parent(i);
+    if (par != kNone)
+      EXPECT_EQ(st.node_subtree[static_cast<std::size_t>(par)], kNone);
+  }
+}
+
+TEST(Subtrees, LptBalancesWork) {
+  Fixture f =
+      build(ProblemId::kBmwCra1, OrderingKind::kNestedDissection, 0.7);
+  const index_t P = 8;
+  const Subtrees st = find_subtrees(f.symbolic.tree, f.memory, P,
+                                    {.balance_factor = 4.0});
+  ASSERT_GE(st.roots.size(), static_cast<std::size_t>(P));
+  std::vector<count_t> load(static_cast<std::size_t>(P), 0);
+  count_t max_subtree = 0;
+  for (std::size_t s = 0; s < st.roots.size(); ++s) {
+    ASSERT_GE(st.proc[s], 0);
+    ASSERT_LT(st.proc[s], P);
+    load[static_cast<std::size_t>(st.proc[s])] += st.flops[s];
+    max_subtree = std::max(max_subtree, st.flops[s]);
+  }
+  // Every processor gets some subtree work, and LPT's guarantee holds:
+  // max load <= average + largest item.
+  EXPECT_GT(min_value(std::span<const count_t>(load)), 0);
+  const double avg = mean(std::span<const count_t>(load));
+  EXPECT_LE(static_cast<double>(max_value(std::span<const count_t>(load))),
+            avg + static_cast<double>(max_subtree) + 1.0);
+}
+
+TEST(Subtrees, BalanceFactorControlsGranularity) {
+  Fixture f = build(ProblemId::kMsdoor, OrderingKind::kAmd);
+  const Subtrees coarse = find_subtrees(f.symbolic.tree, f.memory, 4,
+                                        {.balance_factor = 1.0});
+  const Subtrees fine = find_subtrees(f.symbolic.tree, f.memory, 4,
+                                      {.balance_factor = 8.0});
+  EXPECT_GE(fine.roots.size(), coarse.roots.size());
+}
+
+TEST(Subtrees, PeaksComeFromTreeMemory) {
+  Fixture f = build(ProblemId::kTwotone, OrderingKind::kAmf);
+  const Subtrees st = find_subtrees(f.symbolic.tree, f.memory, 8);
+  for (std::size_t s = 0; s < st.roots.size(); ++s)
+    EXPECT_EQ(st.peak[s],
+              f.memory.subtree_peak[static_cast<std::size_t>(st.roots[s])]);
+}
+
+TEST(Mapping, TypesAreConsistent) {
+  Fixture f = build(ProblemId::kUltrasound3, OrderingKind::kNestedDissection);
+  MappingOptions opt;
+  opt.nprocs = 16;
+  const StaticMapping m = compute_mapping(f.symbolic.tree, f.memory, opt);
+  const AssemblyTree& tree = f.symbolic.tree;
+
+  index_t type3_count = 0;
+  for (index_t i = 0; i < tree.num_nodes(); ++i) {
+    switch (m.type[static_cast<std::size_t>(i)]) {
+      case NodeType::kType1:
+        ASSERT_NE(m.owner[static_cast<std::size_t>(i)], kNone);
+        break;
+      case NodeType::kType2:
+        // Subtree nodes are never type 2; type 2 needs rows for slaves.
+        EXPECT_FALSE(m.subtrees.in_subtree(i));
+        EXPECT_GT(tree.ncb(i), 0);
+        EXPECT_GE(tree.nfront(i), m.type2_min_front);
+        ASSERT_NE(m.owner[static_cast<std::size_t>(i)], kNone);
+        break;
+      case NodeType::kType3:
+        ++type3_count;
+        EXPECT_EQ(tree.parent(i), kNone);
+        EXPECT_GE(tree.nfront(i), m.type3_min_front);
+        break;
+    }
+    if (m.owner[static_cast<std::size_t>(i)] != kNone) {
+      EXPECT_GE(m.owner[static_cast<std::size_t>(i)], 0);
+      EXPECT_LT(m.owner[static_cast<std::size_t>(i)], opt.nprocs);
+    }
+  }
+  EXPECT_LE(type3_count, 1);
+}
+
+TEST(Mapping, SubtreeNodesInheritSubtreeProcessor) {
+  Fixture f = build(ProblemId::kShip003, OrderingKind::kPord);
+  MappingOptions opt;
+  opt.nprocs = 8;
+  const StaticMapping m = compute_mapping(f.symbolic.tree, f.memory, opt);
+  for (index_t i = 0; i < f.symbolic.tree.num_nodes(); ++i) {
+    const index_t s = m.subtrees.node_subtree[static_cast<std::size_t>(i)];
+    if (s == kNone) continue;
+    EXPECT_EQ(m.owner[static_cast<std::size_t>(i)],
+              m.subtrees.proc[static_cast<std::size_t>(s)]);
+    EXPECT_EQ(m.type[static_cast<std::size_t>(i)], NodeType::kType1);
+  }
+}
+
+TEST(Mapping, FactorMemoryBalancedAcrossOwners) {
+  Fixture f =
+      build(ProblemId::kBmwCra1, OrderingKind::kNestedDissection, 0.6);
+  MappingOptions opt;
+  opt.nprocs = 8;
+  const StaticMapping m = compute_mapping(f.symbolic.tree, f.memory, opt);
+  std::vector<count_t> factor(8, 0);
+  count_t max_item = 0;
+  for (index_t i = 0; i < f.symbolic.tree.num_nodes(); ++i) {
+    if (m.subtrees.in_subtree(i)) continue;
+    const index_t o = m.owner[static_cast<std::size_t>(i)];
+    if (o == kNone) continue;
+    factor[static_cast<std::size_t>(o)] += f.symbolic.tree.factor_entries(i);
+    max_item = std::max(max_item, f.symbolic.tree.factor_entries(i));
+  }
+  // Greedy largest-first guarantee: max load <= average + largest item.
+  const double avg = mean(std::span<const count_t>(factor));
+  EXPECT_LE(static_cast<double>(max_value(std::span<const count_t>(factor))),
+            avg + static_cast<double>(max_item) + 1.0);
+}
+
+TEST(Mapping, SingleProcessorDegeneratesToType1) {
+  Fixture f = build(ProblemId::kTwotone, OrderingKind::kAmd, 0.25);
+  MappingOptions opt;
+  opt.nprocs = 1;
+  const StaticMapping m = compute_mapping(f.symbolic.tree, f.memory, opt);
+  for (index_t i = 0; i < f.symbolic.tree.num_nodes(); ++i) {
+    EXPECT_EQ(m.type[static_cast<std::size_t>(i)], NodeType::kType1);
+    EXPECT_EQ(m.owner[static_cast<std::size_t>(i)], 0);
+  }
+}
+
+TEST(Mapping, Type2DisabledLeavesOnlyType1AndRoot) {
+  Fixture f = build(ProblemId::kUltrasound3, OrderingKind::kNestedDissection);
+  MappingOptions opt;
+  opt.nprocs = 16;
+  opt.enable_type2 = false;
+  const StaticMapping m = compute_mapping(f.symbolic.tree, f.memory, opt);
+  for (index_t i = 0; i < f.symbolic.tree.num_nodes(); ++i)
+    EXPECT_NE(m.type[static_cast<std::size_t>(i)], NodeType::kType2);
+}
+
+TEST(Mapping, FlopsConcentrateInUpperPartOnManyProcs) {
+  // Sanity check of the paper's claim that most flops live in the upper
+  // part (type 2) on large processor counts.
+  Fixture f = build(ProblemId::kBmwCra1, OrderingKind::kNestedDissection, 0.4);
+  MappingOptions opt;
+  opt.nprocs = 32;
+  const StaticMapping m = compute_mapping(f.symbolic.tree, f.memory, opt);
+  count_t upper = 0, total = 0;
+  for (index_t i = 0; i < f.symbolic.tree.num_nodes(); ++i) {
+    const count_t fl = f.symbolic.tree.flops(i);
+    total += fl;
+    if (!m.subtrees.in_subtree(i)) upper += fl;
+  }
+  EXPECT_GT(static_cast<double>(upper), 0.5 * static_cast<double>(total));
+}
+
+}  // namespace
+}  // namespace memfront

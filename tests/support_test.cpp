@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "memfront/sim/memory_view.hpp"
+#include "memfront/support/error.hpp"
+#include "memfront/support/rng.hpp"
+#include "memfront/support/stats.hpp"
+#include "memfront/support/table.hpp"
+#include "memfront/support/types.hpp"
+
+namespace memfront {
+namespace {
+
+TEST(Types, TriangleAndSquare) {
+  EXPECT_EQ(triangle(0), 0);
+  EXPECT_EQ(triangle(1), 1);
+  EXPECT_EQ(triangle(4), 10);
+  EXPECT_EQ(square(5), 25);
+  // 64-bit: no overflow at large orders.
+  EXPECT_EQ(triangle(100000), 5000050000LL);
+}
+
+TEST(Error, CheckThrowsWithMessage) {
+  EXPECT_NO_THROW(check(true, "fine"));
+  try {
+    check(false, "boom");
+    FAIL() << "check(false) must throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+  EXPECT_THROW(require(false, "bad input"), std::invalid_argument);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, RealInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.real();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const index_t v = rng.uniform(3, 17);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(Stats, MeanMaxImbalance) {
+  const std::vector<count_t> xs{2, 4, 6};
+  EXPECT_DOUBLE_EQ(mean(std::span<const count_t>(xs)), 4.0);
+  EXPECT_EQ(max_value(std::span<const count_t>(xs)), 6);
+  EXPECT_EQ(min_value(std::span<const count_t>(xs)), 2);
+  EXPECT_DOUBLE_EQ(imbalance(std::span<const count_t>(xs)), 1.5);
+}
+
+TEST(Stats, PercentDecreaseConvention) {
+  // The paper reports positive numbers for improvements.
+  EXPECT_DOUBLE_EQ(percent_decrease(100.0, 90.0), 10.0);
+  EXPECT_DOUBLE_EQ(percent_decrease(100.0, 110.0), -10.0);
+  EXPECT_DOUBLE_EQ(percent_decrease(0.0, 5.0), 0.0);
+}
+
+TEST(Table, RendersAlignedCells) {
+  TextTable t({"name", "value"});
+  t.row();
+  t.cell("alpha");
+  t.cell(12);
+  t.row();
+  t.cell("b");
+  t.cell(3.25, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("3.25"), std::string::npos);
+  EXPECT_NE(s.find("+"), std::string::npos);
+}
+
+TEST(History, StepFunctionSemantics) {
+  History h;
+  EXPECT_EQ(h.current(), 0);
+  h.add(1.0, 10);
+  h.add(2.0, -4);
+  h.add(2.0, 1);  // coalesced at the same timestamp
+  EXPECT_EQ(h.current(), 7);
+  EXPECT_EQ(h.value_at(0.5), 0);
+  EXPECT_EQ(h.value_at(1.0), 10);
+  EXPECT_EQ(h.value_at(1.5), 10);
+  EXPECT_EQ(h.value_at(2.0), 7);
+  EXPECT_EQ(h.value_at(99.0), 7);
+}
+
+TEST(History, SetReplacesValue) {
+  History h;
+  h.set(1.0, 42);
+  h.set(2.0, 5);
+  EXPECT_EQ(h.value_at(1.5), 42);
+  EXPECT_EQ(h.current(), 5);
+}
+
+TEST(History, MonotoneTimeEnforced) {
+  History h;
+  h.add(5.0, 1);
+  EXPECT_THROW(h.add(4.0, 1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace memfront

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "memfront/core/task_pool.hpp"
+#include "memfront/core/task_selection.hpp"
+
+namespace memfront {
+namespace {
+
+struct Scenario {
+  std::map<index_t, count_t> cost;
+  std::map<index_t, bool> subtree;
+  TaskSelectionContext ctx(count_t projected, count_t peak) {
+    return TaskSelectionContext{
+        .activation_entries = [this](index_t n) { return cost.at(n); },
+        .in_subtree = [this](index_t n) { return subtree.at(n); },
+        .projected_memory = projected,
+        .observed_peak = peak,
+    };
+  }
+};
+
+TEST(TaskPool, StackDiscipline) {
+  TaskPool pool;
+  EXPECT_TRUE(pool.empty());
+  pool.push(1);
+  pool.push(2);
+  pool.push(3);
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool.top(), 3);
+  EXPECT_EQ(pool.take(2), 3);  // take the top
+  EXPECT_EQ(pool.take(0), 1);  // take the bottom
+  EXPECT_EQ(pool.top(), 2);
+}
+
+TEST(Lifo, AlwaysTop) {
+  const std::vector<index_t> pool{4, 7, 9};
+  EXPECT_EQ(select_task_lifo(pool), 2u);
+}
+
+TEST(Algorithm2, SubtreeTopIsAlwaysTaken) {
+  // "if the node of the top of the pool is inside a subtree then return
+  // the node of the top of the pool" — even when its cost is huge.
+  Scenario s;
+  s.cost = {{1, 10}, {2, 1'000'000}};
+  s.subtree = {{1, false}, {2, true}};
+  const std::vector<index_t> pool{1, 2};
+  EXPECT_EQ(select_task_memory_aware(pool, s.ctx(500, 600)), 1u);
+}
+
+TEST(Algorithm2, LargeUpperTaskDelayed) {
+  // Figure 8: a large type-2 master became ready while the processor is
+  // near its peak; Algorithm 2 must pick a fitting task further down.
+  Scenario s;
+  s.cost = {{10, 900}, {11, 50}};     // 10 = big master, 11 = small task
+  s.subtree = {{10, false}, {11, false}};
+  const std::vector<index_t> pool{11, 10};  // big master on top
+  // projected 500, peak 600: top (900+500 > 600) skipped, 11 fits (550).
+  EXPECT_EQ(select_task_memory_aware(pool, s.ctx(500, 600)), 0u);
+}
+
+TEST(Algorithm2, TopTakenWhenItFits) {
+  Scenario s;
+  s.cost = {{10, 50}, {11, 10}};
+  s.subtree = {{10, false}, {11, false}};
+  const std::vector<index_t> pool{11, 10};
+  EXPECT_EQ(select_task_memory_aware(pool, s.ctx(500, 600)), 1u);
+}
+
+TEST(Algorithm2, SubtreeTaskPreferredWhenNothingFits) {
+  // Nothing fits under the peak, but a subtree task exists below the top:
+  // it gets priority over violating the peak with an upper task.
+  Scenario s;
+  s.cost = {{1, 800}, {2, 700}, {3, 900}};
+  s.subtree = {{1, false}, {2, true}, {3, false}};
+  const std::vector<index_t> pool{1, 2, 3};
+  EXPECT_EQ(select_task_memory_aware(pool, s.ctx(500, 600)), 1u);
+}
+
+TEST(Algorithm2, FallsBackToTop) {
+  Scenario s;
+  s.cost = {{1, 800}, {2, 900}};
+  s.subtree = {{1, false}, {2, false}};
+  const std::vector<index_t> pool{1, 2};
+  EXPECT_EQ(select_task_memory_aware(pool, s.ctx(500, 600)), 1u);
+}
+
+TEST(Algorithm2, ScanOrderIsTopDown) {
+  // Two fitting tasks: the one nearest the top wins (stay close to
+  // depth-first, as the paper requires).
+  Scenario s;
+  s.cost = {{1, 10}, {2, 10}, {3, 1000}};
+  s.subtree = {{1, false}, {2, false}, {3, false}};
+  const std::vector<index_t> pool{1, 2, 3};
+  EXPECT_EQ(select_task_memory_aware(pool, s.ctx(100, 200)), 1u);
+}
+
+TEST(Algorithm2, PeakGrowthAllowedExactlyAtBound) {
+  Scenario s;
+  s.cost = {{1, 100}};
+  s.subtree = {{1, false}};
+  const std::vector<index_t> pool{1};
+  // cost + projected == peak: allowed (<=).
+  EXPECT_EQ(select_task_memory_aware(pool, s.ctx(500, 600)), 0u);
+}
+
+}  // namespace
+}  // namespace memfront
