@@ -1,0 +1,87 @@
+// Out-of-core execution: minimum feasible per-processor budget and the
+// I/O price of budgets below the in-core peak, for every Table 1 matrix
+// under both dynamic scheduling strategies. This is the Section 7
+// question made quantitative: once factors stream to disk, how small a
+// machine fits the factorization, and what does squeezing cost?
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "memfront/ooc/planner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace memfront;
+  using namespace memfront::bench;
+  const BenchOptions opt = parse_options(argc, argv);
+
+  std::cout << "Out-of-core planner: minimum feasible per-processor budget\n"
+            << opt.nprocs << " simulated processors, scale=" << opt.scale
+            << ", per-processor disks\n\n";
+  TextTable table({"Matrix", "Strategy", "in-core peak (M)", "min budget (M)",
+                   "min/peak %", "spill@min (M)", "stall@min %",
+                   "slowdown@min x"});
+  for (ProblemId id : all_problem_ids()) {
+    const Problem p = make_problem(id, opt.scale);
+    for (const bool memory_strategy : {false, true}) {
+      const ExperimentSetup setup =
+          memory_strategy
+              ? memory_setup(p, opt, OrderingKind::kNestedDissection, false)
+              : baseline_setup(p, opt, OrderingKind::kNestedDissection, false);
+      const PreparedExperiment prepared = prepare_experiment(p.matrix, setup);
+      const PlannerResult plan = plan_minimum_budget(
+          prepared.analysis.tree, prepared.analysis.memory, prepared.mapping,
+          prepared.analysis.traversal, sched_config(setup));
+      table.row();
+      table.cell(p.name);
+      table.cell(memory_strategy ? "memory" : "workload");
+      table.cell(mentries(plan.incore_peak), 3);
+      table.cell(mentries(plan.min_budget), 3);
+      table.cell(100.0 * static_cast<double>(plan.min_budget) /
+                     static_cast<double>(plan.incore_peak),
+                 1);
+      table.cell(mentries(plan.at_min.spill_entries), 3);
+      // Stall is summed over processors: normalize by aggregate
+      // processor-time so 100% means everyone stalled the whole run.
+      table.cell(100.0 * plan.at_min.stall_time /
+                     (plan.at_min.makespan * static_cast<double>(opt.nprocs)),
+                 1);
+      table.cell(plan.at_min.makespan / plan.unlimited.makespan, 2);
+    }
+  }
+  table.print(std::cout);
+
+  // The budget/I-O trade-off curve on one representative unsymmetric
+  // matrix: how the disk traffic and the stalls grow as the budget drops
+  // from the in-core peak to the minimum the planner found.
+  const Problem p = make_problem(ProblemId::kTwotone, opt.scale);
+  const ExperimentSetup setup =
+      memory_setup(p, opt, OrderingKind::kNestedDissection, false);
+  const PreparedExperiment prepared = prepare_experiment(p.matrix, setup);
+  PlannerOptions options;
+  options.curve_points = 8;
+  const PlannerResult plan = plan_minimum_budget(
+      prepared.analysis.tree, prepared.analysis.memory, prepared.mapping,
+      prepared.analysis.traversal, sched_config(setup), options);
+  std::cout << "\nBudget sweep, " << p.name << ", memory strategy (budgets "
+            << "from min feasible up to the in-core peak):\n\n";
+  TextTable curve({"budget (M)", "% of peak", "factor I/O (M)", "spill (M)",
+                   "reload (M)", "stall (s)", "makespan (s)"});
+  for (const BudgetPoint& point : plan.curve) {
+    curve.row();
+    curve.cell(mentries(point.budget), 3);
+    curve.cell(100.0 * static_cast<double>(point.budget) /
+                   static_cast<double>(plan.incore_peak),
+               1);
+    curve.cell(mentries(point.factor_write_entries), 3);
+    curve.cell(mentries(point.spill_entries), 3);
+    curve.cell(mentries(point.reload_entries), 3);
+    curve.cell(point.stall_time, 4);
+    curve.cell(point.makespan, 4);
+  }
+  curve.print(std::cout);
+  std::cout << "\nEvery budget pays the factor write-back; only budgets\n"
+               "below the in-core peak add spill/reload traffic and stalls.\n"
+               "The planner's minimum is where the stack alone no longer\n"
+               "fits and the budget is met purely by shipping contribution\n"
+               "blocks through the disk.\n";
+  return 0;
+}

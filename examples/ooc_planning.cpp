@@ -1,53 +1,85 @@
-// Out-of-core planning example (the paper's concluding motivation):
-// factors are written once and not reread before the solve, so they can
-// live on disk — what must stay in memory is the stack. This example
-// quantifies the in-core footprint split and what the memory-based
-// scheduling buys in that setting.
+// Out-of-core planning (the paper's concluding motivation, now executed):
+// factors are written once and not reread before the solve, so they
+// stream to disk as fronts complete — what must stay in memory is the
+// stack. This example runs *real budgeted simulations* for every Table 1
+// matrix under both dynamic scheduling strategies: an in-core run fixes
+// the stack peak, then an out-of-core run under a budget of 1.2x that
+// peak shows the factor write-back volume, any contribution-block
+// spilling, and the stall the disk adds; finally the planner reports how
+// much further the budget could shrink.
+#include <cstdlib>
 #include <iostream>
 
 #include "memfront/core/experiment.hpp"
+#include "memfront/ooc/planner.hpp"
 #include "memfront/sparse/problems.hpp"
 #include "memfront/support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace memfront;
-  const double scale = argc > 1 ? std::atof(argv[1]) : 0.7;
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.5;
   const index_t nprocs = 16;
 
-  std::cout << "In-core footprint if factors go to disk (out-of-core),\n"
-            << nprocs << " processors, both scheduling strategies\n\n";
-  TextTable table({"Matrix", "factors (M)", "stack wl (M)", "stack mem (M)",
-                   "stack = % of total (wl)", "OOC gain %"});
-  for (ProblemId id : {ProblemId::kBmwCra1, ProblemId::kPre2,
-                       ProblemId::kXenon2}) {
+  std::cout << "Budgeted out-of-core execution at 1.2x the in-core stack "
+               "peak,\n"
+            << nprocs << " processors, scale=" << scale
+            << ", per-processor disks\n\n";
+  TextTable table({"Matrix", "Strategy", "peak (M)", "budget (M)",
+                   "factors->disk (M)", "spill (M)", "stall %", "slowdown x",
+                   "min budget (M)"});
+  for (ProblemId id : all_problem_ids()) {
     const Problem p = make_problem(id, scale);
-    ExperimentSetup base;
-    base.nprocs = nprocs;
-    base.symmetric = p.symmetric;
-    base.ordering = OrderingKind::kNestedDissection;
-    ExperimentSetup mem = base;
-    mem.slave_strategy = SlaveStrategy::kMemoryImproved;
-    mem.task_strategy = TaskStrategy::kMemoryAware;
-    mem.split_threshold = 100'000;
-    const PreparedExperiment prepared = prepare_experiment(p.matrix, base);
-    const ExperimentOutcome wl = run_prepared(prepared, base);
-    const ExperimentOutcome mm = run_experiment(p.matrix, mem);
-    const double factors =
-        static_cast<double>(prepared.analysis.tree.total_factor_entries()) /
-        1e6;
-    const double swl = static_cast<double>(wl.max_stack_peak) / 1e6;
-    const double smm = static_cast<double>(mm.max_stack_peak) / 1e6;
-    table.row();
-    table.cell(p.name);
-    table.cell(factors, 2);
-    table.cell(swl, 3);
-    table.cell(smm, 3);
-    table.cell(100.0 * swl / (swl + factors / nprocs), 1);
-    table.cell(100.0 * (swl - smm) / swl, 1);
+    for (const bool memory_strategy : {false, true}) {
+      ExperimentSetup setup;
+      setup.nprocs = nprocs;
+      setup.symmetric = p.symmetric;
+      setup.ordering = OrderingKind::kNestedDissection;
+      if (memory_strategy) {
+        setup.slave_strategy = SlaveStrategy::kMemoryImproved;
+        setup.task_strategy = TaskStrategy::kMemoryAware;
+      }
+      setup.ooc.spill_penalty = memory_strategy;  // let selection dodge spills
+      const PreparedExperiment prepared = prepare_experiment(p.matrix, setup);
+      const ExperimentOutcome incore = run_prepared(prepared, setup);
+
+      ExperimentSetup ooc = setup;
+      ooc.ooc.enabled = true;
+      ooc.ooc.budget = incore.max_stack_peak + incore.max_stack_peak / 5;
+      const ExperimentOutcome out = run_prepared(prepared, ooc);
+
+      const PlannerResult plan = plan_minimum_budget(
+          prepared.analysis.tree, prepared.analysis.memory, prepared.mapping,
+          prepared.analysis.traversal, sched_config(setup));
+
+      const double m = 1e6;
+      table.row();
+      table.cell(p.name);
+      table.cell(memory_strategy ? "memory" : "workload");
+      table.cell(static_cast<double>(incore.max_stack_peak) / m, 3);
+      table.cell(static_cast<double>(ooc.ooc.budget) / m, 3);
+      table.cell(
+          static_cast<double>(out.parallel.ooc_factor_write_entries) / m, 3);
+      table.cell(static_cast<double>(out.parallel.ooc_spill_entries) / m, 3);
+      // Stall is summed over processors; report it against the aggregate
+      // processor-time of the run.
+      table.cell(100.0 * out.parallel.ooc_stall_time /
+                     (out.makespan * static_cast<double>(nprocs)),
+                 1);
+      table.cell(out.makespan / incore.makespan, 2);
+      table.cell(static_cast<double>(plan.min_budget) / m, 3);
+      if (!out.parallel.ooc_feasible())
+        std::cout << "warning: " << p.name << " overran the 1.2x budget by "
+                  << out.parallel.ooc_overrun_peak << " entries\n";
+    }
   }
   table.print(std::cout);
-  std::cout << "\nWith factors on disk the stack *is* the memory footprint:\n"
-               "every % the memory-based scheduling shaves off the stack\n"
-               "peak directly shrinks the machine needed (Section 7).\n";
+  std::cout
+      << "\nWith factors on disk the stack *is* the memory footprint\n"
+         "(Section 7): at 1.2x the in-core peak every factorization\n"
+         "completes with the full factor volume streamed out and little\n"
+         "or no spilling. The planner's minimum budget shows how much\n"
+         "smaller the machine could get — paid for in spill traffic and\n"
+         "stalled processors. Every % the memory-based scheduling shaves\n"
+         "off the stack peak directly shrinks that machine.\n";
   return 0;
 }

@@ -22,8 +22,7 @@ PreparedExperiment prepare_experiment(const CscMatrix& matrix,
   return prepared;
 }
 
-ExperimentOutcome run_prepared(const PreparedExperiment& prepared,
-                               const ExperimentSetup& setup, Trace* trace) {
+SchedConfig sched_config(const ExperimentSetup& setup) {
   SchedConfig config;
   config.machine = setup.machine;
   config.machine.nprocs = setup.nprocs;
@@ -31,6 +30,13 @@ ExperimentOutcome run_prepared(const PreparedExperiment& prepared,
   config.task_strategy = setup.task_strategy;
   config.subtree_broadcast = setup.subtree_broadcast;
   config.master_prediction = setup.master_prediction;
+  config.ooc = setup.ooc;
+  return config;
+}
+
+ExperimentOutcome run_prepared(const PreparedExperiment& prepared,
+                               const ExperimentSetup& setup, Trace* trace) {
+  const SchedConfig config = sched_config(setup);
 
   ExperimentOutcome outcome;
   outcome.parallel = simulate_parallel_factorization(

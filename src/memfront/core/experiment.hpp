@@ -25,8 +25,14 @@ struct ExperimentSetup {
   bool master_prediction = true;
   MappingOptions mapping{};  // nprocs is overridden by `nprocs` above
   MachineParams machine{};   // likewise
+  /// Out-of-core execution: budget, disk cost model, spill knobs.
+  OocConfig ooc{};
   std::uint64_t seed = 0;
 };
+
+/// The SchedConfig a setup induces (shared by run_prepared and the OOC
+/// planner, which re-runs the simulation at many budgets).
+SchedConfig sched_config(const ExperimentSetup& setup);
 
 /// Analysis + static mapping; reusable across dynamic-strategy variants
 /// (the paper compares strategies on the *same* static decisions).

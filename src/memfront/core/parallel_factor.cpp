@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <deque>
+#include <memory>
+#include <optional>
 
 #include "memfront/core/slave_selection.hpp"
 #include "memfront/core/task_pool.hpp"
@@ -54,6 +56,16 @@ struct UrgentTask {
   bool root_share = false;
 };
 
+/// A factor panel whose disk write is in flight (OOC mode): the entries
+/// stay on the stack until `finish`, but budget admission may account them
+/// as freed early (paying the wait as a stall), in which case `released`
+/// keeps the completion event from double-freeing.
+struct PendingWrite {
+  double finish = 0.0;
+  count_t entries = 0;
+  bool released = false;
+};
+
 struct Proc {
   TaskPool pool;
   std::deque<UrgentTask> urgent;
@@ -64,14 +76,25 @@ struct Proc {
   // Subtrees currently in progress on this processor: (subtree id,
   // projected peak = stack at subtree start + standalone subtree peak).
   std::vector<std::pair<index_t, count_t>> active_subtrees;
+  // OOC mode: nodes with an in-core contribution block on this processor
+  // (residency order), and factor writes still in flight.
+  std::vector<index_t> resident_cbs;
+  std::vector<std::shared_ptr<PendingWrite>> pending_writes;
   ProcResult result;
+};
+
+/// One contribution block resident on (or spilled from) a processor.
+struct CbPiece {
+  index_t proc = kNone;
+  count_t entries = 0;
+  bool spilled = false;
 };
 
 struct NodeState {
   index_t children_remaining = 0;
   index_t parts_remaining = 0;  // type-2: master+slaves; type-3: grid size
   bool completed = false;
-  std::vector<std::pair<index_t, count_t>> cb_pieces;  // (proc, entries)
+  std::vector<CbPiece> cb_pieces;
 };
 
 class Simulator {
@@ -92,6 +115,7 @@ class Simulator {
     procs_.resize(static_cast<std::size_t>(nprocs_));
     nodes_.resize(static_cast<std::size_t>(tree.num_nodes()));
     grid_ = choose_grid(nprocs_);
+    if (cfg_.ooc.enabled) disk_.emplace(cfg_.ooc.disk, nprocs_);
   }
 
   ParallelResult run() {
@@ -127,6 +151,104 @@ class Simulator {
   }
   void announce_mem(index_t p, count_t delta) {
     procs_[static_cast<std::size_t>(p)].announced.memory.add(now(), delta);
+  }
+
+  // ---- out-of-core machinery ---------------------------------------------
+
+  bool ooc_on() const { return cfg_.ooc.enabled; }
+  count_t budget() const { return cfg_.ooc.budget; }
+
+  /// Streams `entries` of completed factors to disk. They stay on the
+  /// stack (they were allocated as part of the front) until the write
+  /// lands; budget admission may account them as freed early.
+  void write_back_factors(index_t p, count_t entries) {
+    if (entries <= 0) return;
+    Proc& proc = procs_[static_cast<std::size_t>(p)];
+    proc.result.ooc.factor_write_entries += entries;
+    auto pw = std::make_shared<PendingWrite>();
+    pw->finish = disk_->write(p, entries, now());
+    pw->entries = entries;
+    proc.pending_writes.push_back(pw);
+    queue_.schedule(pw->finish, [this, p, pw] {
+      if (!pw->released) {
+        pw->released = true;
+        release(p, pw->entries);
+        announce_mem(p, -pw->entries);
+      }
+      Proc& pr = procs_[static_cast<std::size_t>(p)];
+      std::erase(pr.pending_writes, pw);
+    });
+  }
+
+  /// Makes room for an allocation of `incoming` entries on p under the
+  /// hard budget: first waits for enough in-flight factor writes (their
+  /// disk time is already paid; waiting costs only the stall), then spills
+  /// resident contribution blocks. Returns the stall the caller must
+  /// insert before the allocated data is usable; any remaining excess is
+  /// recorded as a budget overrun (the allocation itself cannot be
+  /// shrunk), so the simulation always completes.
+  double budget_admit(index_t p, count_t incoming) {
+    if (!ooc_on() || budget() <= 0) return 0.0;
+    Proc& proc = procs_[static_cast<std::size_t>(p)];
+    count_t over = proc.stack + incoming - budget();
+    if (over <= 0) return 0.0;
+    double stall = 0.0;
+    // 1. Drain factor writes already in flight, earliest-finishing first
+    //    (pending_writes is in issue order = finish order per channel).
+    for (auto& pw : proc.pending_writes) {
+      if (over <= 0) break;
+      if (pw->released) continue;
+      pw->released = true;
+      release(p, pw->entries);
+      announce_mem(p, -pw->entries);
+      stall = std::max(stall, pw->finish - now());
+      over -= pw->entries;
+    }
+    // 2. Spill resident contribution blocks; the processor stalls until
+    //    the eviction writes land (no write-behind buffer is modelled).
+    if (over > 0 && !proc.resident_cbs.empty()) {
+      std::vector<SpillCandidate> candidates;
+      candidates.reserve(proc.resident_cbs.size());
+      for (index_t n : proc.resident_cbs)
+        candidates.push_back({n, find_piece(n, p).entries});
+      const std::vector<std::size_t> victims =
+          choose_spill_victims(candidates, over, cfg_.ooc.spill_policy);
+      std::vector<index_t> evicted;
+      evicted.reserve(victims.size());
+      for (std::size_t k : victims) {
+        const index_t n = candidates[k].id;
+        CbPiece& piece = find_piece(n, p);
+        piece.spilled = true;
+        release(p, piece.entries);
+        announce_mem(p, -piece.entries);
+        stall = std::max(stall, disk_->write(p, piece.entries, now()) - now());
+        proc.result.ooc.spill_entries += piece.entries;
+        ++proc.result.ooc.spill_events;
+        over -= piece.entries;
+        evicted.push_back(n);
+      }
+      std::erase_if(proc.resident_cbs, [&](index_t n) {
+        return std::find(evicted.begin(), evicted.end(), n) != evicted.end();
+      });
+    }
+    if (over > 0)
+      proc.result.ooc.overrun_peak =
+          std::max(proc.result.ooc.overrun_peak, over);
+    proc.result.ooc.stall_time += stall;
+    return stall;
+  }
+
+  CbPiece& find_piece(index_t node, index_t p) {
+    for (CbPiece& piece : nodes_[static_cast<std::size_t>(node)].cb_pieces)
+      if (piece.proc == p) return piece;
+    check(false, "simulate: resident cb piece not found");
+    return nodes_[static_cast<std::size_t>(node)].cb_pieces.front();
+  }
+
+  /// Records a freshly pushed contribution block as in-core resident.
+  void track_resident_cb(index_t p, index_t node) {
+    if (ooc_on())
+      procs_[static_cast<std::size_t>(p)].resident_cbs.push_back(node);
   }
   void announce_load(index_t p, count_t delta) {
     procs_[static_cast<std::size_t>(p)].announced.workload.add(now(), delta);
@@ -227,16 +349,23 @@ class Simulator {
     proc.result.flops_done += task.flops;
     ++proc.result.slave_tasks_run;
     queue_.schedule_after(dur, [this, p, task] {
-      // The factor part leaves the stack; a slave's contribution rows stay
-      // until the parent assembles them.
-      release(p, task.factor_part);
-      announce_mem(p, -task.factor_part);
+      // The factor part leaves the stack (in OOC mode: streams to disk
+      // first); a slave's contribution rows stay until the parent
+      // assembles them.
+      if (ooc_on()) {
+        write_back_factors(p, task.factor_part);
+      } else {
+        release(p, task.factor_part);
+        announce_mem(p, -task.factor_part);
+      }
       procs_[static_cast<std::size_t>(p)].result.factor_entries +=
           task.factor_part;
       const count_t cb_part = task.entries - task.factor_part;
-      if (cb_part > 0)
-        nodes_[static_cast<std::size_t>(task.node)].cb_pieces.emplace_back(
-            p, cb_part);
+      if (cb_part > 0) {
+        nodes_[static_cast<std::size_t>(task.node)].cb_pieces.push_back(
+            {p, cb_part, false});
+        track_resident_cb(p, task.node);
+      }
       announce_load(p, -task.flops);
       part_done(task.node);
       procs_[static_cast<std::size_t>(p)].busy = false;
@@ -258,6 +387,7 @@ class Simulator {
           .in_subtree = [this](index_t n) { return !upper_part(n); },
           .projected_memory = projected,
           .observed_peak = proc.peak,
+          .spill_budget = ooc_on() && cfg_.ooc.spill_penalty ? budget() : 0,
       };
       position = select_task_memory_aware(proc.pool.tasks(), ctx);
     }
@@ -294,19 +424,37 @@ class Simulator {
   };
 
   /// Frees the children's contribution blocks (wherever they live) and
-  /// returns the extra time the remote transfers cost the assembling task.
+  /// returns the extra time the remote transfers — and, in OOC mode, the
+  /// reloads of spilled blocks — cost the assembling task.
   double consume_children(index_t parent, index_t assembler, CbPhase phase) {
     double extra = 0.0;
     for (index_t child : tree_.children(parent)) {
       if (tree_.is_chain_link(child) != (phase == CbPhase::kChainOnly))
         continue;
-      for (auto [q, entries] : nodes_[static_cast<std::size_t>(child)].cb_pieces) {
-        release(q, entries);
-        announce_mem(q, -entries);
+      for (const CbPiece& piece :
+           nodes_[static_cast<std::size_t>(child)].cb_pieces) {
+        const index_t q = piece.proc;
+        const count_t entries = piece.entries;
+        double path = 0.0;
+        if (piece.spilled) {
+          // Reread from q's disk; the block streams straight into the
+          // parent's front (already allocated), no in-core staging.
+          Proc& owner = procs_[static_cast<std::size_t>(q)];
+          owner.result.ooc.reload_entries += entries;
+          ++owner.result.ooc.reload_events;
+          path = disk_->read(q, entries, now()) - now();
+        } else {
+          release(q, entries);
+          announce_mem(q, -entries);
+          if (ooc_on())
+            std::erase(procs_[static_cast<std::size_t>(q)].resident_cbs,
+                       child);
+        }
         if (q != assembler) {
           machine_.count_message(entries);
-          extra = std::max(extra, machine_.transfer_time(entries));
+          path += machine_.transfer_time(entries);
         }
+        extra = std::max(extra, path);
       }
       nodes_[static_cast<std::size_t>(child)].cb_pieces.clear();
     }
@@ -317,22 +465,36 @@ class Simulator {
     Proc& proc = procs_[static_cast<std::size_t>(p)];
     proc.busy = true;
     double transfer = consume_children(node, p, CbPhase::kChainOnly);
+    const double stall = budget_admit(p, tree_.front_entries(node));
     alloc(p, tree_.front_entries(node), PeakCause::kType1Front, node);
     announce_mem(p, tree_.front_entries(node));
     transfer += consume_children(node, p, CbPhase::kNonChainOnly);
-    const double dur = transfer +
+    const double dur = stall + transfer +
                        machine_.assemble_time(tree_.front_entries(node)) +
                        machine_.compute_time(tree_.flops(node));
-    proc.result.busy_time += dur;
+    proc.result.busy_time += dur - stall;
     proc.result.flops_done += tree_.flops(node);
     queue_.schedule_after(dur, [this, p, node] {
-      release(p, tree_.front_entries(node));
-      announce_mem(p, -tree_.front_entries(node));
       const count_t cb = tree_.cb_entries(node);
-      if (cb > 0) {
-        alloc(p, cb, PeakCause::kContribution, node);
-        announce_mem(p, cb);
-        nodes_[static_cast<std::size_t>(node)].cb_pieces.emplace_back(p, cb);
+      if (ooc_on()) {
+        // The front splits in place: the cb part stays on the stack as
+        // this node's contribution block, the factor part stays until its
+        // disk write lands (front = factors + cb exactly).
+        write_back_factors(p, tree_.factor_entries(node));
+        if (cb > 0) {
+          nodes_[static_cast<std::size_t>(node)].cb_pieces.push_back(
+              {p, cb, false});
+          track_resident_cb(p, node);
+        }
+      } else {
+        release(p, tree_.front_entries(node));
+        announce_mem(p, -tree_.front_entries(node));
+        if (cb > 0) {
+          alloc(p, cb, PeakCause::kContribution, node);
+          announce_mem(p, cb);
+          nodes_[static_cast<std::size_t>(node)].cb_pieces.push_back(
+              {p, cb, false});
+        }
       }
       procs_[static_cast<std::size_t>(p)].result.factor_entries +=
           tree_.factor_entries(node);
@@ -352,6 +514,7 @@ class Simulator {
     const index_t npiv = tree_.npiv(node);
     const count_t master_mem = tree_.master_entries(node);
     double transfer = consume_children(node, p, CbPhase::kChainOnly);
+    const double stall = budget_admit(p, master_mem);
     alloc(p, master_mem, PeakCause::kType2Master, node);
     announce_mem(p, master_mem);
     transfer += consume_children(node, p, CbPhase::kNonChainOnly);
@@ -367,13 +530,28 @@ class Simulator {
     const double horizon = now() - delay();
     std::vector<SlaveCandidate> candidates;
     candidates.reserve(static_cast<std::size_t>(nprocs_) - 1);
+    // Rough per-slave block size, used only to price the spill penalty.
+    const count_t est_share =
+        (tree_.front_entries(node) - master_mem) /
+        std::max<count_t>(1, std::min<count_t>(problem.max_slaves,
+                                               nprocs_ - 1));
     for (index_t q = 0; q < nprocs_; ++q) {
       if (q == p) continue;
-      const count_t metric =
-          cfg_.slave_strategy == SlaveStrategy::kWorkload
-              ? procs_[static_cast<std::size_t>(q)].announced.workload.value_at(
-                    horizon)
-              : remote_metric(q, horizon);
+      count_t metric;
+      if (cfg_.slave_strategy == SlaveStrategy::kWorkload) {
+        metric = procs_[static_cast<std::size_t>(q)]
+                     .announced.workload.value_at(horizon);
+      } else {
+        metric = remote_metric(q, horizon);
+        // OOC spill penalty: a candidate whose announced memory plus a
+        // typical share would burst its budget pays the projected
+        // overflow, weighted, on top of its metric — selection drifts to
+        // processors that can take the block without touching the disk.
+        if (ooc_on() && cfg_.ooc.spill_penalty && budget() > 0) {
+          const count_t overflow = metric + est_share - budget();
+          if (overflow > 0) metric += cfg_.ooc.spill_penalty_weight * overflow;
+        }
+      }
       candidates.push_back({q, metric});
     }
     const count_t mflops = master_flops(nfront, npiv, sym);
@@ -414,20 +592,33 @@ class Simulator {
                       .flops = share.flops,
                       .root_share = false};
       queue_.schedule_after(arrival, [this, q, task] {
+        // Budget admission happens where the block lands; the receive is
+        // held back while the slave makes room on disk.
+        const double recv_stall = budget_admit(q, task.entries);
         alloc(q, task.entries, PeakCause::kSlaveBlock, task.node);
-        procs_[static_cast<std::size_t>(q)].urgent.push_back(task);
-        wake(q);
+        auto deliver = [this, q, task] {
+          procs_[static_cast<std::size_t>(q)].urgent.push_back(task);
+          wake(q);
+        };
+        if (recv_stall > 0)
+          queue_.schedule_after(recv_stall, deliver);
+        else
+          deliver();
       });
     }
 
-    const double dur = transfer + machine_.assemble_time(master_mem) +
+    const double dur = stall + transfer + machine_.assemble_time(master_mem) +
                        machine_.compute_time(mflops);
-    proc.result.busy_time += dur;
+    proc.result.busy_time += dur - stall;
     proc.result.flops_done += mflops;
     queue_.schedule_after(dur, [this, p, node, master_mem] {
       // The fully-summed rows become factors.
-      release(p, master_mem);
-      announce_mem(p, -master_mem);
+      if (ooc_on()) {
+        write_back_factors(p, master_mem);
+      } else {
+        release(p, master_mem);
+        announce_mem(p, -master_mem);
+      }
       procs_[static_cast<std::size_t>(p)].result.factor_entries += master_mem;
       announce_load(p, -master_flops(tree_.nfront(node), tree_.npiv(node),
                                      tree_.symmetric()));
@@ -484,11 +675,18 @@ class Simulator {
                       .flops = flops_share,
                       .root_share = true};
       queue_.schedule_after(machine_.params().latency, [this, q, task] {
+        const double recv_stall = budget_admit(q, task.entries);
         alloc(q, task.entries, PeakCause::kRootShare, task.node);
         announce_mem(q, task.entries);
         announce_load(q, task.flops);
-        procs_[static_cast<std::size_t>(q)].urgent.push_back(task);
-        wake(q);
+        auto deliver = [this, q, task] {
+          procs_[static_cast<std::size_t>(q)].urgent.push_back(task);
+          wake(q);
+        };
+        if (recv_stall > 0)
+          queue_.schedule_after(recv_stall, deliver);
+        else
+          deliver();
       });
     }
   }
@@ -604,6 +802,17 @@ class Simulator {
     result.messages = machine_.messages();
     result.comm_entries = machine_.comm_entries();
     result.type2_nodes_run = type2_nodes_;
+    result.ooc_enabled = ooc_on();
+    if (ooc_on()) {
+      for (const ProcResult& pr : result.procs) {
+        result.ooc_factor_write_entries += pr.ooc.factor_write_entries;
+        result.ooc_spill_entries += pr.ooc.spill_entries;
+        result.ooc_reload_entries += pr.ooc.reload_entries;
+        result.ooc_stall_time += pr.ooc.stall_time;
+        result.ooc_overrun_peak =
+            std::max(result.ooc_overrun_peak, pr.ooc.overrun_peak);
+      }
+    }
     return result;
   }
 
@@ -617,6 +826,7 @@ class Simulator {
   index_t nprocs_;
   EventQueue queue_;
   BlockCyclicLayout grid_;
+  std::optional<DiskModel> disk_;
   std::vector<Proc> procs_;
   std::vector<NodeState> nodes_;
   index_t completed_ = 0;

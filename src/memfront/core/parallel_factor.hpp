@@ -32,6 +32,24 @@ enum class PeakCause : unsigned char {
 
 const char* peak_cause_name(PeakCause cause);
 
+/// Per-processor I/O accounting of the out-of-core mode (all zero when the
+/// mode is off).
+struct OocProcStats {
+  count_t factor_write_entries = 0;  // factor panels streamed to disk
+  count_t spill_entries = 0;         // contribution blocks evicted
+  count_t reload_entries = 0;        // spilled blocks read back at assembly
+  index_t spill_events = 0;
+  index_t reload_events = 0;
+  double stall_time = 0.0;  // compute stalled on budget-admission disk I/O
+  /// Largest logical excess over the budget after draining factor writes
+  /// and spilling every resident block; 0 means the budget was honored.
+  count_t overrun_peak = 0;
+
+  count_t io_entries() const noexcept {
+    return factor_write_entries + spill_entries + reload_entries;
+  }
+};
+
 struct ProcResult {
   count_t stack_peak = 0;      // max active memory (entries)
   count_t factor_entries = 0;  // factors produced on this processor
@@ -43,6 +61,7 @@ struct ProcResult {
   index_t peak_node = kNone;     // node whose allocation set the peak
   bool peak_in_subtree = false;  // was that node inside a leave subtree?
   double peak_time = 0.0;
+  OocProcStats ooc{};
 };
 
 struct ParallelResult {
@@ -54,6 +73,20 @@ struct ParallelResult {
   count_t messages = 0;
   count_t comm_entries = 0;
   index_t type2_nodes_run = 0;
+
+  // ---- out-of-core aggregates (zero when the mode is off) ----
+  bool ooc_enabled = false;
+  /// In OOC mode stack_peak already *is* the in-core residency (factors
+  /// awaiting write-back stay on the stack until the write lands); this is
+  /// its max over processors, i.e. the machine one must buy.
+  count_t ooc_factor_write_entries = 0;  // Σ factor volume written
+  count_t ooc_spill_entries = 0;         // Σ contribution volume evicted
+  count_t ooc_reload_entries = 0;        // Σ contribution volume reread
+  double ooc_stall_time = 0.0;           // Σ budget-admission stalls
+  count_t ooc_overrun_peak = 0;          // max over processors
+
+  /// Did every processor stay within the budget (after spilling/draining)?
+  bool ooc_feasible() const noexcept { return ooc_overrun_peak == 0; }
 };
 
 ParallelResult simulate_parallel_factorization(const AssemblyTree& tree,

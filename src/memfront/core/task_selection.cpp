@@ -16,6 +16,26 @@ std::size_t select_task_memory_aware(std::span<const index_t> pool,
   // Inside a subtree we never deviate from depth-first: subtrees are the
   // memory-critical phase and interrupting them only grows the stack.
   if (ctx.in_subtree(pool[top])) return top;
+  if (ctx.spill_budget > 0) {
+    // Out-of-core variant: among the Algorithm 2 preferences, additionally
+    // avoid tasks whose activation would burst the budget (each of those
+    // costs a spill/stall round-trip to disk). Preference order: no peak
+    // raise *and* fits; fits; subtree fallback; top.
+    constexpr std::size_t npos = static_cast<std::size_t>(-1);
+    std::size_t first_fit = npos, first_subtree = npos;
+    for (std::size_t k = pool.size(); k-- > 0;) {
+      const index_t node = pool[k];
+      const count_t projected =
+          ctx.activation_entries(node) + ctx.projected_memory;
+      const bool fits = projected <= ctx.spill_budget;
+      if (fits && projected <= ctx.observed_peak) return k;
+      if (fits && first_fit == npos) first_fit = k;
+      if (ctx.in_subtree(node) && first_subtree == npos) first_subtree = k;
+    }
+    if (first_fit != npos) return first_fit;
+    if (first_subtree != npos) return first_subtree;
+    return top;
+  }
   for (std::size_t k = pool.size(); k-- > 0;) {
     const index_t node = pool[k];
     if (ctx.activation_entries(node) + ctx.projected_memory <=

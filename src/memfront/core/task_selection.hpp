@@ -20,6 +20,10 @@ struct TaskSelectionContext {
   /// Memory peak observed on this processor since the beginning of the
   /// factorization.
   count_t observed_peak = 0;
+  /// Out-of-core: hard per-processor budget; activations projected past it
+  /// trigger spills, so selection avoids them when it can. 0 = in-core
+  /// semantics (the field is ignored).
+  count_t spill_budget = 0;
 };
 
 /// Default strategy: top of the stack.

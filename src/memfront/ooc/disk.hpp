@@ -1,0 +1,91 @@
+// I/O cost model for out-of-core execution (Section 7 of the paper).
+//
+// Stands alongside Machine: where Machine prices flops and messages, the
+// DiskModel prices the factor write-back and stack spill/reload traffic of
+// the out-of-core mode. Disks are modelled as serial channels: every
+// operation pays a seek and streams at the channel bandwidth, and
+// operations queued on the same channel serialize in issue order. With
+// `shared = true` all processors contend on one channel (an SMP node with
+// one local disk); otherwise each processor owns its own channel (the
+// per-processor scratch disks of an MPP).
+#pragma once
+
+#include <vector>
+
+#include "memfront/support/error.hpp"
+#include "memfront/support/types.hpp"
+
+namespace memfront {
+
+struct DiskParams {
+  double write_bandwidth = 1e8;  // entries / second, sequential write
+  double read_bandwidth = 2e8;   // entries / second, sequential read
+  double seek_latency = 1e-3;    // seconds per operation (seek + syscall)
+  bool shared = false;           // one channel for the whole node?
+};
+
+/// Serial disk channels with issue-order queueing, in simulated time.
+class DiskModel {
+ public:
+  DiskModel(const DiskParams& params, index_t nprocs)
+      : params_(params),
+        busy_until_(static_cast<std::size_t>(params.shared ? 1 : nprocs),
+                    0.0) {
+    check(nprocs >= 1, "DiskModel: need at least one processor");
+    check(params.write_bandwidth > 0 && params.read_bandwidth > 0,
+          "DiskModel: bandwidths must be positive");
+  }
+
+  const DiskParams& params() const noexcept { return params_; }
+
+  /// Queues a write of `entries` on processor p's channel at time `now`;
+  /// returns the completion time (>= now).
+  double write(index_t p, count_t entries, double now) {
+    ++write_ops_;
+    write_entries_ += entries;
+    return enqueue(p, now,
+                   params_.seek_latency +
+                       static_cast<double>(entries) / params_.write_bandwidth);
+  }
+
+  /// Queues a read of `entries` on processor p's channel at time `now`;
+  /// returns the completion time (>= now).
+  double read(index_t p, count_t entries, double now) {
+    ++read_ops_;
+    read_entries_ += entries;
+    return enqueue(p, now,
+                   params_.seek_latency +
+                       static_cast<double>(entries) / params_.read_bandwidth);
+  }
+
+  /// Time at which processor p's channel drains with no further traffic.
+  double busy_until(index_t p, double now) const {
+    const double b = busy_until_[channel(p)];
+    return b > now ? b : now;
+  }
+
+  count_t write_ops() const noexcept { return write_ops_; }
+  count_t read_ops() const noexcept { return read_ops_; }
+  count_t write_entries() const noexcept { return write_entries_; }
+  count_t read_entries() const noexcept { return read_entries_; }
+
+ private:
+  std::size_t channel(index_t p) const {
+    return params_.shared ? 0 : static_cast<std::size_t>(p);
+  }
+  double enqueue(index_t p, double now, double duration) {
+    double& busy = busy_until_[channel(p)];
+    const double start = busy > now ? busy : now;
+    busy = start + duration;
+    return busy;
+  }
+
+  DiskParams params_;
+  std::vector<double> busy_until_;
+  count_t write_ops_ = 0;
+  count_t read_ops_ = 0;
+  count_t write_entries_ = 0;
+  count_t read_entries_ = 0;
+};
+
+}  // namespace memfront

@@ -1,0 +1,49 @@
+#include "memfront/ooc/spill.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace memfront {
+
+const char* spill_policy_name(SpillPolicy policy) {
+  switch (policy) {
+    case SpillPolicy::kLargestFirst: return "largest-first";
+    case SpillPolicy::kSmallestFirst: return "smallest-first";
+    case SpillPolicy::kOldestFirst: return "oldest-first";
+  }
+  return "?";
+}
+
+std::vector<std::size_t> choose_spill_victims(
+    std::span<const SpillCandidate> candidates, count_t needed,
+    SpillPolicy policy) {
+  std::vector<std::size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  switch (policy) {
+    case SpillPolicy::kLargestFirst:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return candidates[a].entries > candidates[b].entries;
+                       });
+      break;
+    case SpillPolicy::kSmallestFirst:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return candidates[a].entries < candidates[b].entries;
+                       });
+      break;
+    case SpillPolicy::kOldestFirst:
+      break;  // residency order as given
+  }
+  std::vector<std::size_t> victims;
+  count_t freed = 0;
+  for (std::size_t k : order) {
+    if (freed >= needed) break;
+    if (candidates[k].entries <= 0) continue;
+    victims.push_back(k);
+    freed += candidates[k].entries;
+  }
+  return victims;
+}
+
+}  // namespace memfront

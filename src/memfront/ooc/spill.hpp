@@ -1,0 +1,38 @@
+// Spill-victim selection for the out-of-core stack (contribution blocks).
+//
+// When a processor's active stack would exceed its budget, contribution
+// blocks — the only passively resident stack data — can be written to disk
+// and reread when the parent assembles them. The policy picks which
+// resident blocks to evict. Pure function of a snapshot, like the slave
+// selection strategies, so tests can drive it directly.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "memfront/support/types.hpp"
+
+namespace memfront {
+
+enum class SpillPolicy : unsigned char {
+  kLargestFirst,   // fewest seeks per freed entry (default)
+  kSmallestFirst,  // evict cheap-to-reload blocks first
+  kOldestFirst,    // FIFO over residency order
+};
+
+const char* spill_policy_name(SpillPolicy policy);
+
+struct SpillCandidate {
+  index_t id = kNone;   // caller-defined handle (e.g. tree node)
+  count_t entries = 0;  // resident size
+};
+
+/// Returns positions into `candidates` (in eviction order) whose combined
+/// size reaches `needed`; returns every position when the candidates
+/// cannot cover `needed`. Never evicts more blocks than necessary under
+/// the chosen policy. Candidates are listed in residency (push) order.
+std::vector<std::size_t> choose_spill_victims(
+    std::span<const SpillCandidate> candidates, count_t needed,
+    SpillPolicy policy);
+
+}  // namespace memfront

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "memfront/sim/memory_view.hpp"
+
+namespace memfront {
+namespace {
+
+TEST(History, StartsAtZero) {
+  History h;
+  EXPECT_EQ(h.current(), 0);
+  EXPECT_EQ(h.value_at(0.0), 0);
+  EXPECT_EQ(h.value_at(1e9), 0);
+}
+
+TEST(History, QueryBeforeFirstPoint) {
+  History h;
+  h.add(1.0, 100);
+  // Anything before the first change sees the initial value.
+  EXPECT_EQ(h.value_at(-5.0), 0);
+  EXPECT_EQ(h.value_at(0.0), 0);
+  EXPECT_EQ(h.value_at(0.999), 0);
+}
+
+TEST(History, QueryExactlyAtAPoint) {
+  History h;
+  h.add(1.0, 100);
+  h.add(2.0, 50);
+  h.add(3.0, -25);
+  // value_at(t) is the last change at or *before* t: inclusive at points.
+  EXPECT_EQ(h.value_at(1.0), 100);
+  EXPECT_EQ(h.value_at(2.0), 150);
+  EXPECT_EQ(h.value_at(3.0), 125);
+}
+
+TEST(History, QueryBetweenPoints) {
+  History h;
+  h.add(1.0, 100);
+  h.add(2.0, 50);
+  h.add(4.0, -150);
+  EXPECT_EQ(h.value_at(1.5), 100);
+  EXPECT_EQ(h.value_at(2.5), 150);
+  EXPECT_EQ(h.value_at(3.999), 150);
+  EXPECT_EQ(h.value_at(4.5), 0);
+}
+
+TEST(History, QueryPastTheEndUsesLastValue) {
+  History h;
+  h.add(1.0, 7);
+  EXPECT_EQ(h.value_at(1e12), 7);
+  EXPECT_EQ(h.current(), 7);
+}
+
+TEST(History, MonotoneTimeEnforced) {
+  History h;
+  h.add(2.0, 10);
+  EXPECT_THROW(h.add(1.0, 5), std::logic_error);
+  // Equal timestamps coalesce instead of growing the history.
+  const std::size_t before = h.size();
+  h.add(2.0, 5);
+  EXPECT_EQ(h.size(), before);
+  EXPECT_EQ(h.current(), 15);
+}
+
+TEST(History, ZeroDeltaDoesNotGrowHistory) {
+  History h;
+  h.add(1.0, 10);
+  const std::size_t before = h.size();
+  h.add(5.0, 0);
+  EXPECT_EQ(h.size(), before);
+  // And a later query still bisects correctly.
+  EXPECT_EQ(h.value_at(3.0), 10);
+}
+
+TEST(History, SetReplacesValue) {
+  History h;
+  h.add(1.0, 10);
+  h.set(2.0, 3);
+  EXPECT_EQ(h.current(), 3);
+  EXPECT_EQ(h.value_at(1.5), 10);
+  EXPECT_EQ(h.value_at(2.0), 3);
+}
+
+TEST(History, BisectionOnLongHistory) {
+  History h;
+  for (int k = 0; k < 1000; ++k) h.add(static_cast<double>(k), 1);
+  // Exact hits, midpoints, and the extremes all bisect to the right step.
+  EXPECT_EQ(h.value_at(0.0), 1);
+  EXPECT_EQ(h.value_at(499.0), 500);
+  EXPECT_EQ(h.value_at(499.5), 500);
+  EXPECT_EQ(h.value_at(998.5), 999);
+  EXPECT_EQ(h.value_at(999.0), 1000);
+  EXPECT_EQ(h.value_at(-2.0), 0);
+}
+
+}  // namespace
+}  // namespace memfront
