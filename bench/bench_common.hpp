@@ -174,4 +174,55 @@ inline double mentries(count_t entries) {
   return static_cast<double>(entries) / 1e6;
 }
 
+// ---- the out-of-core problem x strategy x budget sweep ---------------------
+
+/// One leg of the OOC experiments: a Table 1 problem under one dynamic
+/// strategy, its shared static analysis, the in-core reference run, and
+/// the budgeted setup at 1.2x the in-core stack peak (the acceptance
+/// budget of the OOC tests).
+struct BudgetedCase {
+  Problem problem;
+  bool memory_strategy = false;
+  ExperimentSetup setup;         // in-core configuration
+  PreparedExperiment prepared;   // analysis + mapping, shared by all runs
+  ExperimentOutcome incore;      // unbudgeted in-core reference
+  ExperimentSetup ooc_setup;     // budgeted at 1.2x the in-core peak
+};
+
+inline ExperimentSetup ooc_strategy_setup(const Problem& p, index_t nprocs,
+                                          bool memory_strategy) {
+  ExperimentSetup setup;
+  setup.nprocs = nprocs;
+  setup.symmetric = p.symmetric;
+  setup.ordering = OrderingKind::kNestedDissection;
+  if (memory_strategy) {
+    setup.slave_strategy = SlaveStrategy::kMemoryImproved;
+    setup.task_strategy = TaskStrategy::kMemoryAware;
+  }
+  setup.ooc.spill_penalty = memory_strategy;  // let selection dodge spills
+  return setup;
+}
+
+/// Runs `fn(const BudgetedCase&)` for every Table 1 problem under both
+/// dynamic strategies — the loop `examples/ooc_planning` and
+/// `bench/bench_ooc` share.
+template <typename Fn>
+void for_each_budgeted_case(double scale, index_t nprocs, Fn&& fn) {
+  for (ProblemId id : all_problem_ids()) {
+    for (const bool memory_strategy : {false, true}) {
+      BudgetedCase c;
+      c.problem = make_problem(id, scale);
+      c.memory_strategy = memory_strategy;
+      c.setup = ooc_strategy_setup(c.problem, nprocs, memory_strategy);
+      c.prepared = prepare_experiment(c.problem.matrix, c.setup);
+      c.incore = run_prepared(c.prepared, c.setup);
+      c.ooc_setup = c.setup;
+      c.ooc_setup.ooc.enabled = true;
+      c.ooc_setup.ooc.budget =
+          c.incore.max_stack_peak + c.incore.max_stack_peak / 5;
+      fn(c);
+    }
+  }
+}
+
 }  // namespace memfront::bench

@@ -6,17 +6,17 @@
 // the stack peak, then an out-of-core run under a budget of 1.2x that
 // peak shows the factor write-back volume, any contribution-block
 // spilling, and the stall the disk adds; finally the planner reports how
-// much further the budget could shrink.
+// much further the budget could shrink. The problem x strategy x budget
+// sweep itself is shared with bench/bench_ooc (bench_common.hpp).
 #include <cstdlib>
 #include <iostream>
 
-#include "memfront/core/experiment.hpp"
+#include "bench_common.hpp"
 #include "memfront/ooc/planner.hpp"
-#include "memfront/sparse/problems.hpp"
-#include "memfront/support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace memfront;
+  using namespace memfront::bench;
   const double scale = argc > 1 ? std::atof(argv[1]) : 0.5;
   const index_t nprocs = 16;
 
@@ -27,51 +27,32 @@ int main(int argc, char** argv) {
   TextTable table({"Matrix", "Strategy", "peak (M)", "budget (M)",
                    "factors->disk (M)", "spill (M)", "stall %", "slowdown x",
                    "min budget (M)"});
-  for (ProblemId id : all_problem_ids()) {
-    const Problem p = make_problem(id, scale);
-    for (const bool memory_strategy : {false, true}) {
-      ExperimentSetup setup;
-      setup.nprocs = nprocs;
-      setup.symmetric = p.symmetric;
-      setup.ordering = OrderingKind::kNestedDissection;
-      if (memory_strategy) {
-        setup.slave_strategy = SlaveStrategy::kMemoryImproved;
-        setup.task_strategy = TaskStrategy::kMemoryAware;
-      }
-      setup.ooc.spill_penalty = memory_strategy;  // let selection dodge spills
-      const PreparedExperiment prepared = prepare_experiment(p.matrix, setup);
-      const ExperimentOutcome incore = run_prepared(prepared, setup);
+  for_each_budgeted_case(scale, nprocs, [&](const BudgetedCase& c) {
+    const ExperimentOutcome out = run_prepared(c.prepared, c.ooc_setup);
+    const PlannerResult plan = plan_minimum_budget(
+        c.prepared.analysis.tree, c.prepared.analysis.memory,
+        c.prepared.mapping, c.prepared.analysis.traversal,
+        sched_config(c.setup));
 
-      ExperimentSetup ooc = setup;
-      ooc.ooc.enabled = true;
-      ooc.ooc.budget = incore.max_stack_peak + incore.max_stack_peak / 5;
-      const ExperimentOutcome out = run_prepared(prepared, ooc);
-
-      const PlannerResult plan = plan_minimum_budget(
-          prepared.analysis.tree, prepared.analysis.memory, prepared.mapping,
-          prepared.analysis.traversal, sched_config(setup));
-
-      const double m = 1e6;
-      table.row();
-      table.cell(p.name);
-      table.cell(memory_strategy ? "memory" : "workload");
-      table.cell(static_cast<double>(incore.max_stack_peak) / m, 3);
-      table.cell(static_cast<double>(ooc.ooc.budget) / m, 3);
-      table.cell(
-          static_cast<double>(out.parallel.ooc_factor_write_entries) / m, 3);
-      table.cell(static_cast<double>(out.parallel.ooc_spill_entries) / m, 3);
-      // Stall is summed over processors; report it against the aggregate
-      // processor-time of the run.
-      table.cell(100.0 * out.parallel.ooc_stall_time /
-                     (out.makespan * static_cast<double>(nprocs)),
-                 1);
-      table.cell(out.makespan / incore.makespan, 2);
-      table.cell(static_cast<double>(plan.min_budget) / m, 3);
-      if (!out.parallel.ooc_feasible())
-        std::cout << "warning: " << p.name << " overran the 1.2x budget by "
-                  << out.parallel.ooc_overrun_peak << " entries\n";
-    }
-  }
+    table.row();
+    table.cell(c.problem.name);
+    table.cell(c.memory_strategy ? "memory" : "workload");
+    table.cell(mentries(c.incore.max_stack_peak), 3);
+    table.cell(mentries(c.ooc_setup.ooc.budget), 3);
+    table.cell(mentries(out.parallel.ooc_factor_write_entries), 3);
+    table.cell(mentries(out.parallel.ooc_spill_entries), 3);
+    // Stall is summed over processors; report it against the aggregate
+    // processor-time of the run.
+    table.cell(100.0 * out.parallel.ooc_stall_time /
+                   (out.makespan * static_cast<double>(nprocs)),
+               1);
+    table.cell(out.makespan / c.incore.makespan, 2);
+    table.cell(mentries(plan.min_budget), 3);
+    if (!out.parallel.ooc_feasible())
+      std::cout << "warning: " << c.problem.name
+                << " overran the 1.2x budget by "
+                << out.parallel.ooc_overrun_peak << " entries\n";
+  });
   table.print(std::cout);
   std::cout
       << "\nWith factors on disk the stack *is* the memory footprint\n"

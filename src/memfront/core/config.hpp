@@ -1,33 +1,11 @@
 // Configuration of the dynamic scheduling strategies under study.
 #pragma once
 
-#include "memfront/ooc/disk.hpp"
-#include "memfront/ooc/spill.hpp"
+#include "memfront/ooc/config.hpp"
 #include "memfront/sim/machine.hpp"
 #include "memfront/support/types.hpp"
 
 namespace memfront {
-
-/// Out-of-core execution mode (Section 7: once factors go to disk, the
-/// stack *is* the memory footprint). When enabled, completed factor panels
-/// stream to disk (freeing in-core memory when the write lands), and a
-/// hard per-processor budget is enforced by draining in-flight factor
-/// writes and spilling resident contribution blocks, stalling the
-/// processor for the disk time either takes.
-struct OocConfig {
-  bool enabled = false;
-  /// Hard per-processor in-core budget, in entries. 0 = unlimited (factors
-  /// still stream to disk; nothing ever spills or stalls on the budget).
-  count_t budget = 0;
-  DiskParams disk{};
-  SpillPolicy spill_policy = SpillPolicy::kLargestFirst;
-  /// Let the dynamic task/slave selection penalize choices that would
-  /// push a processor over its budget (and hence trigger spills).
-  bool spill_penalty = false;
-  /// Weight of the slave-selection penalty: projected overflow entries
-  /// count this many times in the candidate's memory metric.
-  count_t spill_penalty_weight = 4;
-};
 
 /// Slave-selection strategy for type-2 masters (Sections 3, 4, 5.1).
 enum class SlaveStrategy {

@@ -1,846 +1,18 @@
+// Thin driver over the scheduling engine: builds the policy the config
+// names (core/policy.hpp), wires in the out-of-core engine when the mode
+// is on (ooc/engine.hpp), and runs the event loop (core/engine.hpp).
 #include "memfront/core/parallel_factor.hpp"
 
-#include <algorithm>
-#include <deque>
-#include <memory>
-#include <optional>
-
-#include "memfront/core/slave_selection.hpp"
-#include "memfront/core/task_pool.hpp"
-#include "memfront/core/task_selection.hpp"
-#include "memfront/frontal/block_cyclic.hpp"
-#include "memfront/sim/event_queue.hpp"
-#include "memfront/sim/memory_view.hpp"
-#include "memfront/support/error.hpp"
+#include "memfront/core/engine.hpp"
 
 namespace memfront {
-
-const char* slave_strategy_name(SlaveStrategy s) {
-  switch (s) {
-    case SlaveStrategy::kWorkload: return "workload";
-    case SlaveStrategy::kMemory: return "memory";
-    case SlaveStrategy::kMemoryImproved: return "memory+static";
-  }
-  return "?";
-}
-
-const char* task_strategy_name(TaskStrategy s) {
-  switch (s) {
-    case TaskStrategy::kLifo: return "lifo";
-    case TaskStrategy::kMemoryAware: return "memory-aware";
-  }
-  return "?";
-}
-
-const char* peak_cause_name(PeakCause cause) {
-  switch (cause) {
-    case PeakCause::kNone: return "none";
-    case PeakCause::kType1Front: return "type1-front";
-    case PeakCause::kType2Master: return "type2-master";
-    case PeakCause::kSlaveBlock: return "slave-block";
-    case PeakCause::kRootShare: return "root-share";
-    case PeakCause::kContribution: return "contribution-block";
-  }
-  return "?";
-}
-
-namespace {
-
-/// One in-flight piece of work with priority over the pool: a received
-/// type-2 slave block or a type-3 root share.
-struct UrgentTask {
-  index_t node = kNone;
-  count_t entries = 0;       // block size held on the stack
-  count_t factor_part = 0;   // portion that moves to the factors at the end
-  count_t flops = 0;
-  bool root_share = false;
-};
-
-/// A factor panel whose disk write is in flight (OOC mode): the entries
-/// stay on the stack until `finish`, but budget admission may account them
-/// as freed early (paying the wait as a stall), in which case `released`
-/// keeps the completion event from double-freeing.
-struct PendingWrite {
-  double finish = 0.0;
-  count_t entries = 0;
-  bool released = false;
-};
-
-struct Proc {
-  TaskPool pool;
-  std::deque<UrgentTask> urgent;
-  bool busy = false;
-  count_t stack = 0;
-  count_t peak = 0;
-  AnnouncedState announced;
-  // Subtrees currently in progress on this processor: (subtree id,
-  // projected peak = stack at subtree start + standalone subtree peak).
-  std::vector<std::pair<index_t, count_t>> active_subtrees;
-  // OOC mode: nodes with an in-core contribution block on this processor
-  // (residency order), and factor writes still in flight.
-  std::vector<index_t> resident_cbs;
-  std::vector<std::shared_ptr<PendingWrite>> pending_writes;
-  ProcResult result;
-};
-
-/// One contribution block resident on (or spilled from) a processor.
-struct CbPiece {
-  index_t proc = kNone;
-  count_t entries = 0;
-  bool spilled = false;
-};
-
-struct NodeState {
-  index_t children_remaining = 0;
-  index_t parts_remaining = 0;  // type-2: master+slaves; type-3: grid size
-  bool completed = false;
-  std::vector<CbPiece> cb_pieces;
-};
-
-class Simulator {
- public:
-  Simulator(const AssemblyTree& tree, const TreeMemory& memory,
-            const StaticMapping& mapping,
-            const std::vector<index_t>& traversal, const SchedConfig& config,
-            Trace* trace)
-      : tree_(tree),
-        memory_(memory),
-        mapping_(mapping),
-        traversal_(traversal),
-        cfg_(config),
-        machine_(config.machine),
-        trace_(trace),
-        nprocs_(config.machine.nprocs) {
-    check(nprocs_ >= 1, "simulate: need at least one processor");
-    procs_.resize(static_cast<std::size_t>(nprocs_));
-    nodes_.resize(static_cast<std::size_t>(tree.num_nodes()));
-    grid_ = choose_grid(nprocs_);
-    if (cfg_.ooc.enabled) disk_.emplace(cfg_.ooc.disk, nprocs_);
-  }
-
-  ParallelResult run() {
-    initialize();
-    queue_.run();
-    return finalize();
-  }
-
- private:
-  // ---- state helpers -----------------------------------------------------
-
-  double now() const { return queue_.now(); }
-  double delay() const { return cfg_.machine.info_delay; }
-
-  void alloc(index_t p, count_t entries, PeakCause cause, index_t node) {
-    Proc& proc = procs_[static_cast<std::size_t>(p)];
-    proc.stack += entries;
-    if (proc.stack > proc.peak) {
-      proc.peak = proc.stack;
-      proc.result.peak_cause = cause;
-      proc.result.peak_node = node;
-      proc.result.peak_in_subtree =
-          node != kNone && mapping_.subtrees.in_subtree(node);
-      proc.result.peak_time = now();
-    }
-    if (trace_) trace_->record(now(), p, proc.stack);
-  }
-  void release(index_t p, count_t entries) {
-    Proc& proc = procs_[static_cast<std::size_t>(p)];
-    proc.stack -= entries;
-    check(proc.stack >= 0, "simulate: negative stack");
-    if (trace_) trace_->record(now(), p, proc.stack);
-  }
-  void announce_mem(index_t p, count_t delta) {
-    procs_[static_cast<std::size_t>(p)].announced.memory.add(now(), delta);
-  }
-
-  // ---- out-of-core machinery ---------------------------------------------
-
-  bool ooc_on() const { return cfg_.ooc.enabled; }
-  count_t budget() const { return cfg_.ooc.budget; }
-
-  /// Streams `entries` of completed factors to disk. They stay on the
-  /// stack (they were allocated as part of the front) until the write
-  /// lands; budget admission may account them as freed early.
-  void write_back_factors(index_t p, count_t entries) {
-    if (entries <= 0) return;
-    Proc& proc = procs_[static_cast<std::size_t>(p)];
-    proc.result.ooc.factor_write_entries += entries;
-    auto pw = std::make_shared<PendingWrite>();
-    pw->finish = disk_->write(p, entries, now());
-    pw->entries = entries;
-    proc.pending_writes.push_back(pw);
-    queue_.schedule(pw->finish, [this, p, pw] {
-      if (!pw->released) {
-        pw->released = true;
-        release(p, pw->entries);
-        announce_mem(p, -pw->entries);
-      }
-      Proc& pr = procs_[static_cast<std::size_t>(p)];
-      std::erase(pr.pending_writes, pw);
-    });
-  }
-
-  /// Makes room for an allocation of `incoming` entries on p under the
-  /// hard budget: first waits for enough in-flight factor writes (their
-  /// disk time is already paid; waiting costs only the stall), then spills
-  /// resident contribution blocks. Returns the stall the caller must
-  /// insert before the allocated data is usable; any remaining excess is
-  /// recorded as a budget overrun (the allocation itself cannot be
-  /// shrunk), so the simulation always completes.
-  double budget_admit(index_t p, count_t incoming) {
-    if (!ooc_on() || budget() <= 0) return 0.0;
-    Proc& proc = procs_[static_cast<std::size_t>(p)];
-    count_t over = proc.stack + incoming - budget();
-    if (over <= 0) return 0.0;
-    double stall = 0.0;
-    // 1. Drain factor writes already in flight, earliest-finishing first
-    //    (pending_writes is in issue order = finish order per channel).
-    for (auto& pw : proc.pending_writes) {
-      if (over <= 0) break;
-      if (pw->released) continue;
-      pw->released = true;
-      release(p, pw->entries);
-      announce_mem(p, -pw->entries);
-      stall = std::max(stall, pw->finish - now());
-      over -= pw->entries;
-    }
-    // 2. Spill resident contribution blocks; the processor stalls until
-    //    the eviction writes land (no write-behind buffer is modelled).
-    if (over > 0 && !proc.resident_cbs.empty()) {
-      std::vector<SpillCandidate> candidates;
-      candidates.reserve(proc.resident_cbs.size());
-      for (index_t n : proc.resident_cbs)
-        candidates.push_back({n, find_piece(n, p).entries});
-      const std::vector<std::size_t> victims =
-          choose_spill_victims(candidates, over, cfg_.ooc.spill_policy);
-      std::vector<index_t> evicted;
-      evicted.reserve(victims.size());
-      for (std::size_t k : victims) {
-        const index_t n = candidates[k].id;
-        CbPiece& piece = find_piece(n, p);
-        piece.spilled = true;
-        release(p, piece.entries);
-        announce_mem(p, -piece.entries);
-        stall = std::max(stall, disk_->write(p, piece.entries, now()) - now());
-        proc.result.ooc.spill_entries += piece.entries;
-        ++proc.result.ooc.spill_events;
-        over -= piece.entries;
-        evicted.push_back(n);
-      }
-      std::erase_if(proc.resident_cbs, [&](index_t n) {
-        return std::find(evicted.begin(), evicted.end(), n) != evicted.end();
-      });
-    }
-    if (over > 0)
-      proc.result.ooc.overrun_peak =
-          std::max(proc.result.ooc.overrun_peak, over);
-    proc.result.ooc.stall_time += stall;
-    return stall;
-  }
-
-  CbPiece& find_piece(index_t node, index_t p) {
-    for (CbPiece& piece : nodes_[static_cast<std::size_t>(node)].cb_pieces)
-      if (piece.proc == p) return piece;
-    check(false, "simulate: resident cb piece not found");
-    return nodes_[static_cast<std::size_t>(node)].cb_pieces.front();
-  }
-
-  /// Records a freshly pushed contribution block as in-core resident.
-  void track_resident_cb(index_t p, index_t node) {
-    if (ooc_on())
-      procs_[static_cast<std::size_t>(p)].resident_cbs.push_back(node);
-  }
-  void announce_load(index_t p, count_t delta) {
-    procs_[static_cast<std::size_t>(p)].announced.workload.add(now(), delta);
-  }
-
-  /// The memory metric of Section 5.1: announced memory plus, for the
-  /// improved strategy, subtree peaks and the predicted master task.
-  count_t remote_metric(index_t q, double at) const {
-    const AnnouncedState& a = procs_[static_cast<std::size_t>(q)].announced;
-    count_t m = a.memory.value_at(at);
-    if (cfg_.slave_strategy == SlaveStrategy::kMemoryImproved) {
-      if (cfg_.subtree_broadcast) m += a.subtree_peak.value_at(at);
-      if (cfg_.master_prediction) m += a.pending_master.value_at(at);
-    }
-    return m;
-  }
-
-  /// Memory a node allocates on its owner when activated.
-  count_t activation_entries(index_t node) const {
-    switch (mapping_.type[static_cast<std::size_t>(node)]) {
-      case NodeType::kType1: return tree_.front_entries(node);
-      case NodeType::kType2: return tree_.master_entries(node);
-      case NodeType::kType3:
-        return max_entries_per_process(grid_, tree_.nfront(node));
-    }
-    return 0;
-  }
-
-  bool upper_part(index_t node) const {
-    return !mapping_.subtrees.in_subtree(node);
-  }
-
-  /// Re-broadcasts the cost of the largest ready upper-part task in p's
-  /// pool (the Section 5.1 prediction; updated on every ready/activation).
-  void refresh_pending_master(index_t p) {
-    Proc& proc = procs_[static_cast<std::size_t>(p)];
-    count_t best = 0;
-    for (index_t node : proc.pool.tasks())
-      if (upper_part(node))
-        best = std::max(best, activation_entries(node));
-    proc.announced.pending_master.set(now(), best);
-  }
-
-  // ---- initialization ----------------------------------------------------
-
-  void initialize() {
-    // Children counters and initial leaf pools.
-    for (index_t i = 0; i < tree_.num_nodes(); ++i)
-      nodes_[static_cast<std::size_t>(i)].children_remaining =
-          static_cast<index_t>(tree_.children(i).size());
-
-    // Initial workload: the cost of all the processor's subtrees
-    // (Section 3), announced at t=0.
-    const Subtrees& st = mapping_.subtrees;
-    for (std::size_t s = 0; s < st.roots.size(); ++s)
-      announce_load(st.proc[s], st.flops[s]);
-
-    // Leaves enter their owner's pool in reverse traversal order, so the
-    // stack discipline reproduces the (Liu-ordered) depth-first traversal
-    // and leaves of one subtree stay contiguous (Figure 7).
-    for (auto it = traversal_.rbegin(); it != traversal_.rend(); ++it) {
-      const index_t node = *it;
-      if (!tree_.children(node).empty()) continue;
-      if (mapping_.type[static_cast<std::size_t>(node)] == NodeType::kType3) {
-        // Degenerate: a leaf root. Start it directly.
-        queue_.schedule(0.0, [this, node] { start_type3(node); });
-        continue;
-      }
-      const index_t owner = mapping_.owner[static_cast<std::size_t>(node)];
-      procs_[static_cast<std::size_t>(owner)].pool.push(node);
-      if (upper_part(node)) announce_load(owner, ready_cost(node));
-    }
-    for (index_t p = 0; p < nprocs_; ++p) {
-      refresh_pending_master(p);
-      queue_.schedule(0.0, [this, p] { wake(p); });
-    }
-  }
-
-  // ---- processor main loop -----------------------------------------------
-
-  void wake(index_t p) {
-    Proc& proc = procs_[static_cast<std::size_t>(p)];
-    if (proc.busy) return;
-    if (!proc.urgent.empty()) {
-      start_urgent(p);
-      return;
-    }
-    if (!proc.pool.empty()) activate_from_pool(p);
-  }
-
-  void start_urgent(index_t p) {
-    Proc& proc = procs_[static_cast<std::size_t>(p)];
-    UrgentTask task = proc.urgent.front();
-    proc.urgent.pop_front();
-    proc.busy = true;
-    const double dur = machine_.compute_time(task.flops);
-    proc.result.busy_time += dur;
-    proc.result.flops_done += task.flops;
-    ++proc.result.slave_tasks_run;
-    queue_.schedule_after(dur, [this, p, task] {
-      // The factor part leaves the stack (in OOC mode: streams to disk
-      // first); a slave's contribution rows stay until the parent
-      // assembles them.
-      if (ooc_on()) {
-        write_back_factors(p, task.factor_part);
-      } else {
-        release(p, task.factor_part);
-        announce_mem(p, -task.factor_part);
-      }
-      procs_[static_cast<std::size_t>(p)].result.factor_entries +=
-          task.factor_part;
-      const count_t cb_part = task.entries - task.factor_part;
-      if (cb_part > 0) {
-        nodes_[static_cast<std::size_t>(task.node)].cb_pieces.push_back(
-            {p, cb_part, false});
-        track_resident_cb(p, task.node);
-      }
-      announce_load(p, -task.flops);
-      part_done(task.node);
-      procs_[static_cast<std::size_t>(p)].busy = false;
-      wake(p);
-    });
-  }
-
-  void activate_from_pool(index_t p) {
-    Proc& proc = procs_[static_cast<std::size_t>(p)];
-    std::size_t position = 0;
-    if (cfg_.task_strategy == TaskStrategy::kLifo) {
-      position = select_task_lifo(proc.pool.tasks());
-    } else {
-      count_t projected = proc.stack;
-      for (const auto& [sid, proj] : proc.active_subtrees)
-        projected = std::max(projected, proj);
-      TaskSelectionContext ctx{
-          .activation_entries = [this](index_t n) { return activation_entries(n); },
-          .in_subtree = [this](index_t n) { return !upper_part(n); },
-          .projected_memory = projected,
-          .observed_peak = proc.peak,
-          .spill_budget = ooc_on() && cfg_.ooc.spill_penalty ? budget() : 0,
-      };
-      position = select_task_memory_aware(proc.pool.tasks(), ctx);
-    }
-    const index_t node = proc.pool.take(position);
-    refresh_pending_master(p);
-    ++proc.result.tasks_run;
-
-    // Subtree bookkeeping: first task of a subtree announces its peak
-    // (Section 5.1); the announcement is withdrawn when the subtree root
-    // completes.
-    const index_t sid =
-        mapping_.subtrees.node_subtree[static_cast<std::size_t>(node)];
-    if (sid != kNone) {
-      const bool already =
-          std::any_of(proc.active_subtrees.begin(), proc.active_subtrees.end(),
-                      [sid](const auto& e) { return e.first == sid; });
-      if (!already) {
-        const count_t peak = mapping_.subtrees.peak[static_cast<std::size_t>(sid)];
-        proc.active_subtrees.emplace_back(sid, proc.stack + peak);
-        proc.announced.subtree_peak.add(now(), peak);
-      }
-    }
-
-    if (mapping_.type[static_cast<std::size_t>(node)] == NodeType::kType2)
-      activate_type2(p, node);
-    else
-      activate_type1(p, node);
-  }
-
-  enum class CbPhase {
-    kChainOnly,    // chain-link children: freed *before* the new allocation
-                   // (their storage is reused in place, Section 6)
-    kNonChainOnly  // ordinary children: freed after the front exists
-  };
-
-  /// Frees the children's contribution blocks (wherever they live) and
-  /// returns the extra time the remote transfers — and, in OOC mode, the
-  /// reloads of spilled blocks — cost the assembling task.
-  double consume_children(index_t parent, index_t assembler, CbPhase phase) {
-    double extra = 0.0;
-    for (index_t child : tree_.children(parent)) {
-      if (tree_.is_chain_link(child) != (phase == CbPhase::kChainOnly))
-        continue;
-      for (const CbPiece& piece :
-           nodes_[static_cast<std::size_t>(child)].cb_pieces) {
-        const index_t q = piece.proc;
-        const count_t entries = piece.entries;
-        double path = 0.0;
-        if (piece.spilled) {
-          // Reread from q's disk; the block streams straight into the
-          // parent's front (already allocated), no in-core staging.
-          Proc& owner = procs_[static_cast<std::size_t>(q)];
-          owner.result.ooc.reload_entries += entries;
-          ++owner.result.ooc.reload_events;
-          path = disk_->read(q, entries, now()) - now();
-        } else {
-          release(q, entries);
-          announce_mem(q, -entries);
-          if (ooc_on())
-            std::erase(procs_[static_cast<std::size_t>(q)].resident_cbs,
-                       child);
-        }
-        if (q != assembler) {
-          machine_.count_message(entries);
-          path += machine_.transfer_time(entries);
-        }
-        extra = std::max(extra, path);
-      }
-      nodes_[static_cast<std::size_t>(child)].cb_pieces.clear();
-    }
-    return extra;
-  }
-
-  void activate_type1(index_t p, index_t node) {
-    Proc& proc = procs_[static_cast<std::size_t>(p)];
-    proc.busy = true;
-    double transfer = consume_children(node, p, CbPhase::kChainOnly);
-    const double stall = budget_admit(p, tree_.front_entries(node));
-    alloc(p, tree_.front_entries(node), PeakCause::kType1Front, node);
-    announce_mem(p, tree_.front_entries(node));
-    transfer += consume_children(node, p, CbPhase::kNonChainOnly);
-    const double dur = stall + transfer +
-                       machine_.assemble_time(tree_.front_entries(node)) +
-                       machine_.compute_time(tree_.flops(node));
-    proc.result.busy_time += dur - stall;
-    proc.result.flops_done += tree_.flops(node);
-    queue_.schedule_after(dur, [this, p, node] {
-      const count_t cb = tree_.cb_entries(node);
-      if (ooc_on()) {
-        // The front splits in place: the cb part stays on the stack as
-        // this node's contribution block, the factor part stays until its
-        // disk write lands (front = factors + cb exactly).
-        write_back_factors(p, tree_.factor_entries(node));
-        if (cb > 0) {
-          nodes_[static_cast<std::size_t>(node)].cb_pieces.push_back(
-              {p, cb, false});
-          track_resident_cb(p, node);
-        }
-      } else {
-        release(p, tree_.front_entries(node));
-        announce_mem(p, -tree_.front_entries(node));
-        if (cb > 0) {
-          alloc(p, cb, PeakCause::kContribution, node);
-          announce_mem(p, cb);
-          nodes_[static_cast<std::size_t>(node)].cb_pieces.push_back(
-              {p, cb, false});
-        }
-      }
-      procs_[static_cast<std::size_t>(p)].result.factor_entries +=
-          tree_.factor_entries(node);
-      announce_load(p, -tree_.flops(node));
-      node_complete(node, p);
-      procs_[static_cast<std::size_t>(p)].busy = false;
-      wake(p);
-    });
-  }
-
-  void activate_type2(index_t p, index_t node) {
-    Proc& proc = procs_[static_cast<std::size_t>(p)];
-    proc.busy = true;
-    ++type2_nodes_;
-    const bool sym = tree_.symmetric();
-    const index_t nfront = tree_.nfront(node);
-    const index_t npiv = tree_.npiv(node);
-    const count_t master_mem = tree_.master_entries(node);
-    double transfer = consume_children(node, p, CbPhase::kChainOnly);
-    const double stall = budget_admit(p, master_mem);
-    alloc(p, master_mem, PeakCause::kType2Master, node);
-    announce_mem(p, master_mem);
-    transfer += consume_children(node, p, CbPhase::kNonChainOnly);
-
-    // ---- dynamic slave selection (the heart of the paper) ----
-    SelectionProblem problem{
-        .nfront = nfront,
-        .npiv = npiv,
-        .symmetric = sym,
-        .max_slaves = cfg_.max_slaves > 0 ? cfg_.max_slaves : nprocs_ - 1,
-        .min_rows_per_slave = cfg_.min_rows_per_slave,
-    };
-    const double horizon = now() - delay();
-    std::vector<SlaveCandidate> candidates;
-    candidates.reserve(static_cast<std::size_t>(nprocs_) - 1);
-    // Rough per-slave block size, used only to price the spill penalty.
-    const count_t est_share =
-        (tree_.front_entries(node) - master_mem) /
-        std::max<count_t>(1, std::min<count_t>(problem.max_slaves,
-                                               nprocs_ - 1));
-    for (index_t q = 0; q < nprocs_; ++q) {
-      if (q == p) continue;
-      count_t metric;
-      if (cfg_.slave_strategy == SlaveStrategy::kWorkload) {
-        metric = procs_[static_cast<std::size_t>(q)]
-                     .announced.workload.value_at(horizon);
-      } else {
-        metric = remote_metric(q, horizon);
-        // OOC spill penalty: a candidate whose announced memory plus a
-        // typical share would burst its budget pays the projected
-        // overflow, weighted, on top of its metric — selection drifts to
-        // processors that can take the block without touching the disk.
-        if (ooc_on() && cfg_.ooc.spill_penalty && budget() > 0) {
-          const count_t overflow = metric + est_share - budget();
-          if (overflow > 0) metric += cfg_.ooc.spill_penalty_weight * overflow;
-        }
-      }
-      candidates.push_back({q, metric});
-    }
-    const count_t mflops = master_flops(nfront, npiv, sym);
-    std::vector<SlaveShare> shares;
-    if (nprocs_ == 1 || candidates.empty()) {
-      // No one to delegate to: the master handles the whole front.
-      shares.push_back(SlaveShare{
-          .proc = p,
-          .row_start = 0,
-          .rows = nfront - npiv,
-          .entries = slave_block_entries(nfront, npiv, 0, nfront - npiv, sym),
-          .flops = slave_flops(nfront, npiv, nfront - npiv, sym)});
-    } else if (cfg_.slave_strategy == SlaveStrategy::kWorkload) {
-      const count_t my_load =
-          proc.announced.workload.current();
-      shares = workload_selection(problem, std::move(candidates), my_load,
-                                  mflops);
-    } else {
-      shares = memory_selection(problem, std::move(candidates));
-    }
-    check(!shares.empty(), "simulate: type-2 node with no slave shares");
-
-    nodes_[static_cast<std::size_t>(node)].parts_remaining =
-        static_cast<index_t>(shares.size()) + 1;
-    for (const SlaveShare& share : shares) {
-      const index_t q = share.proc;
-      // The master's choice is announced immediately ("known as quickly as
-      // possible by the others"); the block is physically allocated on the
-      // slave when the task message arrives.
-      announce_mem(q, share.entries);
-      announce_load(q, share.flops);
-      machine_.count_message(share.entries);
-      // The task message carries the front's index list, not the data.
-      const double arrival = q == p ? 0.0 : machine_.transfer_time(nfront);
-      UrgentTask task{.node = node,
-                      .entries = share.entries,
-                      .factor_part = static_cast<count_t>(share.rows) * npiv,
-                      .flops = share.flops,
-                      .root_share = false};
-      queue_.schedule_after(arrival, [this, q, task] {
-        // Budget admission happens where the block lands; the receive is
-        // held back while the slave makes room on disk.
-        const double recv_stall = budget_admit(q, task.entries);
-        alloc(q, task.entries, PeakCause::kSlaveBlock, task.node);
-        auto deliver = [this, q, task] {
-          procs_[static_cast<std::size_t>(q)].urgent.push_back(task);
-          wake(q);
-        };
-        if (recv_stall > 0)
-          queue_.schedule_after(recv_stall, deliver);
-        else
-          deliver();
-      });
-    }
-
-    const double dur = stall + transfer + machine_.assemble_time(master_mem) +
-                       machine_.compute_time(mflops);
-    proc.result.busy_time += dur - stall;
-    proc.result.flops_done += mflops;
-    queue_.schedule_after(dur, [this, p, node, master_mem] {
-      // The fully-summed rows become factors.
-      if (ooc_on()) {
-        write_back_factors(p, master_mem);
-      } else {
-        release(p, master_mem);
-        announce_mem(p, -master_mem);
-      }
-      procs_[static_cast<std::size_t>(p)].result.factor_entries += master_mem;
-      announce_load(p, -master_flops(tree_.nfront(node), tree_.npiv(node),
-                                     tree_.symmetric()));
-      part_done(node);
-      procs_[static_cast<std::size_t>(p)].busy = false;
-      wake(p);
-    });
-  }
-
-  /// Per-grid-process share of the type-3 root, normalized so the shares
-  /// sum exactly to the tree's front-entry model (triangular storage for
-  /// symmetric roots; the 2D block-cyclic raw counts are square).
-  std::vector<count_t> root_shares(index_t node) const {
-    const index_t nfront = tree_.nfront(node);
-    const index_t grid_procs = grid_.pr * grid_.pc;
-    std::vector<count_t> raw(static_cast<std::size_t>(grid_procs), 0);
-    count_t raw_total = 0;
-    for (index_t g = 0; g < grid_procs; ++g) {
-      raw[static_cast<std::size_t>(g)] =
-          entries_on_process(grid_, nfront, g / grid_.pc, g % grid_.pc);
-      raw_total += raw[static_cast<std::size_t>(g)];
-    }
-    const count_t total = tree_.front_entries(node);
-    std::vector<count_t> shares(static_cast<std::size_t>(grid_procs), 0);
-    count_t assigned = 0;
-    for (index_t g = 0; g < grid_procs; ++g) {
-      shares[static_cast<std::size_t>(g)] =
-          raw_total > 0 ? raw[static_cast<std::size_t>(g)] * total / raw_total
-                        : 0;
-      assigned += shares[static_cast<std::size_t>(g)];
-    }
-    for (index_t g = 0; assigned < total; g = (g + 1) % grid_procs) {
-      ++shares[static_cast<std::size_t>(g)];
-      ++assigned;
-    }
-    return shares;
-  }
-
-  void start_type3(index_t node) {
-    const index_t grid_procs = grid_.pr * grid_.pc;
-    nodes_[static_cast<std::size_t>(node)].parts_remaining = grid_procs;
-    consume_children(node, /*assembler=*/0, CbPhase::kChainOnly);
-    consume_children(node, /*assembler=*/0, CbPhase::kNonChainOnly);
-    const std::vector<count_t> shares = root_shares(node);
-    const count_t flops_share =
-        tree_.flops(node) / std::max<index_t>(1, grid_procs);
-    for (index_t g = 0; g < grid_procs; ++g) {
-      const index_t q = g;  // grid process g lives on processor g
-      const count_t entries = shares[static_cast<std::size_t>(g)];
-      machine_.count_message(entries);
-      UrgentTask task{.node = node,
-                      .entries = entries,
-                      .factor_part = entries,  // the whole root is factors
-                      .flops = flops_share,
-                      .root_share = true};
-      queue_.schedule_after(machine_.params().latency, [this, q, task] {
-        const double recv_stall = budget_admit(q, task.entries);
-        alloc(q, task.entries, PeakCause::kRootShare, task.node);
-        announce_mem(q, task.entries);
-        announce_load(q, task.flops);
-        auto deliver = [this, q, task] {
-          procs_[static_cast<std::size_t>(q)].urgent.push_back(task);
-          wake(q);
-        };
-        if (recv_stall > 0)
-          queue_.schedule_after(recv_stall, deliver);
-        else
-          deliver();
-      });
-    }
-  }
-
-  // ---- completion bookkeeping ---------------------------------------------
-
-  void part_done(index_t node) {
-    NodeState& st = nodes_[static_cast<std::size_t>(node)];
-    check(st.parts_remaining > 0, "simulate: spurious part completion");
-    if (--st.parts_remaining == 0) {
-      // Type-2: completion is detected by the master; type-3 by proc 0.
-      const index_t reporter =
-          mapping_.type[static_cast<std::size_t>(node)] == NodeType::kType3
-              ? 0
-              : mapping_.owner[static_cast<std::size_t>(node)];
-      node_complete(node, reporter);
-    }
-  }
-
-  void node_complete(index_t node, index_t reporter) {
-    NodeState& st = nodes_[static_cast<std::size_t>(node)];
-    check(!st.completed, "simulate: node completed twice");
-    st.completed = true;
-    ++completed_;
-
-    // Withdraw the subtree announcement when its root finishes.
-    const index_t sid =
-        mapping_.subtrees.node_subtree[static_cast<std::size_t>(node)];
-    if (sid != kNone &&
-        mapping_.subtrees.roots[static_cast<std::size_t>(sid)] == node) {
-      const index_t p = mapping_.subtrees.proc[static_cast<std::size_t>(sid)];
-      Proc& proc = procs_[static_cast<std::size_t>(p)];
-      auto it = std::find_if(proc.active_subtrees.begin(),
-                             proc.active_subtrees.end(),
-                             [sid](const auto& e) { return e.first == sid; });
-      if (it != proc.active_subtrees.end()) {
-        proc.announced.subtree_peak.add(
-            now(), -mapping_.subtrees.peak[static_cast<std::size_t>(sid)]);
-        proc.active_subtrees.erase(it);
-      }
-    }
-
-    const index_t parent = tree_.parent(node);
-    if (parent == kNone) return;
-    // Notify the processor in charge of the parent ("every processor
-    // treating a child sends a message to the one in charge of the
-    // parent", Section 5.1).
-    const bool type3_parent =
-        mapping_.type[static_cast<std::size_t>(parent)] == NodeType::kType3;
-    const index_t owner =
-        type3_parent ? 0 : mapping_.owner[static_cast<std::size_t>(parent)];
-    auto deliver = [this, parent] {
-      NodeState& pst = nodes_[static_cast<std::size_t>(parent)];
-      check(pst.children_remaining > 0, "simulate: child accounting broken");
-      if (--pst.children_remaining > 0) return;
-      node_ready(parent);
-    };
-    if (owner == reporter) {
-      // Local notification is immediate: the parent must enter the pool
-      // before the processor picks its next task, or the stack discipline
-      // would lose its depth-first property.
-      deliver();
-    } else {
-      machine_.count_message(1);
-      queue_.schedule_after(machine_.params().latency, deliver);
-    }
-  }
-
-  void node_ready(index_t node) {
-    if (mapping_.type[static_cast<std::size_t>(node)] == NodeType::kType3) {
-      start_type3(node);
-      return;
-    }
-    const index_t owner = mapping_.owner[static_cast<std::size_t>(node)];
-    procs_[static_cast<std::size_t>(owner)].pool.push(node);
-    // Workload grows when a task becomes ready (Section 5.2); subtree
-    // tasks were pre-charged in the initial workload.
-    if (upper_part(node)) {
-      announce_load(owner, ready_cost(node));
-      refresh_pending_master(owner);
-    }
-    wake(owner);
-  }
-
-  /// Workload a ready task adds to its owner: a type-2 master only owns
-  /// its master part, the rest is given away at activation.
-  count_t ready_cost(index_t node) const {
-    return mapping_.type[static_cast<std::size_t>(node)] == NodeType::kType2
-               ? master_flops(tree_.nfront(node), tree_.npiv(node),
-                              tree_.symmetric())
-               : tree_.flops(node);
-  }
-
-  // ---- results -------------------------------------------------------------
-
-  ParallelResult finalize() {
-    check(completed_ == tree_.num_nodes(),
-          "simulate: not all nodes completed (deadlock?)");
-    ParallelResult result;
-    result.makespan = now();
-    result.procs.reserve(procs_.size());
-    double sum_peak = 0.0;
-    for (index_t p = 0; p < nprocs_; ++p) {
-      Proc& proc = procs_[static_cast<std::size_t>(p)];
-      check(proc.stack == 0, "simulate: stack not empty at the end");
-      proc.result.stack_peak = proc.peak;
-      if (proc.peak > result.max_stack_peak) result.peak_proc = p;
-      result.max_stack_peak = std::max(result.max_stack_peak, proc.peak);
-      sum_peak += static_cast<double>(proc.peak);
-      result.procs.push_back(proc.result);
-    }
-    result.avg_stack_peak = sum_peak / static_cast<double>(nprocs_);
-    result.messages = machine_.messages();
-    result.comm_entries = machine_.comm_entries();
-    result.type2_nodes_run = type2_nodes_;
-    result.ooc_enabled = ooc_on();
-    if (ooc_on()) {
-      for (const ProcResult& pr : result.procs) {
-        result.ooc_factor_write_entries += pr.ooc.factor_write_entries;
-        result.ooc_spill_entries += pr.ooc.spill_entries;
-        result.ooc_reload_entries += pr.ooc.reload_entries;
-        result.ooc_stall_time += pr.ooc.stall_time;
-        result.ooc_overrun_peak =
-            std::max(result.ooc_overrun_peak, pr.ooc.overrun_peak);
-      }
-    }
-    return result;
-  }
-
-  const AssemblyTree& tree_;
-  const TreeMemory& memory_;
-  const StaticMapping& mapping_;
-  const std::vector<index_t>& traversal_;
-  SchedConfig cfg_;
-  Machine machine_;
-  Trace* trace_;
-  index_t nprocs_;
-  EventQueue queue_;
-  BlockCyclicLayout grid_;
-  std::optional<DiskModel> disk_;
-  std::vector<Proc> procs_;
-  std::vector<NodeState> nodes_;
-  index_t completed_ = 0;
-  index_t type2_nodes_ = 0;
-};
-
-}  // namespace
 
 ParallelResult simulate_parallel_factorization(
     const AssemblyTree& tree, const TreeMemory& memory,
     const StaticMapping& mapping, const std::vector<index_t>& traversal,
     const SchedConfig& config, Trace* trace) {
-  Simulator sim(tree, memory, mapping, traversal, config, trace);
-  return sim.run();
+  Engine engine(tree, memory, mapping, traversal, config, trace);
+  return engine.run();
 }
 
 }  // namespace memfront

@@ -11,9 +11,11 @@
 // stands in for the factorization time of Table 6.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "memfront/core/config.hpp"
+#include "memfront/ooc/stats.hpp"
 #include "memfront/sim/trace.hpp"
 #include "memfront/symbolic/mapping.hpp"
 
@@ -31,24 +33,6 @@ enum class PeakCause : unsigned char {
 };
 
 const char* peak_cause_name(PeakCause cause);
-
-/// Per-processor I/O accounting of the out-of-core mode (all zero when the
-/// mode is off).
-struct OocProcStats {
-  count_t factor_write_entries = 0;  // factor panels streamed to disk
-  count_t spill_entries = 0;         // contribution blocks evicted
-  count_t reload_entries = 0;        // spilled blocks read back at assembly
-  index_t spill_events = 0;
-  index_t reload_events = 0;
-  double stall_time = 0.0;  // compute stalled on budget-admission disk I/O
-  /// Largest logical excess over the budget after draining factor writes
-  /// and spilling every resident block; 0 means the budget was honored.
-  count_t overrun_peak = 0;
-
-  count_t io_entries() const noexcept {
-    return factor_write_entries + spill_entries + reload_entries;
-  }
-};
 
 struct ProcResult {
   count_t stack_peak = 0;      // max active memory (entries)
@@ -84,6 +68,10 @@ struct ParallelResult {
   count_t ooc_reload_entries = 0;        // Σ contribution volume reread
   double ooc_stall_time = 0.0;           // Σ budget-admission stalls
   count_t ooc_overrun_peak = 0;          // max over processors
+  double ooc_overlap_time = 0.0;         // Σ I/O hidden behind compute (WB)
+  count_t ooc_buffer_high_water = 0;     // max over processors (WB)
+  /// Disk-completion events the run processed (0 when the mode is off).
+  std::uint64_t io_events = 0;
 
   /// Did every processor stay within the budget (after spilling/draining)?
   bool ooc_feasible() const noexcept { return ooc_overrun_peak == 0; }

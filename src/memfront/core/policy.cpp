@@ -1,0 +1,109 @@
+#include "memfront/core/policy.hpp"
+
+#include "memfront/ooc/engine.hpp"
+
+namespace memfront {
+
+const char* slave_strategy_name(SlaveStrategy s) {
+  switch (s) {
+    case SlaveStrategy::kWorkload: return "workload";
+    case SlaveStrategy::kMemory: return "memory";
+    case SlaveStrategy::kMemoryImproved: return "memory+static";
+  }
+  return "?";
+}
+
+const char* task_strategy_name(TaskStrategy s) {
+  switch (s) {
+    case TaskStrategy::kLifo: return "lifo";
+    case TaskStrategy::kMemoryAware: return "memory-aware";
+  }
+  return "?";
+}
+
+std::size_t BasePolicy::select_task(const TaskQuery& query) {
+  if (cfg_.task_strategy == TaskStrategy::kLifo)
+    return select_task_lifo(query.pool);
+  TaskSelectionContext ctx{
+      .activation_entries =
+          [this](index_t n) { return host_.activation_entries(n); },
+      .in_subtree = [this](index_t n) { return host_.in_subtree(n); },
+      .projected_memory = query.projected_memory,
+      .observed_peak = query.observed_peak,
+      .spill_budget = query.spill_budget,
+  };
+  return select_task_memory_aware(query.pool, ctx);
+}
+
+count_t WorkloadPolicy::slave_metric(index_t q, const SlaveQuery& query) const {
+  return host_.announced(q).workload.value_at(query.horizon);
+}
+
+std::vector<SlaveShare> WorkloadPolicy::select_slaves(
+    const SlaveQuery& query, std::vector<SlaveCandidate> candidates) {
+  return workload_selection(query.problem, std::move(candidates),
+                            query.master_load, query.master_task_flops);
+}
+
+count_t MemoryPolicy::slave_metric(index_t q, const SlaveQuery& query) const {
+  // The memory metric of Section 5.1: announced memory plus, for the
+  // improved strategy, subtree peaks and the predicted master task.
+  const AnnouncedState& a = host_.announced(q);
+  count_t m = a.memory.value_at(query.horizon);
+  if (cfg_.slave_strategy == SlaveStrategy::kMemoryImproved) {
+    if (cfg_.subtree_broadcast) m += a.subtree_peak.value_at(query.horizon);
+    if (cfg_.master_prediction) m += a.pending_master.value_at(query.horizon);
+  }
+  return m;
+}
+
+std::vector<SlaveShare> MemoryPolicy::select_slaves(
+    const SlaveQuery& query, std::vector<SlaveCandidate> candidates) {
+  return memory_selection(query.problem, std::move(candidates));
+}
+
+std::size_t OocAwarePolicy::select_task(const TaskQuery& query) {
+  TaskQuery biased = query;
+  if (cfg_.ooc.spill_penalty) biased.spill_budget = cfg_.ooc.budget;
+  return inner_->select_task(biased);
+}
+
+count_t OocAwarePolicy::slave_metric(index_t q,
+                                     const SlaveQuery& query) const {
+  count_t metric = inner_->slave_metric(q, query);
+  // A candidate whose announced memory plus a typical share would burst
+  // its budget pays the projected overflow, weighted, on top of its
+  // metric — selection drifts to processors that can take the block
+  // without touching the disk. Workload metrics are flops, not entries,
+  // so the penalty only applies to the memory strategies.
+  if (cfg_.slave_strategy != SlaveStrategy::kWorkload &&
+      cfg_.ooc.spill_penalty && cfg_.ooc.budget > 0) {
+    const count_t overflow = metric + query.est_share - cfg_.ooc.budget;
+    if (overflow > 0) metric += cfg_.ooc.spill_penalty_weight * overflow;
+  }
+  return metric;
+}
+
+std::vector<SlaveShare> OocAwarePolicy::select_slaves(
+    const SlaveQuery& query, std::vector<SlaveCandidate> candidates) {
+  return inner_->select_slaves(query, std::move(candidates));
+}
+
+double OocAwarePolicy::admit(index_t p, count_t incoming) {
+  return ooc_.admit(p, incoming);
+}
+
+std::unique_ptr<SchedulerPolicy> make_policy(const SchedConfig& config,
+                                             const PolicyHost& host,
+                                             OocEngine* ooc) {
+  std::unique_ptr<SchedulerPolicy> base;
+  if (config.slave_strategy == SlaveStrategy::kWorkload)
+    base = std::make_unique<WorkloadPolicy>(config, host);
+  else
+    base = std::make_unique<MemoryPolicy>(config, host);
+  if (!config.ooc.enabled) return base;
+  check(ooc != nullptr, "make_policy: out-of-core mode without an OocEngine");
+  return std::make_unique<OocAwarePolicy>(std::move(base), config, *ooc);
+}
+
+}  // namespace memfront

@@ -1,0 +1,175 @@
+// Pluggable scheduling policies for the parallel scheduling engine.
+//
+// The engine (core/engine.hpp) drives the MUMPS execution model of
+// Section 3; every *decision* it takes — which pool task to activate,
+// which slaves receive a type-2 front, whether an allocation may proceed
+// and at what stall — is delegated to a SchedulerPolicy. The paper's two
+// dynamic strategies are concrete policies (WorkloadPolicy = the MUMPS
+// default, MemoryPolicy = Algorithms 1/2 with the Section 5.1 static
+// knowledge), and the out-of-core mode is a decorator (OocAwarePolicy)
+// that adds budget admission and the optional spill penalties on top of
+// either. Tests mock the interface to assert the engine consults it at
+// every dispatch/admission point.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "memfront/core/config.hpp"
+#include "memfront/core/slave_selection.hpp"
+#include "memfront/core/task_selection.hpp"
+#include "memfront/sim/memory_view.hpp"
+
+namespace memfront {
+
+class OocEngine;
+
+/// Read-only view of engine state a policy may consult. Implemented by
+/// the scheduling engine; mockable in tests.
+class PolicyHost {
+ public:
+  virtual ~PolicyHost() = default;
+  virtual index_t nprocs() const = 0;
+  /// The announced (asynchronously broadcast) state of processor q.
+  virtual const AnnouncedState& announced(index_t q) const = 0;
+  /// Memory a node allocates on its owner when activated.
+  virtual count_t activation_entries(index_t node) const = 0;
+  /// Whether the node belongs to a leave subtree.
+  virtual bool in_subtree(index_t node) const = 0;
+};
+
+/// One task-dispatch consultation: which pool position to activate on
+/// `proc`. The pool is never empty.
+struct TaskQuery {
+  index_t proc = 0;
+  std::span<const index_t> pool;
+  /// Current memory including the projected peak of any subtree in
+  /// progress ("current memory (including peak of subtree)", Algorithm 2).
+  count_t projected_memory = 0;
+  /// Memory peak observed on this processor so far.
+  count_t observed_peak = 0;
+  /// Out-of-core budget the memory-aware selection should dodge; set by
+  /// the OOC decorator, 0 = in-core semantics.
+  count_t spill_budget = 0;
+};
+
+/// One slave-selection consultation for a type-2 front mastered on
+/// `master`.
+struct SlaveQuery {
+  index_t master = 0;
+  index_t node = kNone;
+  SelectionProblem problem{};
+  /// Announced state is sampled at this time (now - info_delay).
+  double horizon = 0.0;
+  /// Rough per-slave block size; prices projected-overflow penalties.
+  count_t est_share = 0;
+  /// The master's own current workload and the cost of its master part.
+  count_t master_load = 0;
+  count_t master_task_flops = 0;
+};
+
+/// Strategy object the engine consults at every scheduling decision:
+/// task dispatch (pool activation), slave selection for type-2 fronts,
+/// and memory admission ahead of every allocation.
+class SchedulerPolicy {
+ public:
+  virtual ~SchedulerPolicy() = default;
+  virtual const char* name() const = 0;
+
+  /// Pool position to activate for the query.
+  virtual std::size_t select_task(const TaskQuery& query) = 0;
+
+  /// Metric of candidate q for the query (flops for the workload
+  /// strategy, entries for the memory strategies).
+  virtual count_t slave_metric(index_t q, const SlaveQuery& query) const = 0;
+
+  /// Slave shares for the query; `candidates` carry slave_metric values
+  /// and are never empty.
+  virtual std::vector<SlaveShare> select_slaves(
+      const SlaveQuery& query, std::vector<SlaveCandidate> candidates) = 0;
+
+  /// Admission ahead of an allocation of `incoming` entries on p: returns
+  /// the stall (seconds) the caller must insert before the allocated data
+  /// is usable. In-core policies admit everything instantly.
+  virtual double admit(index_t p, count_t incoming) = 0;
+};
+
+/// Shared task-selection plumbing (both paper variants honor
+/// SchedConfig::task_strategy) and instant admission.
+class BasePolicy : public SchedulerPolicy {
+ public:
+  BasePolicy(const SchedConfig& config, const PolicyHost& host)
+      : cfg_(config), host_(host) {}
+
+  std::size_t select_task(const TaskQuery& query) override;
+  double admit(index_t, count_t) override { return 0.0; }
+
+ protected:
+  const SchedConfig cfg_;
+  const PolicyHost& host_;
+};
+
+/// The MUMPS default (Section 3): slaves are the processors less loaded
+/// than the master, work balanced against the master's own task.
+class WorkloadPolicy final : public BasePolicy {
+ public:
+  using BasePolicy::BasePolicy;
+  const char* name() const override { return "workload"; }
+  count_t slave_metric(index_t q, const SlaveQuery& query) const override;
+  std::vector<SlaveShare> select_slaves(
+      const SlaveQuery& query,
+      std::vector<SlaveCandidate> candidates) override;
+};
+
+/// Algorithm 1 on announced memory; with SlaveStrategy::kMemoryImproved
+/// the metric adds the Section 5.1 static knowledge (subtree peaks and
+/// the predicted master task).
+class MemoryPolicy final : public BasePolicy {
+ public:
+  using BasePolicy::BasePolicy;
+  const char* name() const override {
+    return cfg_.slave_strategy == SlaveStrategy::kMemoryImproved
+               ? "memory+static"
+               : "memory";
+  }
+  count_t slave_metric(index_t q, const SlaveQuery& query) const override;
+  std::vector<SlaveShare> select_slaves(
+      const SlaveQuery& query,
+      std::vector<SlaveCandidate> candidates) override;
+};
+
+/// Out-of-core decorator: routes admission to the OocEngine and, with
+/// OocConfig::spill_penalty, biases the inner policy away from choices
+/// that would burst the budget (overflow-weighted slave metrics, the
+/// spill-aware branch of Algorithm 2).
+class OocAwarePolicy final : public SchedulerPolicy {
+ public:
+  OocAwarePolicy(std::unique_ptr<SchedulerPolicy> inner,
+                 const SchedConfig& config, OocEngine& ooc)
+      : inner_(std::move(inner)), cfg_(config), ooc_(ooc) {}
+
+  const char* name() const override { return inner_->name(); }
+  std::size_t select_task(const TaskQuery& query) override;
+  count_t slave_metric(index_t q, const SlaveQuery& query) const override;
+  std::vector<SlaveShare> select_slaves(
+      const SlaveQuery& query,
+      std::vector<SlaveCandidate> candidates) override;
+  double admit(index_t p, count_t incoming) override;
+
+  SchedulerPolicy& inner() noexcept { return *inner_; }
+
+ private:
+  std::unique_ptr<SchedulerPolicy> inner_;
+  const SchedConfig cfg_;
+  OocEngine& ooc_;
+};
+
+/// The policy a SchedConfig names: WorkloadPolicy or MemoryPolicy,
+/// wrapped in OocAwarePolicy when the out-of-core mode is on (`ooc` must
+/// then be non-null).
+std::unique_ptr<SchedulerPolicy> make_policy(const SchedConfig& config,
+                                             const PolicyHost& host,
+                                             OocEngine* ooc);
+
+}  // namespace memfront

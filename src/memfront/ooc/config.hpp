@@ -1,0 +1,59 @@
+// Configuration of the out-of-core execution mode.
+#pragma once
+
+#include "memfront/ooc/disk.hpp"
+#include "memfront/ooc/spill.hpp"
+#include "memfront/support/types.hpp"
+
+namespace memfront {
+
+/// I/O discipline of the out-of-core mode: how the processor interacts
+/// with its disk channel when factors retire and blocks spill.
+enum class OocIoMode : unsigned char {
+  /// Writes are issued asynchronously and the entries stay on the stack
+  /// until the write lands; budget admission *drains* in-flight factor
+  /// writes (stalling for the remaining disk time) and stalls for spill
+  /// evictions. The PR-1 semantics; the planner's default.
+  kAdmissionDrain,
+  /// Blocking I/O: the processor stalls at every factor retirement and
+  /// every spill until the disk write lands. The classic synchronous
+  /// out-of-core scheme, the baseline of the overlap comparison.
+  kSynchronous,
+  /// Asynchronous write-behind: retired factors and spilled blocks move
+  /// into a bounded per-processor I/O buffer (dedicated RAM outside the
+  /// budget) and leave the stack immediately; the disk drains the buffer
+  /// in the background and each buffered write's completion is a disk
+  /// event freeing its slot. Compute overlaps I/O; the processor stalls
+  /// only when the buffer is full.
+  kWriteBehind,
+};
+
+const char* ooc_io_mode_name(OocIoMode mode);
+
+/// Out-of-core execution mode (Section 7: once factors go to disk, the
+/// stack *is* the memory footprint). When enabled, completed factor panels
+/// stream to disk (freeing in-core memory when the write lands), and a
+/// hard per-processor budget is enforced by spilling resident
+/// contribution blocks; the stall the disk costs depends on `io_mode`.
+struct OocConfig {
+  bool enabled = false;
+  /// Hard per-processor in-core budget, in entries. 0 = unlimited (factors
+  /// still stream to disk; nothing ever spills or stalls on the budget).
+  count_t budget = 0;
+  DiskParams disk{};
+  SpillPolicy spill_policy = SpillPolicy::kLargestFirst;
+  /// Let the dynamic task/slave selection penalize choices that would
+  /// push a processor over its budget (and hence trigger spills).
+  bool spill_penalty = false;
+  /// Weight of the slave-selection penalty: projected overflow entries
+  /// count this many times in the candidate's memory metric.
+  count_t spill_penalty_weight = 4;
+  /// How factor write-back and spill traffic interacts with compute.
+  OocIoMode io_mode = OocIoMode::kAdmissionDrain;
+  /// Write-behind mode: per-processor I/O-buffer capacity, in entries.
+  /// 0 = auto: as large as the budget (double buffering), unbounded when
+  /// the budget is unlimited too.
+  count_t write_buffer_entries = 0;
+};
+
+}  // namespace memfront

@@ -1,0 +1,123 @@
+// Out-of-core execution engine: disk channels, budget admission, and the
+// asynchronous write-behind pipeline.
+//
+// PR 1 interleaved this machinery with the parallel simulator; it now
+// lives behind a narrow interface. The OocEngine owns the DiskModel, the
+// per-processor residency lists and in-flight writes, and implements the
+// three I/O disciplines of OocIoMode (ooc/config.hpp): admission-drain
+// (PR-1 semantics), synchronous blocking writes, and the asynchronous
+// write-behind buffer whose completions are disk events that free buffer
+// slots when they land — compute overlaps I/O and stalls only when the
+// buffer is full.
+//
+// The engine talks back to its host (the scheduling engine) for simulated
+// time, event scheduling, the stack ledger, and contribution-block
+// metadata — so it is testable against a scripted host.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "memfront/ooc/config.hpp"
+#include "memfront/ooc/stats.hpp"
+#include "memfront/sim/trace.hpp"
+#include "memfront/support/types.hpp"
+
+namespace memfront {
+
+/// What the OocEngine needs from the simulation it serves.
+class OocHost {
+ public:
+  virtual ~OocHost() = default;
+  virtual double now() const = 0;
+  /// Schedules `cb` at absolute time t as a disk (I/O) event.
+  virtual void schedule_io(double t, std::function<void()> cb) = 0;
+  /// Stack ledger of processor p.
+  virtual count_t stack(index_t p) const = 0;
+  virtual void release(index_t p, count_t entries) = 0;
+  virtual void announce_mem(index_t p, count_t delta) = 0;
+  /// Size of node's contribution-block piece resident on p.
+  virtual count_t resident_entries(index_t node, index_t p) const = 0;
+  /// Marks that piece as spilled (reloaded at parent assembly).
+  virtual void mark_spilled(index_t node, index_t p) = 0;
+  /// Mutable I/O statistics of processor p.
+  virtual OocProcStats& ooc_stats(index_t p) = 0;
+  /// Trace hook; may be a no-op.
+  virtual void record_io(double time, double finish, index_t p,
+                         count_t entries, TraceIo kind) = 0;
+};
+
+class OocEngine {
+ public:
+  OocEngine(const OocConfig& config, index_t nprocs, OocHost& host);
+
+  OocIoMode io_mode() const noexcept { return mode_; }
+  count_t budget() const noexcept { return budget_; }
+  /// Per-processor write-buffer capacity in entries; 0 = unbounded.
+  count_t buffer_capacity() const noexcept { return capacity_; }
+  const DiskModel& disk() const noexcept { return disk_; }
+
+  /// Streams `entries` of completed factors to disk and returns the stall
+  /// the retiring task must absorb (already charged to stall_time).
+  /// Admission-drain: the entries stay on the host stack until the write
+  /// lands (the landing event frees them); never stalls here.
+  /// Synchronous: the processor blocks until the write lands.
+  /// Write-behind: the entries move to the I/O buffer (the stack frees
+  /// now); stalls only for buffer space.
+  double write_back_factors(index_t p, count_t entries);
+
+  /// Makes room for an allocation of `incoming` entries on p under the
+  /// hard budget; returns the stall the caller must insert before the
+  /// allocated data is usable. Any remaining excess is recorded as a
+  /// budget overrun (the allocation itself cannot be shrunk), so the
+  /// simulation always completes.
+  double admit(index_t p, count_t incoming);
+
+  /// A contribution block of `node` became resident on p.
+  void track_resident(index_t p, index_t node);
+  /// That block left the stack normally (parent assembled it in core).
+  void forget_resident(index_t p, index_t node);
+
+  /// Rereads a spilled piece on p's channel; returns the read time the
+  /// assembling task must absorb.
+  double reload(index_t p, count_t entries);
+
+ private:
+  /// One write whose landing frees memory: stack entries (synchronous
+  /// factor write-back) or buffer space (write-behind).
+  struct InFlightWrite {
+    double finish = 0.0;
+    count_t entries = 0;
+    bool released = false;
+  };
+  struct ProcState {
+    // Nodes with an in-core contribution block on this processor, in
+    // residency order.
+    std::vector<index_t> resident_cbs;
+    // Admission-drain mode: factor writes still holding the stack.
+    std::vector<std::shared_ptr<InFlightWrite>> pending_writes;
+    // Write-behind mode: writes still holding buffer space.
+    std::deque<std::shared_ptr<InFlightWrite>> in_flight;
+    count_t buffer_used = 0;
+    std::size_t spill_cursor = 0;  // round-robin eviction start
+  };
+
+  ProcState& proc(index_t p) { return procs_[static_cast<std::size_t>(p)]; }
+
+  /// Write-behind: admits `entries` into p's buffer (stalling for the
+  /// earliest landings if full), issues the disk write, and schedules the
+  /// buffer-freeing completion. Returns the stall (not yet charged).
+  double buffer_push(index_t p, count_t entries, TraceIo kind);
+
+  const OocIoMode mode_;
+  const count_t budget_;
+  const count_t capacity_;
+  const SpillPolicy spill_policy_;
+  OocHost& host_;
+  DiskModel disk_;
+  std::vector<ProcState> procs_;
+};
+
+}  // namespace memfront

@@ -10,13 +10,14 @@ const char* spill_policy_name(SpillPolicy policy) {
     case SpillPolicy::kLargestFirst: return "largest-first";
     case SpillPolicy::kSmallestFirst: return "smallest-first";
     case SpillPolicy::kOldestFirst: return "oldest-first";
+    case SpillPolicy::kRoundRobin: return "round-robin";
   }
   return "?";
 }
 
 std::vector<std::size_t> choose_spill_victims(
     std::span<const SpillCandidate> candidates, count_t needed,
-    SpillPolicy policy) {
+    SpillPolicy policy, std::size_t cursor) {
   std::vector<std::size_t> order(candidates.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   switch (policy) {
@@ -34,6 +35,13 @@ std::vector<std::size_t> choose_spill_victims(
       break;
     case SpillPolicy::kOldestFirst:
       break;  // residency order as given
+    case SpillPolicy::kRoundRobin:
+      if (!candidates.empty())
+        std::rotate(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(
+                                        cursor % candidates.size()),
+                    order.end());
+      break;
   }
   std::vector<std::size_t> victims;
   count_t freed = 0;

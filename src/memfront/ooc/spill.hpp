@@ -18,6 +18,7 @@ enum class SpillPolicy : unsigned char {
   kLargestFirst,   // fewest seeks per freed entry (default)
   kSmallestFirst,  // evict cheap-to-reload blocks first
   kOldestFirst,    // FIFO over residency order
+  kRoundRobin,     // cycle the eviction start point across admissions
 };
 
 const char* spill_policy_name(SpillPolicy policy);
@@ -31,8 +32,13 @@ struct SpillCandidate {
 /// size reaches `needed`; returns every position when the candidates
 /// cannot cover `needed`. Never evicts more blocks than necessary under
 /// the chosen policy. Candidates are listed in residency (push) order.
+///
+/// `cursor` only matters to kRoundRobin: eviction starts at position
+/// `cursor % candidates.size()` and wraps, so a caller that advances its
+/// cursor by the number of victims spreads eviction pressure over the
+/// whole residency list instead of hammering one end of it.
 std::vector<std::size_t> choose_spill_victims(
     std::span<const SpillCandidate> candidates, count_t needed,
-    SpillPolicy policy);
+    SpillPolicy policy, std::size_t cursor = 0);
 
 }  // namespace memfront

@@ -1,0 +1,31 @@
+// Per-processor I/O accounting of the out-of-core mode.
+#pragma once
+
+#include "memfront/support/types.hpp"
+
+namespace memfront {
+
+/// Per-processor I/O accounting of the out-of-core mode (all zero when the
+/// mode is off).
+struct OocProcStats {
+  count_t factor_write_entries = 0;  // factor panels streamed to disk
+  count_t spill_entries = 0;         // contribution blocks evicted
+  count_t reload_entries = 0;        // spilled blocks read back at assembly
+  index_t spill_events = 0;
+  index_t reload_events = 0;
+  double stall_time = 0.0;  // compute stalled on budget-admission disk I/O
+  /// Largest logical excess over the budget after draining factor writes
+  /// and spilling every resident block; 0 means the budget was honored.
+  count_t overrun_peak = 0;
+  /// Write-behind mode only: disk-write seconds that proceeded while the
+  /// processor kept computing (the I/O the buffer hid), and the largest
+  /// in-flight volume the buffer ever held.
+  double overlap_time = 0.0;
+  count_t buffer_high_water = 0;
+
+  count_t io_entries() const noexcept {
+    return factor_write_entries + spill_entries + reload_entries;
+  }
+};
+
+}  // namespace memfront

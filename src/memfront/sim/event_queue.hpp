@@ -4,8 +4,13 @@
 // every simulation run bit-reproducible — the knob that replaces the real
 // machine's nondeterminism (the paper attributes small result differences
 // to MUMPS's nondeterministic execution; we keep it controllable instead).
+//
+// Events carry a kind so the engine layers above can be audited: compute
+// completions, message deliveries, and disk I/O completions (the
+// write-behind buffer's landing events) are counted separately.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -17,21 +22,34 @@ namespace memfront {
 
 using SimTime = double;
 
+/// What an event models; purely diagnostic (never affects ordering).
+enum class EventKind : unsigned char {
+  kGeneric = 0,  // wake-ups, bookkeeping
+  kCompute,      // a task finished computing
+  kMessage,      // a message (task, notification) arrived
+  kIo,           // a disk operation completed (write-behind landings)
+};
+inline constexpr std::size_t kNumEventKinds = 4;
+
 class EventQueue {
  public:
   using Callback = std::function<void()>;
 
-  void schedule(SimTime t, Callback cb) {
+  void schedule(SimTime t, Callback cb, EventKind kind = EventKind::kGeneric) {
     check(t >= now_, "EventQueue: scheduling into the past");
-    heap_.push(Entry{t, next_seq_++, std::move(cb)});
+    heap_.push(Entry{t, next_seq_++, kind, std::move(cb)});
   }
-  void schedule_after(SimTime delay, Callback cb) {
-    schedule(now_ + delay, std::move(cb));
+  void schedule_after(SimTime delay, Callback cb,
+                      EventKind kind = EventKind::kGeneric) {
+    schedule(now_ + delay, std::move(cb), kind);
   }
 
   SimTime now() const noexcept { return now_; }
   bool empty() const noexcept { return heap_.empty(); }
   std::uint64_t processed() const noexcept { return processed_; }
+  std::uint64_t processed(EventKind kind) const noexcept {
+    return by_kind_[static_cast<std::size_t>(kind)];
+  }
 
   /// Runs a single event; returns false when the queue is empty.
   bool run_one() {
@@ -41,6 +59,7 @@ class EventQueue {
     heap_.pop();
     now_ = top.time;
     ++processed_;
+    ++by_kind_[static_cast<std::size_t>(top.kind)];
     top.callback();
     return true;
   }
@@ -54,6 +73,7 @@ class EventQueue {
   struct Entry {
     SimTime time;
     std::uint64_t seq;
+    EventKind kind;
     Callback callback;
     bool operator>(const Entry& o) const {
       return time != o.time ? time > o.time : seq > o.seq;
@@ -63,6 +83,7 @@ class EventQueue {
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
+  std::array<std::uint64_t, kNumEventKinds> by_kind_{};
 };
 
 }  // namespace memfront

@@ -4,10 +4,26 @@
 
 namespace memfront {
 
+const char* trace_io_name(TraceIo kind) {
+  switch (kind) {
+    case TraceIo::kFactorWrite: return "factor-write";
+    case TraceIo::kSpill: return "spill";
+    case TraceIo::kReload: return "reload";
+  }
+  return "?";
+}
+
 void Trace::write_csv(std::ostream& os) const {
   os << "time,proc,stack_entries\n";
   for (const Sample& s : samples_)
     os << s.time << ',' << s.proc << ',' << s.stack_entries << '\n';
+}
+
+void Trace::write_io_csv(std::ostream& os) const {
+  os << "time,finish,proc,entries,kind\n";
+  for (const IoSample& s : io_samples_)
+    os << s.time << ',' << s.finish << ',' << s.proc << ',' << s.entries
+       << ',' << trace_io_name(s.kind) << '\n';
 }
 
 }  // namespace memfront

@@ -1,4 +1,8 @@
 // Per-processor memory/time traces for the figure benches and examples.
+//
+// Besides the stack samples, the trace records the out-of-core disk
+// traffic (factor write-back, spills, reloads) as typed I/O samples so
+// the overlap of compute and I/O in write-behind mode can be plotted.
 #pragma once
 
 #include <iosfwd>
@@ -8,6 +12,15 @@
 #include "memfront/support/types.hpp"
 
 namespace memfront {
+
+/// What a disk operation recorded in the trace moved.
+enum class TraceIo : unsigned char {
+  kFactorWrite,  // completed factor panel streamed out
+  kSpill,        // resident contribution block evicted
+  kReload,       // spilled block reread at parent assembly
+};
+
+const char* trace_io_name(TraceIo kind);
 
 class Trace {
  public:
@@ -21,6 +34,14 @@ class Trace {
     index_t proc;
     std::string label;
   };
+  /// One disk operation: issued at `time`, lands at `finish`.
+  struct IoSample {
+    double time;
+    double finish;
+    index_t proc;
+    count_t entries;
+    TraceIo kind;
+  };
 
   void record(double time, index_t proc, count_t stack_entries) {
     samples_.push_back({time, proc, stack_entries});
@@ -28,18 +49,29 @@ class Trace {
   void annotate(double time, index_t proc, std::string label) {
     annotations_.push_back({time, proc, std::move(label)});
   }
+  void record_io(double time, double finish, index_t proc, count_t entries,
+                 TraceIo kind) {
+    io_samples_.push_back({time, finish, proc, entries, kind});
+  }
 
   const std::vector<Sample>& samples() const noexcept { return samples_; }
   const std::vector<Annotation>& annotations() const noexcept {
     return annotations_;
   }
+  const std::vector<IoSample>& io_samples() const noexcept {
+    return io_samples_;
+  }
 
   /// CSV: time,proc,stack_entries — one line per change.
   void write_csv(std::ostream& os) const;
 
+  /// CSV: time,finish,proc,entries,kind — one line per disk operation.
+  void write_io_csv(std::ostream& os) const;
+
  private:
   std::vector<Sample> samples_;
   std::vector<Annotation> annotations_;
+  std::vector<IoSample> io_samples_;
 };
 
 }  // namespace memfront

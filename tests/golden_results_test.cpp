@@ -1,0 +1,85 @@
+// Golden-result pins for the engine/policy refactor.
+//
+// The PR-1 simulator (one monolithic class) produced these exact
+// ParallelResults for every Table 1 problem under both dynamic
+// strategies; the layered engine must reproduce them bit-for-bit — the
+// discrete-event queue is deterministic (FIFO at equal timestamps), so
+// any deviation, down to the last ulp of the makespan, means a
+// scheduling decision moved. Makespans are hex floats for exactness.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "memfront/core/experiment.hpp"
+#include "memfront/sparse/problems.hpp"
+
+namespace memfront {
+namespace {
+
+struct Golden {
+  ProblemId id;
+  bool memory_strategy;
+  count_t max_stack_peak;
+  double makespan;
+  count_t messages;
+  count_t comm_entries;
+  index_t type2_nodes;
+};
+
+// Captured at scale 0.25, 8 processors, nested dissection, from the
+// pre-refactor simulator (PR 1, commit 111257f).
+constexpr Golden kGolden[] = {
+    {ProblemId::kBmwCra1, false, 524, 0x1.cadbe47568958p-14, 56, 4838, 4},
+    {ProblemId::kBmwCra1, true, 524, 0x1.cbeec533eb02ep-14, 52, 4813, 4},
+    {ProblemId::kGupta3, false, 22366, 0x1.0ea45d97e0b1ep-8, 32, 198576, 0},
+    {ProblemId::kGupta3, true, 22366, 0x1.0ea45d97e0b1ep-8, 32, 198576, 0},
+    {ProblemId::kMsdoor, false, 9888, 0x1.7cc1d0221f6d5p-10, 90, 124105, 10},
+    {ProblemId::kMsdoor, true, 9888, 0x1.970f3f7cdc636p-10, 117, 123190, 10},
+    {ProblemId::kShip003, false, 1860, 0x1.61614c7ebc513p-12, 78, 28018, 6},
+    {ProblemId::kShip003, true, 1582, 0x1.74c1b7b4a67f2p-12, 83, 27777, 6},
+    {ProblemId::kPre2, false, 1713041, 0x1.0ed8394fe070ap+0, 185, 11741515,
+     2},
+    {ProblemId::kPre2, true, 1713041, 0x1.3b3f2749e84dep+0, 179, 11741515,
+     2},
+    {ProblemId::kTwotone, false, 87336, 0x1.5d187690cd649p-6, 219, 659075,
+     8},
+    {ProblemId::kTwotone, true, 87336, 0x1.2b439d8e9bb9ap-6, 229, 646904, 8},
+    {ProblemId::kUltrasound3, false, 6068, 0x1.248592c8e75c6p-11, 65, 67400,
+     4},
+    {ProblemId::kUltrasound3, true, 6068, 0x1.4d56d37ef632dp-11, 60, 67458,
+     4},
+    {ProblemId::kXenon2, false, 6277, 0x1.4e3a0e8872c49p-11, 73, 69300, 5},
+    {ProblemId::kXenon2, true, 5289, 0x1.7c77fe46f5e66p-11, 77, 70525, 5},
+};
+
+class GoldenResults : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(GoldenResults, RefactoredEngineReproducesPreRefactorRun) {
+  const Golden& g = GetParam();
+  const Problem p = make_problem(g.id, 0.25);
+  ExperimentSetup setup;
+  setup.nprocs = 8;
+  setup.symmetric = p.symmetric;
+  setup.ordering = OrderingKind::kNestedDissection;
+  if (g.memory_strategy) {
+    setup.slave_strategy = SlaveStrategy::kMemoryImproved;
+    setup.task_strategy = TaskStrategy::kMemoryAware;
+  }
+  const ExperimentOutcome o = run_experiment(p.matrix, setup);
+  EXPECT_EQ(o.max_stack_peak, g.max_stack_peak);
+  EXPECT_EQ(o.makespan, g.makespan);  // bit-identical, not approximately
+  EXPECT_EQ(o.parallel.messages, g.messages);
+  EXPECT_EQ(o.parallel.comm_entries, g.comm_entries);
+  EXPECT_EQ(o.parallel.type2_nodes_run, g.type2_nodes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProblemsBothStrategies, GoldenResults, ::testing::ValuesIn(kGolden),
+    [](const auto& info) {
+      return problem_name(info.param.id) +
+             std::string(info.param.memory_strategy ? "_memory"
+                                                    : "_workload");
+    });
+
+}  // namespace
+}  // namespace memfront

@@ -90,6 +90,40 @@ TEST(SpillPolicy, OldestFirstKeepsResidencyOrder) {
   EXPECT_EQ(victims[1], 1u);
 }
 
+TEST(SpillPolicy, RoundRobinStartsAtTheCursor) {
+  const std::vector<SpillCandidate> cbs{{7, 20}, {8, 20}, {9, 20}};
+  const auto victims =
+      choose_spill_victims(cbs, 30, SpillPolicy::kRoundRobin, /*cursor=*/1);
+  ASSERT_EQ(victims.size(), 2u);
+  EXPECT_EQ(victims[0], 1u);
+  EXPECT_EQ(victims[1], 2u);
+}
+
+TEST(SpillPolicy, RoundRobinWrapsPastTheEnd) {
+  const std::vector<SpillCandidate> cbs{{7, 20}, {8, 20}, {9, 20}};
+  const auto victims =
+      choose_spill_victims(cbs, 50, SpillPolicy::kRoundRobin, /*cursor=*/2);
+  ASSERT_EQ(victims.size(), 3u);
+  EXPECT_EQ(victims[0], 2u);
+  EXPECT_EQ(victims[1], 0u);
+  EXPECT_EQ(victims[2], 1u);
+}
+
+TEST(SpillPolicy, RoundRobinCursorZeroMatchesOldestFirst) {
+  const std::vector<SpillCandidate> cbs{{1, 10}, {2, 30}, {3, 20}};
+  EXPECT_EQ(choose_spill_victims(cbs, 35, SpillPolicy::kRoundRobin, 0),
+            choose_spill_victims(cbs, 35, SpillPolicy::kOldestFirst));
+}
+
+TEST(SpillPolicy, NamesAreStable) {
+  EXPECT_STREQ(spill_policy_name(SpillPolicy::kLargestFirst),
+               "largest-first");
+  EXPECT_STREQ(spill_policy_name(SpillPolicy::kSmallestFirst),
+               "smallest-first");
+  EXPECT_STREQ(spill_policy_name(SpillPolicy::kOldestFirst), "oldest-first");
+  EXPECT_STREQ(spill_policy_name(SpillPolicy::kRoundRobin), "round-robin");
+}
+
 TEST(SpillPolicy, InsufficientCandidatesEvictEverything) {
   const std::vector<SpillCandidate> cbs{{1, 10}, {2, 20}};
   const auto victims =
@@ -201,6 +235,190 @@ TEST(OocSim, SharedDiskIsSlowerThanPerProcessorDisks) {
   const ExperimentOutcome local = run_prepared(prepared, setup);
   const ExperimentOutcome contended = run_prepared(prepared, shared);
   EXPECT_GE(contended.makespan, local.makespan);
+}
+
+// ---- spill-victim policies, end to end ------------------------------------
+
+class SpillPolicyEndToEnd : public ::testing::TestWithParam<SpillPolicy> {};
+
+TEST_P(SpillPolicyEndToEnd, BudgetedRunCompletesAndBalancesIo) {
+  const SpillPolicy policy = GetParam();
+  const Problem p = make_problem(ProblemId::kMsdoor, 0.25);
+  ExperimentSetup setup = strategy_setup(p, 8, false);
+  const PreparedExperiment prepared = prepare_experiment(p.matrix, setup);
+  const ExperimentOutcome incore = run_prepared(prepared, setup);
+  ExperimentSetup ooc = setup;
+  ooc.ooc.enabled = true;
+  ooc.ooc.spill_policy = policy;
+  // Below the in-core peak: spills must actually happen.
+  ooc.ooc.budget = incore.max_stack_peak - incore.max_stack_peak / 4;
+  const ExperimentOutcome out = run_prepared(prepared, ooc);
+  EXPECT_GT(out.parallel.ooc_spill_entries, 0)
+      << spill_policy_name(policy) << " never spilled";
+  // Spilled blocks are reread exactly once, at assembly of the parent.
+  EXPECT_EQ(out.parallel.ooc_spill_entries, out.parallel.ooc_reload_entries);
+  EXPECT_EQ(out.parallel.ooc_factor_write_entries,
+            prepared.analysis.tree.total_factor_entries());
+  // Deterministic under every policy.
+  const ExperimentOutcome again = run_prepared(prepared, ooc);
+  EXPECT_EQ(out.parallel.ooc_spill_entries,
+            again.parallel.ooc_spill_entries);
+  EXPECT_DOUBLE_EQ(out.makespan, again.makespan);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, SpillPolicyEndToEnd,
+                         ::testing::Values(SpillPolicy::kLargestFirst,
+                                           SpillPolicy::kSmallestFirst,
+                                           SpillPolicy::kOldestFirst,
+                                           SpillPolicy::kRoundRobin),
+                         [](const auto& info) {
+                           std::string name = spill_policy_name(info.param);
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+// ---- I/O disciplines: synchronous vs write-behind -------------------------
+
+TEST(OocIoMode, NamesAreStable) {
+  EXPECT_STREQ(ooc_io_mode_name(OocIoMode::kAdmissionDrain),
+               "admission-drain");
+  EXPECT_STREQ(ooc_io_mode_name(OocIoMode::kSynchronous), "synchronous");
+  EXPECT_STREQ(ooc_io_mode_name(OocIoMode::kWriteBehind), "write-behind");
+}
+
+// The tentpole acceptance experiment: at the 1.2x-peak budget the
+// write-behind buffer must beat blocking I/O outright — strictly lower
+// makespan on at least 6 of the 8 problems per strategy, with identical
+// feasibility verdicts — because the factor stream now overlaps compute.
+class WriteBehindAcceptance : public ::testing::TestWithParam<bool> {};
+
+TEST_P(WriteBehindAcceptance, BeatsSynchronousOnAtLeastSixOfEight) {
+  const bool memory_strategy = GetParam();
+  int strictly_faster = 0;
+  for (ProblemId pid : all_problem_ids()) {
+    const Problem p = make_problem(pid, 0.25);
+    ExperimentSetup setup = strategy_setup(p, 8, memory_strategy);
+    const PreparedExperiment prepared = prepare_experiment(p.matrix, setup);
+    const ExperimentOutcome incore = run_prepared(prepared, setup);
+    ExperimentSetup sync = setup;
+    sync.ooc.enabled = true;
+    sync.ooc.budget = incore.max_stack_peak + incore.max_stack_peak / 5;
+    sync.ooc.io_mode = OocIoMode::kSynchronous;
+    const ExperimentOutcome s = run_prepared(prepared, sync);
+    ExperimentSetup wb = sync;
+    wb.ooc.io_mode = OocIoMode::kWriteBehind;
+    const ExperimentOutcome w = run_prepared(prepared, wb);
+    if (w.makespan < s.makespan) ++strictly_faster;
+    // Both modes honor the same budget and write the same factor volume.
+    EXPECT_EQ(s.parallel.ooc_feasible(), w.parallel.ooc_feasible())
+        << problem_name(pid);
+    EXPECT_EQ(s.parallel.ooc_factor_write_entries,
+              w.parallel.ooc_factor_write_entries)
+        << problem_name(pid);
+    // The buffer hid I/O behind compute and reported it.
+    EXPECT_GT(w.parallel.ooc_overlap_time, 0.0) << problem_name(pid);
+    EXPECT_GT(w.parallel.ooc_buffer_high_water, 0) << problem_name(pid);
+    EXPECT_EQ(s.parallel.ooc_overlap_time, 0.0) << problem_name(pid);
+  }
+  EXPECT_GE(strictly_faster, 6);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothStrategies, WriteBehindAcceptance,
+                         ::testing::Bool(), [](const auto& info) {
+                           return std::string(info.param ? "memory"
+                                                         : "workload");
+                         });
+
+TEST(OocIoMode, WriteBehindIsDeterministicAcrossRuns) {
+  const Problem p = make_problem(ProblemId::kXenon2, 0.3);
+  ExperimentSetup setup = strategy_setup(p, 8, true);
+  setup.ooc.enabled = true;
+  setup.ooc.io_mode = OocIoMode::kWriteBehind;
+  const PreparedExperiment prepared = prepare_experiment(p.matrix, setup);
+  const ExperimentOutcome incore = run_prepared(prepared, setup);
+  setup.ooc.budget = incore.max_stack_peak;
+  const ExperimentOutcome a = run_prepared(prepared, setup);
+  const ExperimentOutcome b = run_prepared(prepared, setup);
+  EXPECT_EQ(a.max_stack_peak, b.max_stack_peak);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.parallel.ooc_overlap_time, b.parallel.ooc_overlap_time);
+  EXPECT_EQ(a.parallel.ooc_buffer_high_water,
+            b.parallel.ooc_buffer_high_water);
+}
+
+TEST(OocIoMode, WriteBehindLowersResidencyBelowAdmissionDrain) {
+  // Factors leave the stack at retirement instead of at write landing, so
+  // the unbudgeted in-core residency can only shrink.
+  const Problem p = make_problem(ProblemId::kTwotone, 0.3);
+  ExperimentSetup setup = strategy_setup(p, 8, false);
+  setup.ooc.enabled = true;  // budget 0 = unlimited
+  const PreparedExperiment prepared = prepare_experiment(p.matrix, setup);
+  ExperimentSetup wb = setup;
+  wb.ooc.io_mode = OocIoMode::kWriteBehind;
+  const ExperimentOutcome drain = run_prepared(prepared, setup);
+  const ExperimentOutcome overlap = run_prepared(prepared, wb);
+  EXPECT_LE(overlap.max_stack_peak, drain.max_stack_peak);
+  EXPECT_EQ(overlap.parallel.ooc_spill_entries, 0);
+}
+
+TEST(OocIoMode, BoundedBufferStallsWhenTheDiskFallsBehind) {
+  // A tiny buffer on a slow disk must fill up and throttle compute; the
+  // run still completes, honestly reporting stalls and a high-water mark
+  // at (or below) the configured capacity plus one oversized block.
+  const Problem p = make_problem(ProblemId::kMsdoor, 0.25);
+  ExperimentSetup setup = strategy_setup(p, 8, false);
+  const PreparedExperiment prepared = prepare_experiment(p.matrix, setup);
+  const ExperimentOutcome incore = run_prepared(prepared, setup);
+  ExperimentSetup wb = setup;
+  wb.ooc.enabled = true;
+  wb.ooc.io_mode = OocIoMode::kWriteBehind;
+  wb.ooc.budget = incore.max_stack_peak + incore.max_stack_peak / 5;
+  wb.ooc.write_buffer_entries = 64;  // absurdly small
+  wb.ooc.disk.write_bandwidth = 1e6;
+  const ExperimentOutcome out = run_prepared(prepared, wb);
+  EXPECT_GT(out.parallel.ooc_stall_time, 0.0);
+  EXPECT_GT(out.parallel.ooc_buffer_high_water, 0);
+  EXPECT_EQ(out.parallel.ooc_factor_write_entries,
+            prepared.analysis.tree.total_factor_entries());
+}
+
+TEST(OocIoMode, TraceRecordsTypedIoSamples) {
+  const Problem p = make_problem(ProblemId::kMsdoor, 0.25);
+  ExperimentSetup setup = strategy_setup(p, 4, false);
+  const PreparedExperiment prepared = prepare_experiment(p.matrix, setup);
+  const ExperimentOutcome incore = run_prepared(prepared, setup);
+  ExperimentSetup ooc = setup;
+  ooc.ooc.enabled = true;
+  ooc.ooc.io_mode = OocIoMode::kWriteBehind;
+  ooc.ooc.budget = incore.max_stack_peak - incore.max_stack_peak / 4;
+  Trace trace;
+  const ExperimentOutcome out = run_prepared(prepared, ooc, &trace);
+  ASSERT_FALSE(trace.io_samples().empty());
+  count_t writes = 0, spills = 0, reloads = 0;
+  for (const Trace::IoSample& s : trace.io_samples()) {
+    EXPECT_GE(s.finish, s.time);  // every operation takes disk time
+    switch (s.kind) {
+      case TraceIo::kFactorWrite: writes += s.entries; break;
+      case TraceIo::kSpill: spills += s.entries; break;
+      case TraceIo::kReload: reloads += s.entries; break;
+    }
+  }
+  EXPECT_EQ(writes, out.parallel.ooc_factor_write_entries);
+  EXPECT_EQ(spills, out.parallel.ooc_spill_entries);
+  EXPECT_EQ(reloads, out.parallel.ooc_reload_entries);
+  // The run processed one disk event per buffered write.
+  EXPECT_GT(out.parallel.io_events, 0u);
+}
+
+TEST(OocIoMode, SynchronousChargesEveryWriteAsStall) {
+  const Problem p = make_problem(ProblemId::kUltrasound3, 0.25);
+  ExperimentSetup setup = strategy_setup(p, 8, false);
+  setup.ooc.enabled = true;  // unlimited budget: stalls are pure write time
+  setup.ooc.io_mode = OocIoMode::kSynchronous;
+  const ExperimentOutcome out = run_experiment(p.matrix, setup);
+  EXPECT_GT(out.parallel.ooc_stall_time, 0.0);
+  EXPECT_EQ(out.parallel.ooc_spill_entries, 0);
 }
 
 // ---- planner vs brute force on small trees --------------------------------
