@@ -12,12 +12,14 @@
 #include <iomanip>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "memfront/core/experiment.hpp"
 #include "memfront/sparse/problems.hpp"
+#include "memfront/support/parallel_for.hpp"
 #include "memfront/support/table.hpp"
 
 namespace memfront::bench {
@@ -75,36 +77,90 @@ struct CellResult {
   double percent_decrease = 0.0;
 };
 
-/// One (matrix, ordering) cell: baseline vs memory strategy on identical
-/// static decisions (the analysis/mapping is shared).
+/// One (matrix, ordering) cell: baseline vs memory strategy. When both
+/// sides split identically they share one analysis/mapping (the paper
+/// compares dynamic strategies on the *same* static decisions);
+/// otherwise each side prepares its own tree.
 inline CellResult run_cell(const Problem& p, const BenchOptions& opt,
                            OrderingKind ordering, bool split_baseline,
                            bool split_memory) {
-  CellResult cell;
   const ExperimentSetup base =
       baseline_setup(p, opt, ordering, split_baseline);
   const ExperimentSetup mem = memory_setup(p, opt, ordering, split_memory);
-  if (split_baseline == split_memory) {
-    const PreparedExperiment prepared = prepare_experiment(p.matrix, base);
-    const ExperimentOutcome b = run_prepared(prepared, base);
-    const ExperimentOutcome m = run_prepared(prepared, mem);
-    cell.baseline_peak = b.max_stack_peak;
-    cell.memory_peak = m.max_stack_peak;
-    cell.baseline_makespan = b.makespan;
-    cell.memory_makespan = m.makespan;
-  } else {
-    const ExperimentOutcome b = run_experiment(p.matrix, base);
-    const ExperimentOutcome m = run_experiment(p.matrix, mem);
-    cell.baseline_peak = b.max_stack_peak;
-    cell.memory_peak = m.max_stack_peak;
-    cell.baseline_makespan = b.makespan;
-    cell.memory_makespan = m.makespan;
-  }
+  std::optional<PreparedExperiment> shared;
+  if (split_baseline == split_memory)
+    shared = prepare_experiment(p.matrix, base);
+  const auto run = [&](const ExperimentSetup& setup) {
+    return shared ? run_prepared(*shared, setup)
+                  : run_experiment(p.matrix, setup);
+  };
+  const ExperimentOutcome b = run(base);
+  const ExperimentOutcome m = run(mem);
+  CellResult cell;
+  cell.baseline_peak = b.max_stack_peak;
+  cell.memory_peak = m.max_stack_peak;
+  cell.baseline_makespan = b.makespan;
+  cell.memory_makespan = m.makespan;
   cell.percent_decrease =
       100.0 * (static_cast<double>(cell.baseline_peak) -
                static_cast<double>(cell.memory_peak)) /
       static_cast<double>(cell.baseline_peak);
   return cell;
+}
+
+/// Every (problem, ordering) cell of a table bench, computed concurrently
+/// (each cell is an independent deterministic simulation, so the results
+/// are identical to the serial loop). Row-major: ids x paper_orderings().
+inline std::vector<CellResult> run_cells(const std::vector<ProblemId>& ids,
+                                         const BenchOptions& opt,
+                                         bool split_baseline,
+                                         bool split_memory,
+                                         unsigned nthreads = 0) {
+  // Build each problem's matrix once and share it across its orderings
+  // (the serial loops did the same); only the cells run concurrently.
+  std::vector<Problem> problems;
+  problems.reserve(ids.size());
+  for (ProblemId id : ids) problems.push_back(make_problem(id, opt.scale));
+  struct Job {
+    const Problem* problem;
+    OrderingKind ordering;
+  };
+  std::vector<Job> jobs;
+  jobs.reserve(ids.size() * paper_orderings().size());
+  for (const Problem& p : problems)
+    for (OrderingKind ordering : paper_orderings())
+      jobs.push_back({&p, ordering});
+  return parallel_map(
+      jobs,
+      [&](const Job& job) {
+        return run_cell(*job.problem, opt, job.ordering, split_baseline,
+                        split_memory);
+      },
+      nthreads);
+}
+
+/// Fills one table row per problem from a run_cells result: each cell
+/// prints `value(cell)` next to the paper's published number. Cells are
+/// consumed row-major (ids x paper_orderings()), matching run_cells.
+template <typename ValueFn>
+inline void fill_paper_rows(
+    TextTable& table, const std::vector<ProblemId>& ids,
+    const std::vector<CellResult>& cells,
+    const std::map<std::string, std::vector<double>>& paper,
+    ValueFn&& value) {
+  std::size_t k = 0;
+  for (ProblemId id : ids) {
+    const std::string name = problem_name(id);
+    table.row();
+    table.cell(name);
+    const std::vector<double>& published = paper.at(name);
+    for (std::size_t col = 0; col < paper_orderings().size(); ++col) {
+      std::ostringstream os;
+      os << std::fixed << std::setprecision(1) << value(cells[k++]) << " | "
+         << published[col];
+      table.cell(os.str());
+    }
+  }
 }
 
 // ---- the paper's published numbers ----------------------------------------
@@ -203,26 +259,48 @@ inline ExperimentSetup ooc_strategy_setup(const Problem& p, index_t nprocs,
   return setup;
 }
 
+/// Builds every leg of the Table 1 problem x strategy sweep — analysis,
+/// mapping, in-core reference run, budgeted setup — running the
+/// independent legs concurrently. Order: all_problem_ids() x {workload,
+/// memory}, exactly as the serial loop produced them.
+inline std::vector<BudgetedCase> collect_budgeted_cases(double scale,
+                                                        index_t nprocs,
+                                                        unsigned nthreads = 0) {
+  struct Leg {
+    ProblemId id;
+    bool memory_strategy;
+  };
+  std::vector<Leg> legs;
+  legs.reserve(all_problem_ids().size() * 2);
+  for (ProblemId id : all_problem_ids())
+    for (const bool memory_strategy : {false, true})
+      legs.push_back({id, memory_strategy});
+  return parallel_map(
+      legs,
+      [&](const Leg& leg) {
+        BudgetedCase c;
+        c.problem = make_problem(leg.id, scale);
+        c.memory_strategy = leg.memory_strategy;
+        c.setup = ooc_strategy_setup(c.problem, nprocs, leg.memory_strategy);
+        c.prepared = prepare_experiment(c.problem.matrix, c.setup);
+        c.incore = run_prepared(c.prepared, c.setup);
+        c.ooc_setup = c.setup;
+        c.ooc_setup.ooc.enabled = true;
+        c.ooc_setup.ooc.budget =
+            c.incore.max_stack_peak + c.incore.max_stack_peak / 5;
+        return c;
+      },
+      nthreads);
+}
+
 /// Runs `fn(const BudgetedCase&)` for every Table 1 problem under both
 /// dynamic strategies — the loop `examples/ooc_planning` and
-/// `bench/bench_ooc` share.
+/// `bench/bench_ooc` share. The legs are *built* concurrently
+/// (collect_budgeted_cases); fn is invoked serially in sweep order so
+/// callers can print as they go.
 template <typename Fn>
 void for_each_budgeted_case(double scale, index_t nprocs, Fn&& fn) {
-  for (ProblemId id : all_problem_ids()) {
-    for (const bool memory_strategy : {false, true}) {
-      BudgetedCase c;
-      c.problem = make_problem(id, scale);
-      c.memory_strategy = memory_strategy;
-      c.setup = ooc_strategy_setup(c.problem, nprocs, memory_strategy);
-      c.prepared = prepare_experiment(c.problem.matrix, c.setup);
-      c.incore = run_prepared(c.prepared, c.setup);
-      c.ooc_setup = c.setup;
-      c.ooc_setup.ooc.enabled = true;
-      c.ooc_setup.ooc.budget =
-          c.incore.max_stack_peak + c.incore.max_stack_peak / 5;
-      fn(c);
-    }
-  }
+  for (const BudgetedCase& c : collect_budgeted_cases(scale, nprocs)) fn(c);
 }
 
 }  // namespace memfront::bench

@@ -30,11 +30,37 @@ int main(int argc, char** argv) {
   index_t wb_strictly_faster = 0;
   index_t legs = 0;
 
-  for_each_budgeted_case(opt.scale, opt.nprocs, [&](const BudgetedCase& c) {
-    const PlannerResult plan = plan_minimum_budget(
+  // Every leg (problem x strategy) is an independent set of simulations:
+  // build the cases and run the heavy per-leg work (planner bisection,
+  // sync vs write-behind runs) concurrently, then print in sweep order.
+  const std::vector<BudgetedCase> cases =
+      collect_budgeted_cases(opt.scale, opt.nprocs);
+  struct LegResult {
+    PlannerResult plan;
+    ExperimentOutcome sync;
+    ExperimentOutcome wb;
+  };
+  std::vector<LegResult> results(cases.size());
+  parallel_for(cases.size(), [&](std::size_t i) {
+    const BudgetedCase& c = cases[i];
+    LegResult& r = results[i];
+    r.plan = plan_minimum_budget(
         c.prepared.analysis.tree, c.prepared.analysis.memory,
         c.prepared.mapping, c.prepared.analysis.traversal,
         sched_config(c.setup));
+    // The overlap experiment: the same 1.2x budget, blocking writes vs
+    // the asynchronous write-behind buffer.
+    ExperimentSetup sync = c.ooc_setup;
+    sync.ooc.io_mode = OocIoMode::kSynchronous;
+    r.sync = run_prepared(c.prepared, sync);
+    ExperimentSetup wb = c.ooc_setup;
+    wb.ooc.io_mode = OocIoMode::kWriteBehind;
+    r.wb = run_prepared(c.prepared, wb);
+  });
+
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const BudgetedCase& c = cases[i];
+    const PlannerResult& plan = results[i].plan;
     table.row();
     table.cell(c.problem.name);
     table.cell(c.memory_strategy ? "memory" : "workload");
@@ -51,14 +77,8 @@ int main(int argc, char** argv) {
                1);
     table.cell(plan.at_min.makespan / plan.unlimited.makespan, 2);
 
-    // The overlap experiment: the same 1.2x budget, blocking writes vs
-    // the asynchronous write-behind buffer.
-    ExperimentSetup sync = c.ooc_setup;
-    sync.ooc.io_mode = OocIoMode::kSynchronous;
-    const ExperimentOutcome s = run_prepared(c.prepared, sync);
-    ExperimentSetup wb = c.ooc_setup;
-    wb.ooc.io_mode = OocIoMode::kWriteBehind;
-    const ExperimentOutcome w = run_prepared(c.prepared, wb);
+    const ExperimentOutcome& s = results[i].sync;
+    const ExperimentOutcome& w = results[i].wb;
     ++legs;
     if (w.makespan < s.makespan) ++wb_strictly_faster;
     overlap.row();
@@ -72,7 +92,7 @@ int main(int argc, char** argv) {
     overlap.cell(s.parallel.ooc_feasible() == w.parallel.ooc_feasible()
                      ? (w.parallel.ooc_feasible() ? "both" : "neither")
                      : "DIFFER");
-  });
+  }
   table.print(std::cout);
   std::cout << '\n';
   overlap.print(std::cout);

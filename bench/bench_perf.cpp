@@ -1,0 +1,194 @@
+// bench_perf — the performance trajectory of the simulator itself.
+//
+// Two measurements:
+//   1. End-to-end: the default Table-1 sweep — every (problem x strategy)
+//      leg's analysis, mapping, in-core reference run and budgeted
+//      out-of-core run at 1.2x the in-core peak — with the independent
+//      legs spread over the thread pool (support/parallel_for.hpp).
+//   2. Single-run: events/second of one serial simulation on the densest
+//      problem (the event engine's raw dispatch rate, isolated from
+//      analysis and threading).
+//
+// Results go to stdout and to BENCH_perf.json (wall time, events
+// processed, events/sec, peak RSS) so CI can archive the trajectory and
+// future PRs can be diffed against this one.
+//
+//   bench_perf [scale] [nprocs] [--smoke] [--threads N] [--json PATH]
+//
+// --smoke shrinks the sweep for CI (scale 0.3, 8 processors) unless an
+// explicit scale/nprocs is also given.
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "memfront/support/parallel_for.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Peak resident set size in kilobytes (0 when the platform hides it).
+long peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    return usage.ru_maxrss / 1024;  // bytes on macOS
+#else
+    return usage.ru_maxrss;  // kilobytes on Linux
+#endif
+  }
+#endif
+  return 0;
+}
+
+struct PerfOptions {
+  double scale = 1.0;
+  memfront::index_t nprocs = 32;
+  bool smoke = false;
+  unsigned threads = 0;  // 0 = default_thread_count()
+  std::string json_path = "BENCH_perf.json";
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [scale] [nprocs] [--smoke] [--threads N] [--json PATH]\n";
+  std::exit(2);
+}
+
+PerfOptions parse(int argc, char** argv) {
+  PerfOptions opt;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      opt.smoke = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc) usage(argv[0]);
+      opt.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) usage(argv[0]);
+      opt.json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      usage(argv[0]);  // unknown flag: never demote to a positional
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (opt.smoke) {
+    opt.scale = 0.3;
+    opt.nprocs = 8;
+  }
+  if (positional.size() > 0) opt.scale = std::atof(positional[0]);
+  if (positional.size() > 1)
+    opt.nprocs = static_cast<memfront::index_t>(std::atoi(positional[1]));
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace memfront;
+  using namespace memfront::bench;
+  const PerfOptions opt = parse(argc, argv);
+  const unsigned threads =
+      opt.threads > 0 ? opt.threads : default_thread_count();
+
+  std::cout << "bench_perf: simulator throughput (scale=" << opt.scale
+            << ", nprocs=" << opt.nprocs << ", threads=" << threads
+            << (opt.smoke ? ", smoke" : "") << ")\n\n";
+
+  // ---- 1. the default Table-1 sweep, parallel legs -------------------------
+  const auto sweep_start = Clock::now();
+  const std::vector<BudgetedCase> cases =
+      collect_budgeted_cases(opt.scale, opt.nprocs, opt.threads);
+  std::vector<ExperimentOutcome> ooc_runs(cases.size());
+  parallel_for(
+      cases.size(),
+      [&](std::size_t i) {
+        ooc_runs[i] = run_prepared(cases[i].prepared, cases[i].ooc_setup);
+      },
+      opt.threads);
+  const double sweep_wall = seconds_since(sweep_start);
+
+  std::uint64_t sweep_events = 0;
+  for (std::size_t i = 0; i < cases.size(); ++i)
+    sweep_events += cases[i].incore.parallel.events_processed +
+                    ooc_runs[i].parallel.events_processed;
+  const double sweep_rate = static_cast<double>(sweep_events) / sweep_wall;
+
+  TextTable sweep({"sweep", "legs", "wall (s)", "events", "events/s"});
+  sweep.row();
+  sweep.cell("table1 in-core + 1.2x OOC");
+  sweep.cell(static_cast<long>(cases.size()));
+  sweep.cell(sweep_wall, 3);
+  sweep.cell(static_cast<long>(sweep_events));
+  sweep.cell(sweep_rate, 0);
+  sweep.print(std::cout);
+
+  // ---- 2. single-run event throughput (serial, no analysis) ----------------
+  const Problem micro_problem = make_problem(ProblemId::kPre2, opt.scale);
+  const ExperimentSetup micro_setup =
+      ooc_strategy_setup(micro_problem, opt.nprocs, true);
+  const PreparedExperiment micro_prepared =
+      prepare_experiment(micro_problem.matrix, micro_setup);
+  const int reps = opt.smoke ? 2 : 5;
+  std::uint64_t micro_events = 0;
+  const auto micro_start = Clock::now();
+  for (int r = 0; r < reps; ++r) {
+    const ExperimentOutcome out = run_prepared(micro_prepared, micro_setup);
+    micro_events += out.parallel.events_processed;
+  }
+  const double micro_wall = seconds_since(micro_start);
+  const double micro_rate = static_cast<double>(micro_events) / micro_wall;
+
+  std::cout << '\n';
+  TextTable micro({"single run", "reps", "wall (s)", "events", "events/s"});
+  micro.row();
+  micro.cell(micro_problem.name + std::string(" (memory strategy)"));
+  micro.cell(reps);
+  micro.cell(micro_wall, 4);
+  micro.cell(static_cast<long>(micro_events));
+  micro.cell(micro_rate, 0);
+  micro.print(std::cout);
+
+  const long rss_kb = peak_rss_kb();
+  std::cout << "\npeak RSS: " << rss_kb << " kB\n";
+
+  // ---- BENCH_perf.json ------------------------------------------------------
+  std::ofstream json(opt.json_path);
+  json << "{\n"
+       << "  \"bench\": \"bench_perf\",\n"
+       << "  \"smoke\": " << (opt.smoke ? "true" : "false") << ",\n"
+       << "  \"scale\": " << opt.scale << ",\n"
+       << "  \"nprocs\": " << opt.nprocs << ",\n"
+       << "  \"threads\": " << threads << ",\n"
+       << "  \"sweep_legs\": " << cases.size() << ",\n"
+       << "  \"sweep_wall_s\": " << sweep_wall << ",\n"
+       << "  \"sweep_events\": " << sweep_events << ",\n"
+       << "  \"sweep_events_per_sec\": " << sweep_rate << ",\n"
+       << "  \"single_run_reps\": " << reps << ",\n"
+       << "  \"single_run_wall_s\": " << micro_wall << ",\n"
+       << "  \"single_run_events\": " << micro_events << ",\n"
+       << "  \"single_run_events_per_sec\": " << micro_rate << ",\n"
+       << "  \"peak_rss_kb\": " << rss_kb << "\n"
+       << "}\n";
+  if (!json) {
+    std::cerr << "bench_perf: failed to write " << opt.json_path << '\n';
+    return 1;
+  }
+  std::cout << "\nwrote " << opt.json_path << '\n';
+  return 0;
+}

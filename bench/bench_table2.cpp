@@ -16,21 +16,10 @@ int main(int argc, char** argv) {
             << opt.nprocs << " simulated processors, scale=" << opt.scale
             << "\n\n";
   TextTable table({"Matrix", "METIS", "PORD", "AMD", "AMF"});
-  for (ProblemId id : all_problem_ids()) {
-    const Problem p = make_problem(id, opt.scale);
-    table.row();
-    table.cell(p.name);
-    const auto& paper = paper_table2().at(p.name);
-    std::size_t col = 0;
-    for (OrderingKind kind : paper_orderings()) {
-      const CellResult cell = run_cell(p, opt, kind, false, false);
-      std::ostringstream os;
-      os << std::fixed << std::setprecision(1) << cell.percent_decrease
-         << " | " << paper[col];
-      table.cell(os.str());
-      ++col;
-    }
-  }
+  const std::vector<ProblemId> ids = all_problem_ids();
+  const std::vector<CellResult> cells = run_cells(ids, opt, false, false);
+  fill_paper_rows(table, ids, cells, paper_table2(),
+                  [](const CellResult& c) { return c.percent_decrease; });
   table.print(std::cout);
   std::cout << "\nEach cell: our % decrease | the paper's. Positive = the\n"
                "memory-based strategy reduced the peak. The paper's zeros\n"

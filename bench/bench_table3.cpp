@@ -16,21 +16,10 @@ int main(int argc, char** argv) {
                "paper), " << opt.nprocs << " procs, scale=" << opt.scale
             << "\n\n";
   TextTable table({"Matrix", "METIS", "PORD", "AMD", "AMF"});
-  for (ProblemId id : unsymmetric_problem_ids()) {
-    const Problem p = make_problem(id, opt.scale);
-    table.row();
-    table.cell(p.name);
-    const auto& paper = paper_table3().at(p.name);
-    std::size_t col = 0;
-    for (OrderingKind kind : paper_orderings()) {
-      const CellResult cell = run_cell(p, opt, kind, true, true);
-      std::ostringstream os;
-      os << std::fixed << std::setprecision(1) << cell.percent_decrease
-         << " | " << paper[col];
-      table.cell(os.str());
-      ++col;
-    }
-  }
+  const std::vector<ProblemId> ids = unsymmetric_problem_ids();
+  const std::vector<CellResult> cells = run_cells(ids, opt, true, true);
+  fill_paper_rows(table, ids, cells, paper_table3(),
+                  [](const CellResult& c) { return c.percent_decrease; });
   table.print(std::cout);
   std::cout << "\nWith large masters split into chains the memory strategy\n"
                "has room to work: gains are globally more significant than\n"

@@ -14,22 +14,11 @@ int main(int argc, char** argv) {
                "original\n(workload, unsplit) strategy (ours | paper), "
             << opt.nprocs << " procs, scale=" << opt.scale << "\n\n";
   TextTable table({"Matrix", "METIS", "PORD", "AMD", "AMF"});
-  for (ProblemId id : unsymmetric_problem_ids()) {
-    const Problem p = make_problem(id, opt.scale);
-    table.row();
-    table.cell(p.name);
-    const auto& paper = paper_table5().at(p.name);
-    std::size_t col = 0;
-    for (OrderingKind kind : paper_orderings()) {
-      // Baseline: unsplit tree + workload. Memory: split tree + memory.
-      const CellResult cell = run_cell(p, opt, kind, false, true);
-      std::ostringstream os;
-      os << std::fixed << std::setprecision(1) << cell.percent_decrease
-         << " | " << paper[col];
-      table.cell(os.str());
-      ++col;
-    }
-  }
+  const std::vector<ProblemId> ids = unsymmetric_problem_ids();
+  // Baseline: unsplit tree + workload. Memory: split tree + memory.
+  const std::vector<CellResult> cells = run_cells(ids, opt, false, true);
+  fill_paper_rows(table, ids, cells, paper_table5(),
+                  [](const CellResult& c) { return c.percent_decrease; });
   table.print(std::cout);
   std::cout << "\nThe paper's conclusion: combining the static tree\n"
                "modification with the dynamic memory strategies gives the\n"

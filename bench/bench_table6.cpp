@@ -14,29 +14,18 @@ int main(int argc, char** argv) {
                "memory-optimized vs original strategy (ours | paper), "
             << opt.nprocs << " procs, scale=" << opt.scale << "\n\n";
   TextTable table({"Matrix", "METIS", "PORD", "AMD", "AMF"});
-  for (ProblemId id : {ProblemId::kShip003, ProblemId::kPre2,
-                       ProblemId::kUltrasound3}) {
-    const Problem p = make_problem(id, opt.scale);
-    table.row();
-    table.cell(p.name);
-    const auto& paper = paper_table6().at(p.name);
-    std::size_t col = 0;
-    for (OrderingKind kind : paper_orderings()) {
-      // Same (split) tree for both strategies: isolates the *dynamic*
-      // strategy's time cost. (In our simulator the communication model
-      // is optimistic, so the static splitting itself shortens the
-      // critical path and would mask the strategy cost otherwise; see
-      // EXPERIMENTS.md.)
-      const CellResult cell = run_cell(p, opt, kind, true, true);
-      const double loss = 100.0 *
-                          (cell.memory_makespan - cell.baseline_makespan) /
-                          cell.baseline_makespan;
-      std::ostringstream os;
-      os << std::fixed << std::setprecision(1) << loss << " | " << paper[col];
-      table.cell(os.str());
-      ++col;
-    }
-  }
+  const std::vector<ProblemId> ids{ProblemId::kShip003, ProblemId::kPre2,
+                                   ProblemId::kUltrasound3};
+  // Same (split) tree for both strategies: isolates the *dynamic*
+  // strategy's time cost. (In our simulator the communication model
+  // is optimistic, so the static splitting itself shortens the
+  // critical path and would mask the strategy cost otherwise; see
+  // EXPERIMENTS.md.)
+  const std::vector<CellResult> cells = run_cells(ids, opt, true, true);
+  fill_paper_rows(table, ids, cells, paper_table6(), [](const CellResult& c) {
+    return 100.0 * (c.memory_makespan - c.baseline_makespan) /
+           c.baseline_makespan;
+  });
   table.print(std::cout);
   std::cout << "\nPositive = the memory-optimized run is slower. The paper\n"
                "observes bounded losses (it did not try to preserve time);\n"

@@ -1,6 +1,7 @@
 #include "memfront/core/engine.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "memfront/support/error.hpp"
 
@@ -46,8 +47,34 @@ Engine::Engine(const AssemblyTree& tree, const TreeMemory& memory,
 
 ParallelResult Engine::run() {
   initialize();
-  queue_.run();
+  Queue::Event ev;
+  while (queue_.pop(ev)) dispatch(ev.payload);
   return finalize();
+}
+
+void Engine::dispatch(const SimEvent& ev) {
+  switch (ev.type) {
+    case SimEvent::Type::kWake: wake(ev.proc); return;
+    case SimEvent::Type::kStartType3: start_type3(ev.node); return;
+    case SimEvent::Type::kUrgentDone: urgent_done(ev.proc, ev.task); return;
+    case SimEvent::Type::kUrgentRest: urgent_rest(ev.proc, ev.task); return;
+    case SimEvent::Type::kType1Done: type1_done(ev.proc, ev.node); return;
+    case SimEvent::Type::kType1Rest: type1_rest(ev.proc, ev.node); return;
+    case SimEvent::Type::kType2Done:
+      type2_done(ev.proc, ev.node, ev.entries);
+      return;
+    case SimEvent::Type::kType2Rest:
+      type2_rest(ev.proc, ev.node, ev.entries);
+      return;
+    case SimEvent::Type::kSlaveArrive: slave_arrive(ev.proc, ev.task); return;
+    case SimEvent::Type::kRootArrive: root_arrive(ev.proc, ev.task); return;
+    case SimEvent::Type::kUrgentDeliver:
+      urgent_deliver(ev.proc, ev.task);
+      return;
+    case SimEvent::Type::kChildDone: child_done(ev.node); return;
+    case SimEvent::Type::kOocLanding: ooc_->on_landing(ev.ooc); return;
+  }
+  check(false, "simulate: unknown event type");
 }
 
 // ---- state helpers ---------------------------------------------------------
@@ -81,15 +108,15 @@ void Engine::announce_load(index_t p, count_t delta) {
   procs_[static_cast<std::size_t>(p)].announced.workload.add(now(), delta);
 }
 
-Engine::CbPiece& Engine::find_piece(index_t node, index_t p) {
-  for (CbPiece& piece : nodes_[static_cast<std::size_t>(node)].cb_pieces)
+const Engine::CbPiece& Engine::find_piece(index_t node, index_t p) const {
+  for (const CbPiece& piece : nodes_[static_cast<std::size_t>(node)].cb_pieces)
     if (piece.proc == p) return piece;
   check(false, "simulate: resident cb piece not found");
   return nodes_[static_cast<std::size_t>(node)].cb_pieces.front();
 }
 
-const Engine::CbPiece& Engine::find_piece(index_t node, index_t p) const {
-  return const_cast<Engine*>(this)->find_piece(node, p);
+Engine::CbPiece& Engine::find_piece(index_t node, index_t p) {
+  return const_cast<CbPiece&>(std::as_const(*this).find_piece(node, p));
 }
 
 count_t Engine::resident_entries(index_t node, index_t p) const {
@@ -121,15 +148,41 @@ count_t Engine::activation_entries(index_t node) const {
   return 0;
 }
 
+void Engine::pool_push(index_t p, index_t node) {
+  Proc& proc = procs_[static_cast<std::size_t>(p)];
+  proc.pool.push(node);
+  if (upper_part(node)) {
+    const count_t cost = activation_entries(node);
+    proc.upper_costs.insert(
+        std::lower_bound(proc.upper_costs.begin(), proc.upper_costs.end(),
+                         cost),
+        cost);
+  }
+}
+
+index_t Engine::pool_take(index_t p, std::size_t position) {
+  Proc& proc = procs_[static_cast<std::size_t>(p)];
+  const index_t node = proc.pool.take(position);
+  if (upper_part(node)) {
+    // Any instance of the same cost is equivalent in the multiset.
+    const count_t cost = activation_entries(node);
+    const auto it = std::lower_bound(proc.upper_costs.begin(),
+                                     proc.upper_costs.end(), cost);
+    check(it != proc.upper_costs.end() && *it == cost,
+          "simulate: pending-master cost list out of sync");
+    proc.upper_costs.erase(it);
+  }
+  return node;
+}
+
 void Engine::refresh_pending_master(index_t p) {
   // Re-broadcasts the cost of the largest ready upper-part task in p's
-  // pool (the Section 5.1 prediction; updated on every ready/activation).
+  // pool (the Section 5.1 prediction) — the back of the incrementally
+  // maintained cost list; History::set ignores no-op updates, so the
+  // broadcast only fires when the maximum actually moved.
   Proc& proc = procs_[static_cast<std::size_t>(p)];
-  count_t best = 0;
-  for (index_t node : proc.pool.tasks())
-    if (upper_part(node))
-      best = std::max(best, activation_entries(node));
-  proc.announced.pending_master.set(now(), best);
+  proc.announced.pending_master.set(
+      now(), proc.upper_costs.empty() ? 0 : proc.upper_costs.back());
 }
 
 // ---- initialization --------------------------------------------------------
@@ -154,16 +207,22 @@ void Engine::initialize() {
     if (!tree_.children(node).empty()) continue;
     if (mapping_.type[static_cast<std::size_t>(node)] == NodeType::kType3) {
       // Degenerate: a leaf root. Start it directly.
-      queue_.schedule(0.0, [this, node] { start_type3(node); });
+      SimEvent ev;
+      ev.type = SimEvent::Type::kStartType3;
+      ev.node = node;
+      queue_.schedule(0.0, EventKind::kGeneric, ev);
       continue;
     }
     const index_t owner = mapping_.owner[static_cast<std::size_t>(node)];
-    procs_[static_cast<std::size_t>(owner)].pool.push(node);
+    pool_push(owner, node);
     if (upper_part(node)) announce_load(owner, ready_cost(node));
   }
   for (index_t p = 0; p < nprocs_; ++p) {
     refresh_pending_master(p);
-    queue_.schedule(0.0, [this, p] { wake(p); });
+    SimEvent ev;
+    ev.type = SimEvent::Type::kWake;
+    ev.proc = p;
+    queue_.schedule(0.0, EventKind::kGeneric, ev);
   }
 }
 
@@ -188,33 +247,42 @@ void Engine::start_urgent(index_t p) {
   proc.result.busy_time += dur;
   proc.result.flops_done += task.flops;
   ++proc.result.slave_tasks_run;
-  queue_.schedule_after(
-      dur,
-      [this, p, task] {
-        // The factor part leaves the stack (in OOC mode: streams to disk
-        // first); a slave's contribution rows stay until the parent
-        // assembles them.
-        const double stall = retire_factors(p, task.factor_part);
-        auto rest = [this, p, task] {
-          procs_[static_cast<std::size_t>(p)].result.factor_entries +=
-              task.factor_part;
-          const count_t cb_part = task.entries - task.factor_part;
-          if (cb_part > 0) {
-            nodes_[static_cast<std::size_t>(task.node)].cb_pieces.push_back(
-                {p, cb_part, false});
-            track_resident_cb(p, task.node);
-          }
-          announce_load(p, -task.flops);
-          part_done(task.node);
-          procs_[static_cast<std::size_t>(p)].busy = false;
-          wake(p);
-        };
-        if (stall > 0)
-          queue_.schedule_after(stall, rest);
-        else
-          rest();
-      },
-      EventKind::kCompute);
+  SimEvent ev;
+  ev.type = SimEvent::Type::kUrgentDone;
+  ev.proc = p;
+  ev.task = task;
+  queue_.schedule_after(dur, EventKind::kCompute, ev);
+}
+
+void Engine::urgent_done(index_t p, const UrgentTask& task) {
+  // The factor part leaves the stack (in OOC mode: streams to disk
+  // first); a slave's contribution rows stay until the parent
+  // assembles them.
+  const double stall = retire_factors(p, task.factor_part);
+  if (stall > 0) {
+    SimEvent ev;
+    ev.type = SimEvent::Type::kUrgentRest;
+    ev.proc = p;
+    ev.task = task;
+    queue_.schedule_after(stall, EventKind::kGeneric, ev);
+  } else {
+    urgent_rest(p, task);
+  }
+}
+
+void Engine::urgent_rest(index_t p, const UrgentTask& task) {
+  procs_[static_cast<std::size_t>(p)].result.factor_entries +=
+      task.factor_part;
+  const count_t cb_part = task.entries - task.factor_part;
+  if (cb_part > 0) {
+    nodes_[static_cast<std::size_t>(task.node)].cb_pieces.push_back(
+        {p, cb_part, false});
+    track_resident_cb(p, task.node);
+  }
+  announce_load(p, -task.flops);
+  part_done(task.node);
+  procs_[static_cast<std::size_t>(p)].busy = false;
+  wake(p);
 }
 
 void Engine::activate_from_pool(index_t p) {
@@ -230,7 +298,7 @@ void Engine::activate_from_pool(index_t p) {
       .spill_budget = 0,
   };
   const std::size_t position = policy_->select_task(query);
-  const index_t node = proc.pool.take(position);
+  const index_t node = pool_take(p, position);
   refresh_pending_master(p);
   ++proc.result.tasks_run;
 
@@ -242,10 +310,10 @@ void Engine::activate_from_pool(index_t p) {
   if (sid != kNone) {
     const bool already =
         std::any_of(proc.active_subtrees.begin(), proc.active_subtrees.end(),
-                    [sid](const auto& e) { return e.first == sid; });
+                    [sid](const auto& e) { return e.sid == sid; });
     if (!already) {
       const count_t peak = mapping_.subtrees.peak[static_cast<std::size_t>(sid)];
-      proc.active_subtrees.emplace_back(sid, proc.stack + peak);
+      proc.active_subtrees.push_back({sid, proc.stack + peak});
       proc.announced.subtree_peak.add(now(), peak);
     }
   }
@@ -303,46 +371,55 @@ void Engine::activate_type1(index_t p, index_t node) {
                      machine_.compute_time(tree_.flops(node));
   proc.result.busy_time += dur - stall;
   proc.result.flops_done += tree_.flops(node);
-  queue_.schedule_after(
-      dur,
-      [this, p, node] {
-        const count_t cb = tree_.cb_entries(node);
-        double wb_stall = 0.0;
-        if (ooc_on()) {
-          // The front splits in place: the cb part stays on the stack as
-          // this node's contribution block, the factor part stays until
-          // its disk write lands (write-behind: moves to the I/O buffer
-          // now); front = factors + cb exactly.
-          wb_stall = retire_factors(p, tree_.factor_entries(node));
-          if (cb > 0) {
-            nodes_[static_cast<std::size_t>(node)].cb_pieces.push_back(
-                {p, cb, false});
-            track_resident_cb(p, node);
-          }
-        } else {
-          release(p, tree_.front_entries(node));
-          announce_mem(p, -tree_.front_entries(node));
-          if (cb > 0) {
-            alloc(p, cb, PeakCause::kContribution, node);
-            announce_mem(p, cb);
-            nodes_[static_cast<std::size_t>(node)].cb_pieces.push_back(
-                {p, cb, false});
-          }
-        }
-        auto rest = [this, p, node] {
-          procs_[static_cast<std::size_t>(p)].result.factor_entries +=
-              tree_.factor_entries(node);
-          announce_load(p, -tree_.flops(node));
-          node_complete(node, p);
-          procs_[static_cast<std::size_t>(p)].busy = false;
-          wake(p);
-        };
-        if (wb_stall > 0)
-          queue_.schedule_after(wb_stall, rest);
-        else
-          rest();
-      },
-      EventKind::kCompute);
+  SimEvent ev;
+  ev.type = SimEvent::Type::kType1Done;
+  ev.proc = p;
+  ev.node = node;
+  queue_.schedule_after(dur, EventKind::kCompute, ev);
+}
+
+void Engine::type1_done(index_t p, index_t node) {
+  const count_t cb = tree_.cb_entries(node);
+  double wb_stall = 0.0;
+  if (ooc_on()) {
+    // The front splits in place: the cb part stays on the stack as
+    // this node's contribution block, the factor part stays until
+    // its disk write lands (write-behind: moves to the I/O buffer
+    // now); front = factors + cb exactly.
+    wb_stall = retire_factors(p, tree_.factor_entries(node));
+    if (cb > 0) {
+      nodes_[static_cast<std::size_t>(node)].cb_pieces.push_back(
+          {p, cb, false});
+      track_resident_cb(p, node);
+    }
+  } else {
+    release(p, tree_.front_entries(node));
+    announce_mem(p, -tree_.front_entries(node));
+    if (cb > 0) {
+      alloc(p, cb, PeakCause::kContribution, node);
+      announce_mem(p, cb);
+      nodes_[static_cast<std::size_t>(node)].cb_pieces.push_back(
+          {p, cb, false});
+    }
+  }
+  if (wb_stall > 0) {
+    SimEvent ev;
+    ev.type = SimEvent::Type::kType1Rest;
+    ev.proc = p;
+    ev.node = node;
+    queue_.schedule_after(wb_stall, EventKind::kGeneric, ev);
+  } else {
+    type1_rest(p, node);
+  }
+}
+
+void Engine::type1_rest(index_t p, index_t node) {
+  procs_[static_cast<std::size_t>(p)].result.factor_entries +=
+      tree_.factor_entries(node);
+  announce_load(p, -tree_.flops(node));
+  node_complete(node, p);
+  procs_[static_cast<std::size_t>(p)].busy = false;
+  wake(p);
 }
 
 void Engine::activate_type2(index_t p, index_t node) {
@@ -416,54 +493,72 @@ void Engine::activate_type2(index_t p, index_t node) {
     machine_.count_message(share.entries);
     // The task message carries the front's index list, not the data.
     const double arrival = q == p ? 0.0 : machine_.transfer_time(nfront);
-    UrgentTask task{.node = node,
-                    .entries = share.entries,
-                    .factor_part = static_cast<count_t>(share.rows) * npiv,
-                    .flops = share.flops,
-                    .root_share = false};
-    queue_.schedule_after(
-        arrival,
-        [this, q, task] {
-          // Admission happens where the block lands; the receive is held
-          // back while the slave makes room on disk.
-          const double recv_stall = admit(q, task.entries);
-          alloc(q, task.entries, PeakCause::kSlaveBlock, task.node);
-          auto deliver = [this, q, task] {
-            procs_[static_cast<std::size_t>(q)].urgent.push_back(task);
-            wake(q);
-          };
-          if (recv_stall > 0)
-            queue_.schedule_after(recv_stall, deliver);
-          else
-            deliver();
-        },
-        EventKind::kMessage);
+    SimEvent ev;
+    ev.type = SimEvent::Type::kSlaveArrive;
+    ev.proc = q;
+    ev.task = UrgentTask{.node = node,
+                         .entries = share.entries,
+                         .factor_part = static_cast<count_t>(share.rows) * npiv,
+                         .flops = share.flops,
+                         .root_share = false};
+    queue_.schedule_after(arrival, EventKind::kMessage, ev);
   }
 
   const double dur = stall + transfer + machine_.assemble_time(master_mem) +
                      machine_.compute_time(mflops);
   proc.result.busy_time += dur - stall;
   proc.result.flops_done += mflops;
-  queue_.schedule_after(
-      dur,
-      [this, p, node, master_mem] {
-        // The fully-summed rows become factors.
-        const double wb_stall = retire_factors(p, master_mem);
-        auto rest = [this, p, node, master_mem] {
-          procs_[static_cast<std::size_t>(p)].result.factor_entries +=
-              master_mem;
-          announce_load(p, -master_flops(tree_.nfront(node), tree_.npiv(node),
-                                         tree_.symmetric()));
-          part_done(node);
-          procs_[static_cast<std::size_t>(p)].busy = false;
-          wake(p);
-        };
-        if (wb_stall > 0)
-          queue_.schedule_after(wb_stall, rest);
-        else
-          rest();
-      },
-      EventKind::kCompute);
+  SimEvent done;
+  done.type = SimEvent::Type::kType2Done;
+  done.proc = p;
+  done.node = node;
+  done.entries = master_mem;
+  queue_.schedule_after(dur, EventKind::kCompute, done);
+}
+
+void Engine::slave_arrive(index_t q, const UrgentTask& task) {
+  // Admission happens where the block lands; the receive is held
+  // back while the slave makes room on disk.
+  const double recv_stall = admit(q, task.entries);
+  alloc(q, task.entries, PeakCause::kSlaveBlock, task.node);
+  if (recv_stall > 0) {
+    SimEvent ev;
+    ev.type = SimEvent::Type::kUrgentDeliver;
+    ev.proc = q;
+    ev.task = task;
+    queue_.schedule_after(recv_stall, EventKind::kGeneric, ev);
+  } else {
+    urgent_deliver(q, task);
+  }
+}
+
+void Engine::urgent_deliver(index_t q, const UrgentTask& task) {
+  procs_[static_cast<std::size_t>(q)].urgent.push_back(task);
+  wake(q);
+}
+
+void Engine::type2_done(index_t p, index_t node, count_t master_mem) {
+  // The fully-summed rows become factors.
+  const double wb_stall = retire_factors(p, master_mem);
+  if (wb_stall > 0) {
+    SimEvent ev;
+    ev.type = SimEvent::Type::kType2Rest;
+    ev.proc = p;
+    ev.node = node;
+    ev.entries = master_mem;
+    queue_.schedule_after(wb_stall, EventKind::kGeneric, ev);
+  } else {
+    type2_rest(p, node, master_mem);
+  }
+}
+
+void Engine::type2_rest(index_t p, index_t node, count_t master_mem) {
+  procs_[static_cast<std::size_t>(p)].result.factor_entries += master_mem;
+  announce_load(p, -master_flops(tree_.nfront(node), tree_.npiv(node),
+                                 tree_.symmetric()));
+  part_done(node);
+  procs_[static_cast<std::size_t>(p)].busy = false;
+  wake(p);
 }
 
 std::vector<count_t> Engine::root_shares(index_t node) const {
@@ -507,28 +602,31 @@ void Engine::start_type3(index_t node) {
     const index_t q = g;  // grid process g lives on processor g
     const count_t entries = shares[static_cast<std::size_t>(g)];
     machine_.count_message(entries);
-    UrgentTask task{.node = node,
-                    .entries = entries,
-                    .factor_part = entries,  // the whole root is factors
-                    .flops = flops_share,
-                    .root_share = true};
-    queue_.schedule_after(
-        machine_.params().latency,
-        [this, q, task] {
-          const double recv_stall = admit(q, task.entries);
-          alloc(q, task.entries, PeakCause::kRootShare, task.node);
-          announce_mem(q, task.entries);
-          announce_load(q, task.flops);
-          auto deliver = [this, q, task] {
-            procs_[static_cast<std::size_t>(q)].urgent.push_back(task);
-            wake(q);
-          };
-          if (recv_stall > 0)
-            queue_.schedule_after(recv_stall, deliver);
-          else
-            deliver();
-        },
-        EventKind::kMessage);
+    SimEvent ev;
+    ev.type = SimEvent::Type::kRootArrive;
+    ev.proc = q;
+    ev.task = UrgentTask{.node = node,
+                         .entries = entries,
+                         .factor_part = entries,  // the whole root is factors
+                         .flops = flops_share,
+                         .root_share = true};
+    queue_.schedule_after(machine_.params().latency, EventKind::kMessage, ev);
+  }
+}
+
+void Engine::root_arrive(index_t q, const UrgentTask& task) {
+  const double recv_stall = admit(q, task.entries);
+  alloc(q, task.entries, PeakCause::kRootShare, task.node);
+  announce_mem(q, task.entries);
+  announce_load(q, task.flops);
+  if (recv_stall > 0) {
+    SimEvent ev;
+    ev.type = SimEvent::Type::kUrgentDeliver;
+    ev.proc = q;
+    ev.task = task;
+    queue_.schedule_after(recv_stall, EventKind::kGeneric, ev);
+  } else {
+    urgent_deliver(q, task);
   }
 }
 
@@ -562,7 +660,7 @@ void Engine::node_complete(index_t node, index_t reporter) {
     Proc& proc = procs_[static_cast<std::size_t>(p)];
     auto it = std::find_if(proc.active_subtrees.begin(),
                            proc.active_subtrees.end(),
-                           [sid](const auto& e) { return e.first == sid; });
+                           [sid](const auto& e) { return e.sid == sid; });
     if (it != proc.active_subtrees.end()) {
       proc.announced.subtree_peak.add(
           now(), -mapping_.subtrees.peak[static_cast<std::size_t>(sid)]);
@@ -579,22 +677,25 @@ void Engine::node_complete(index_t node, index_t reporter) {
       mapping_.type[static_cast<std::size_t>(parent)] == NodeType::kType3;
   const index_t owner =
       type3_parent ? 0 : mapping_.owner[static_cast<std::size_t>(parent)];
-  auto deliver = [this, parent] {
-    NodeState& pst = nodes_[static_cast<std::size_t>(parent)];
-    check(pst.children_remaining > 0, "simulate: child accounting broken");
-    if (--pst.children_remaining > 0) return;
-    node_ready(parent);
-  };
   if (owner == reporter) {
     // Local notification is immediate: the parent must enter the pool
     // before the processor picks its next task, or the stack discipline
     // would lose its depth-first property.
-    deliver();
+    child_done(parent);
   } else {
     machine_.count_message(1);
-    queue_.schedule_after(machine_.params().latency, deliver,
-                          EventKind::kMessage);
+    SimEvent ev;
+    ev.type = SimEvent::Type::kChildDone;
+    ev.node = parent;
+    queue_.schedule_after(machine_.params().latency, EventKind::kMessage, ev);
   }
+}
+
+void Engine::child_done(index_t parent) {
+  NodeState& pst = nodes_[static_cast<std::size_t>(parent)];
+  check(pst.children_remaining > 0, "simulate: child accounting broken");
+  if (--pst.children_remaining > 0) return;
+  node_ready(parent);
 }
 
 void Engine::node_ready(index_t node) {
@@ -603,7 +704,7 @@ void Engine::node_ready(index_t node) {
     return;
   }
   const index_t owner = mapping_.owner[static_cast<std::size_t>(node)];
-  procs_[static_cast<std::size_t>(owner)].pool.push(node);
+  pool_push(owner, node);
   // Workload grows when a task becomes ready (Section 5.2); subtree
   // tasks were pre-charged in the initial workload.
   if (upper_part(node)) {
@@ -645,6 +746,7 @@ ParallelResult Engine::finalize() {
   result.comm_entries = machine_.comm_entries();
   result.type2_nodes_run = type2_nodes_;
   result.ooc_enabled = ooc_on();
+  result.events_processed = queue_.processed();
   result.io_events = queue_.processed(EventKind::kIo);
   if (ooc_on()) {
     for (const ProcResult& pr : result.procs) {

@@ -13,6 +13,15 @@
 // (ooc/engine.hpp); `simulate_parallel_factorization` is a thin driver
 // that wires the three together. Tests construct the engine with a mock
 // policy to audit exactly where it is consulted.
+//
+// The event loop is allocation-free: every continuation is a SimEvent — a
+// trivially copyable tagged union of the engine's concrete continuation
+// shapes (task completions, factor-retire rests, urgent deliveries,
+// message arrivals, wake-ups, disk landings) — stored inline in the event
+// queue's slab and dispatched by one switch. Hot bookkeeping is
+// incremental: the pending-master prediction is maintained on pool
+// push/take instead of rescanning the pool, and per-node/per-processor
+// piece lists use small-buffer storage (support/inline_vec.hpp).
 #pragma once
 
 #include <deque>
@@ -27,6 +36,7 @@
 #include "memfront/ooc/engine.hpp"
 #include "memfront/sim/event_queue.hpp"
 #include "memfront/sim/machine.hpp"
+#include "memfront/support/inline_vec.hpp"
 
 namespace memfront {
 
@@ -54,8 +64,11 @@ class Engine final : public PolicyHost, public OocHost {
 
   // ---- OocHost -------------------------------------------------------------
   double now() const override { return queue_.now(); }
-  void schedule_io(double t, std::function<void()> cb) override {
-    queue_.schedule(t, std::move(cb), EventKind::kIo);
+  void schedule_io(double t, const OocLanding& landing) override {
+    SimEvent ev;
+    ev.type = SimEvent::Type::kOocLanding;
+    ev.ooc = landing;
+    queue_.schedule(t, EventKind::kIo, ev);
   }
   count_t stack(index_t p) const override {
     return procs_[static_cast<std::size_t>(p)].stack;
@@ -83,6 +96,42 @@ class Engine final : public PolicyHost, public OocHost {
     bool root_share = false;
   };
 
+  /// A scheduled continuation: the tagged union the event queue stores
+  /// inline and Engine::dispatch switches over. One struct covers all
+  /// shapes (the union of their fields is small); `type` says which
+  /// fields are live.
+  struct SimEvent {
+    enum class Type : unsigned char {
+      kWake,          // proc
+      kStartType3,    // node
+      kUrgentDone,    // proc, task — urgent compute finished
+      kUrgentRest,    // proc, task — after the factor write-back stall
+      kType1Done,     // proc, node
+      kType1Rest,     // proc, node
+      kType2Done,     // proc, node, entries = master part
+      kType2Rest,     // proc, node, entries = master part
+      kSlaveArrive,   // proc, task — slave block landed on proc
+      kRootArrive,    // proc, task — root share landed on proc
+      kUrgentDeliver, // proc, task — after the receive-admission stall
+      kChildDone,     // node = parent being notified
+      kOocLanding,    // ooc — a disk write completed
+    };
+    Type type = Type::kWake;
+    index_t proc = kNone;
+    index_t node = kNone;
+    count_t entries = 0;
+    UrgentTask task{};
+    OocLanding ooc{};
+  };
+  using Queue = EventQueue<SimEvent>;
+
+  /// A subtree currently in progress on a processor.
+  struct SubtreeWatch {
+    index_t sid = kNone;
+    // Projected peak: stack at subtree start + standalone subtree peak.
+    count_t projected = 0;
+  };
+
   struct Proc {
     TaskPool pool;
     std::deque<UrgentTask> urgent;
@@ -90,9 +139,11 @@ class Engine final : public PolicyHost, public OocHost {
     count_t stack = 0;
     count_t peak = 0;
     AnnouncedState announced;
-    // Subtrees currently in progress on this processor: (subtree id,
-    // projected peak = stack at subtree start + standalone subtree peak).
-    std::vector<std::pair<index_t, count_t>> active_subtrees;
+    InlineVec<SubtreeWatch, 4> active_subtrees;
+    // Activation costs of the ready upper-part tasks in the pool, sorted
+    // ascending — the Section 5.1 pending-master prediction is its back,
+    // maintained incrementally on pool push/take (no pool rescans).
+    std::vector<count_t> upper_costs;
     ProcResult result;
   };
 
@@ -107,7 +158,7 @@ class Engine final : public PolicyHost, public OocHost {
     index_t children_remaining = 0;
     index_t parts_remaining = 0;  // type-2: master+slaves; type-3: grid size
     bool completed = false;
-    std::vector<CbPiece> cb_pieces;
+    InlineVec<CbPiece, 2> cb_pieces;
   };
 
   // ---- state helpers -------------------------------------------------------
@@ -128,10 +179,15 @@ class Engine final : public PolicyHost, public OocHost {
   bool upper_part(index_t node) const {
     return !mapping_.subtrees.in_subtree(node);
   }
+  /// Pool mutations keep the sorted upper-part cost list in sync, so the
+  /// pending-master broadcast is O(1) instead of an O(pool) rescan.
+  void pool_push(index_t p, index_t node);
+  index_t pool_take(index_t p, std::size_t position);
   void refresh_pending_master(index_t p);
   count_t ready_cost(index_t node) const;
 
   // ---- the event loop ------------------------------------------------------
+  void dispatch(const SimEvent& ev);
   void initialize();
   void wake(index_t p);
   void start_urgent(index_t p);
@@ -148,6 +204,18 @@ class Engine final : public PolicyHost, public OocHost {
   std::vector<count_t> root_shares(index_t node) const;
   void start_type3(index_t node);
 
+  // ---- event continuations (the switch cases of dispatch) ------------------
+  void urgent_done(index_t p, const UrgentTask& task);
+  void urgent_rest(index_t p, const UrgentTask& task);
+  void type1_done(index_t p, index_t node);
+  void type1_rest(index_t p, index_t node);
+  void type2_done(index_t p, index_t node, count_t master_mem);
+  void type2_rest(index_t p, index_t node, count_t master_mem);
+  void slave_arrive(index_t q, const UrgentTask& task);
+  void root_arrive(index_t q, const UrgentTask& task);
+  void urgent_deliver(index_t q, const UrgentTask& task);
+  void child_done(index_t parent);
+
   // ---- completion bookkeeping ----------------------------------------------
   void part_done(index_t node);
   void node_complete(index_t node, index_t reporter);
@@ -162,7 +230,7 @@ class Engine final : public PolicyHost, public OocHost {
   Machine machine_;
   Trace* trace_;
   index_t nprocs_;
-  EventQueue queue_;
+  Queue queue_;
   BlockCyclicLayout grid_;
   std::optional<OocEngine> ooc_;
   std::unique_ptr<SchedulerPolicy> owned_policy_;

@@ -72,6 +72,9 @@ struct ParallelResult {
   count_t ooc_buffer_high_water = 0;     // max over processors (WB)
   /// Disk-completion events the run processed (0 when the mode is off).
   std::uint64_t io_events = 0;
+  /// Total discrete events the run processed (perf denominator for
+  /// events/second; never compared across scheduling changes).
+  std::uint64_t events_processed = 0;
 
   /// Did every processor stay within the budget (after spilling/draining)?
   bool ooc_feasible() const noexcept { return ooc_overrun_peak == 0; }

@@ -42,12 +42,12 @@ double OocEngine::buffer_push(index_t p, count_t entries, TraceIo kind) {
     // Full buffer: wait for the earliest in-flight writes to land (their
     // disk time is already scheduled; the wait is the whole cost). An
     // oversized block degrades gracefully: drain everything, then push.
-    for (auto& bw : ps.in_flight) {
+    for (InFlightWrite& bw : ps.in_flight) {
       if (ps.buffer_used + entries <= capacity_) break;
-      if (bw->released) continue;
-      bw->released = true;
-      ps.buffer_used -= bw->entries;
-      stall = std::max(stall, bw->finish - now);
+      if (bw.released) continue;
+      bw.released = true;
+      ps.buffer_used -= bw.entries;
+      stall = std::max(stall, bw.finish - now);
     }
   }
   ps.buffer_used += entries;
@@ -60,17 +60,8 @@ double OocEngine::buffer_push(index_t p, count_t entries, TraceIo kind) {
   const double finish = disk_.write(p, entries, now);
   host_.record_io(now, finish, p, entries, kind);
   st.overlap_time += std::max(0.0, (finish - service_start) - stall);
-  auto bw = std::make_shared<InFlightWrite>();
-  bw->finish = finish;
-  bw->entries = entries;
-  ps.in_flight.push_back(bw);
-  host_.schedule_io(finish, [this, p, bw] {
-    if (!bw->released) {
-      bw->released = true;
-      proc(p).buffer_used -= bw->entries;
-    }
-    std::erase(proc(p).in_flight, bw);
-  });
+  ps.in_flight.push(InFlightWrite{finish, entries, false});
+  host_.schedule_io(finish, OocLanding{OocLandingKind::kBufferSlot, p});
   return stall;
 }
 
@@ -82,20 +73,11 @@ double OocEngine::write_back_factors(index_t p, count_t entries) {
       // The entries stay on the stack (they were allocated as part of the
       // front) until the write lands; budget admission may account them
       // as freed early.
-      auto pw = std::make_shared<InFlightWrite>();
-      pw->finish = disk_.write(p, entries, host_.now());
-      pw->entries = entries;
-      proc(p).pending_writes.push_back(pw);
-      host_.record_io(host_.now(), pw->finish, p, entries,
+      const double finish = disk_.write(p, entries, host_.now());
+      proc(p).pending_writes.push(InFlightWrite{finish, entries, false});
+      host_.record_io(host_.now(), finish, p, entries,
                       TraceIo::kFactorWrite);
-      host_.schedule_io(pw->finish, [this, p, pw] {
-        if (!pw->released) {
-          pw->released = true;
-          host_.release(p, pw->entries);
-          host_.announce_mem(p, -pw->entries);
-        }
-        std::erase(proc(p).pending_writes, pw);
-      });
+      host_.schedule_io(finish, OocLanding{OocLandingKind::kFactorWrite, p});
       return 0.0;
     }
     case OocIoMode::kSynchronous: {
@@ -122,6 +104,32 @@ double OocEngine::write_back_factors(index_t p, count_t entries) {
   return 0.0;
 }
 
+void OocEngine::on_landing(const OocLanding& landing) {
+  // Disk channels serve writes in issue order, and landings are scheduled
+  // in issue order too (FIFO at equal timestamps), so the completion
+  // always resolves to the front of the matching FIFO.
+  ProcState& ps = proc(landing.proc);
+  switch (landing.kind) {
+    case OocLandingKind::kFactorWrite: {
+      check(!ps.pending_writes.empty(), "ooc: landing without pending write");
+      const InFlightWrite w = ps.pending_writes.front();
+      ps.pending_writes.pop_front();
+      if (!w.released) {
+        host_.release(landing.proc, w.entries);
+        host_.announce_mem(landing.proc, -w.entries);
+      }
+      break;
+    }
+    case OocLandingKind::kBufferSlot: {
+      check(!ps.in_flight.empty(), "ooc: landing without in-flight write");
+      const InFlightWrite w = ps.in_flight.front();
+      ps.in_flight.pop_front();
+      if (!w.released) ps.buffer_used -= w.entries;
+      break;
+    }
+  }
+}
+
 double OocEngine::admit(index_t p, count_t incoming) {
   if (budget_ <= 0) return 0.0;
   ProcState& ps = proc(p);
@@ -132,14 +140,14 @@ double OocEngine::admit(index_t p, count_t incoming) {
   if (mode_ == OocIoMode::kAdmissionDrain) {
     // 1. Drain factor writes already in flight, earliest-finishing first
     //    (pending_writes is in issue order = finish order per channel).
-    for (auto& pw : ps.pending_writes) {
+    for (InFlightWrite& pw : ps.pending_writes) {
       if (over <= 0) break;
-      if (pw->released) continue;
-      pw->released = true;
-      host_.release(p, pw->entries);
-      host_.announce_mem(p, -pw->entries);
-      stall = std::max(stall, pw->finish - host_.now());
-      over -= pw->entries;
+      if (pw.released) continue;
+      pw.released = true;
+      host_.release(p, pw.entries);
+      host_.announce_mem(p, -pw.entries);
+      stall = std::max(stall, pw.finish - host_.now());
+      over -= pw.entries;
     }
   }
   // 2. Spill resident contribution blocks. Admission-drain and

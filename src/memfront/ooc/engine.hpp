@@ -10,14 +10,17 @@
 // slots when they land — compute overlaps I/O and stalls only when the
 // buffer is full.
 //
+// A disk completion is a typed OocLanding event, not a closure: the host
+// schedules it on its (allocation-free) event queue and hands it back to
+// on_landing(). Per disk channel, writes finish in issue order, so each
+// landing resolves to the front of that processor's write FIFO — no
+// shared_ptr bookkeeping, no per-write heap allocation.
+//
 // The engine talks back to its host (the scheduling engine) for simulated
 // time, event scheduling, the stack ledger, and contribution-block
 // metadata — so it is testable against a scripted host.
 #pragma once
 
-#include <deque>
-#include <functional>
-#include <memory>
 #include <vector>
 
 #include "memfront/ooc/config.hpp"
@@ -27,13 +30,27 @@
 
 namespace memfront {
 
+/// What a disk-completion event frees when it lands.
+enum class OocLandingKind : unsigned char {
+  kFactorWrite,  // admission-drain: stack entries held until the write lands
+  kBufferSlot,   // write-behind: buffer space held until the write lands
+};
+
+/// Payload of a disk-completion event (scheduled via OocHost::schedule_io,
+/// resolved by OocEngine::on_landing).
+struct OocLanding {
+  OocLandingKind kind = OocLandingKind::kFactorWrite;
+  index_t proc = kNone;
+};
+
 /// What the OocEngine needs from the simulation it serves.
 class OocHost {
  public:
   virtual ~OocHost() = default;
   virtual double now() const = 0;
-  /// Schedules `cb` at absolute time t as a disk (I/O) event.
-  virtual void schedule_io(double t, std::function<void()> cb) = 0;
+  /// Schedules a disk (I/O) completion at absolute time t; the host must
+  /// eventually feed it back to OocEngine::on_landing.
+  virtual void schedule_io(double t, const OocLanding& landing) = 0;
   /// Stack ledger of processor p.
   virtual count_t stack(index_t p) const = 0;
   virtual void release(index_t p, count_t entries) = 0;
@@ -84,22 +101,64 @@ class OocEngine {
   /// assembling task must absorb.
   double reload(index_t p, count_t entries);
 
+  /// Resolves a disk-completion event the host scheduled via schedule_io:
+  /// pops the matching write FIFO's front (per channel, writes land in
+  /// issue order) and frees whatever it still holds.
+  void on_landing(const OocLanding& landing);
+
  private:
-  /// One write whose landing frees memory: stack entries (synchronous
-  /// factor write-back) or buffer space (write-behind).
+  /// One write whose landing frees memory: stack entries (admission-drain
+  /// factor write-back) or buffer space (write-behind). `released` marks
+  /// writes whose memory admission/buffer pressure already freed early;
+  /// their landing then only retires the FIFO slot.
   struct InFlightWrite {
     double finish = 0.0;
     count_t entries = 0;
     bool released = false;
   };
+
+  /// FIFO of in-flight writes with stable storage: pops advance a head
+  /// index instead of deallocating, and the vector's capacity is reused —
+  /// steady-state simulation allocates nothing per write.
+  class WriteFifo {
+   public:
+    bool empty() const noexcept { return head_ == items_.size(); }
+    InFlightWrite& front() { return items_[head_]; }
+    void push(const InFlightWrite& w) {
+      if (head_ == items_.size()) {
+        items_.clear();
+        head_ = 0;
+      } else if (head_ > 64 && head_ > items_.size() / 2) {
+        items_.erase(items_.begin(),
+                     items_.begin() + static_cast<std::ptrdiff_t>(head_));
+        head_ = 0;
+      }
+      items_.push_back(w);
+    }
+    void pop_front() {
+      ++head_;
+      if (head_ == items_.size()) {
+        items_.clear();
+        head_ = 0;
+      }
+    }
+    /// Live entries, oldest first.
+    auto begin() { return items_.begin() + static_cast<std::ptrdiff_t>(head_); }
+    auto end() { return items_.end(); }
+
+   private:
+    std::vector<InFlightWrite> items_;
+    std::size_t head_ = 0;
+  };
+
   struct ProcState {
     // Nodes with an in-core contribution block on this processor, in
     // residency order.
     std::vector<index_t> resident_cbs;
     // Admission-drain mode: factor writes still holding the stack.
-    std::vector<std::shared_ptr<InFlightWrite>> pending_writes;
+    WriteFifo pending_writes;
     // Write-behind mode: writes still holding buffer space.
-    std::deque<std::shared_ptr<InFlightWrite>> in_flight;
+    WriteFifo in_flight;
     count_t buffer_used = 0;
     std::size_t spill_cursor = 0;  // round-robin eviction start
   };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "memfront/support/error.hpp"
+#include "memfront/support/parallel_for.hpp"
 
 namespace memfront {
 
@@ -71,16 +72,18 @@ PlannerResult plan_minimum_budget(const AssemblyTree& tree,
   result.at_min = at_hi;
 
   if (options.curve_points > 0 && result.incore_peak > result.min_budget) {
+    // Every curve point is an independent budgeted simulation: run them
+    // concurrently, gathered in ascending-budget order.
     const count_t span = result.incore_peak - result.min_budget;
     const index_t n = options.curve_points;
-    result.curve.reserve(static_cast<std::size_t>(n));
-    for (index_t k = 0; k < n; ++k) {
-      const count_t b =
-          n == 1 ? result.min_budget
-                 : result.min_budget + span * k / (n - 1);
-      result.curve.push_back(
-          evaluate_budget(tree, memory, mapping, traversal, config, b));
-    }
+    std::vector<count_t> budgets;
+    budgets.reserve(static_cast<std::size_t>(n));
+    for (index_t k = 0; k < n; ++k)
+      budgets.push_back(n == 1 ? result.min_budget
+                               : result.min_budget + span * k / (n - 1));
+    result.curve = parallel_map(budgets, [&](count_t b) {
+      return evaluate_budget(tree, memory, mapping, traversal, config, b);
+    });
   }
   return result;
 }

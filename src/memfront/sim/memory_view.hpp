@@ -18,7 +18,15 @@ namespace memfront {
 /// Cumulative step function of simulated time.
 class History {
  public:
-  History() { points_.emplace_back(-1.0, 0); }
+  /// Initial capacity: announced-state vectors sit inside the hot event
+  /// loop, so they start big enough that typical runs never reallocate
+  /// mid-simulation (growth from here on is the usual doubling).
+  static constexpr std::size_t kInitialCapacity = 64;
+
+  History() {
+    points_.reserve(kInitialCapacity);
+    points_.emplace_back(-1.0, 0);
+  }
 
   void add(double t, count_t delta) {
     check(t >= points_.back().first, "History: time must be monotone");
@@ -51,6 +59,7 @@ class History {
   }
 
   std::size_t size() const { return points_.size(); }
+  std::size_t capacity() const { return points_.capacity(); }
 
  private:
   std::vector<std::pair<double, count_t>> points_;

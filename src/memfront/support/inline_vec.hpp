@@ -1,0 +1,133 @@
+// Small-buffer vector for hot per-node/per-processor bookkeeping.
+//
+// The scheduling engine keeps tiny collections on every tree node
+// (contribution-block pieces: one for a type-1 node, a handful for a
+// type-2 front) and on every processor (active subtrees). A std::vector
+// heap-allocates each of them; InlineVec stores the first N elements in
+// place — the common 1-piece lookup touches a single cache line and
+// steady-state simulation never allocates for them — and falls back to a
+// heap buffer only beyond N.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace memfront {
+
+template <typename T, std::size_t N>
+class InlineVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "InlineVec moves elements with memcpy");
+  static_assert(alignof(T) <= __STDCPP_DEFAULT_NEW_ALIGNMENT__,
+                "InlineVec's heap buffer uses default-aligned operator new");
+  static_assert(N > 0, "InlineVec needs inline capacity");
+
+ public:
+  InlineVec() noexcept = default;
+  InlineVec(const InlineVec& other) { assign(other); }
+  InlineVec(InlineVec&& other) noexcept { steal(std::move(other)); }
+  InlineVec& operator=(const InlineVec& other) {
+    if (this != &other) {
+      release_heap();
+      assign(other);
+    }
+    return *this;
+  }
+  InlineVec& operator=(InlineVec&& other) noexcept {
+    if (this != &other) {
+      release_heap();
+      steal(std::move(other));
+    }
+    return *this;
+  }
+  ~InlineVec() { release_heap(); }
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  T* begin() noexcept { return data_; }
+  T* end() noexcept { return data_ + size_; }
+  const T* begin() const noexcept { return data_; }
+  const T* end() const noexcept { return data_ + size_; }
+
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+  T& front() noexcept { return data_[0]; }
+  const T& front() const noexcept { return data_[0]; }
+  T& back() noexcept { return data_[size_ - 1]; }
+  const T& back() const noexcept { return data_[size_ - 1]; }
+
+  // By value: `value` may alias an element of this vector (std::vector
+  // allows v.push_back(v.front()); the copy must be taken before grow()
+  // frees the old buffer).
+  void push_back(T value) {
+    if (size_ == capacity_) grow(size_ + 1);
+    data_[size_++] = value;
+  }
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    push_back(T{std::forward<Args>(args)...});
+    return back();
+  }
+
+  /// Removes the element at pos, shifting the tail left (capacity kept).
+  T* erase(T* pos) {
+    std::memmove(pos, pos + 1,
+                 static_cast<std::size_t>(end() - pos - 1) * sizeof(T));
+    --size_;
+    return pos;
+  }
+
+  /// Drops all elements; inline and heap capacity are both kept.
+  void clear() noexcept { size_ = 0; }
+
+ private:
+  bool on_heap() const noexcept {
+    return data_ != reinterpret_cast<const T*>(inline_.data());
+  }
+  void release_heap() noexcept {
+    if (on_heap()) ::operator delete(data_);
+    data_ = reinterpret_cast<T*>(inline_.data());
+    capacity_ = N;
+    size_ = 0;
+  }
+  void assign(const InlineVec& other) {
+    if (other.size_ > capacity_) grow(other.size_);
+    std::memcpy(data_, other.data_, other.size_ * sizeof(T));
+    size_ = other.size_;
+  }
+  void steal(InlineVec&& other) noexcept {
+    if (other.on_heap()) {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = reinterpret_cast<T*>(other.inline_.data());
+      other.capacity_ = N;
+      other.size_ = 0;
+    } else {
+      assign(other);  // inline elements: memcpy, nothing to steal
+      other.size_ = 0;
+    }
+  }
+  void grow(std::size_t need) {
+    std::size_t cap = capacity_ * 2;
+    if (cap < need) cap = need;
+    T* fresh = static_cast<T*>(::operator new(cap * sizeof(T)));
+    std::memcpy(fresh, data_, size_ * sizeof(T));
+    if (on_heap()) ::operator delete(data_);
+    data_ = fresh;
+    capacity_ = cap;
+  }
+
+  alignas(T) std::array<std::byte, N * sizeof(T)> inline_;
+  T* data_ = reinterpret_cast<T*>(inline_.data());
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace memfront

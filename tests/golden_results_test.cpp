@@ -81,5 +81,94 @@ INSTANTIATE_TEST_SUITE_P(
                                                     : "_workload");
     });
 
+// ---- out-of-core mode ------------------------------------------------------
+//
+// Same pin for the OOC execution path (admission-drain at a budget of
+// 1.2x the in-core peak): the typed-event rewrite of the disk-landing
+// pipeline (OocLanding events + write FIFOs replacing shared_ptr
+// closures) must not move a single write, spill or stall.
+
+struct OocGolden {
+  ProblemId id;
+  bool memory_strategy;
+  count_t max_stack_peak;
+  double makespan;
+  count_t factor_write_entries;
+  count_t spill_entries;
+  count_t reload_entries;
+  double stall_time;
+};
+
+// Captured at scale 0.25, 8 processors, nested dissection, budget =
+// in-core peak + peak/5, from the pre-rewrite engine (PR 2, commit
+// 46af137).
+constexpr OocGolden kOocGolden[] = {
+    {ProblemId::kBmwCra1, false, 596, 0x1.494377c6578a2p-8, 2187, 0, 0,
+     0x1.7bcfaf2a4f89dp-9},
+    {ProblemId::kBmwCra1, true, 623, 0x1.483df3f8d80ffp-8, 2187, 0, 0,
+     0x1.f120692c13843p-10},
+    {ProblemId::kGupta3, false, 22366, 0x1.98a1aa92c3c52p-8, 113670, 0, 0,
+     0x0p+0},
+    {ProblemId::kGupta3, true, 22366, 0x1.98a1aa92c3c52p-8, 113670, 0, 0,
+     0x0p+0},
+    {ProblemId::kMsdoor, false, 11848, 0x1.3a905ae7be50fp-6, 115624, 0, 0,
+     0x1.41a3e55e245ecp-5},
+    {ProblemId::kMsdoor, true, 11848, 0x1.5b5c3e91ad896p-6, 115624, 0, 0,
+     0x1.254f74a9c27e1p-5},
+    {ProblemId::kShip003, false, 2198, 0x1.072a0b165e913p-7, 15183, 0, 0,
+     0x1.574c331a9ac72p-8},
+    {ProblemId::kShip003, true, 1840, 0x1.d01c46a168dfcp-8, 15183, 0, 0,
+     0x1.63cb274173a3fp-9},
+    {ProblemId::kPre2, false, 1836881, 0x1.1020d39d7f0ap+0, 5922334, 0, 0,
+     0x0p+0},
+    {ProblemId::kPre2, true, 1836746, 0x1.3c87c19786e74p+0, 5922334, 0, 0,
+     0x0p+0},
+    {ProblemId::kTwotone, false, 104169, 0x1.c62469c1ba9ffp-5, 572188, 0, 0,
+     0x1.52c54021bf53cp-7},
+    {ProblemId::kTwotone, true, 104169, 0x1.dfcf0002da24ep-5, 572188, 0, 0,
+     0x1.8175369f09ac5p-7},
+    {ProblemId::kUltrasound3, false, 6928, 0x1.903c0d4c6ec38p-8, 32288, 0, 0,
+     0x1.c7ed58cd3a74cp-11},
+    {ProblemId::kUltrasound3, true, 6928, 0x1.9018917157055p-8, 32288, 0, 0,
+     0x0p+0},
+    {ProblemId::kXenon2, false, 7422, 0x1.085b7e55f14e4p-7, 38061, 0, 0,
+     0x1.a710ae2baa865p-10},
+    {ProblemId::kXenon2, true, 5781, 0x1.0862caa5802ccp-7, 38061, 0, 0,
+     0x1.fa0547c61adf8p-10},
+};
+
+class OocGoldenResults : public ::testing::TestWithParam<OocGolden> {};
+
+TEST_P(OocGoldenResults, RewrittenEngineReproducesPreRewriteOocRun) {
+  const OocGolden& g = GetParam();
+  const Problem p = make_problem(g.id, 0.25);
+  ExperimentSetup setup;
+  setup.nprocs = 8;
+  setup.symmetric = p.symmetric;
+  setup.ordering = OrderingKind::kNestedDissection;
+  if (g.memory_strategy) {
+    setup.slave_strategy = SlaveStrategy::kMemoryImproved;
+    setup.task_strategy = TaskStrategy::kMemoryAware;
+  }
+  const ExperimentOutcome incore = run_experiment(p.matrix, setup);
+  setup.ooc.enabled = true;
+  setup.ooc.budget = incore.max_stack_peak + incore.max_stack_peak / 5;
+  const ExperimentOutcome o = run_experiment(p.matrix, setup);
+  EXPECT_EQ(o.max_stack_peak, g.max_stack_peak);
+  EXPECT_EQ(o.makespan, g.makespan);  // bit-identical, not approximately
+  EXPECT_EQ(o.parallel.ooc_factor_write_entries, g.factor_write_entries);
+  EXPECT_EQ(o.parallel.ooc_spill_entries, g.spill_entries);
+  EXPECT_EQ(o.parallel.ooc_reload_entries, g.reload_entries);
+  EXPECT_EQ(o.parallel.ooc_stall_time, g.stall_time);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProblemsBothStrategies, OocGoldenResults,
+    ::testing::ValuesIn(kOocGolden), [](const auto& info) {
+      return problem_name(info.param.id) +
+             std::string(info.param.memory_strategy ? "_memory"
+                                                    : "_workload");
+    });
+
 }  // namespace
 }  // namespace memfront

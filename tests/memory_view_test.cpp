@@ -82,6 +82,54 @@ TEST(History, SetReplacesValue) {
   EXPECT_EQ(h.value_at(2.0), 3);
 }
 
+TEST(History, StartsWithReservedCapacity) {
+  // Announced-state vectors live inside the hot event loop: they must
+  // come up pre-reserved so typical runs never reallocate mid-simulation.
+  History h;
+  EXPECT_GE(h.capacity(), History::kInitialCapacity);
+}
+
+TEST(History, StressNoReallocUnderInitialCapacity) {
+  History h;
+  const std::size_t cap = h.capacity();
+  // One initial point + (kInitialCapacity - 1) adds fit the reservation.
+  for (std::size_t k = 1; k < History::kInitialCapacity; ++k)
+    h.add(static_cast<double>(k), 1);
+  EXPECT_EQ(h.capacity(), cap);
+  EXPECT_EQ(h.current(), static_cast<count_t>(History::kInitialCapacity - 1));
+}
+
+TEST(History, StressLongRunStaysCorrectAndGrowsGeometrically) {
+  // 200k points with mixed deltas and interleaved queries: values stay
+  // exact and growth stays geometric (bounded reallocation count), so a
+  // long announced-state history cannot thrash the hot loop.
+  History h;
+  std::size_t reallocs = 0;
+  std::size_t cap = h.capacity();
+  count_t running = 0;
+  for (int k = 0; k < 200'000; ++k) {
+    const count_t delta = (k % 3 == 0) ? 5 : (k % 3 == 1 ? -2 : 4);
+    running += delta;
+    h.add(static_cast<double>(k), delta);
+    if (h.capacity() != cap) {
+      ++reallocs;
+      cap = h.capacity();
+    }
+    if (k % 10'000 == 0) {
+      EXPECT_EQ(h.current(), running);
+      EXPECT_EQ(h.value_at(static_cast<double>(k)), running);
+      if (k > 0) EXPECT_EQ(h.value_at(0.0), 5);
+    }
+  }
+  EXPECT_EQ(h.size(), 200'001u);  // initial point + every nonzero add
+  EXPECT_EQ(h.current(), running);
+  // Doubling from 64 to 200k takes ~12 steps; anything near-linear in
+  // the point count would blow well past this.
+  EXPECT_LE(reallocs, 16u);
+  // Spot-check a bisected interior query after all the growth.
+  EXPECT_EQ(h.value_at(2.5), 5 + (-2) + 4);
+}
+
 TEST(History, BisectionOnLongHistory) {
   History h;
   for (int k = 0; k < 1000; ++k) h.add(static_cast<double>(k), 1);

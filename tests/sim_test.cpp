@@ -9,45 +9,9 @@
 namespace memfront {
 namespace {
 
-TEST(EventQueue, TimeOrdering) {
-  EventQueue q;
-  std::vector<int> fired;
-  q.schedule(3.0, [&] { fired.push_back(3); });
-  q.schedule(1.0, [&] { fired.push_back(1); });
-  q.schedule(2.0, [&] { fired.push_back(2); });
-  q.run();
-  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
-  EXPECT_DOUBLE_EQ(q.now(), 3.0);
-  EXPECT_EQ(q.processed(), 3u);
-}
-
-TEST(EventQueue, FifoAtEqualTimes) {
-  EventQueue q;
-  std::vector<int> fired;
-  for (int i = 0; i < 10; ++i)
-    q.schedule(1.0, [&fired, i] { fired.push_back(i); });
-  q.run();
-  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
-}
-
-TEST(EventQueue, EventsCanScheduleEvents) {
-  EventQueue q;
-  int count = 0;
-  std::function<void()> tick = [&] {
-    if (++count < 5) q.schedule_after(1.0, tick);
-  };
-  q.schedule(0.0, tick);
-  q.run();
-  EXPECT_EQ(count, 5);
-  EXPECT_DOUBLE_EQ(q.now(), 4.0);
-}
-
-TEST(EventQueue, RejectsPast) {
-  EventQueue q;
-  q.schedule(5.0, [] {});
-  q.run_one();
-  EXPECT_THROW(q.schedule(4.0, [] {}), std::logic_error);
-}
+// Event-queue coverage (ordering, FIFO ties, per-kind counts, slab
+// reuse) lives in tests/event_queue_test.cpp; here only the machine
+// cost model and trace pieces.
 
 TEST(Machine, CostModel) {
   MachineParams params;
