@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "memfront/core/experiment.hpp"
+#include "memfront/core/prepared_cache.hpp"
 #include "memfront/sparse/problems.hpp"
 #include "memfront/support/parallel_for.hpp"
 #include "memfront/support/table.hpp"
@@ -77,22 +78,22 @@ struct CellResult {
   double percent_decrease = 0.0;
 };
 
-/// One (matrix, ordering) cell: baseline vs memory strategy. When both
-/// sides split identically they share one analysis/mapping (the paper
-/// compares dynamic strategies on the *same* static decisions);
-/// otherwise each side prepares its own tree.
+/// One (matrix, ordering) cell: baseline vs memory strategy. Both sides
+/// pull their preparation from the global prepared cache: when they split
+/// identically the keys collide and they share one analysis/mapping (the
+/// paper compares dynamic strategies on the *same* static decisions), and
+/// across cells every repeat of a (matrix, ordering, split) combination —
+/// other tables, the OOC sweep, repeated bench runs in one process — hits
+/// the cache instead of reordering the matrix.
 inline CellResult run_cell(const Problem& p, const BenchOptions& opt,
                            OrderingKind ordering, bool split_baseline,
                            bool split_memory) {
   const ExperimentSetup base =
       baseline_setup(p, opt, ordering, split_baseline);
   const ExperimentSetup mem = memory_setup(p, opt, ordering, split_memory);
-  std::optional<PreparedExperiment> shared;
-  if (split_baseline == split_memory)
-    shared = prepare_experiment(p.matrix, base);
   const auto run = [&](const ExperimentSetup& setup) {
-    return shared ? run_prepared(*shared, setup)
-                  : run_experiment(p.matrix, setup);
+    return run_prepared(*PreparedCache::global().prepared(p.matrix, setup),
+                        setup);
   };
   const ExperimentOutcome b = run(base);
   const ExperimentOutcome m = run(mem);
@@ -239,10 +240,13 @@ inline double mentries(count_t entries) {
 struct BudgetedCase {
   Problem problem;
   bool memory_strategy = false;
-  ExperimentSetup setup;         // in-core configuration
-  PreparedExperiment prepared;   // analysis + mapping, shared by all runs
-  ExperimentOutcome incore;      // unbudgeted in-core reference
-  ExperimentSetup ooc_setup;     // budgeted at 1.2x the in-core peak
+  ExperimentSetup setup;  // in-core configuration
+  /// Analysis + mapping from the global prepared cache: both strategy
+  /// legs of a problem share one analysis (their static decisions are
+  /// identical), whichever leg's thread gets there first.
+  std::shared_ptr<const PreparedExperiment> prepared;
+  ExperimentOutcome incore;   // unbudgeted in-core reference
+  ExperimentSetup ooc_setup;  // budgeted at 1.2x the in-core peak
 };
 
 inline ExperimentSetup ooc_strategy_setup(const Problem& p, index_t nprocs,
@@ -282,8 +286,9 @@ inline std::vector<BudgetedCase> collect_budgeted_cases(double scale,
         c.problem = make_problem(leg.id, scale);
         c.memory_strategy = leg.memory_strategy;
         c.setup = ooc_strategy_setup(c.problem, nprocs, leg.memory_strategy);
-        c.prepared = prepare_experiment(c.problem.matrix, c.setup);
-        c.incore = run_prepared(c.prepared, c.setup);
+        c.prepared = PreparedCache::global().prepared(c.problem.matrix,
+                                                      c.setup);
+        c.incore = run_prepared(*c.prepared, c.setup);
         c.ooc_setup = c.setup;
         c.ooc_setup.ooc.enabled = true;
         c.ooc_setup.ooc.budget =

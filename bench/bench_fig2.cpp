@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
                                            false);
     setup.nprocs = procs;
     const PreparedExperiment prepared = prepare_experiment(p.matrix, setup);
-    const AssemblyTree& tree = prepared.analysis.tree;
+    const AssemblyTree& tree = prepared.analysis->tree;
     const StaticMapping& m = prepared.mapping;
     count_t n1 = 0, n2 = 0, n3 = 0;
     count_t f_sub = 0, f2 = 0, f3 = 0, total = 0;

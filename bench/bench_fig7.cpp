@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
       baseline_setup(p, opt, OrderingKind::kNestedDissection, false);
   setup.nprocs = 8;
   const PreparedExperiment prepared = prepare_experiment(p.matrix, setup);
-  const AssemblyTree& tree = prepared.analysis.tree;
+  const AssemblyTree& tree = prepared.analysis->tree;
   const StaticMapping& m = prepared.mapping;
 
   std::cout << "Figure 7: initial pool contents per processor\n(" << p.name
@@ -23,8 +23,8 @@ int main(int argc, char** argv) {
   for (index_t proc = 0; proc < 2; ++proc) {
     std::cout << "processor " << proc << " pool (bottom -> top): ";
     std::vector<std::pair<char, index_t>> pool;  // (kind, subtree id)
-    for (auto it = prepared.analysis.traversal.rbegin();
-         it != prepared.analysis.traversal.rend(); ++it) {
+    for (auto it = prepared.analysis->traversal.rbegin();
+         it != prepared.analysis->traversal.rend(); ++it) {
       const index_t node = *it;
       if (!tree.children(node).empty()) continue;
       if (m.type[static_cast<std::size_t>(node)] == NodeType::kType3)

@@ -45,17 +45,17 @@ int main(int argc, char** argv) {
     const BudgetedCase& c = cases[i];
     LegResult& r = results[i];
     r.plan = plan_minimum_budget(
-        c.prepared.analysis.tree, c.prepared.analysis.memory,
-        c.prepared.mapping, c.prepared.analysis.traversal,
+        c.prepared->analysis->tree, c.prepared->analysis->memory,
+        c.prepared->mapping, c.prepared->analysis->traversal,
         sched_config(c.setup));
     // The overlap experiment: the same 1.2x budget, blocking writes vs
     // the asynchronous write-behind buffer.
     ExperimentSetup sync = c.ooc_setup;
     sync.ooc.io_mode = OocIoMode::kSynchronous;
-    r.sync = run_prepared(c.prepared, sync);
+    r.sync = run_prepared(*c.prepared, sync);
     ExperimentSetup wb = c.ooc_setup;
     wb.ooc.io_mode = OocIoMode::kWriteBehind;
-    r.wb = run_prepared(c.prepared, wb);
+    r.wb = run_prepared(*c.prepared, wb);
   });
 
   for (std::size_t i = 0; i < cases.size(); ++i) {
@@ -104,12 +104,14 @@ int main(int argc, char** argv) {
   // from the in-core peak to the minimum the planner found.
   const Problem p = make_problem(ProblemId::kTwotone, opt.scale);
   const ExperimentSetup setup = ooc_strategy_setup(p, opt.nprocs, true);
-  const PreparedExperiment prepared = prepare_experiment(p.matrix, setup);
+  // Pure cache hit: this is the TWOTONE memory leg's exact preparation.
+  const std::shared_ptr<const PreparedExperiment> prepared =
+      PreparedCache::global().prepared(p.matrix, setup);
   PlannerOptions options;
   options.curve_points = 8;
   const PlannerResult plan = plan_minimum_budget(
-      prepared.analysis.tree, prepared.analysis.memory, prepared.mapping,
-      prepared.analysis.traversal, sched_config(setup), options);
+      prepared->analysis->tree, prepared->analysis->memory, prepared->mapping,
+      prepared->analysis->traversal, sched_config(setup), options);
   std::cout << "\nBudget sweep, " << p.name << ", memory strategy (budgets "
             << "from min feasible up to the in-core peak):\n\n";
   TextTable curve({"budget (M)", "% of peak", "factor I/O (M)", "spill (M)",

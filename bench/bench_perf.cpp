@@ -14,9 +14,12 @@
 // future PRs can be diffed against this one.
 //
 //   bench_perf [scale] [nprocs] [--smoke] [--threads N] [--json PATH]
+//              [--assert-cache]
 //
 // --smoke shrinks the sweep for CI (scale 0.3, 8 processors) unless an
-// explicit scale/nprocs is also given.
+// explicit scale/nprocs is also given. --assert-cache exits nonzero
+// unless the sweep actually hit the prepared cache (the CI guard that
+// the strategy legs share their analyses).
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -59,13 +62,15 @@ struct PerfOptions {
   double scale = 1.0;
   memfront::index_t nprocs = 32;
   bool smoke = false;
+  bool assert_cache = false;
   unsigned threads = 0;  // 0 = default_thread_count()
   std::string json_path = "BENCH_perf.json";
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [scale] [nprocs] [--smoke] [--threads N] [--json PATH]\n";
+            << " [scale] [nprocs] [--smoke] [--threads N] [--json PATH]"
+               " [--assert-cache]\n";
   std::exit(2);
 }
 
@@ -75,6 +80,8 @@ PerfOptions parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       opt.smoke = true;
+    } else if (std::strcmp(argv[i], "--assert-cache") == 0) {
+      opt.assert_cache = true;
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       if (i + 1 >= argc) usage(argv[0]);
       opt.threads = static_cast<unsigned>(std::atoi(argv[++i]));
@@ -111,6 +118,7 @@ int main(int argc, char** argv) {
             << (opt.smoke ? ", smoke" : "") << ")\n\n";
 
   // ---- 1. the default Table-1 sweep, parallel legs -------------------------
+  PreparedCache::global().reset_stats();
   const auto sweep_start = Clock::now();
   const std::vector<BudgetedCase> cases =
       collect_budgeted_cases(opt.scale, opt.nprocs, opt.threads);
@@ -118,7 +126,7 @@ int main(int argc, char** argv) {
   parallel_for(
       cases.size(),
       [&](std::size_t i) {
-        ooc_runs[i] = run_prepared(cases[i].prepared, cases[i].ooc_setup);
+        ooc_runs[i] = run_prepared(*cases[i].prepared, cases[i].ooc_setup);
       },
       opt.threads);
   const double sweep_wall = seconds_since(sweep_start);
@@ -138,17 +146,53 @@ int main(int argc, char** argv) {
   sweep.cell(sweep_rate, 0);
   sweep.print(std::cout);
 
+  // ---- prepared-cache accounting of the sweep ------------------------------
+  // Both strategy legs of a problem share one analysis/mapping, so the
+  // sweep should show one miss per problem and one hit for every repeat.
+  const PreparedCacheStats cache = PreparedCache::global().stats();
+  std::cout << '\n';
+  TextTable cache_table({"prepared cache", "hits", "misses", "recomputes"});
+  cache_table.row();
+  cache_table.cell("analysis level");
+  cache_table.cell(static_cast<long>(cache.analysis_hits));
+  cache_table.cell(static_cast<long>(cache.analysis_misses));
+  cache_table.cell("");
+  cache_table.row();
+  cache_table.cell("mapping level");
+  cache_table.cell(static_cast<long>(cache.mapping_hits));
+  cache_table.cell(static_cast<long>(cache.mapping_misses));
+  cache_table.cell(static_cast<long>(cache.recomputes));
+  cache_table.print(std::cout);
+
+  std::cout << '\n';
+  TextTable phases({"analysis phase (misses only)", "wall (s)"});
+  const auto phase_row = [&](const char* name, double s) {
+    phases.row();
+    phases.cell(name);
+    phases.cell(s, 4);
+  };
+  phase_row("ordering", cache.ordering_seconds);
+  phase_row("symbolic", cache.symbolic_seconds);
+  phase_row("splitting", cache.splitting_seconds);
+  phase_row("finalize (Liu/memory/traversal)", cache.finalize_seconds);
+  phase_row("mapping", cache.mapping_seconds);
+  phase_row("analysis total", cache.analysis_seconds);
+  phases.print(std::cout);
+
+
   // ---- 2. single-run event throughput (serial, no analysis) ----------------
   const Problem micro_problem = make_problem(ProblemId::kPre2, opt.scale);
   const ExperimentSetup micro_setup =
       ooc_strategy_setup(micro_problem, opt.nprocs, true);
-  const PreparedExperiment micro_prepared =
-      prepare_experiment(micro_problem.matrix, micro_setup);
+  // This is the same (matrix, setup) as the sweep's PRE2 memory leg, so
+  // the preparation is a pure cache hit.
+  const std::shared_ptr<const PreparedExperiment> micro_prepared =
+      PreparedCache::global().prepared(micro_problem.matrix, micro_setup);
   const int reps = opt.smoke ? 2 : 5;
   std::uint64_t micro_events = 0;
   const auto micro_start = Clock::now();
   for (int r = 0; r < reps; ++r) {
-    const ExperimentOutcome out = run_prepared(micro_prepared, micro_setup);
+    const ExperimentOutcome out = run_prepared(*micro_prepared, micro_setup);
     micro_events += out.parallel.events_processed;
   }
   const double micro_wall = seconds_since(micro_start);
@@ -183,6 +227,17 @@ int main(int argc, char** argv) {
        << "  \"single_run_wall_s\": " << micro_wall << ",\n"
        << "  \"single_run_events\": " << micro_events << ",\n"
        << "  \"single_run_events_per_sec\": " << micro_rate << ",\n"
+       << "  \"cache_analysis_hits\": " << cache.analysis_hits << ",\n"
+       << "  \"cache_analysis_misses\": " << cache.analysis_misses << ",\n"
+       << "  \"cache_mapping_hits\": " << cache.mapping_hits << ",\n"
+       << "  \"cache_mapping_misses\": " << cache.mapping_misses << ",\n"
+       << "  \"cache_recomputes\": " << cache.recomputes << ",\n"
+       << "  \"phase_ordering_s\": " << cache.ordering_seconds << ",\n"
+       << "  \"phase_symbolic_s\": " << cache.symbolic_seconds << ",\n"
+       << "  \"phase_splitting_s\": " << cache.splitting_seconds << ",\n"
+       << "  \"phase_finalize_s\": " << cache.finalize_seconds << ",\n"
+       << "  \"phase_mapping_s\": " << cache.mapping_seconds << ",\n"
+       << "  \"phase_analysis_total_s\": " << cache.analysis_seconds << ",\n"
        << "  \"peak_rss_kb\": " << rss_kb << "\n"
        << "}\n";
   if (!json) {
@@ -190,5 +245,14 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cout << "\nwrote " << opt.json_path << '\n';
+
+  // Checked after the JSON write so a failing CI run still archives the
+  // artifact with the counters that explain the failure.
+  if (opt.assert_cache && cache.hits() == 0) {
+    std::cerr << "bench_perf: --assert-cache: the sweep never hit the "
+                 "prepared cache (expected the strategy legs to share "
+                 "analyses)\n";
+    return 1;
+  }
   return 0;
 }

@@ -28,10 +28,10 @@ int main(int argc, char** argv) {
                    "factors->disk (M)", "spill (M)", "stall %", "slowdown x",
                    "min budget (M)"});
   for_each_budgeted_case(scale, nprocs, [&](const BudgetedCase& c) {
-    const ExperimentOutcome out = run_prepared(c.prepared, c.ooc_setup);
+    const ExperimentOutcome out = run_prepared(*c.prepared, c.ooc_setup);
     const PlannerResult plan = plan_minimum_budget(
-        c.prepared.analysis.tree, c.prepared.analysis.memory,
-        c.prepared.mapping, c.prepared.analysis.traversal,
+        c.prepared->analysis->tree, c.prepared->analysis->memory,
+        c.prepared->mapping, c.prepared->analysis->traversal,
         sched_config(c.setup));
 
     table.row();

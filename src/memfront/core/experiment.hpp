@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "memfront/core/parallel_factor.hpp"
 #include "memfront/solver/analysis.hpp"
@@ -34,12 +35,31 @@ struct ExperimentSetup {
 /// planner, which re-runs the simulation at many budgets).
 SchedConfig sched_config(const ExperimentSetup& setup);
 
+/// The AnalysisOptions a setup induces — the static-analysis half of the
+/// setup. Also the analysis-level cache key ingredient: two setups with
+/// equal analysis_options() on the same matrix share one analysis.
+AnalysisOptions analysis_options(const ExperimentSetup& setup);
+
+/// The MappingOptions a setup induces (nprocs folded in); together with
+/// analysis_options() this is everything run_prepared consumes statically.
+MappingOptions mapping_options(const ExperimentSetup& setup);
+
 /// Analysis + static mapping; reusable across dynamic-strategy variants
-/// (the paper compares strategies on the *same* static decisions).
+/// (the paper compares strategies on the *same* static decisions). The
+/// analysis is shared (several mappings of one tree, the prepared cache,
+/// and every concurrent sweep leg point at one immutable Analysis).
 struct PreparedExperiment {
-  Analysis analysis;
+  std::shared_ptr<const Analysis> analysis;
   StaticMapping mapping;
+  /// Wall clock of the compute_mapping call that built `mapping` (s).
+  double mapping_seconds = 0.0;
 };
+
+/// Builds the (timed) static mapping on top of a shared analysis — the
+/// one place a PreparedExperiment is assembled, used by both
+/// prepare_experiment and the prepared cache.
+PreparedExperiment make_prepared(std::shared_ptr<const Analysis> analysis,
+                                 const MappingOptions& options);
 
 PreparedExperiment prepare_experiment(const CscMatrix& matrix,
                                       const ExperimentSetup& setup);

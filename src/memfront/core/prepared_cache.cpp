@@ -1,0 +1,184 @@
+#include "memfront/core/prepared_cache.hpp"
+
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "memfront/support/hash.hpp"
+
+namespace memfront {
+namespace {
+
+struct AnalysisKey {
+  std::uint64_t fingerprint = 0;
+  AnalysisOptions options;
+
+  friend bool operator==(const AnalysisKey&, const AnalysisKey&) = default;
+
+  std::uint64_t hash() const {
+    std::uint64_t h = hash_mix(0x243f6a8885a308d3ULL, fingerprint);
+    h = hash_mix(h, static_cast<std::uint64_t>(options.ordering));
+    h = hash_mix(h, static_cast<std::uint64_t>(options.symmetric));
+    h = hash_mix(h, static_cast<std::uint64_t>(options.liu_reorder));
+    h = hash_mix(h, static_cast<std::uint64_t>(options.want_structure));
+    h = hash_mix(h, static_cast<std::uint64_t>(options.split_master_threshold));
+    h = hash_mix(h, options.split_relative);
+    h = hash_mix(h, static_cast<std::uint64_t>(options.split_min_npiv));
+    h = hash_mix(h, static_cast<std::uint64_t>(options.symbolic.symmetric));
+    h = hash_mix(h, static_cast<std::uint64_t>(options.symbolic.small_npiv));
+    h = hash_mix(h, options.symbolic.fill_ratio_small);
+    h = hash_mix(h, options.symbolic.fill_ratio);
+    h = hash_mix(h, options.seed);
+    return h;
+  }
+};
+
+struct MappingKey {
+  AnalysisKey analysis;
+  MappingOptions options;
+
+  friend bool operator==(const MappingKey&, const MappingKey&) = default;
+
+  std::uint64_t hash() const {
+    std::uint64_t h =
+        hash_mix(analysis.hash(), static_cast<std::uint64_t>(0x13198a2e03707344ULL));
+    h = hash_mix(h, static_cast<std::uint64_t>(options.nprocs));
+    h = hash_mix(h, static_cast<std::uint64_t>(options.type2_min_front));
+    h = hash_mix(h, static_cast<std::uint64_t>(options.type3_min_front));
+    h = hash_mix(h, static_cast<std::uint64_t>(options.enable_type2));
+    h = hash_mix(h, static_cast<std::uint64_t>(options.enable_type3));
+    h = hash_mix(h, options.subtree_options.balance_factor);
+    h = hash_mix(h, options.subtree_options.memory_balance_factor);
+    return h;
+  }
+};
+
+template <typename Key>
+struct KeyHash {
+  std::size_t operator()(const Key& k) const {
+    return static_cast<std::size_t>(k.hash());
+  }
+};
+
+/// One memo slot. The slot pointer is stable (map values are
+/// shared_ptr), so call_once can run outside the map lock; a computation
+/// that throws resets the flag and the next waiter retries.
+template <typename T>
+struct Entry {
+  std::once_flag once;
+  std::shared_ptr<const T> value;
+};
+
+}  // namespace
+
+struct PreparedCache::Impl {
+  mutable std::mutex map_mutex;
+  std::unordered_map<AnalysisKey, std::shared_ptr<Entry<Analysis>>,
+                     KeyHash<AnalysisKey>>
+      analyses;
+  std::unordered_map<MappingKey, std::shared_ptr<Entry<PreparedExperiment>>,
+                     KeyHash<MappingKey>>
+      mappings;
+
+  mutable std::mutex stats_mutex;
+  PreparedCacheStats stats;
+
+  /// Finds or inserts the entry for `key`; counts a hit or a miss.
+  template <typename Map, typename Key>
+  auto slot(Map& map, const Key& key, std::uint64_t PreparedCacheStats::*hit,
+            std::uint64_t PreparedCacheStats::*miss) {
+    typename Map::mapped_type entry;
+    bool inserted = false;
+    {
+      std::lock_guard<std::mutex> lock(map_mutex);
+      auto [it, fresh] = map.try_emplace(key);
+      if (fresh)
+        it->second =
+            std::make_shared<typename Map::mapped_type::element_type>();
+      entry = it->second;
+      inserted = fresh;
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex);
+      ++(stats.*(inserted ? miss : hit));
+    }
+    return entry;
+  }
+
+  std::shared_ptr<const Analysis> analysis_for(const CscMatrix& matrix,
+                                               const AnalysisKey& key) {
+    auto entry = slot(analyses, key, &PreparedCacheStats::analysis_hits,
+                      &PreparedCacheStats::analysis_misses);
+    std::call_once(entry->once, [&] {
+      auto result = std::make_shared<Analysis>(analyze(matrix, key.options));
+      std::lock_guard<std::mutex> lock(stats_mutex);
+      ++stats.recomputes;
+      stats.ordering_seconds += result->timings.ordering_s;
+      stats.symbolic_seconds += result->timings.symbolic_s;
+      stats.splitting_seconds += result->timings.splitting_s;
+      stats.finalize_seconds += result->timings.finalize_s;
+      stats.analysis_seconds += result->timings.total_s;
+      entry->value = std::move(result);
+    });
+    return entry->value;
+  }
+};
+
+PreparedCache::PreparedCache() : impl_(std::make_unique<Impl>()) {}
+PreparedCache::~PreparedCache() = default;
+
+std::shared_ptr<const Analysis> PreparedCache::analysis(
+    const CscMatrix& matrix, const AnalysisOptions& options) {
+  return impl_->analysis_for(matrix, {matrix.fingerprint(), options});
+}
+
+std::shared_ptr<const PreparedExperiment> PreparedCache::prepared(
+    const CscMatrix& matrix, const ExperimentSetup& setup) {
+  const MappingKey key{{matrix.fingerprint(), analysis_options(setup)},
+                       mapping_options(setup)};
+  auto entry = impl_->slot(impl_->mappings, key,
+                           &PreparedCacheStats::mapping_hits,
+                           &PreparedCacheStats::mapping_misses);
+  std::call_once(entry->once, [&] {
+    auto prepared = std::make_shared<PreparedExperiment>(
+        make_prepared(impl_->analysis_for(matrix, key.analysis), key.options));
+    std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+    ++impl_->stats.recomputes;
+    impl_->stats.mapping_seconds += prepared->mapping_seconds;
+    entry->value = std::move(prepared);
+  });
+  return entry->value;
+}
+
+PreparedCacheStats PreparedCache::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+  return impl_->stats;
+}
+
+void PreparedCache::reset_stats() {
+  std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+  impl_->stats = {};
+}
+
+void PreparedCache::clear() {
+  std::lock_guard<std::mutex> lock(impl_->map_mutex);
+  impl_->analyses.clear();
+  impl_->mappings.clear();
+}
+
+std::size_t PreparedCache::analysis_entries() const {
+  std::lock_guard<std::mutex> lock(impl_->map_mutex);
+  return impl_->analyses.size();
+}
+
+std::size_t PreparedCache::mapping_entries() const {
+  std::lock_guard<std::mutex> lock(impl_->map_mutex);
+  return impl_->mappings.size();
+}
+
+PreparedCache& PreparedCache::global() {
+  static PreparedCache cache;
+  return cache;
+}
+
+}  // namespace memfront

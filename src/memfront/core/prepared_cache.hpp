@@ -1,0 +1,93 @@
+// Content-keyed two-level memo for the analysis phase.
+//
+// The paper's whole methodology compares dynamic strategies on the *same*
+// static decisions, and the RR-8082/RR-8606 lines of work sweep many
+// schedules over one fixed tree — so the analysis results should be
+// computed once and shared across every strategy / budget / nprocs
+// variant of a sweep instead of recomputed per leg.
+//
+// Two levels:
+//   - analysis level, keyed on (matrix content fingerprint,
+//     AnalysisOptions) — the ordering, symbolic factorization, splitting,
+//     memory analysis and traversal;
+//   - mapping level, keyed additionally on (nprocs, MappingOptions) —
+//     the static type/owner mapping on top of a cached analysis.
+//
+// Changing the dynamic half of a setup (slave/task strategy, OOC budget,
+// machine parameters) invalidates nothing; changing nprocs or a mapping
+// knob recomputes only the mapping; changing the matrix, the ordering, a
+// split parameter or the seed recomputes from scratch.
+//
+// Thread-safe: concurrent lookups of the same key block on one in-flight
+// computation (std::call_once per entry) instead of duplicating it, so
+// sweeps running legs on the support/parallel_for pool get one analysis
+// per unique key no matter the schedule. Entries are immutable once
+// published (shared_ptr<const T>), never evicted; clear() drops them all.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "memfront/core/experiment.hpp"
+
+namespace memfront {
+
+/// Counter / timing snapshot. A "hit" found a (possibly in-flight) entry;
+/// a "miss" inserted one and ran the computation; `recomputes` counts the
+/// computations that actually executed (== misses, unless a computation
+/// threw and a waiter retried it). The phase seconds aggregate the
+/// Analysis::Timings of every analysis-level miss plus the mapping wall
+/// clock of every mapping-level miss.
+struct PreparedCacheStats {
+  std::uint64_t analysis_hits = 0;
+  std::uint64_t analysis_misses = 0;
+  std::uint64_t mapping_hits = 0;
+  std::uint64_t mapping_misses = 0;
+  std::uint64_t recomputes = 0;
+  double ordering_seconds = 0.0;
+  double symbolic_seconds = 0.0;
+  double splitting_seconds = 0.0;
+  double finalize_seconds = 0.0;
+  double mapping_seconds = 0.0;
+  double analysis_seconds = 0.0;  // total analyze() wall of all misses
+
+  std::uint64_t hits() const noexcept { return analysis_hits + mapping_hits; }
+  std::uint64_t misses() const noexcept {
+    return analysis_misses + mapping_misses;
+  }
+};
+
+class PreparedCache {
+ public:
+  PreparedCache();
+  ~PreparedCache();
+  PreparedCache(const PreparedCache&) = delete;
+  PreparedCache& operator=(const PreparedCache&) = delete;
+
+  /// Analysis-level lookup: analyze(matrix, options), memoized on
+  /// (matrix.fingerprint(), options).
+  std::shared_ptr<const Analysis> analysis(const CscMatrix& matrix,
+                                           const AnalysisOptions& options);
+
+  /// Mapping-level lookup: the full PreparedExperiment for a setup. The
+  /// analysis inside comes from (and is shared with) the analysis level.
+  std::shared_ptr<const PreparedExperiment> prepared(
+      const CscMatrix& matrix, const ExperimentSetup& setup);
+
+  PreparedCacheStats stats() const;
+  void reset_stats();
+
+  /// Drops every entry (outstanding shared_ptrs stay valid).
+  void clear();
+  std::size_t analysis_entries() const;
+  std::size_t mapping_entries() const;
+
+  /// The process-wide cache the bench/example sweeps share.
+  static PreparedCache& global();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace memfront

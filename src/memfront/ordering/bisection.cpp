@@ -1,7 +1,8 @@
 #include "memfront/ordering/bisection.hpp"
 
 #include <algorithm>
-#include <queue>
+#include <cstdint>
+#include <utility>
 
 #include "memfront/support/error.hpp"
 #include "memfront/support/rng.hpp"
@@ -9,23 +10,98 @@
 namespace memfront {
 namespace {
 
-/// BFS from `root`; returns visit order.
-std::vector<index_t> bfs_order(const Graph& g, index_t root,
-                               std::vector<index_t>& visited, index_t pass) {
-  std::vector<index_t> order{root};
-  visited[static_cast<std::size_t>(root)] = pass;
-  for (std::size_t head = 0; head < order.size(); ++head)
-    for (index_t w : g.neighbors(order[head]))
-      if (visited[static_cast<std::size_t>(w)] != pass) {
-        visited[static_cast<std::size_t>(w)] = pass;
-        order.push_back(w);
+/// Max-priority queue over (key, vertex) pairs, popping the lexicographic
+/// maximum — externally indistinguishable from the
+/// std::priority_queue<std::pair<count_t, index_t>> it replaces (any
+/// correct max-structure pops the same multiset maximum each time; stale
+/// entries are skipped by the caller either way), but keyed into gain
+/// buckets: FM gains live in [-maxdeg, maxdeg] and move by ±2, so a
+/// bucket per key with a small max-vertex heap inside beats one big heap
+/// of pairs on both depth and cache behavior.
+class BucketQueue {
+ public:
+  /// Keys outside [lo, hi] are invalid. Clears previous contents.
+  void reset(count_t lo, count_t hi) {
+    offset_ = lo;
+    const auto m = static_cast<std::size_t>(hi - lo + 1);
+    if (buckets_.size() < m) buckets_.resize(m);
+    for (std::size_t k = 0; k < m; ++k) buckets_[k].clear();
+    top_ = lo - 1;
+    size_ = 0;
+  }
+
+  bool empty() const noexcept { return size_ == 0; }
+
+  void push(count_t key, index_t v) {
+    auto& b = buckets_[static_cast<std::size_t>(key - offset_)];
+    b.push_back(v);
+    std::push_heap(b.begin(), b.end());
+    if (key > top_) top_ = key;
+    ++size_;
+  }
+
+  std::pair<count_t, index_t> pop() {
+    for (;;) {
+      auto& b = buckets_[static_cast<std::size_t>(top_ - offset_)];
+      if (b.empty()) {
+        --top_;
+        continue;
       }
-  return order;
+      std::pop_heap(b.begin(), b.end());
+      const index_t v = b.back();
+      b.pop_back();
+      --size_;
+      return {top_, v};
+    }
+  }
+
+ private:
+  std::vector<std::vector<index_t>> buckets_;
+  count_t offset_ = 0;
+  count_t top_ = -1;
+  std::size_t size_ = 0;
+};
+
+/// Reusable buffers for one bisection. bisect() runs once per internal
+/// node of the nested-dissection recursion; a per-thread workspace keeps
+/// capacities warm across those calls (and across the parallel sweep's
+/// threads) so the refinement loop allocates nothing in the steady state.
+struct BisectWorkspace {
+  std::vector<std::uint64_t> visit_stamp;
+  std::uint64_t epoch = 0;
+  std::vector<index_t> bfs;
+  std::vector<index_t> component;
+  std::vector<signed char> side;
+  std::vector<count_t> gain;
+  std::vector<std::uint64_t> locked_stamp;
+  std::vector<index_t> moved;
+  BucketQueue queue;
+  std::vector<count_t> cut_degree;
+  std::vector<bool> in_separator;
+};
+
+BisectWorkspace& bisect_workspace() {
+  thread_local BisectWorkspace ws;
+  return ws;
+}
+
+/// BFS from `root` into ws.bfs; stamps visited vertices with a fresh epoch.
+void bfs_order(const Graph& g, index_t root, BisectWorkspace& ws) {
+  const std::uint64_t pass = ++ws.epoch;
+  ws.bfs.clear();
+  ws.bfs.push_back(root);
+  ws.visit_stamp[static_cast<std::size_t>(root)] = pass;
+  for (std::size_t head = 0; head < ws.bfs.size(); ++head)
+    for (index_t w : g.neighbors(ws.bfs[head]))
+      if (ws.visit_stamp[static_cast<std::size_t>(w)] != pass) {
+        ws.visit_stamp[static_cast<std::size_t>(w)] = pass;
+        ws.bfs.push_back(w);
+      }
 }
 
 struct FmState {
-  std::vector<signed char> side;   // 0 or 1
-  std::vector<count_t> gain;       // cut decrease if vertex moved
+  std::vector<signed char>& side;  // 0 or 1
+  std::vector<count_t>& gain;      // cut decrease if vertex moved
   count_t cut = 0;
   count_t size[2] = {0, 0};
 };
@@ -54,19 +130,25 @@ Bisection bisect(const Graph& g, const BisectionOptions& options) {
     return result;
   }
 
+  BisectWorkspace& ws = bisect_workspace();
+  const auto nz = static_cast<std::size_t>(n);
+  if (ws.visit_stamp.size() < nz) {
+    ws.visit_stamp.resize(nz, 0);
+    ws.locked_stamp.resize(nz, 0);
+  }
+
   // Handle disconnected graphs: distribute whole components greedily; a
   // separator is only needed when one component spans both sides.
-  std::vector<index_t> component;
-  const index_t ncomp = g.components(component);
+  const index_t ncomp = g.components(ws.component);
 
-  FmState s;
-  s.side.assign(static_cast<std::size_t>(n), 0);
-  s.gain.assign(static_cast<std::size_t>(n), 0);
+  FmState s{ws.side, ws.gain};
+  s.side.assign(nz, 0);
+  s.gain.assign(nz, 0);
 
   if (ncomp > 1) {
     // Component sizes, largest first, greedy into the lighter side.
     std::vector<count_t> csize(static_cast<std::size_t>(ncomp), 0);
-    for (index_t v = 0; v < n; ++v) ++csize[component[v]];
+    for (index_t v = 0; v < n; ++v) ++csize[ws.component[v]];
     std::vector<index_t> by_size(static_cast<std::size_t>(ncomp));
     for (index_t c = 0; c < ncomp; ++c) by_size[c] = c;
     std::sort(by_size.begin(), by_size.end(),
@@ -79,7 +161,7 @@ Bisection bisect(const Graph& g, const BisectionOptions& options) {
       sz[lighter] += csize[c];
     }
     for (index_t v = 0; v < n; ++v) {
-      if (comp_side[component[v]] == 0)
+      if (comp_side[ws.component[v]] == 0)
         result.part_a.push_back(v);
       else
         result.part_b.push_back(v);
@@ -91,15 +173,15 @@ Bisection bisect(const Graph& g, const BisectionOptions& options) {
   }
 
   // Region growing: BFS from a pseudo-peripheral vertex, first half -> 0.
-  std::vector<index_t> visited(static_cast<std::size_t>(n), 0);
   Rng rng(options.seed + 1);
   index_t root = static_cast<index_t>(rng.below(static_cast<std::uint64_t>(n)));
-  std::vector<index_t> order = bfs_order(g, root, visited, 1);
-  root = order.back();
-  order = bfs_order(g, root, visited, 2);
-  std::fill(s.side.begin(), s.side.end(), static_cast<signed char>(1));
-  const std::size_t half = order.size() / 2;
-  for (std::size_t k = 0; k < half; ++k) s.side[order[k]] = 0;
+  bfs_order(g, root, ws);
+  root = ws.bfs.back();
+  bfs_order(g, root, ws);
+  std::fill(s.side.begin(), s.side.begin() + static_cast<std::ptrdiff_t>(nz),
+            static_cast<signed char>(1));
+  const std::size_t half = ws.bfs.size() / 2;
+  for (std::size_t k = 0; k < half; ++k) s.side[ws.bfs[k]] = 0;
   // Vertices unreachable from root (other components) stay on side 1.
   s.size[0] = static_cast<count_t>(half);
   s.size[1] = static_cast<count_t>(n) - s.size[0];
@@ -108,42 +190,46 @@ Bisection bisect(const Graph& g, const BisectionOptions& options) {
   // prefix. Balance constraint keeps both sides above the tolerance floor.
   const auto min_side = static_cast<count_t>(
       (0.5 - options.balance_tolerance) * static_cast<double>(n));
-  std::vector<index_t> moved;
+  count_t maxdeg = 0;
+  for (index_t v = 0; v < n; ++v)
+    maxdeg = std::max(maxdeg, static_cast<count_t>(g.degree(v)));
   for (int pass = 0; pass < options.fm_passes; ++pass) {
     compute_gains(g, s);
-    std::priority_queue<std::pair<count_t, index_t>> queue;
-    std::vector<bool> locked(static_cast<std::size_t>(n), false);
-    for (index_t v = 0; v < n; ++v) queue.emplace(s.gain[v], v);
+    const std::uint64_t locked_pass = ++ws.epoch;
+    auto locked = [&](index_t v) {
+      return ws.locked_stamp[static_cast<std::size_t>(v)] == locked_pass;
+    };
+    // Gains always lie in [-deg(v), deg(v)]: the bucket range is fixed.
+    ws.queue.reset(-maxdeg, maxdeg);
+    for (index_t v = 0; v < n; ++v) ws.queue.push(s.gain[v], v);
     count_t best_cut = s.cut;
     count_t current_cut = s.cut;
     std::size_t best_prefix = 0;
-    moved.clear();
-    while (!queue.empty() &&
-           moved.size() < static_cast<std::size_t>(n)) {
-      auto [gain, v] = queue.top();
-      queue.pop();
-      if (locked[v] || gain != s.gain[v]) continue;
+    ws.moved.clear();
+    while (!ws.queue.empty() && ws.moved.size() < nz) {
+      const auto [gain, v] = ws.queue.pop();
+      if (locked(v) || gain != s.gain[v]) continue;
       const int from = s.side[v];
       if (s.size[from] - 1 < min_side) continue;
-      locked[v] = true;
+      ws.locked_stamp[static_cast<std::size_t>(v)] = locked_pass;
       s.side[v] = static_cast<signed char>(1 - from);
       --s.size[from];
       ++s.size[1 - from];
       current_cut -= gain;
-      moved.push_back(v);
+      ws.moved.push_back(v);
       for (index_t w : g.neighbors(v)) {
-        if (locked[w]) continue;
+        if (locked(w)) continue;
         s.gain[w] += (s.side[w] == s.side[v]) ? -2 : 2;
-        queue.emplace(s.gain[w], w);
+        ws.queue.push(s.gain[w], w);
       }
       if (current_cut < best_cut) {
         best_cut = current_cut;
-        best_prefix = moved.size();
+        best_prefix = ws.moved.size();
       }
     }
     // Roll back moves after the best prefix.
-    for (std::size_t k = moved.size(); k > best_prefix; --k) {
-      const index_t v = moved[k - 1];
+    for (std::size_t k = ws.moved.size(); k > best_prefix; --k) {
+      const index_t v = ws.moved[k - 1];
       const int from = s.side[v];
       s.side[v] = static_cast<signed char>(1 - from);
       --s.size[from];
@@ -154,32 +240,32 @@ Bisection bisect(const Graph& g, const BisectionOptions& options) {
 
   // Vertex separator: greedy cover of the cut edges, preferring endpoints
   // that cover many cut edges (breaks ties toward the larger side).
-  std::vector<count_t> cut_degree(static_cast<std::size_t>(n), 0);
+  ws.cut_degree.assign(nz, 0);
   for (index_t v = 0; v < n; ++v)
     for (index_t w : g.neighbors(v))
-      if (s.side[w] != s.side[v]) ++cut_degree[v];
-  std::vector<bool> in_separator(static_cast<std::size_t>(n), false);
-  std::priority_queue<std::pair<count_t, index_t>> cover;
+      if (s.side[w] != s.side[v]) ++ws.cut_degree[v];
+  ws.in_separator.assign(nz, false);
+  ws.queue.reset(0, maxdeg);
   for (index_t v = 0; v < n; ++v)
-    if (cut_degree[v] > 0) cover.emplace(cut_degree[v], v);
-  while (!cover.empty()) {
-    auto [deg, v] = cover.top();
-    cover.pop();
-    if (in_separator[v] || deg != cut_degree[v] || cut_degree[v] == 0)
+    if (ws.cut_degree[v] > 0) ws.queue.push(ws.cut_degree[v], v);
+  while (!ws.queue.empty()) {
+    const auto [deg, v] = ws.queue.pop();
+    if (ws.in_separator[v] || deg != ws.cut_degree[v] ||
+        ws.cut_degree[v] == 0)
       continue;
-    in_separator[v] = true;
-    cut_degree[v] = 0;
+    ws.in_separator[v] = true;
+    ws.cut_degree[v] = 0;
     for (index_t w : g.neighbors(v)) {
-      if (s.side[w] == s.side[v] || in_separator[w]) continue;
-      if (cut_degree[w] > 0) {
-        --cut_degree[w];
-        cover.emplace(cut_degree[w], w);
+      if (s.side[w] == s.side[v] || ws.in_separator[w]) continue;
+      if (ws.cut_degree[w] > 0) {
+        --ws.cut_degree[w];
+        ws.queue.push(ws.cut_degree[w], w);
       }
     }
   }
 
   for (index_t v = 0; v < n; ++v) {
-    if (in_separator[v])
+    if (ws.in_separator[v])
       result.separator.push_back(v);
     else if (s.side[v] == 0)
       result.part_a.push_back(v);

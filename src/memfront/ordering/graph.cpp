@@ -1,6 +1,7 @@
 #include "memfront/ordering/graph.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "memfront/support/error.hpp"
 
@@ -26,15 +27,31 @@ Graph Graph::from_symmetric_pattern(const CscMatrix& pattern) {
 }
 
 Graph Graph::induced(std::span<const index_t> vertices) const {
-  std::vector<index_t> local(static_cast<std::size_t>(n_), kNone);
-  for (std::size_t i = 0; i < vertices.size(); ++i)
+  // Stamped scratch map: induced() runs once per node of the
+  // nested-dissection recursion, and a fresh O(n) local-id array per call
+  // dominated its cost. The per-thread map is only ever grown; stamps make
+  // clearing O(|vertices|) instead of O(n).
+  thread_local std::vector<index_t> local;
+  thread_local std::vector<std::uint64_t> stamp;
+  thread_local std::uint64_t epoch = 0;
+  if (local.size() < static_cast<std::size_t>(n_)) {
+    local.resize(static_cast<std::size_t>(n_), kNone);
+    stamp.resize(static_cast<std::size_t>(n_), 0);
+  }
+  ++epoch;
+  count_t total_degree = 0;
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
     local[static_cast<std::size_t>(vertices[i])] = static_cast<index_t>(i);
+    stamp[static_cast<std::size_t>(vertices[i])] = epoch;
+    total_degree += degree(vertices[i]);
+  }
   std::vector<count_t> ptr(vertices.size() + 1, 0);
   std::vector<index_t> adj;
+  adj.reserve(static_cast<std::size_t>(total_degree));
   for (std::size_t i = 0; i < vertices.size(); ++i) {
     for (index_t w : neighbors(vertices[i])) {
-      const index_t lw = local[static_cast<std::size_t>(w)];
-      if (lw != kNone) adj.push_back(lw);
+      if (stamp[static_cast<std::size_t>(w)] != epoch) continue;
+      adj.push_back(local[static_cast<std::size_t>(w)]);
     }
     ptr[i + 1] = static_cast<count_t>(adj.size());
   }

@@ -3,8 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
-#include <queue>
-#include <unordered_map>
+#include <utility>
 
 #include "memfront/support/error.hpp"
 
@@ -27,25 +26,58 @@ struct HeapEntry {
   }
 };
 
+/// Flat reusable buffers for one minimum-degree run. The engine runs once
+/// per nested-dissection leaf and separator and once per full AMD/AMF
+/// ordering; a per-thread workspace (the sweep pipeline orders on several
+/// threads at once) keeps every vector's capacity warm across runs, so the
+/// steady state allocates almost nothing.
+struct MdWorkspace {
+  std::vector<NodeState> state;
+  std::vector<count_t> svsize, score, degree, elsize, w, cval;
+  std::vector<index_t> mark, wstamp, member_next, member_last;
+  std::vector<std::vector<index_t>> adjvar, adjel, elvars;
+  std::vector<index_t> lp;
+  std::vector<HeapEntry> heap;
+  /// (supervariable hash, vertex) pairs of the current Lp; grouping is a
+  /// stable sort on the hash instead of an unordered_map of buckets.
+  std::vector<std::pair<std::uint64_t, index_t>> groups;
+  std::vector<index_t> scratch_a, scratch_b;
+};
+
+MdWorkspace& md_workspace() {
+  thread_local MdWorkspace ws;
+  return ws;
+}
+
 class MdEngine {
  public:
-  MdEngine(const Graph& g, const MdOptions& opt) : g_(g), opt_(opt) {
+  MdEngine(const Graph& g, const MdOptions& opt, MdWorkspace& ws)
+      : g_(g), opt_(opt), ws_(ws) {
     const auto n = static_cast<std::size_t>(g.num_vertices());
-    state_.assign(n, NodeState::kVariable);
-    svsize_.assign(n, 1);
-    score_.assign(n, 0);
-    degree_.assign(n, 0);
-    elsize_.assign(n, 0);
-    mark_.assign(n, 0);
-    wstamp_.assign(n, 0);
-    w_.assign(n, 0);
-    member_next_.assign(n, kNone);
-    member_last_.resize(n);
-    adjvar_.resize(n);
-    adjel_.resize(n);
-    elvars_.resize(n);
-    for (std::size_t v = 0; v < n; ++v)
-      member_last_[v] = static_cast<index_t>(v);
+    ws_.state.assign(n, NodeState::kVariable);
+    ws_.svsize.assign(n, 1);
+    ws_.score.assign(n, 0);
+    ws_.degree.assign(n, 0);
+    ws_.elsize.assign(n, 0);
+    ws_.mark.assign(n, 0);
+    ws_.wstamp.assign(n, 0);
+    ws_.w.assign(n, 0);
+    ws_.cval.assign(n, 0);
+    ws_.member_next.assign(n, kNone);
+    if (ws_.member_last.size() < n) ws_.member_last.resize(n);
+    if (ws_.adjvar.size() < n) {
+      ws_.adjvar.resize(n);
+      ws_.adjel.resize(n);
+      ws_.elvars.resize(n);
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      ws_.member_last[v] = static_cast<index_t>(v);
+      ws_.adjvar[v].clear();  // keeps capacity from earlier runs
+      ws_.adjel[v].clear();
+      ws_.elvars[v].clear();
+    }
+    ws_.lp.clear();
+    ws_.heap.clear();
   }
 
   std::vector<index_t> run() {
@@ -59,20 +91,23 @@ class MdEngine {
     std::vector<index_t> dense;
     for (index_t v = 0; v < n; ++v) {
       if (g_.degree(v) > threshold) {
-        state_[v] = NodeState::kDense;
+        ws_.state[static_cast<std::size_t>(v)] = NodeState::kDense;
         dense.push_back(v);
       }
     }
     // Initial adjacency: alive variables only; dense vertices drop out of
     // the quotient graph entirely (classic AMD treatment).
     for (index_t v = 0; v < n; ++v) {
-      if (state_[v] != NodeState::kVariable) continue;
-      auto& a = adjvar_[v];
+      if (ws_.state[static_cast<std::size_t>(v)] != NodeState::kVariable)
+        continue;
+      auto& a = ws_.adjvar[static_cast<std::size_t>(v)];
+      a.reserve(static_cast<std::size_t>(g_.degree(v)));
       for (index_t w : g_.neighbors(v))
-        if (state_[w] == NodeState::kVariable) a.push_back(w);
-      degree_[v] = static_cast<count_t>(a.size());
-      score_[v] = initial_score(v);
-      heap_.push({score_[v], v});
+        if (ws_.state[static_cast<std::size_t>(w)] == NodeState::kVariable)
+          a.push_back(w);
+      ws_.degree[static_cast<std::size_t>(v)] = static_cast<count_t>(a.size());
+      ws_.score[static_cast<std::size_t>(v)] = initial_score(v);
+      heap_push({ws_.score[static_cast<std::size_t>(v)], v});
     }
 
     std::vector<index_t> order;
@@ -95,25 +130,32 @@ class MdEngine {
   }
 
  private:
-  count_t weighted_adjvar(index_t v) const {
-    count_t s = 0;
-    for (index_t w : adjvar_[v])
-      if (state_[w] == NodeState::kVariable) s += svsize_[w];
-    return s;
+  NodeState state(index_t v) const {
+    return ws_.state[static_cast<std::size_t>(v)];
   }
 
   count_t initial_score(index_t v) const {
-    const count_t d = degree_[v];
+    const count_t d = ws_.degree[static_cast<std::size_t>(v)];
     if (opt_.metric == MdMetric::kExternalDegree) return d;
     return d * (d - 1) / 2;
   }
 
+  // Lazy-deletion min-heap, same push_heap/pop_heap algorithm a
+  // std::priority_queue runs, on a reused buffer.
+  void heap_push(HeapEntry e) {
+    ws_.heap.push_back(e);
+    std::push_heap(ws_.heap.begin(), ws_.heap.end(),
+                   std::greater<HeapEntry>{});
+  }
+
   index_t pop_pivot() {
-    while (!heap_.empty()) {
-      const HeapEntry top = heap_.top();
-      heap_.pop();
-      if (state_[top.vertex] == NodeState::kVariable &&
-          score_[top.vertex] == top.score)
+    while (!ws_.heap.empty()) {
+      const HeapEntry top = ws_.heap.front();
+      std::pop_heap(ws_.heap.begin(), ws_.heap.end(),
+                    std::greater<HeapEntry>{});
+      ws_.heap.pop_back();
+      if (state(top.vertex) == NodeState::kVariable &&
+          ws_.score[static_cast<std::size_t>(top.vertex)] == top.score)
         return top.vertex;
     }
     check(false, "minimum degree: pivot heap exhausted early");
@@ -123,7 +165,8 @@ class MdEngine {
   /// Appends the supervariable's original vertices to `order`.
   index_t emit(index_t p, std::vector<index_t>& order) {
     index_t emitted = 0;
-    for (index_t v = p; v != kNone; v = member_next_[v]) {
+    for (index_t v = p; v != kNone;
+         v = ws_.member_next[static_cast<std::size_t>(v)]) {
       order.push_back(v);
       ++emitted;
     }
@@ -132,81 +175,85 @@ class MdEngine {
 
   void eliminate(index_t p) {
     ++stamp_;
-    lp_.clear();
-    mark_[p] = stamp_;
-    for (index_t v : adjvar_[p]) add_to_lp(v);
-    for (index_t e : adjel_[p]) {
-      if (state_[e] != NodeState::kElement) continue;
-      for (index_t v : elvars_[e]) add_to_lp(v);
-      state_[e] = NodeState::kDeadElement;
-      elvars_[e].clear();
-      elvars_[e].shrink_to_fit();
+    ws_.lp.clear();
+    ws_.mark[static_cast<std::size_t>(p)] = stamp_;
+    for (index_t v : ws_.adjvar[static_cast<std::size_t>(p)]) add_to_lp(v);
+    for (index_t e : ws_.adjel[static_cast<std::size_t>(p)]) {
+      if (state(e) != NodeState::kElement) continue;
+      for (index_t v : ws_.elvars[static_cast<std::size_t>(e)]) add_to_lp(v);
+      ws_.state[static_cast<std::size_t>(e)] = NodeState::kDeadElement;
+      ws_.elvars[static_cast<std::size_t>(e)].clear();
     }
 
     // p becomes element Lp.
-    state_[p] = NodeState::kElement;
-    elvars_[p] = lp_;
+    ws_.state[static_cast<std::size_t>(p)] = NodeState::kElement;
+    ws_.elvars[static_cast<std::size_t>(p)] = ws_.lp;
     count_t lp_size = 0;
-    for (index_t v : lp_) lp_size += svsize_[v];
-    elsize_[p] = lp_size;
-    adjvar_[p].clear();
-    adjvar_[p].shrink_to_fit();
-    adjel_[p].clear();
-    adjel_[p].shrink_to_fit();
+    for (index_t v : ws_.lp) lp_size += ws_.svsize[static_cast<std::size_t>(v)];
+    ws_.elsize[static_cast<std::size_t>(p)] = lp_size;
+    ws_.adjvar[static_cast<std::size_t>(p)].clear();
+    ws_.adjel[static_cast<std::size_t>(p)].clear();
 
     // w[e] = |Le ∩ Lp| (size-weighted) for every element adjacent to Lp.
     ++wpass_;
-    for (index_t v : lp_) {
-      for (index_t e : adjel_[v]) {
-        if (state_[e] != NodeState::kElement) continue;
-        if (wstamp_[e] != wpass_) {
-          wstamp_[e] = wpass_;
-          w_[e] = 0;
+    for (index_t v : ws_.lp) {
+      for (index_t e : ws_.adjel[static_cast<std::size_t>(v)]) {
+        if (state(e) != NodeState::kElement) continue;
+        if (ws_.wstamp[static_cast<std::size_t>(e)] != wpass_) {
+          ws_.wstamp[static_cast<std::size_t>(e)] = wpass_;
+          ws_.w[static_cast<std::size_t>(e)] = 0;
         }
-        w_[e] += svsize_[v];
+        ws_.w[static_cast<std::size_t>(e)] +=
+            ws_.svsize[static_cast<std::size_t>(v)];
       }
     }
 
     // Update each variable of Lp: prune lists, recompute degree, rescore.
-    for (index_t v : lp_) {
-      auto& ev = adjel_[v];
+    for (index_t v : ws_.lp) {
+      auto& ev = ws_.adjel[static_cast<std::size_t>(v)];
       std::size_t keep = 0;
       for (index_t e : ev)
-        if (state_[e] == NodeState::kElement) ev[keep++] = e;
+        if (state(e) == NodeState::kElement) ev[keep++] = e;
       ev.resize(keep);
       ev.push_back(p);
 
-      auto& av = adjvar_[v];
+      auto& av = ws_.adjvar[static_cast<std::size_t>(v)];
       keep = 0;
       count_t var_degree = 0;
       for (index_t u : av) {
-        if (state_[u] != NodeState::kVariable) continue;  // absorbed/dead
-        if (mark_[u] == stamp_ || u == p) continue;       // covered by Lp
+        if (state(u) != NodeState::kVariable) continue;  // absorbed/dead
+        if (ws_.mark[static_cast<std::size_t>(u)] == stamp_ || u == p)
+          continue;  // covered by Lp
         av[keep++] = u;
-        var_degree += svsize_[u];
+        var_degree += ws_.svsize[static_cast<std::size_t>(u)];
       }
       av.resize(keep);
 
-      count_t elem_degree = lp_size - svsize_[v];
+      count_t elem_degree = lp_size - ws_.svsize[static_cast<std::size_t>(v)];
       count_t max_clique = elem_degree;
       for (index_t e : ev) {
         if (e == p) continue;
-        const count_t ext = std::max<count_t>(0, elsize_[e] - w_[e]);
+        const count_t ext = std::max<count_t>(
+            0, ws_.elsize[static_cast<std::size_t>(e)] -
+                   ws_.w[static_cast<std::size_t>(e)]);
         elem_degree += ext;
-        max_clique = std::max(max_clique, elsize_[e] - svsize_[v]);
+        max_clique =
+            std::max(max_clique, ws_.elsize[static_cast<std::size_t>(e)] -
+                                     ws_.svsize[static_cast<std::size_t>(v)]);
       }
-      degree_[v] = var_degree + elem_degree;
-      score_[v] = rescore(v, max_clique);
+      ws_.degree[static_cast<std::size_t>(v)] = var_degree + elem_degree;
+      ws_.score[static_cast<std::size_t>(v)] = rescore(v, max_clique);
     }
 
     detect_supervariables();
 
-    for (index_t v : lp_)
-      if (state_[v] == NodeState::kVariable) heap_.push({score_[v], v});
+    for (index_t v : ws_.lp)
+      if (state(v) == NodeState::kVariable)
+        heap_push({ws_.score[static_cast<std::size_t>(v)], v});
   }
 
   count_t rescore(index_t v, count_t max_clique) const {
-    const count_t d = degree_[v];
+    const count_t d = ws_.degree[static_cast<std::size_t>(v)];
     if (opt_.metric == MdMetric::kExternalDegree) return d;
     // Approximate fill: a d-clique would be created, minus the pairs that
     // are already connected inside v's largest adjacent element.
@@ -215,90 +262,109 @@ class MdEngine {
   }
 
   void add_to_lp(index_t v) {
-    if (state_[v] != NodeState::kVariable || mark_[v] == stamp_) return;
-    mark_[v] = stamp_;
-    lp_.push_back(v);
+    if (state(v) != NodeState::kVariable ||
+        ws_.mark[static_cast<std::size_t>(v)] == stamp_)
+      return;
+    ws_.mark[static_cast<std::size_t>(v)] = stamp_;
+    ws_.lp.push_back(v);
   }
 
   /// Indistinguishable variables inside Lp (identical pruned adjacency,
   /// both variable and element lists) are merged: mass elimination.
+  ///
+  /// Grouping is a stable sort of (hash, vertex) pairs on the hash. The
+  /// group *processing* order differs from the old unordered_map bucket
+  /// iteration order, which is safe: a merge only mutates the absorbed
+  /// pair's own state (state flag, size, member chain, its lists), never
+  /// the adjacency lists other pairs compare, so groups are independent.
+  /// Within a group the pair order is the Lp order, exactly as the
+  /// map buckets preserved insertion order — that order decides which
+  /// vertex absorbs which and therefore the emitted permutation.
   void detect_supervariables() {
-    hash_buckets_.clear();
-    for (index_t v : lp_) {
-      if (state_[v] != NodeState::kVariable) continue;
+    auto& groups = ws_.groups;
+    groups.clear();
+    for (index_t v : ws_.lp) {
+      if (state(v) != NodeState::kVariable) continue;
       std::uint64_t h = 0;
-      for (index_t u : adjvar_[v]) h += static_cast<std::uint64_t>(u) + 1;
-      for (index_t e : adjel_[v])
+      for (index_t u : ws_.adjvar[static_cast<std::size_t>(v)])
+        h += static_cast<std::uint64_t>(u) + 1;
+      for (index_t e : ws_.adjel[static_cast<std::size_t>(v)])
         h += (static_cast<std::uint64_t>(e) + 1) * 0x9e3779b9ULL;
-      hash_buckets_[h].push_back(v);
+      // External degree + own size is list-determined (Lp members never
+      // appear in each other's pruned lists), so mergeable pairs always
+      // agree on it: cache it for the pruning check below.
+      ws_.cval[static_cast<std::size_t>(v)] =
+          ws_.degree[static_cast<std::size_t>(v)] +
+          ws_.svsize[static_cast<std::size_t>(v)];
+      groups.emplace_back(h, v);
     }
-    for (auto& [h, bucket] : hash_buckets_) {
-      if (bucket.size() < 2) continue;
-      for (std::size_t i = 0; i < bucket.size(); ++i) {
-        const index_t u = bucket[i];
-        if (state_[u] != NodeState::kVariable) continue;
-        for (std::size_t j = i + 1; j < bucket.size(); ++j) {
-          const index_t v = bucket[j];
-          if (state_[v] != NodeState::kVariable) continue;
+    std::stable_sort(groups.begin(), groups.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    for (std::size_t lo = 0; lo < groups.size();) {
+      std::size_t hi = lo + 1;
+      while (hi < groups.size() && groups[hi].first == groups[lo].first) ++hi;
+      for (std::size_t i = lo; hi - lo >= 2 && i < hi; ++i) {
+        const index_t u = groups[i].second;
+        if (state(u) != NodeState::kVariable) continue;
+        for (std::size_t j = i + 1; j < hi; ++j) {
+          const index_t v = groups[j].second;
+          if (state(v) != NodeState::kVariable) continue;
           if (!indistinguishable(u, v)) continue;
           // Merge v into u.
-          svsize_[u] += svsize_[v];
-          state_[v] = NodeState::kAbsorbed;
-          member_next_[member_last_[u]] = v;
-          member_last_[u] = member_last_[v];
-          adjvar_[v].clear();
-          adjvar_[v].shrink_to_fit();
-          adjel_[v].clear();
-          adjel_[v].shrink_to_fit();
+          ws_.svsize[static_cast<std::size_t>(u)] +=
+              ws_.svsize[static_cast<std::size_t>(v)];
+          ws_.state[static_cast<std::size_t>(v)] = NodeState::kAbsorbed;
+          ws_.member_next[static_cast<std::size_t>(
+              ws_.member_last[static_cast<std::size_t>(u)])] = v;
+          ws_.member_last[static_cast<std::size_t>(u)] =
+              ws_.member_last[static_cast<std::size_t>(v)];
+          ws_.adjvar[static_cast<std::size_t>(v)].clear();
+          ws_.adjel[static_cast<std::size_t>(v)].clear();
           // Weighted element sizes are unchanged: u's size grew by exactly
           // the size v contributed (u and v belong to the same elements).
         }
       }
+      lo = hi;
     }
   }
 
   bool indistinguishable(index_t u, index_t v) {
-    if (adjvar_[u].size() != adjvar_[v].size() ||
-        adjel_[u].size() != adjel_[v].size())
+    auto& eu = ws_.adjel[static_cast<std::size_t>(u)];
+    auto& ev = ws_.adjel[static_cast<std::size_t>(v)];
+    auto& au = ws_.adjvar[static_cast<std::size_t>(u)];
+    auto& av = ws_.adjvar[static_cast<std::size_t>(v)];
+    if (au.size() != av.size() || eu.size() != ev.size()) return false;
+    // The element lists are compared (and left) sorted, exactly as before
+    // the workspace rewrite: their order feeds later Lp construction.
+    std::sort(eu.begin(), eu.end());
+    std::sort(ev.begin(), ev.end());
+    if (eu != ev) return false;
+    // Degree pruning: identical variable lists imply an identical external
+    // degree + size (cached at hashing time), so a mismatch cannot merge.
+    if (ws_.cval[static_cast<std::size_t>(u)] !=
+        ws_.cval[static_cast<std::size_t>(v)])
       return false;
-    auto sorted_equal = [](std::vector<index_t>& a, std::vector<index_t>& b) {
-      std::sort(a.begin(), a.end());
-      std::sort(b.begin(), b.end());
-      return a == b;
-    };
     // Variable lists must match *excluding the pair itself* (u and v are
-    // typically adjacent through an original edge).
-    auto strip = [&](std::vector<index_t> list, index_t other) {
-      list.erase(std::remove(list.begin(), list.end(), other), list.end());
-      std::sort(list.begin(), list.end());
-      return list;
-    };
-    if (!sorted_equal(adjel_[u], adjel_[v])) return false;
-    return strip(adjvar_[u], v) == strip(adjvar_[v], u);
+    // typically adjacent through an original edge). Scratch copies: the
+    // engine's own lists stay unsorted here, as they always were.
+    auto& a = ws_.scratch_a;
+    auto& b = ws_.scratch_b;
+    a.assign(au.begin(), au.end());
+    a.erase(std::remove(a.begin(), a.end(), v), a.end());
+    std::sort(a.begin(), a.end());
+    b.assign(av.begin(), av.end());
+    b.erase(std::remove(b.begin(), b.end(), u), b.end());
+    std::sort(b.begin(), b.end());
+    return a == b;
   }
 
   const Graph& g_;
   MdOptions opt_;
-  std::vector<NodeState> state_;
-  std::vector<count_t> svsize_;
-  std::vector<count_t> score_;
-  std::vector<count_t> degree_;
-  std::vector<count_t> elsize_;
-  std::vector<index_t> mark_;
-  std::vector<index_t> wstamp_;
-  std::vector<count_t> w_;
-  std::vector<index_t> member_next_;
-  std::vector<index_t> member_last_;
-  std::vector<std::vector<index_t>> adjvar_;
-  std::vector<std::vector<index_t>> adjel_;
-  std::vector<std::vector<index_t>> elvars_;
-  std::vector<index_t> lp_;
+  MdWorkspace& ws_;
   index_t stamp_ = 0;
   index_t wpass_ = 0;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
-                      std::greater<HeapEntry>>
-      heap_;
-  std::unordered_map<std::uint64_t, std::vector<index_t>> hash_buckets_;
 };
 
 }  // namespace
@@ -306,7 +372,7 @@ class MdEngine {
 std::vector<index_t> minimum_degree_order(const Graph& g,
                                           const MdOptions& options) {
   if (g.num_vertices() == 0) return {};
-  MdEngine engine(g, options);
+  MdEngine engine(g, options, md_workspace());
   return engine.run();
 }
 

@@ -1,5 +1,7 @@
 #include "memfront/solver/analysis.hpp"
 
+#include <chrono>
+
 #include "memfront/support/error.hpp"
 
 namespace memfront {
@@ -34,14 +36,21 @@ std::vector<index_t> traversal_order(const AssemblyTree& tree) {
 }  // namespace
 
 Analysis analyze(const CscMatrix& a, const AnalysisOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  const auto seconds = [](Clock::time_point from, Clock::time_point to) {
+    return std::chrono::duration<double>(to - from).count();
+  };
+  const auto t0 = Clock::now();
   require(a.nrows() == a.ncols(), "analyze: matrix must be square");
   const Graph adjacency = Graph::from_matrix(a);
   const std::vector<index_t> order =
       compute_ordering(adjacency, options.ordering, options.seed);
+  const auto t_ordered = Clock::now();
 
   SymbolicOptions sym = options.symbolic;
   sym.symmetric = options.symmetric;
   SymbolicResult symbolic = build_assembly_tree(adjacency, order, sym);
+  const auto t_symbolic = Clock::now();
 
   Analysis analysis;
   analysis.options = options;
@@ -91,10 +100,21 @@ Analysis analyze(const CscMatrix& a, const AnalysisOptions& options) {
           compute_structure(analysis.tree, adjacency, analysis.perm));
   }
 
+  const auto t_split = Clock::now();
+
   if (options.liu_reorder) reorder_children_liu(analysis.tree);
   analysis.memory = analyze_tree_memory(analysis.tree);
   analysis.traversal = traversal_order(analysis.tree);
-  analysis.permuted = a.permuted(analysis.perm);
+  // The permuted matrix only feeds the numeric phase; scheduling
+  // experiments (want_structure = false) never read it.
+  if (options.want_structure) analysis.permuted = a.permuted(analysis.perm);
+  const auto t_done = Clock::now();
+
+  analysis.timings.ordering_s = seconds(t0, t_ordered);
+  analysis.timings.symbolic_s = seconds(t_ordered, t_symbolic);
+  analysis.timings.splitting_s = seconds(t_symbolic, t_split);
+  analysis.timings.finalize_s = seconds(t_split, t_done);
+  analysis.timings.total_s = seconds(t0, t_done);
   return analysis;
 }
 

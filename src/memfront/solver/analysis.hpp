@@ -34,11 +34,19 @@ struct AnalysisOptions {
   index_t split_min_npiv = 16;
   SymbolicOptions symbolic{};
   std::uint64_t seed = 0;
+
+  /// Field-wise equality: two analyses with equal options on matrices
+  /// with equal content are interchangeable (the cache key relies on it).
+  friend bool operator==(const AnalysisOptions&,
+                         const AnalysisOptions&) = default;
 };
 
 struct Analysis {
   AnalysisOptions options;
-  CscMatrix permuted;            // P A Pᵀ with values (when input had them)
+  /// P A Pᵀ with values (when the input had them). Only built for the
+  /// numeric path (want_structure); scheduling experiments never read it
+  /// and skip the permutation entirely.
+  std::optional<CscMatrix> permuted;
   AssemblyTree tree;
   std::vector<index_t> perm;     // final elimination order (new -> old)
   std::optional<FrontalStructure> structure;
@@ -48,6 +56,18 @@ struct Analysis {
   /// Traversal order induced by the (possibly Liu-reordered) child lists;
   /// the order the sequential factorization actually follows.
   std::vector<index_t> traversal;
+
+  /// Wall-clock breakdown of the analyze() call that built this (seconds).
+  /// Not part of the deterministic result; the prepared-experiment cache
+  /// aggregates these into its per-phase totals.
+  struct Timings {
+    double ordering_s = 0.0;   // adjacency build + fill-reducing ordering
+    double symbolic_s = 0.0;   // etree, counts, amalgamation, structure
+    double splitting_s = 0.0;  // static splitting of large masters
+    double finalize_s = 0.0;   // Liu reorder, memory analysis, traversal
+    double total_s = 0.0;
+  };
+  Timings timings;
 };
 
 Analysis analyze(const CscMatrix& a, const AnalysisOptions& options);

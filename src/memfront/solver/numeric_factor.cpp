@@ -12,11 +12,11 @@ namespace memfront {
 Factorization numeric_factorize(const Analysis& analysis) {
   check(analysis.structure.has_value(),
         "numeric_factorize: analysis ran without structure");
-  check(analysis.permuted.has_values(),
+  check(analysis.permuted.has_value() && analysis.permuted->has_values(),
         "numeric_factorize: matrix has no values");
   const AssemblyTree& tree = analysis.tree;
   const FrontalStructure& structure = *analysis.structure;
-  const CscMatrix& a = analysis.permuted;
+  const CscMatrix& a = *analysis.permuted;
   const bool sym = tree.symmetric();
   const index_t n = tree.num_cols();
 

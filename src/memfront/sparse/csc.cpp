@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "memfront/support/error.hpp"
+#include "memfront/support/hash.hpp"
 
 namespace memfront {
 
@@ -163,6 +164,17 @@ void CscMatrix::multiply(std::span<const double> x,
       const auto kk = static_cast<std::size_t>(k);
       y[rowind_[kk]] += values_[kk] * x[j];
     }
+}
+
+std::uint64_t CscMatrix::fingerprint() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = hash_mix(h, static_cast<std::uint64_t>(nrows_));
+  h = hash_mix(h, static_cast<std::uint64_t>(ncols_));
+  h = hash_mix(h, static_cast<std::uint64_t>(values_.size()));
+  for (count_t p : colptr_) h = hash_mix(h, static_cast<std::uint64_t>(p));
+  for (index_t r : rowind_) h = hash_mix(h, static_cast<std::uint64_t>(r));
+  for (double v : values_) h = hash_mix(h, v);
+  return h;
 }
 
 double CscMatrix::residual_inf(std::span<const double> x,

@@ -6,6 +6,7 @@
 // values).
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -62,6 +63,13 @@ class CscMatrix {
 
   /// True when the pattern is structurally symmetric.
   bool pattern_symmetric() const;
+
+  /// 64-bit content fingerprint (dimensions, pattern, value bit patterns).
+  /// The prepared-experiment cache keys analyses on it, so two matrices
+  /// with equal content share cached analyses regardless of object
+  /// identity. O(nnz), word-at-a-time mixing — negligible next to any
+  /// ordering.
+  std::uint64_t fingerprint() const;
 
   /// Infinity norm of A·x − b; helper for residual checks.
   double residual_inf(std::span<const double> x, std::span<const double> b) const;

@@ -1,0 +1,23 @@
+// 64-bit mixing for content fingerprints and cache keys.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace memfront {
+
+/// Folds `v` into the running hash `h` (splitmix64-style finalizer).
+/// Shared by CscMatrix::fingerprint and the prepared-cache keys so the
+/// two can never diverge on mixing quality.
+inline std::uint64_t hash_mix(std::uint64_t h, std::uint64_t v) {
+  v *= 0x9e3779b97f4a7c15ULL;
+  v ^= v >> 32;
+  h = (h ^ v) * 0xbf58476d1ce4e5b9ULL;
+  return h ^ (h >> 29);
+}
+
+inline std::uint64_t hash_mix(std::uint64_t h, double v) {
+  return hash_mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+}  // namespace memfront

@@ -11,6 +11,29 @@
 namespace memfront {
 namespace {
 
+/// Relabels `adjacency` by `perm` (new label v = old vertex perm[v]).
+/// Scatter instead of per-column sorting: walking the *new* labels in
+/// ascending order appends each column's neighbors in ascending order
+/// automatically (the pattern is symmetric), which is exactly the sorted
+/// layout a per-column sort would produce — at O(E) instead of
+/// O(E log d). `inv` must be the inverse of `perm`.
+Graph relabel_graph(const Graph& adjacency, std::span<const index_t> perm,
+                    std::span<const index_t> inv) {
+  const index_t n = adjacency.num_vertices();
+  std::vector<count_t> ptr(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t newv = 0; newv < n; ++newv)
+    ptr[static_cast<std::size_t>(newv) + 1] =
+        ptr[static_cast<std::size_t>(newv)] +
+        static_cast<count_t>(adjacency.degree(perm[newv]));
+  std::vector<index_t> adj(static_cast<std::size_t>(ptr.back()));
+  std::vector<count_t> fill(ptr.begin(), ptr.end() - 1);
+  for (index_t u = 0; u < n; ++u)
+    for (index_t w : adjacency.neighbors(perm[u]))
+      adj[static_cast<std::size_t>(
+          fill[inv[static_cast<std::size_t>(w)]]++)] = u;
+  return Graph(n, std::move(ptr), std::move(adj));
+}
+
 // Σ j   for j in [a, b] inclusive.
 constexpr count_t sum1(count_t a, count_t b) {
   if (a > b) return 0;
@@ -154,21 +177,7 @@ SymbolicResult build_assembly_tree(const Graph& adjacency,
 
   // 1. Permuted adjacency (new labels).
   const std::vector<index_t> inv = invert_permutation(perm);
-  std::vector<count_t> ptr(static_cast<std::size_t>(n) + 1, 0);
-  std::vector<index_t> adj(static_cast<std::size_t>(adjacency.num_edges()) * 2);
-  {
-    std::size_t pos = 0;
-    std::vector<index_t> scratch;
-    for (index_t newv = 0; newv < n; ++newv) {
-      scratch.clear();
-      for (index_t w : adjacency.neighbors(perm[newv]))
-        scratch.push_back(inv[static_cast<std::size_t>(w)]);
-      std::sort(scratch.begin(), scratch.end());
-      for (index_t w : scratch) adj[pos++] = w;
-      ptr[newv + 1] = static_cast<count_t>(pos);
-    }
-  }
-  Graph permuted(n, std::move(ptr), std::move(adj));
+  const Graph permuted = relabel_graph(adjacency, perm, inv);
 
   // 2-3. Elimination tree, postorder, relabel everything by the postorder.
   const std::vector<index_t> parent0 = elimination_tree(permuted);
@@ -177,23 +186,9 @@ SymbolicResult build_assembly_tree(const Graph& adjacency,
   for (index_t k = 0; k < n; ++k)
     perm2[k] = perm[static_cast<std::size_t>(post[k])];
   const std::vector<index_t> parent = relabel_tree(parent0, post);
-  // Postordered adjacency (relabel `permuted` by `post`).
+  // Postordered adjacency (relabel by the composed order).
   const std::vector<index_t> inv2 = invert_permutation(perm2);
-  std::vector<count_t> ptr2(static_cast<std::size_t>(n) + 1, 0);
-  std::vector<index_t> adj2(permuted.num_edges() * 2);
-  {
-    std::size_t pos = 0;
-    std::vector<index_t> scratch;
-    for (index_t newv = 0; newv < n; ++newv) {
-      scratch.clear();
-      for (index_t w : adjacency.neighbors(perm2[newv]))
-        scratch.push_back(inv2[static_cast<std::size_t>(w)]);
-      std::sort(scratch.begin(), scratch.end());
-      for (index_t w : scratch) adj2[pos++] = w;
-      ptr2[newv + 1] = static_cast<count_t>(pos);
-    }
-  }
-  Graph g2(n, std::move(ptr2), std::move(adj2));
+  const Graph g2 = relabel_graph(adjacency, perm2, inv2);
 
   // 4. Exact factor column counts.
   const std::vector<index_t> counts = column_counts(g2, parent);

@@ -124,6 +124,9 @@ struct SymbolicOptions {
   double fill_ratio_small = 0.5;
   /// Larger children merge only when relative fill is below this.
   double fill_ratio = 0.08;
+
+  friend bool operator==(const SymbolicOptions&,
+                         const SymbolicOptions&) = default;
 };
 
 struct SymbolicResult {

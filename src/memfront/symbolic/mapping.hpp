@@ -25,6 +25,9 @@ struct MappingOptions {
   bool enable_type2 = true;
   bool enable_type3 = true;
   SubtreeOptions subtree_options{};
+
+  friend bool operator==(const MappingOptions&,
+                         const MappingOptions&) = default;
 };
 
 struct StaticMapping {

@@ -24,6 +24,9 @@ struct SubtreeOptions {
   /// oversized single nodes move to the upper part where type-2
   /// parallelism can distribute them. 0 disables the refinement.
   double memory_balance_factor = 4.0;
+
+  friend bool operator==(const SubtreeOptions&,
+                         const SubtreeOptions&) = default;
 };
 
 struct Subtrees {

@@ -1,0 +1,159 @@
+// Golden pins for the analysis phase: ordering + symbolic + splitting.
+//
+// The ordering/symbolic kernel rewrites (flat workspaces in the
+// minimum-degree engine, FM bisection workspace reuse, the O(E) relabel
+// scatter in build_assembly_tree) must keep the produced permutation and
+// assembly tree *bit-identical* — a different tie-break anywhere moves
+// every downstream scheduling number. These pins were captured from the
+// pre-rewrite binaries (PR 3, commit abedf6c) at scale 0.5 for every
+// Table 1 problem x paper ordering, with and without static splitting:
+// FNV-1a hashes of the permutation, the tree shape (npiv, nfront,
+// parent per node), the traversal order, and the per-node subtree peaks,
+// plus the sequential peak and split-node count in the clear.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "memfront/solver/analysis.hpp"
+#include "memfront/sparse/problems.hpp"
+
+namespace memfront {
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+template <typename T>
+std::uint64_t hash_seq(const std::vector<T>& xs) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const T& x : xs) h = fnv1a(h, static_cast<std::uint64_t>(x));
+  return h;
+}
+
+struct AnalysisGolden {
+  ProblemId id;
+  OrderingKind ordering;
+  count_t split_threshold;  // 0 = no static splitting
+  std::uint64_t perm_hash;
+  index_t num_nodes;
+  std::uint64_t tree_hash;       // (npiv, nfront, parent) per node
+  std::uint64_t traversal_hash;  // Liu-reordered DFS postorder
+  std::uint64_t subtree_peak_hash;
+  count_t sequential_peak;
+  index_t num_split_nodes;
+};
+
+// Captured at scale 0.5 from the pre-rewrite analysis (commit abedf6c).
+constexpr AnalysisGolden kAnalysisGolden[] = {
+    {ProblemId::kBmwCra1, OrderingKind::kNestedDissection, 0, 0x452c277d3edbf909ULL, 28, 0x409cbf37e0d293acULL, 0xef94199637df73a5ULL, 0xcce0780a26440fd2ULL, 55191, 0},
+    {ProblemId::kBmwCra1, OrderingKind::kNestedDissection, 5000, 0x452c277d3edbf909ULL, 29, 0xfd6912d1f578c47bULL, 0xd2c8ed6134b6fe79ULL, 0x45b3853e93711c78ULL, 55191, 1},
+    {ProblemId::kBmwCra1, OrderingKind::kPord, 0, 0x6a1b93b2eae4024dULL, 31, 0xb1b8196b787e5bfcULL, 0xe61b9166a5696a9aULL, 0x509930059052271cULL, 55191, 0},
+    {ProblemId::kBmwCra1, OrderingKind::kPord, 5000, 0x6a1b93b2eae4024dULL, 32, 0x497af58a969f7509ULL, 0x432878d9448237e5ULL, 0x1325885c8d8e5bc2ULL, 55191, 1},
+    {ProblemId::kBmwCra1, OrderingKind::kAmd, 0, 0x076099ab80b52705ULL, 35, 0x3103f2c2cf30bdaaULL, 0xc647188f884559a6ULL, 0x59084e415adb3c17ULL, 76920, 0},
+    {ProblemId::kBmwCra1, OrderingKind::kAmd, 5000, 0x076099ab80b52705ULL, 35, 0x3103f2c2cf30bdaaULL, 0xc647188f884559a6ULL, 0x59084e415adb3c17ULL, 76920, 0},
+    {ProblemId::kBmwCra1, OrderingKind::kAmf, 0, 0x9ff731101bba3c85ULL, 37, 0x801c9bff9e9591b6ULL, 0x64fa81ff138c8a61ULL, 0x1dc734345c4713e5ULL, 36321, 0},
+    {ProblemId::kBmwCra1, OrderingKind::kAmf, 5000, 0x9ff731101bba3c85ULL, 37, 0x801c9bff9e9591b6ULL, 0x64fa81ff138c8a61ULL, 0x1dc734345c4713e5ULL, 36321, 0},
+    {ProblemId::kGupta3, OrderingKind::kNestedDissection, 0, 0x5b21e264fb35d831ULL, 37, 0x9ca9476ce6f34d0dULL, 0xb00559424d2c7e01ULL, 0x767235788dc7e17dULL, 760178, 0},
+    {ProblemId::kGupta3, OrderingKind::kNestedDissection, 5000, 0x5b21e264fb35d831ULL, 37, 0x9ca9476ce6f34d0dULL, 0xb00559424d2c7e01ULL, 0x767235788dc7e17dULL, 760178, 0},
+    {ProblemId::kGupta3, OrderingKind::kPord, 0, 0x69194af254907a3dULL, 34, 0x0015c0eb2c754822ULL, 0x748e4b4331612484ULL, 0x121daf2e0325ba98ULL, 811515, 0},
+    {ProblemId::kGupta3, OrderingKind::kPord, 5000, 0x69194af254907a3dULL, 34, 0x0015c0eb2c754822ULL, 0x748e4b4331612484ULL, 0x121daf2e0325ba98ULL, 811515, 0},
+    {ProblemId::kGupta3, OrderingKind::kAmd, 0, 0x00cccc0b5a785ee9ULL, 37, 0xb7da0c57fc351582ULL, 0x93948da759548001ULL, 0x507c83751e9db1d9ULL, 760178, 0},
+    {ProblemId::kGupta3, OrderingKind::kAmd, 5000, 0x00cccc0b5a785ee9ULL, 37, 0xb7da0c57fc351582ULL, 0x93948da759548001ULL, 0x507c83751e9db1d9ULL, 760178, 0},
+    {ProblemId::kGupta3, OrderingKind::kAmf, 0, 0x6d626ad1136029c5ULL, 34, 0x02084941a83a2476ULL, 0xbdb266b28853ef84ULL, 0xbe8c11ff18e3ece4ULL, 811515, 0},
+    {ProblemId::kGupta3, OrderingKind::kAmf, 5000, 0x6d626ad1136029c5ULL, 34, 0x02084941a83a2476ULL, 0xbdb266b28853ef84ULL, 0xbe8c11ff18e3ece4ULL, 811515, 0},
+    {ProblemId::kMsdoor, OrderingKind::kNestedDissection, 0, 0xee2718539d741bcdULL, 319, 0x1dad07a5027501b6ULL, 0x1aec81fcb297bb85ULL, 0x6e1b1e18a86d3b58ULL, 77012, 0},
+    {ProblemId::kMsdoor, OrderingKind::kNestedDissection, 5000, 0xee2718539d741bcdULL, 320, 0x9c243ba56d489c3dULL, 0x0ac716c8ffe347a9ULL, 0xc335512953c5db51ULL, 77012, 1},
+    {ProblemId::kMsdoor, OrderingKind::kPord, 0, 0x0bfec097322076c5ULL, 269, 0x417fb6620cf3b6fdULL, 0xebfee868a5fa3c02ULL, 0xbd96941aded0b615ULL, 88930, 0},
+    {ProblemId::kMsdoor, OrderingKind::kPord, 5000, 0x0bfec097322076c5ULL, 270, 0x32e8c32e1392d6a5ULL, 0xd3375366cc526960ULL, 0xe0f59e22b994d8eaULL, 88930, 1},
+    {ProblemId::kMsdoor, OrderingKind::kAmd, 0, 0x001929b85d1b83c5ULL, 349, 0x281d5ee68f16bb89ULL, 0x784b063d887b8a1aULL, 0x48e4a4ba5bcba016ULL, 176214, 0},
+    {ProblemId::kMsdoor, OrderingKind::kAmd, 5000, 0x001929b85d1b83c5ULL, 351, 0xbfce6d5df45fcb9cULL, 0x58af7140c152c0e5ULL, 0x70ec76955b740e78ULL, 176214, 2},
+    {ProblemId::kMsdoor, OrderingKind::kAmf, 0, 0x25e261062a8ae795ULL, 299, 0xb14e904be5c8bf98ULL, 0x8124c5f2b4794321ULL, 0x51bb48b633db21a4ULL, 95202, 0},
+    {ProblemId::kMsdoor, OrderingKind::kAmf, 5000, 0x25e261062a8ae795ULL, 300, 0x960179aa802ccd94ULL, 0x8eab7fe125450715ULL, 0xdcd6797d2194513aULL, 95202, 1},
+    {ProblemId::kShip003, OrderingKind::kNestedDissection, 0, 0x40be49479631dae5ULL, 58, 0xdb0a500cffb1eec2ULL, 0xce7892beac9f13a4ULL, 0x0f92b09d3335c10dULL, 87687, 0},
+    {ProblemId::kShip003, OrderingKind::kNestedDissection, 5000, 0x40be49479631dae5ULL, 59, 0x4584b46f3fe1cf43ULL, 0x5711663c723d933eULL, 0xc5b41565a87ec771ULL, 87687, 1},
+    {ProblemId::kShip003, OrderingKind::kPord, 0, 0x30b915a813f2e2c9ULL, 76, 0x4af92a7829042c2bULL, 0x08c8f10dc6f0f9a5ULL, 0x6325135f9397b529ULL, 56172, 0},
+    {ProblemId::kShip003, OrderingKind::kPord, 5000, 0x30b915a813f2e2c9ULL, 76, 0x4af92a7829042c2bULL, 0x08c8f10dc6f0f9a5ULL, 0x6325135f9397b529ULL, 56172, 0},
+    {ProblemId::kShip003, OrderingKind::kAmd, 0, 0xddd3badcc1009af5ULL, 102, 0x34067fdedd46d5d1ULL, 0x65f7edfdaffeee44ULL, 0x396a16946f59be64ULL, 102447, 0},
+    {ProblemId::kShip003, OrderingKind::kAmd, 5000, 0xddd3badcc1009af5ULL, 102, 0x34067fdedd46d5d1ULL, 0x65f7edfdaffeee44ULL, 0x396a16946f59be64ULL, 102447, 0},
+    {ProblemId::kShip003, OrderingKind::kAmf, 0, 0x6b7d87d99909a4e5ULL, 98, 0xc57b805fc6973d62ULL, 0x7733ecd7fde14ec4ULL, 0x894ffb41818c7650ULL, 46413, 0},
+    {ProblemId::kShip003, OrderingKind::kAmf, 5000, 0x6b7d87d99909a4e5ULL, 98, 0xc57b805fc6973d62ULL, 0x7733ecd7fde14ec4ULL, 0x894ffb41818c7650ULL, 46413, 0},
+    {ProblemId::kPre2, OrderingKind::kNestedDissection, 0, 0xd2c11c4e5145bd65ULL, 1289, 0x50b1a1c5a7f27652ULL, 0x7f3e7be65691dcfeULL, 0xd144b041baf5f69fULL, 2946800, 0},
+    {ProblemId::kPre2, OrderingKind::kNestedDissection, 5000, 0xd2c11c4e5145bd65ULL, 1341, 0xed78be916c855c72ULL, 0x47123a1de82848b6ULL, 0xa7e8000b86e77e9dULL, 2946800, 22},
+    {ProblemId::kPre2, OrderingKind::kPord, 0, 0x498e992f4200c7ddULL, 1324, 0xc1decebcb1ef3ac1ULL, 0xdae582cdd485e9d5ULL, 0x53ac2ad245994c62ULL, 5353333, 0},
+    {ProblemId::kPre2, OrderingKind::kPord, 5000, 0x498e992f4200c7ddULL, 1362, 0xfe4749a6abfd57a5ULL, 0xd9efe6ee19c047e0ULL, 0xb0fe0d768b615670ULL, 5353333, 16},
+    {ProblemId::kPre2, OrderingKind::kAmd, 0, 0xea3ff12c095f4509ULL, 1503, 0x59681d5f18577f13ULL, 0xba7cf5c0b71dcdf1ULL, 0xb81a441f217a386fULL, 12013215, 0},
+    {ProblemId::kPre2, OrderingKind::kAmd, 5000, 0xea3ff12c095f4509ULL, 1538, 0x099628c1b905195dULL, 0x1c71699b7c19e790ULL, 0x9175465d829d3eddULL, 12013215, 15},
+    {ProblemId::kPre2, OrderingKind::kAmf, 0, 0x224c9a9a8e876c45ULL, 1611, 0x60e7470ed9ef5732ULL, 0x30a68b6aa941a9e8ULL, 0x50747d77c614d615ULL, 9719560, 0},
+    {ProblemId::kPre2, OrderingKind::kAmf, 5000, 0x224c9a9a8e876c45ULL, 1647, 0xd04a7b2a5fe6076aULL, 0xfc428d4a39d693e0ULL, 0x4309b02a3aa64572ULL, 9719560, 15},
+    {ProblemId::kTwotone, OrderingKind::kNestedDissection, 0, 0x4ef8616c50782ff9ULL, 508, 0xbf40f91074094eceULL, 0xeabd3b9ed0a0f0c9ULL, 0x570492ccc5b3b518ULL, 3200096, 0},
+    {ProblemId::kTwotone, OrderingKind::kNestedDissection, 5000, 0x4ef8616c50782ff9ULL, 534, 0x6edb2fd8b4f81529ULL, 0xd775e5dc5e545ef8ULL, 0xdd252c4ac97b3a6aULL, 3200096, 10},
+    {ProblemId::kTwotone, OrderingKind::kPord, 0, 0x7d6c075220ef3b49ULL, 533, 0x77e43ce5abd46d33ULL, 0x3b133349c4a5a0e7ULL, 0xef3ffe20877c25d5ULL, 820738, 0},
+    {ProblemId::kTwotone, OrderingKind::kPord, 5000, 0x7d6c075220ef3b49ULL, 560, 0x5ca54f7e62aa4cc4ULL, 0x369c04cfaf3110ddULL, 0xadd72dcf5d0a5579ULL, 820738, 11},
+    {ProblemId::kTwotone, OrderingKind::kAmd, 0, 0x2d971ed5d3d6ef05ULL, 644, 0xd80be69adc1fb7efULL, 0x36e45c1a6de45891ULL, 0x60d8d204f61a9f1bULL, 3149593, 0},
+    {ProblemId::kTwotone, OrderingKind::kAmd, 5000, 0x2d971ed5d3d6ef05ULL, 653, 0xb16c18baed00d773ULL, 0xb3782414c1a5cc67ULL, 0xe79922d30eb27cbfULL, 3149593, 5},
+    {ProblemId::kTwotone, OrderingKind::kAmf, 0, 0x630397679672856dULL, 669, 0xdc636ae0d8770820ULL, 0x14865857074f2a5bULL, 0x519b5207062b18f7ULL, 2784327, 0},
+    {ProblemId::kTwotone, OrderingKind::kAmf, 5000, 0x630397679672856dULL, 678, 0x0afa13f448290ae3ULL, 0x802f5b96d0883a38ULL, 0x40602a20c3872233ULL, 2784327, 6},
+    {ProblemId::kUltrasound3, OrderingKind::kNestedDissection, 0, 0x64862dc7d2d27565ULL, 73, 0x9375c89a200bdb54ULL, 0xc79e7dd50020d36dULL, 0x701b54b663e658d3ULL, 399052, 0},
+    {ProblemId::kUltrasound3, OrderingKind::kNestedDissection, 5000, 0x64862dc7d2d27565ULL, 88, 0x343d14d34671f949ULL, 0x9f1dcc53c0351b45ULL, 0x8cb95a5482fdeb8fULL, 399052, 9},
+    {ProblemId::kUltrasound3, OrderingKind::kPord, 0, 0x44310e04cd2d0ad5ULL, 70, 0xcc881f562e5ec6d5ULL, 0xa4c01f8f5dc60e64ULL, 0xb4931d1d97d4ebe1ULL, 419620, 0},
+    {ProblemId::kUltrasound3, OrderingKind::kPord, 5000, 0x44310e04cd2d0ad5ULL, 90, 0x519d98b06650c9c6ULL, 0x0d627f778f258624ULL, 0x46fa7592a438fd21ULL, 419620, 12},
+    {ProblemId::kUltrasound3, OrderingKind::kAmd, 0, 0x1f0a8e64df2e4e3dULL, 75, 0x1ee7a817ef9cd23aULL, 0x0954a79f50538a8eULL, 0xadb91f0561b27ac9ULL, 528160, 0},
+    {ProblemId::kUltrasound3, OrderingKind::kAmd, 5000, 0x1f0a8e64df2e4e3dULL, 90, 0x97ab0526d11dfe97ULL, 0xdbef8681a3639744ULL, 0xf96370f9b327214cULL, 528160, 7},
+    {ProblemId::kUltrasound3, OrderingKind::kAmf, 0, 0x80ba5f48e64d62d5ULL, 81, 0xcc3f9a5a87d9269bULL, 0x4c7a1ecefdf0de35ULL, 0xd11abaa2b1467f91ULL, 419192, 0},
+    {ProblemId::kUltrasound3, OrderingKind::kAmf, 5000, 0x80ba5f48e64d62d5ULL, 93, 0xbb79d56e7fc77b8fULL, 0xeb8ac60d18e70999ULL, 0xfa74807a91c58716ULL, 419192, 6},
+    {ProblemId::kXenon2, OrderingKind::kNestedDissection, 0, 0xad8f40a531e56d81ULL, 96, 0x6a4f165a30298603ULL, 0x8a691012751e88e5ULL, 0x69b1f4dc91759996ULL, 339824, 0},
+    {ProblemId::kXenon2, OrderingKind::kNestedDissection, 5000, 0xad8f40a531e56d81ULL, 105, 0x6783a8ec3ba535efULL, 0x079a91275f75b0cdULL, 0xb417495dc018e23eULL, 339824, 7},
+    {ProblemId::kXenon2, OrderingKind::kPord, 0, 0x40828653e88775d1ULL, 102, 0x8197ceb36c1973b0ULL, 0x229e0cf9858fcce4ULL, 0x9d1d26725b1f9b2bULL, 382453, 0},
+    {ProblemId::kXenon2, OrderingKind::kPord, 5000, 0x40828653e88775d1ULL, 117, 0xd3c7f12d0607dd86ULL, 0x95a94664b664fcf1ULL, 0xde42a4031c8707d2ULL, 382453, 12},
+    {ProblemId::kXenon2, OrderingKind::kAmd, 0, 0xd02a3da61e068375ULL, 113, 0x61b23488715a71cfULL, 0xab9d2622e8673d35ULL, 0xd3dcc977ea833267ULL, 399661, 0},
+    {ProblemId::kXenon2, OrderingKind::kAmd, 5000, 0xd02a3da61e068375ULL, 126, 0xbccc8dbec0c20604ULL, 0x449011a1830a46e4ULL, 0x2e171899069ed841ULL, 399661, 6},
+    {ProblemId::kXenon2, OrderingKind::kAmf, 0, 0xaa4967e39099f225ULL, 108, 0x0b33f7dd901f0499ULL, 0xb7b317425e645c65ULL, 0x73941c4e691dacf3ULL, 335312, 0},
+    {ProblemId::kXenon2, OrderingKind::kAmf, 5000, 0xaa4967e39099f225ULL, 116, 0xfba3409e8735c0c9ULL, 0xc01fe367a3130de5ULL, 0xcf6830b688b4cebbULL, 335312, 4},
+};
+
+class AnalysisGoldenResults
+    : public ::testing::TestWithParam<AnalysisGolden> {};
+
+TEST_P(AnalysisGoldenResults, OrderingAndSymbolicAreBitIdentical) {
+  const AnalysisGolden& g = GetParam();
+  const Problem p = make_problem(g.id, 0.5);
+  AnalysisOptions options;
+  options.ordering = g.ordering;
+  options.symmetric = p.symmetric;
+  options.want_structure = false;
+  options.split_master_threshold = g.split_threshold;
+  const Analysis a = analyze(p.matrix, options);
+
+  EXPECT_EQ(hash_seq(a.perm), g.perm_hash);
+  ASSERT_EQ(a.tree.num_nodes(), g.num_nodes);
+  std::vector<std::uint64_t> shape;
+  shape.reserve(static_cast<std::size_t>(a.tree.num_nodes()) * 3);
+  for (index_t i = 0; i < a.tree.num_nodes(); ++i) {
+    shape.push_back(static_cast<std::uint64_t>(a.tree.npiv(i)));
+    shape.push_back(static_cast<std::uint64_t>(a.tree.nfront(i)));
+    shape.push_back(static_cast<std::uint64_t>(
+        a.tree.parent(i) == kNone ? ~0ULL : a.tree.parent(i)));
+  }
+  EXPECT_EQ(hash_seq(shape), g.tree_hash);
+  EXPECT_EQ(hash_seq(a.traversal), g.traversal_hash);
+  EXPECT_EQ(hash_seq(a.memory.subtree_peak), g.subtree_peak_hash);
+  EXPECT_EQ(a.memory.peak, g.sequential_peak);
+  EXPECT_EQ(a.num_split_nodes, g.num_split_nodes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProblemsAllOrderings, AnalysisGoldenResults,
+    ::testing::ValuesIn(kAnalysisGolden), [](const auto& info) {
+      return problem_name(info.param.id) + std::string("_") +
+             ordering_name(info.param.ordering) +
+             (info.param.split_threshold > 0 ? "_split" : "_nosplit");
+    });
+
+}  // namespace
+}  // namespace memfront

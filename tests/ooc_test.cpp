@@ -177,7 +177,7 @@ TEST_P(BudgetedAllProblems, CompletesUnder120PercentBudget) {
       << "overrun " << out.parallel.ooc_overrun_peak << " over budget "
       << ooc.ooc.budget;
   EXPECT_EQ(out.parallel.ooc_factor_write_entries,
-            prepared.analysis.tree.total_factor_entries());
+            prepared.analysis->tree.total_factor_entries());
   // Spilled blocks are reread exactly once, at assembly of the parent.
   EXPECT_EQ(out.parallel.ooc_spill_entries, out.parallel.ooc_reload_entries);
 }
@@ -258,7 +258,7 @@ TEST_P(SpillPolicyEndToEnd, BudgetedRunCompletesAndBalancesIo) {
   // Spilled blocks are reread exactly once, at assembly of the parent.
   EXPECT_EQ(out.parallel.ooc_spill_entries, out.parallel.ooc_reload_entries);
   EXPECT_EQ(out.parallel.ooc_factor_write_entries,
-            prepared.analysis.tree.total_factor_entries());
+            prepared.analysis->tree.total_factor_entries());
   // Deterministic under every policy.
   const ExperimentOutcome again = run_prepared(prepared, ooc);
   EXPECT_EQ(out.parallel.ooc_spill_entries,
@@ -380,7 +380,7 @@ TEST(OocIoMode, BoundedBufferStallsWhenTheDiskFallsBehind) {
   EXPECT_GT(out.parallel.ooc_stall_time, 0.0);
   EXPECT_GT(out.parallel.ooc_buffer_high_water, 0);
   EXPECT_EQ(out.parallel.ooc_factor_write_entries,
-            prepared.analysis.tree.total_factor_entries());
+            prepared.analysis->tree.total_factor_entries());
 }
 
 TEST(OocIoMode, TraceRecordsTypedIoSamples) {

@@ -97,12 +97,12 @@ TEST(ParallelSweep, BudgetedRunsMatchSerialBitForBit) {
       bench::collect_budgeted_cases(0.2, 4, /*nthreads=*/2);
   std::vector<ExperimentOutcome> serial(cases.size());
   for (std::size_t i = 0; i < cases.size(); ++i)
-    serial[i] = run_prepared(cases[i].prepared, cases[i].ooc_setup);
+    serial[i] = run_prepared(*cases[i].prepared, cases[i].ooc_setup);
   std::vector<ExperimentOutcome> parallel(cases.size());
   parallel_for(
       cases.size(),
       [&](std::size_t i) {
-        parallel[i] = run_prepared(cases[i].prepared, cases[i].ooc_setup);
+        parallel[i] = run_prepared(*cases[i].prepared, cases[i].ooc_setup);
       },
       4);
   for (std::size_t i = 0; i < cases.size(); ++i) {

@@ -72,7 +72,7 @@ TEST_P(AllStrategiesComplete, RunsToCompletion) {
   count_t factors = 0;
   for (const auto& pr : o.parallel.procs) factors += pr.factor_entries;
   PreparedExperiment prepared = prepare_experiment(p.matrix, setup);
-  EXPECT_EQ(factors, prepared.analysis.tree.total_factor_entries());
+  EXPECT_EQ(factors, prepared.analysis->tree.total_factor_entries());
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -143,9 +143,9 @@ TEST(ParallelSim, PeakNeverBelowBiggestActivation) {
   ExperimentSetup setup = basic_setup(p, 8);
   const PreparedExperiment prepared = prepare_experiment(p.matrix, setup);
   count_t biggest = 0;
-  for (index_t i = 0; i < prepared.analysis.tree.num_nodes(); ++i) {
+  for (index_t i = 0; i < prepared.analysis->tree.num_nodes(); ++i) {
     if (prepared.mapping.type[static_cast<std::size_t>(i)] == NodeType::kType1)
-      biggest = std::max(biggest, prepared.analysis.tree.front_entries(i));
+      biggest = std::max(biggest, prepared.analysis->tree.front_entries(i));
   }
   const ExperimentOutcome o = run_prepared(prepared, setup);
   EXPECT_GE(o.max_stack_peak, biggest);
@@ -182,11 +182,11 @@ TEST(ParallelSim, SplitTreeRunsAndKeepsWorkConserved) {
   setup.ordering = OrderingKind::kAmf;
   setup.split_threshold = 30'000;
   const PreparedExperiment prepared = prepare_experiment(p.matrix, setup);
-  EXPECT_GT(prepared.analysis.num_split_nodes, 0);
+  EXPECT_GT(prepared.analysis->num_split_nodes, 0);
   const ExperimentOutcome o = run_prepared(prepared, setup);
   count_t factors = 0;
   for (const auto& pr : o.parallel.procs) factors += pr.factor_entries;
-  EXPECT_EQ(factors, prepared.analysis.tree.total_factor_entries());
+  EXPECT_EQ(factors, prepared.analysis->tree.total_factor_entries());
 }
 
 TEST(ParallelSim, BusyTimeBoundedByMakespan) {

@@ -134,7 +134,7 @@ TEST_P(PipelineProperty, SolveAndSimulate) {
       const ExperimentOutcome o = run_prepared(prepared, setup);
       count_t factors = 0;
       for (const auto& pr : o.parallel.procs) factors += pr.factor_entries;
-      EXPECT_EQ(factors, prepared.analysis.tree.total_factor_entries());
+      EXPECT_EQ(factors, prepared.analysis->tree.total_factor_entries());
       EXPECT_GE(o.max_stack_peak, 0);
     }
   }

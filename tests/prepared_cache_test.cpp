@@ -1,0 +1,185 @@
+// The two-level prepared-experiment cache: content keying, level reuse,
+// stats accounting, and thread safety under the sweep's thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "memfront/core/prepared_cache.hpp"
+#include "memfront/sparse/problems.hpp"
+#include "memfront/support/parallel_for.hpp"
+
+namespace memfront {
+namespace {
+
+ExperimentSetup small_setup(const Problem& p, index_t nprocs = 8) {
+  ExperimentSetup setup;
+  setup.nprocs = nprocs;
+  setup.symmetric = p.symmetric;
+  setup.ordering = OrderingKind::kNestedDissection;
+  return setup;
+}
+
+TEST(PreparedCache, EqualSetupsShareOnePreparation) {
+  PreparedCache cache;
+  const Problem p = make_problem(ProblemId::kTwotone, 0.2);
+  const auto a = cache.prepared(p.matrix, small_setup(p));
+  const auto b = cache.prepared(p.matrix, small_setup(p));
+  EXPECT_EQ(a.get(), b.get());  // the same immutable object, not a copy
+  const PreparedCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.mapping_misses, 1u);
+  EXPECT_EQ(stats.mapping_hits, 1u);
+  EXPECT_EQ(stats.analysis_misses, 1u);
+  EXPECT_EQ(cache.mapping_entries(), 1u);
+  EXPECT_EQ(cache.analysis_entries(), 1u);
+}
+
+TEST(PreparedCache, KeysOnMatrixContentNotObjectIdentity) {
+  PreparedCache cache;
+  const Problem p1 = make_problem(ProblemId::kXenon2, 0.2);
+  const Problem p2 = make_problem(ProblemId::kXenon2, 0.2);
+  ASSERT_NE(&p1.matrix, &p2.matrix);
+  EXPECT_EQ(p1.matrix.fingerprint(), p2.matrix.fingerprint());
+  const auto a = cache.prepared(p1.matrix, small_setup(p1));
+  const auto b = cache.prepared(p2.matrix, small_setup(p2));
+  EXPECT_EQ(a.get(), b.get());
+  // A different matrix (other scale) is a different key.
+  const Problem p3 = make_problem(ProblemId::kXenon2, 0.25);
+  EXPECT_NE(p3.matrix.fingerprint(), p1.matrix.fingerprint());
+  const auto c = cache.prepared(p3.matrix, small_setup(p3));
+  EXPECT_NE(a.get(), c.get());
+}
+
+TEST(PreparedCache, DynamicStrategyFieldsDoNotSplitTheKey) {
+  // The paper's headline comparison: workload vs memory dynamic
+  // strategies on the same static decisions — one cache entry.
+  PreparedCache cache;
+  const Problem p = make_problem(ProblemId::kShip003, 0.2);
+  ExperimentSetup workload = small_setup(p);
+  ExperimentSetup memory = small_setup(p);
+  memory.slave_strategy = SlaveStrategy::kMemoryImproved;
+  memory.task_strategy = TaskStrategy::kMemoryAware;
+  memory.ooc.enabled = true;
+  memory.ooc.budget = 12345;
+  const auto a = cache.prepared(p.matrix, workload);
+  const auto b = cache.prepared(p.matrix, memory);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(cache.stats().mapping_misses, 1u);
+  EXPECT_EQ(cache.stats().mapping_hits, 1u);
+}
+
+TEST(PreparedCache, MappingLevelReusesTheAnalysisLevel) {
+  // Different nprocs: new mapping, same analysis object underneath.
+  PreparedCache cache;
+  const Problem p = make_problem(ProblemId::kMsdoor, 0.2);
+  const auto p8 = cache.prepared(p.matrix, small_setup(p, 8));
+  const auto p16 = cache.prepared(p.matrix, small_setup(p, 16));
+  EXPECT_NE(p8.get(), p16.get());
+  EXPECT_EQ(p8->analysis.get(), p16->analysis.get());
+  const PreparedCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.mapping_misses, 2u);
+  EXPECT_EQ(stats.analysis_misses, 1u);
+  EXPECT_EQ(stats.analysis_hits, 1u);  // second mapping found the analysis
+  EXPECT_EQ(cache.analysis_entries(), 1u);
+  EXPECT_EQ(cache.mapping_entries(), 2u);
+
+  // A different ordering invalidates the analysis level too.
+  ExperimentSetup amd = small_setup(p, 8);
+  amd.ordering = OrderingKind::kAmd;
+  const auto pa = cache.prepared(p.matrix, amd);
+  EXPECT_NE(pa->analysis.get(), p8->analysis.get());
+  EXPECT_EQ(cache.analysis_entries(), 2u);
+
+  // So do the split parameters and the seed.
+  ExperimentSetup split = small_setup(p, 8);
+  split.split_threshold = 5000;
+  ExperimentSetup seeded = small_setup(p, 8);
+  seeded.seed = 42;
+  EXPECT_NE(cache.prepared(p.matrix, split)->analysis.get(),
+            p8->analysis.get());
+  EXPECT_NE(cache.prepared(p.matrix, seeded)->analysis.get(),
+            p8->analysis.get());
+  EXPECT_EQ(cache.analysis_entries(), 4u);
+}
+
+TEST(PreparedCache, CachedPreparationMatchesUncachedPrepare) {
+  PreparedCache cache;
+  const Problem p = make_problem(ProblemId::kPre2, 0.2);
+  const ExperimentSetup setup = small_setup(p);
+  const auto cached = cache.prepared(p.matrix, setup);
+  const PreparedExperiment fresh = prepare_experiment(p.matrix, setup);
+  const ExperimentOutcome a = run_prepared(*cached, setup);
+  const ExperimentOutcome b = run_prepared(fresh, setup);
+  EXPECT_EQ(a.max_stack_peak, b.max_stack_peak);
+  EXPECT_EQ(a.makespan, b.makespan);  // bit-identical
+  EXPECT_EQ(a.parallel.messages, b.parallel.messages);
+  EXPECT_EQ(a.parallel.comm_entries, b.parallel.comm_entries);
+}
+
+TEST(PreparedCache, PhaseTimingsAccumulateOnMisses) {
+  PreparedCache cache;
+  const Problem p = make_problem(ProblemId::kUltrasound3, 0.2);
+  (void)cache.prepared(p.matrix, small_setup(p));
+  const PreparedCacheStats stats = cache.stats();
+  EXPECT_GT(stats.analysis_seconds, 0.0);
+  EXPECT_GT(stats.ordering_seconds, 0.0);
+  EXPECT_GE(stats.symbolic_seconds, 0.0);
+  EXPECT_GE(stats.mapping_seconds, 0.0);
+  EXPECT_EQ(stats.recomputes, 2u);  // one analysis + one mapping
+
+  cache.reset_stats();
+  EXPECT_EQ(cache.stats().recomputes, 0u);
+  EXPECT_EQ(cache.stats().analysis_seconds, 0.0);
+  // Stats reset does not drop entries.
+  EXPECT_EQ(cache.mapping_entries(), 1u);
+}
+
+TEST(PreparedCache, ClearDropsEntriesButOutstandingPointersSurvive) {
+  PreparedCache cache;
+  const Problem p = make_problem(ProblemId::kBmwCra1, 0.2);
+  const auto before = cache.prepared(p.matrix, small_setup(p));
+  cache.clear();
+  EXPECT_EQ(cache.mapping_entries(), 0u);
+  EXPECT_EQ(cache.analysis_entries(), 0u);
+  EXPECT_GT(before->analysis->tree.num_nodes(), 0);  // still alive
+  const auto after = cache.prepared(p.matrix, small_setup(p));
+  EXPECT_NE(before.get(), after.get());  // recomputed after clear
+}
+
+TEST(PreparedCache, ConcurrentLookupsComputeOnce) {
+  // Many threads race on the same two keys (the sweep's strategy legs):
+  // every caller must get the same object and the computation must run
+  // once per unique key, no matter the interleaving.
+  PreparedCache cache;
+  const Problem p = make_problem(ProblemId::kTwotone, 0.2);
+  constexpr std::size_t kCallers = 32;
+  std::vector<std::shared_ptr<const PreparedExperiment>> got(kCallers);
+  parallel_for(
+      kCallers,
+      [&](std::size_t i) {
+        // Even callers ask for 8 procs, odd for 16: two mapping keys over
+        // one shared analysis.
+        got[i] = cache.prepared(p.matrix,
+                                small_setup(p, i % 2 == 0 ? 8 : 16));
+      },
+      8);
+  for (std::size_t i = 2; i < kCallers; ++i)
+    EXPECT_EQ(got[i].get(), got[i - 2].get());
+  EXPECT_NE(got[0].get(), got[1].get());
+  EXPECT_EQ(got[0]->analysis.get(), got[1]->analysis.get());
+  const PreparedCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.mapping_misses, 2u);
+  EXPECT_EQ(stats.mapping_hits, kCallers - 2);
+  EXPECT_EQ(stats.analysis_misses, 1u);
+  EXPECT_EQ(stats.recomputes, 3u);  // one analysis + two mappings
+  EXPECT_EQ(cache.analysis_entries(), 1u);
+  EXPECT_EQ(cache.mapping_entries(), 2u);
+}
+
+TEST(PreparedCache, GlobalCacheIsAProcessSingleton) {
+  EXPECT_EQ(&PreparedCache::global(), &PreparedCache::global());
+}
+
+}  // namespace
+}  // namespace memfront

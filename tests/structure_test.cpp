@@ -85,7 +85,7 @@ TEST(Structure, EveryMatrixEntryCoveredByAFront) {
   // Each (permuted) entry a(r,c) with r,c >= min(r,c)'s node first_col
   // must appear inside the front of the node owning min(r,c).
   const Analysis a = small_analysis(ProblemId::kXenon2, OrderingKind::kAmd);
-  const CscMatrix& m = a.permuted;
+  const CscMatrix& m = *a.permuted;
   for (index_t c = 0; c < m.ncols(); ++c) {
     for (index_t r : m.column(c)) {
       const index_t lo = std::min(r, c), hi = std::max(r, c);
