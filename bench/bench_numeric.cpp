@@ -1,0 +1,321 @@
+// bench_numeric — the numeric factorization's performance trajectory.
+//
+// Three measurements:
+//   1. Kernel sweep: the largest LU fronts of the biggest unsymmetric
+//      Table-1 problem, factored with the pre-blocking scalar kernel and
+//      the blocked kernel (bit-identical results); GFLOP/s of each and
+//      the single-thread speedup.
+//   2. Per-problem factorization: every Table-1 matrix, serial reference
+//      vs serial blocked vs tree-parallel at N workers; model GFLOP/s,
+//      speedups, and the arena peak against the predicted physical peak
+//      and the analysis' model-entry peak.
+//   3. Aggregates: total kernel-sweep speedup and the worst/mean
+//      parallel speedup, written with everything else to
+//      BENCH_numeric.json so CI archives the trajectory.
+//
+//   bench_numeric [scale] [--smoke] [--threads N] [--json PATH]
+//
+// --smoke shrinks the run for CI (scale 0.3) unless an explicit scale is
+// given.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "memfront/frontal/arena.hpp"
+#include "memfront/frontal/kernels.hpp"
+#include "memfront/solver/parallel_numeric.hpp"
+#include "memfront/support/rng.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using namespace memfront;
+using namespace memfront::bench;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct NumericOptionsCli {
+  double scale = 1.0;
+  bool smoke = false;
+  unsigned threads = 0;
+  std::string json_path = "BENCH_numeric.json";
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [scale] [--smoke] [--threads N] [--json PATH]\n";
+  std::exit(2);
+}
+
+NumericOptionsCli parse(int argc, char** argv) {
+  NumericOptionsCli opt;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      opt.smoke = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc) usage(argv[0]);
+      opt.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) usage(argv[0]);
+      opt.json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      usage(argv[0]);
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (opt.smoke) opt.scale = 0.3;
+  if (!positional.empty()) opt.scale = std::atof(positional[0]);
+  return opt;
+}
+
+std::vector<double> random_front(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> data(static_cast<std::size_t>(n) * n);
+  for (double& v : data) v = rng.real(-1.0, 1.0);
+  for (index_t r = 0; r < n; ++r) {
+    double sum = 0.0;
+    for (index_t c = 0; c < n; ++c)
+      sum += std::abs(data[static_cast<std::size_t>(c) * n + r]);
+    data[static_cast<std::size_t>(r) * n + r] = sum + 1.0;
+  }
+  return data;
+}
+
+/// Times `factor(view)` on fresh copies of `original` until ~0.2 s of
+/// work accumulates; returns seconds per factorization.
+template <typename Factor>
+double time_kernel(const std::vector<double>& original, index_t n,
+                   index_t npiv, Factor&& factor, int min_reps) {
+  std::vector<double> work(original.size());
+  double total = 0.0;
+  int reps = 0;
+  while (reps < min_reps || total < 0.2) {
+    std::copy(original.begin(), original.end(), work.begin());
+    const auto start = Clock::now();
+    factor(FrontView{work.data(), n, n}, npiv);
+    total += seconds_since(start);
+    ++reps;
+    if (reps >= 50) break;
+  }
+  return total / reps;
+}
+
+struct KernelRow {
+  index_t nfront = 0;
+  index_t npiv = 0;
+  double ref_s = 0.0;
+  double blocked_s = 0.0;
+  double flops = 0.0;
+};
+
+struct ProblemRow {
+  std::string name;
+  bool symmetric = false;
+  count_t flops = 0;
+  double reference_s = 0.0;
+  double serial_s = 0.0;
+  double parallel_s = 0.0;
+  count_t arena_peak = 0;
+  count_t predicted_peak = 0;
+  count_t model_peak = 0;
+  count_t parallel_arena_peak = 0;
+  index_t subtrees = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const NumericOptionsCli opt = parse(argc, argv);
+  const unsigned threads =
+      opt.threads > 0 ? opt.threads : default_thread_count();
+
+  std::cout << "bench_numeric: blocked kernels, arena stack, tree "
+               "parallelism (scale="
+            << opt.scale << ", threads=" << threads
+            << (opt.smoke ? ", smoke" : "") << ")\n\n";
+
+  // ---- 1. kernel sweep on the largest LU fronts ----------------------------
+  // PRE2 is the biggest unsymmetric Table-1 problem; its largest fronts
+  // are where the factorization spends its flops.
+  const Problem sweep_problem = make_problem(ProblemId::kPre2, opt.scale);
+  AnalysisOptions sweep_opt;
+  sweep_opt.ordering = OrderingKind::kNestedDissection;
+  const std::shared_ptr<const Analysis> sweep_analysis =
+      PreparedCache::global().analysis(sweep_problem.matrix, sweep_opt);
+  std::vector<index_t> by_size(
+      static_cast<std::size_t>(sweep_analysis->tree.num_nodes()));
+  for (std::size_t i = 0; i < by_size.size(); ++i)
+    by_size[i] = static_cast<index_t>(i);
+  std::sort(by_size.begin(), by_size.end(), [&](index_t a, index_t b) {
+    return sweep_analysis->tree.nfront(a) > sweep_analysis->tree.nfront(b);
+  });
+  const std::size_t sweep_fronts = opt.smoke ? 3 : 5;
+  const int min_reps = opt.smoke ? 2 : 3;
+
+  std::vector<KernelRow> kernel_rows;
+  double ref_total = 0.0, blocked_total = 0.0;
+  TextTable ktable({"LU front (PRE2)", "npiv", "scalar (ms)", "blocked (ms)",
+                    "scalar GF/s", "blocked GF/s", "speedup x"});
+  for (std::size_t k = 0; k < std::min(sweep_fronts, by_size.size()); ++k) {
+    const index_t node = by_size[k];
+    KernelRow row;
+    row.nfront = sweep_analysis->tree.nfront(node);
+    row.npiv = sweep_analysis->tree.npiv(node);
+    if (row.nfront < 2) continue;
+    row.flops = static_cast<double>(
+        elimination_flops(row.nfront, row.npiv, false));
+    const std::vector<double> original =
+        random_front(row.nfront, 1000 + static_cast<std::uint64_t>(k));
+    row.ref_s = time_kernel(
+        original, row.nfront, row.npiv,
+        [](FrontView f, index_t np) { (void)partial_lu_reference(f, np); },
+        min_reps);
+    row.blocked_s = time_kernel(
+        original, row.nfront, row.npiv,
+        [](FrontView f, index_t np) { (void)partial_lu_blocked(f, np); },
+        min_reps);
+    ref_total += row.ref_s;
+    blocked_total += row.blocked_s;
+    ktable.row();
+    ktable.cell(static_cast<long>(row.nfront));
+    ktable.cell(static_cast<long>(row.npiv));
+    ktable.cell(row.ref_s * 1e3, 2);
+    ktable.cell(row.blocked_s * 1e3, 2);
+    ktable.cell(row.flops / row.ref_s / 1e9, 2);
+    ktable.cell(row.flops / row.blocked_s / 1e9, 2);
+    ktable.cell(row.ref_s / row.blocked_s, 2);
+    kernel_rows.push_back(row);
+  }
+  const double kernel_speedup = ref_total / blocked_total;
+  ktable.print(std::cout);
+  std::cout << "\nkernel sweep single-thread speedup (total): "
+            << kernel_speedup << "x\n\n";
+
+  // ---- 2. per-problem factorization sweep ----------------------------------
+  TextTable ptable({"Matrix", "type", "GFlop", "scalar (s)", "blocked (s)",
+                    "par (s)", "serial x", "par x", "GF/s par",
+                    "arena peak (M dbl)", "pred (M dbl)"});
+  std::vector<ProblemRow> rows;
+  double worst_parallel_speedup = 1e300;
+  bool arena_matches = true;
+  for (ProblemId id : all_problem_ids()) {
+    const Problem p = make_problem(id, opt.scale);
+    AnalysisOptions aopt;
+    aopt.ordering = OrderingKind::kNestedDissection;
+    aopt.symmetric = p.symmetric;
+    const std::shared_ptr<const Analysis> analysis =
+        PreparedCache::global().analysis(p.matrix, aopt);
+
+    ProblemRow row;
+    row.name = p.name;
+    row.symmetric = p.symmetric;
+    row.flops = analysis->tree.total_flops();
+    row.model_peak = analysis->memory.peak;
+    row.predicted_peak =
+        predict_arena_peak(analysis->tree, analysis->traversal);
+
+    NumericOptions reference;
+    reference.kernel = FrontalKernel::kReference;
+    auto start = Clock::now();
+    const Factorization fref = numeric_factorize(*analysis, reference);
+    row.reference_s = seconds_since(start);
+
+    start = Clock::now();
+    const Factorization fblocked = numeric_factorize(*analysis);
+    row.serial_s = seconds_since(start);
+    row.arena_peak = fblocked.stats.arena_peak_doubles;
+
+    ParallelNumericOptions popt;
+    popt.nthreads = threads;
+    ParallelNumericStats pstats;
+    start = Clock::now();
+    const Factorization fpar =
+        parallel_numeric_factorize(*analysis, popt, &pstats);
+    row.parallel_s = seconds_since(start);
+    row.parallel_arena_peak = pstats.max_arena_peak_doubles;
+    row.subtrees = pstats.num_subtrees;
+
+    arena_matches = arena_matches && row.arena_peak == row.predicted_peak &&
+                    row.parallel_arena_peak <= row.predicted_peak;
+    worst_parallel_speedup =
+        std::min(worst_parallel_speedup, row.serial_s / row.parallel_s);
+
+    ptable.row();
+    ptable.cell(row.name);
+    ptable.cell(row.symmetric ? "SYM" : "UNS");
+    ptable.cell(static_cast<double>(row.flops) / 1e9, 3);
+    ptable.cell(row.reference_s, 3);
+    ptable.cell(row.serial_s, 3);
+    ptable.cell(row.parallel_s, 3);
+    ptable.cell(row.reference_s / row.serial_s, 2);
+    ptable.cell(row.serial_s / row.parallel_s, 2);
+    ptable.cell(static_cast<double>(row.flops) / row.parallel_s / 1e9, 2);
+    ptable.cell(static_cast<double>(row.arena_peak) / 1e6, 3);
+    ptable.cell(static_cast<double>(row.predicted_peak) / 1e6, 3);
+    rows.push_back(row);
+  }
+  ptable.print(std::cout);
+  std::cout << "\narena peaks " << (arena_matches ? "match" : "DIVERGE FROM")
+            << " the predictions on every problem (serial ==, parallel <=)\n";
+
+  // ---- BENCH_numeric.json --------------------------------------------------
+  std::ofstream json(opt.json_path);
+  json << "{\n"
+       << "  \"bench\": \"bench_numeric\",\n"
+       << "  \"smoke\": " << (opt.smoke ? "true" : "false") << ",\n"
+       << "  \"scale\": " << opt.scale << ",\n"
+       << "  \"threads\": " << threads << ",\n"
+       << "  \"kernel_sweep_speedup\": " << kernel_speedup << ",\n"
+       << "  \"kernel_sweep\": [\n";
+  for (std::size_t i = 0; i < kernel_rows.size(); ++i) {
+    const KernelRow& r = kernel_rows[i];
+    json << "    {\"nfront\": " << r.nfront << ", \"npiv\": " << r.npiv
+         << ", \"scalar_s\": " << r.ref_s
+         << ", \"blocked_s\": " << r.blocked_s
+         << ", \"blocked_gflops\": " << r.flops / r.blocked_s / 1e9 << "}"
+         << (i + 1 < kernel_rows.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"problems\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ProblemRow& r = rows[i];
+    json << "    {\"name\": \"" << r.name << "\""
+         << ", \"symmetric\": " << (r.symmetric ? "true" : "false")
+         << ", \"flops\": " << r.flops
+         << ", \"reference_s\": " << r.reference_s
+         << ", \"serial_s\": " << r.serial_s
+         << ", \"parallel_s\": " << r.parallel_s
+         << ", \"serial_speedup\": " << r.reference_s / r.serial_s
+         << ", \"parallel_speedup\": " << r.serial_s / r.parallel_s
+         << ", \"arena_peak_doubles\": " << r.arena_peak
+         << ", \"predicted_arena_doubles\": " << r.predicted_peak
+         << ", \"parallel_arena_peak_doubles\": " << r.parallel_arena_peak
+         << ", \"model_peak_entries\": " << r.model_peak
+         << ", \"subtrees\": " << r.subtrees << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"worst_parallel_speedup\": " << worst_parallel_speedup << ",\n"
+       << "  \"arena_peaks_match\": " << (arena_matches ? "true" : "false")
+       << "\n}\n";
+  if (!json) {
+    std::cerr << "bench_numeric: failed to write " << opt.json_path << '\n';
+    return 1;
+  }
+  std::cout << "\nwrote " << opt.json_path << '\n';
+  if (!arena_matches) {
+    std::cerr << "bench_numeric: arena peak diverged from prediction\n";
+    return 1;
+  }
+  return 0;
+}

@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
   const std::vector<BudgetedCase> cases =
       collect_budgeted_cases(opt.scale, opt.nprocs);
   struct LegResult {
-    PlannerResult plan;
+    std::shared_ptr<const PlannerResult> plan;
     ExperimentOutcome sync;
     ExperimentOutcome wb;
   };
@@ -44,10 +44,10 @@ int main(int argc, char** argv) {
   parallel_for(cases.size(), [&](std::size_t i) {
     const BudgetedCase& c = cases[i];
     LegResult& r = results[i];
-    r.plan = plan_minimum_budget(
-        c.prepared->analysis->tree, c.prepared->analysis->memory,
-        c.prepared->mapping, c.prepared->analysis->traversal,
-        sched_config(c.setup));
+    // Memoized in the prepared cache: a repeated leg (same matrix,
+    // mapping, dynamic strategy and disk model) reuses the bisection
+    // instead of re-running it.
+    r.plan = PreparedCache::global().planner(c.problem.matrix, c.setup);
     // The overlap experiment: the same 1.2x budget, blocking writes vs
     // the asynchronous write-behind buffer.
     ExperimentSetup sync = c.ooc_setup;
@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
 
   for (std::size_t i = 0; i < cases.size(); ++i) {
     const BudgetedCase& c = cases[i];
-    const PlannerResult& plan = results[i].plan;
+    const PlannerResult& plan = *results[i].plan;
     table.row();
     table.cell(c.problem.name);
     table.cell(c.memory_strategy ? "memory" : "workload");
@@ -104,14 +104,13 @@ int main(int argc, char** argv) {
   // from the in-core peak to the minimum the planner found.
   const Problem p = make_problem(ProblemId::kTwotone, opt.scale);
   const ExperimentSetup setup = ooc_strategy_setup(p, opt.nprocs, true);
-  // Pure cache hit: this is the TWOTONE memory leg's exact preparation.
-  const std::shared_ptr<const PreparedExperiment> prepared =
-      PreparedCache::global().prepared(p.matrix, setup);
+  // The preparation under this planner call is a pure cache hit (the
+  // TWOTONE memory leg's exact mapping); the planner entry itself is new
+  // because the curve request is part of the key.
   PlannerOptions options;
   options.curve_points = 8;
-  const PlannerResult plan = plan_minimum_budget(
-      prepared->analysis->tree, prepared->analysis->memory, prepared->mapping,
-      prepared->analysis->traversal, sched_config(setup), options);
+  const PlannerResult plan =
+      *PreparedCache::global().planner(p.matrix, setup, options);
   std::cout << "\nBudget sweep, " << p.name << ", memory strategy (budgets "
             << "from min feasible up to the in-core peak):\n\n";
   TextTable curve({"budget (M)", "% of peak", "factor I/O (M)", "spill (M)",

@@ -29,10 +29,10 @@ int main(int argc, char** argv) {
                    "min budget (M)"});
   for_each_budgeted_case(scale, nprocs, [&](const BudgetedCase& c) {
     const ExperimentOutcome out = run_prepared(*c.prepared, c.ooc_setup);
-    const PlannerResult plan = plan_minimum_budget(
-        c.prepared->analysis->tree, c.prepared->analysis->memory,
-        c.prepared->mapping, c.prepared->analysis->traversal,
-        sched_config(c.setup));
+    // Memoized: repeated legs for the same static+dynamic configuration
+    // reuse the cached bisection.
+    const PlannerResult plan =
+        *PreparedCache::global().planner(c.problem.matrix, c.setup);
 
     table.row();
     table.cell(c.problem.name);

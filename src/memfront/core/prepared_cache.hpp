@@ -18,17 +18,29 @@
 // knob recomputes only the mapping; changing the matrix, the ordering, a
 // split parameter or the seed recomputes from scratch.
 //
+// A third level memoizes minimum-budget planner results (ROADMAP
+// follow-up): PlannerResult keyed on (analysis key, nprocs /
+// MappingOptions, the SchedConfig-relevant dynamic fields, and
+// PlannerOptions) — bench_ooc and the examples stop re-bisecting
+// budget curves for setups they have already planned. The OOC budget
+// and enable flag are *excluded* from the key: the planner overrides
+// both on every probe.
+//
 // Thread-safe: concurrent lookups of the same key block on one in-flight
 // computation (std::call_once per entry) instead of duplicating it, so
 // sweeps running legs on the support/parallel_for pool get one analysis
 // per unique key no matter the schedule. Entries are immutable once
-// published (shared_ptr<const T>), never evicted; clear() drops them all.
+// published (shared_ptr<const T>); clear() drops them all. A configurable
+// byte bound on retained Analysis objects (set_capacity_bytes) evicts
+// least-recently-used analyses — and the mapping entries built on them —
+// once the bound is exceeded; outstanding shared_ptrs stay valid.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 
 #include "memfront/core/experiment.hpp"
+#include "memfront/ooc/planner.hpp"
 
 namespace memfront {
 
@@ -43,7 +55,12 @@ struct PreparedCacheStats {
   std::uint64_t analysis_misses = 0;
   std::uint64_t mapping_hits = 0;
   std::uint64_t mapping_misses = 0;
+  std::uint64_t planner_hits = 0;
+  std::uint64_t planner_misses = 0;
   std::uint64_t recomputes = 0;
+  /// Analysis entries dropped by the LRU byte bound.
+  std::uint64_t evictions = 0;
+  double planner_seconds = 0.0;  // wall of planner-level misses
   double ordering_seconds = 0.0;
   double symbolic_seconds = 0.0;
   double splitting_seconds = 0.0;
@@ -51,9 +68,11 @@ struct PreparedCacheStats {
   double mapping_seconds = 0.0;
   double analysis_seconds = 0.0;  // total analyze() wall of all misses
 
-  std::uint64_t hits() const noexcept { return analysis_hits + mapping_hits; }
+  std::uint64_t hits() const noexcept {
+    return analysis_hits + mapping_hits + planner_hits;
+  }
   std::uint64_t misses() const noexcept {
-    return analysis_misses + mapping_misses;
+    return analysis_misses + mapping_misses + planner_misses;
   }
 };
 
@@ -74,13 +93,33 @@ class PreparedCache {
   std::shared_ptr<const PreparedExperiment> prepared(
       const CscMatrix& matrix, const ExperimentSetup& setup);
 
+  /// Planner-level lookup: plan_minimum_budget for the setup's tree /
+  /// mapping / dynamic strategy, memoized on (analysis key, mapping
+  /// options, SchedConfig-relevant fields, PlannerOptions). The budget /
+  /// enabled fields of setup.ooc do not split the key (the planner
+  /// controls them); every other ooc knob, the machine parameters and
+  /// the dynamic strategies do.
+  std::shared_ptr<const PlannerResult> planner(
+      const CscMatrix& matrix, const ExperimentSetup& setup,
+      const PlannerOptions& options = {});
+
   PreparedCacheStats stats() const;
   void reset_stats();
+
+  /// LRU byte bound on retained Analysis objects (0 = unbounded, the
+  /// default). Shrinking below the current retained size evicts
+  /// immediately. Mapping entries built on an evicted analysis are
+  /// dropped with it; planner results (plain numbers) are kept.
+  void set_capacity_bytes(std::size_t bytes);
+  std::size_t capacity_bytes() const;
+  /// Bytes of Analysis currently retained by the analysis level.
+  std::size_t retained_bytes() const;
 
   /// Drops every entry (outstanding shared_ptrs stay valid).
   void clear();
   std::size_t analysis_entries() const;
   std::size_t mapping_entries() const;
+  std::size_t planner_entries() const;
 
   /// The process-wide cache the bench/example sweeps share.
   static PreparedCache& global();

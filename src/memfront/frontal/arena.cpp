@@ -1,0 +1,87 @@
+#include "memfront/frontal/arena.hpp"
+
+#include <algorithm>
+
+#include "memfront/support/error.hpp"
+
+namespace memfront {
+namespace {
+
+/// Slabs are at least this big (doubles), so tiny CBs never fragment.
+constexpr std::size_t kMinSlabDoubles = std::size_t{1} << 16;  // 512 KiB
+
+}  // namespace
+
+FrontalArena::FrontalArena(std::size_t reserve_doubles) {
+  if (reserve_doubles > 0) {
+    slabs_.push_back({std::vector<double>(reserve_doubles), 0});
+    ++growths_;
+  }
+}
+
+double* FrontalArena::push(std::size_t count) {
+  if (count == 0) return nullptr;
+  if (slabs_.empty() ||
+      slabs_[top_].data.size() - slabs_[top_].used < count) {
+    std::size_t next = slabs_.empty() ? 0 : top_ + 1;
+    // A slab opened by an earlier deep spike may sit empty above us —
+    // reuse it when it fits, otherwise open a fresh one in its place.
+    if (next < slabs_.size() && slabs_[next].used == 0 &&
+        slabs_[next].data.size() >= count) {
+      top_ = next;
+    } else {
+      slabs_.insert(
+          slabs_.begin() + static_cast<std::ptrdiff_t>(next),
+          {std::vector<double>(std::max(count, kMinSlabDoubles)), 0});
+      ++growths_;
+      top_ = next;
+    }
+  }
+  Slab& slab = slabs_[top_];
+  double* p = slab.data.data() + slab.used;
+  slab.used += count;
+  stack_.push_back({top_, count});
+  in_use_ += count;
+  peak_ = std::max(peak_, in_use_);
+  return p;
+}
+
+void FrontalArena::pop(const double* p, std::size_t count) {
+  if (count == 0) return;
+  check(!stack_.empty(), "FrontalArena::pop: stack is empty");
+  const Allocation top = stack_.back();
+  Slab& slab = slabs_[top.slab];
+  check(top.count == count &&
+            slab.data.data() + slab.used - count == p,
+        "FrontalArena::pop: not the top allocation (LIFO discipline)");
+  slab.used -= count;
+  in_use_ -= count;
+  stack_.pop_back();
+  if (slab.used == 0 && top.slab == top_ && top_ > 0) --top_;
+}
+
+std::size_t FrontalArena::capacity() const noexcept {
+  std::size_t total = 0;
+  for (const Slab& slab : slabs_) total += slab.data.size();
+  return total;
+}
+
+count_t predict_arena_peak(const AssemblyTree& tree,
+                           std::span<const index_t> traversal) {
+  count_t cb_live = 0;
+  count_t peak = 0;
+  for (index_t i : traversal) {
+    const count_t fsq = square(tree.nfront(i));
+    // Assembly: the front coexists with every child CB still stacked.
+    peak = std::max(peak, cb_live + fsq);
+    for (index_t child : tree.children(i)) cb_live -= square(tree.ncb(child));
+    // Extraction: the node's CB is pushed while the front is still live
+    // (the copy out of the Schur block).
+    peak = std::max(peak, cb_live + square(tree.ncb(i)) + fsq);
+    cb_live += square(tree.ncb(i));
+  }
+  check(cb_live == 0, "predict_arena_peak: traversal left CBs stacked");
+  return peak;
+}
+
+}  // namespace memfront

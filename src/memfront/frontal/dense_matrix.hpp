@@ -40,6 +40,7 @@ class DenseMatrix {
     for (index_t c = 0; c < cols_; ++c) std::swap((*this)(r1, c), (*this)(r2, c));
   }
 
+  std::span<double> data() { return data_; }
   std::span<const double> data() const { return data_; }
 
  private:

@@ -6,6 +6,20 @@
 
 namespace memfront {
 
+void extend_add_mapped(FrontView parent, const double* child_cb, index_t ncb,
+                       index_t child_ld, std::span<const index_t> positions) {
+  check(static_cast<index_t>(positions.size()) == ncb,
+        "extend_add_mapped: position map size mismatch");
+  for (index_t cc = 0; cc < ncb; ++cc) {
+    const index_t pc = positions[static_cast<std::size_t>(cc)];
+    double* pcol = parent.col(pc);
+    const double* ccol =
+        child_cb + static_cast<std::size_t>(cc) * static_cast<std::size_t>(child_ld);
+    for (index_t cr = 0; cr < ncb; ++cr)
+      pcol[positions[static_cast<std::size_t>(cr)]] += ccol[cr];
+  }
+}
+
 void extend_add(DenseMatrix& parent, std::span<const index_t> parent_rows,
                 const DenseMatrix& child_cb,
                 std::span<const index_t> child_rows) {
@@ -23,11 +37,10 @@ void extend_add(DenseMatrix& parent, std::span<const index_t> parent_rows,
           "extend_add: child row missing from parent front");
     position[c] = static_cast<index_t>(p);
   }
-  for (index_t cc = 0; cc < child_cb.cols(); ++cc) {
-    const index_t pc = position[static_cast<std::size_t>(cc)];
-    for (index_t cr = 0; cr < child_cb.rows(); ++cr)
-      parent(position[static_cast<std::size_t>(cr)], pc) += child_cb(cr, cc);
-  }
+  extend_add_mapped(FrontView{parent.data().data(), parent.rows(),
+                              parent.rows()},
+                    child_cb.data().data(), child_cb.rows(), child_cb.rows(),
+                    position);
 }
 
 }  // namespace memfront

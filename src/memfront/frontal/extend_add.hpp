@@ -6,12 +6,24 @@
 #include <span>
 
 #include "memfront/frontal/dense_matrix.hpp"
+#include "memfront/frontal/kernels.hpp"
 
 namespace memfront {
+
+/// Scatter with a precomputed local map: positions[c] is the parent-local
+/// row of the child's c-th contribution index. This is the hot path — the
+/// numeric factorization keeps a global-to-local map of the current front
+/// and derives `positions` in O(ncb), so no per-entry (or even per-merge)
+/// index search happens during assembly. The child block is ncb x ncb
+/// column-major with leading dimension child_ld.
+void extend_add_mapped(FrontView parent, const double* child_cb, index_t ncb,
+                       index_t child_ld, std::span<const index_t> positions);
 
 /// parent_rows / child_rows are the sorted global index lists of the two
 /// fronts; every child row must appear among the parent's rows. The child
 /// matrix is its (ncb x ncb) contribution block, child_rows its index set.
+/// Convenience wrapper: derives the positions by a merge pass, then
+/// scatters via extend_add_mapped.
 void extend_add(DenseMatrix& parent, std::span<const index_t> parent_rows,
                 const DenseMatrix& child_cb,
                 std::span<const index_t> child_rows);

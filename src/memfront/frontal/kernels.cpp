@@ -1,0 +1,313 @@
+#include "memfront/frontal/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "memfront/support/error.hpp"
+
+namespace memfront {
+namespace {
+
+// Tile sizes of the trailing update. The panel width bounds the k extent
+// of every GEMM call; the row/column tiles keep the working set of one
+// tile pass (A block + B block) inside L2 without packing.
+constexpr index_t kPanelWidth = 48;
+constexpr index_t kRowTile = 128;
+constexpr index_t kColTile = 240;
+constexpr index_t kMicroRows = 4;
+constexpr index_t kMicroCols = 4;
+
+inline std::size_t stride(index_t i, index_t ld) {
+  return static_cast<std::size_t>(i) * static_cast<std::size_t>(ld);
+}
+
+/// 4x4 register-blocked microkernel: sixteen independent accumulator
+/// chains, each subtracting its products in increasing k — the same
+/// per-element operation sequence as the scalar rank-1 loop.
+inline void micro_4x4(index_t kb, const double* a, index_t lda,
+                      const double* b, index_t ldb, double* c, index_t ldc) {
+  const double* b0 = b;
+  const double* b1 = b + stride(1, ldb);
+  const double* b2 = b + stride(2, ldb);
+  const double* b3 = b + stride(3, ldb);
+  double* c0 = c;
+  double* c1 = c + stride(1, ldc);
+  double* c2 = c + stride(2, ldc);
+  double* c3 = c + stride(3, ldc);
+  double c00 = c0[0], c10 = c0[1], c20 = c0[2], c30 = c0[3];
+  double c01 = c1[0], c11 = c1[1], c21 = c1[2], c31 = c1[3];
+  double c02 = c2[0], c12 = c2[1], c22 = c2[2], c32 = c2[3];
+  double c03 = c3[0], c13 = c3[1], c23 = c3[2], c33 = c3[3];
+  const double* ak = a;
+  for (index_t k = 0; k < kb; ++k, ak += lda) {
+    const double a0 = ak[0], a1 = ak[1], a2 = ak[2], a3 = ak[3];
+    const double w0 = b0[k], w1 = b1[k], w2 = b2[k], w3 = b3[k];
+    c00 -= a0 * w0;
+    c10 -= a1 * w0;
+    c20 -= a2 * w0;
+    c30 -= a3 * w0;
+    c01 -= a0 * w1;
+    c11 -= a1 * w1;
+    c21 -= a2 * w1;
+    c31 -= a3 * w1;
+    c02 -= a0 * w2;
+    c12 -= a1 * w2;
+    c22 -= a2 * w2;
+    c32 -= a3 * w2;
+    c03 -= a0 * w3;
+    c13 -= a1 * w3;
+    c23 -= a2 * w3;
+    c33 -= a3 * w3;
+  }
+  c0[0] = c00, c0[1] = c10, c0[2] = c20, c0[3] = c30;
+  c1[0] = c01, c1[1] = c11, c1[2] = c21, c1[3] = c31;
+  c2[0] = c02, c2[1] = c12, c2[2] = c22, c2[3] = c32;
+  c3[0] = c03, c3[1] = c13, c3[2] = c23, c3[3] = c33;
+}
+
+/// Partial-tile fallback (mr <= 4, nr <= 4); same accumulator discipline.
+inline void micro_edge(index_t mr, index_t nr, index_t kb, const double* a,
+                       index_t lda, const double* b, index_t ldb, double* c,
+                       index_t ldc) {
+  double acc[kMicroRows][kMicroCols];
+  for (index_t j = 0; j < nr; ++j)
+    for (index_t i = 0; i < mr; ++i) acc[i][j] = c[stride(j, ldc) + i];
+  const double* ak = a;
+  for (index_t k = 0; k < kb; ++k, ak += lda)
+    for (index_t j = 0; j < nr; ++j) {
+      const double w = b[stride(j, ldb) + k];
+      for (index_t i = 0; i < mr; ++i) acc[i][j] -= ak[i] * w;
+    }
+  for (index_t j = 0; j < nr; ++j)
+    for (index_t i = 0; i < mr; ++i) c[stride(j, ldc) + i] = acc[i][j];
+}
+
+/// Static pivoting: perturb a numerically tiny pivot instead of delaying
+/// it. std::signbit keeps the sign of -0.0 (a plain `d >= 0` test would
+/// flip it to +kPivotFloor).
+inline double perturbed_pivot(double d) {
+  return std::signbit(d) ? -kPivotFloor : kPivotFloor;
+}
+
+}  // namespace
+
+void schur_update(index_t m, index_t n, index_t kb, const double* a,
+                  index_t lda, const double* b, index_t ldb, double* c,
+                  index_t ldc) {
+  if (m <= 0 || n <= 0 || kb <= 0) return;
+  for (index_t jc = 0; jc < n; jc += kColTile) {
+    const index_t nc = std::min(kColTile, n - jc);
+    for (index_t ic = 0; ic < m; ic += kRowTile) {
+      const index_t mc = std::min(kRowTile, m - ic);
+      for (index_t j0 = 0; j0 < nc; j0 += kMicroCols) {
+        const index_t nr = std::min(kMicroCols, nc - j0);
+        const double* bt = b + stride(jc + j0, ldb);
+        for (index_t i0 = 0; i0 < mc; i0 += kMicroRows) {
+          const index_t mr = std::min(kMicroRows, mc - i0);
+          const double* at = a + (ic + i0);
+          double* ct = c + stride(jc + j0, ldc) + (ic + i0);
+          if (mr == kMicroRows && nr == kMicroCols)
+            micro_4x4(kb, at, lda, bt, ldb, ct, ldc);
+          else
+            micro_edge(mr, nr, kb, at, lda, bt, ldb, ct, ldc);
+        }
+      }
+    }
+  }
+}
+
+PartialFactorResult partial_lu_blocked(FrontView f, index_t npiv) {
+  const index_t n = f.n;
+  check(npiv >= 0 && npiv <= n, "partial_lu: bad npiv");
+  check(f.ld >= n, "partial_lu: bad leading dimension");
+  PartialFactorResult result;
+  result.pivot_rows.reserve(static_cast<std::size_t>(npiv));
+
+  for (index_t k0 = 0; k0 < npiv; k0 += kPanelWidth) {
+    const index_t k1 = std::min<index_t>(k0 + kPanelWidth, npiv);
+    // Panel factorization: scalar right-looking on columns [k0,k1), full
+    // rows, interchanges applied panel-locally. Column k is fully updated
+    // (earlier panels via their trailing updates, this panel right here)
+    // when its pivot search runs, so the search sees the scalar values.
+    for (index_t k = k0; k < k1; ++k) {
+      index_t piv = k;
+      double best = std::abs(f.at(k, k));
+      for (index_t r = k + 1; r < npiv; ++r) {
+        const double v = std::abs(f.at(r, k));
+        if (v > best) {
+          best = v;
+          piv = r;
+        }
+      }
+      if (piv != k)
+        for (index_t c = k0; c < k1; ++c) std::swap(f.at(k, c), f.at(piv, c));
+      result.pivot_rows.push_back(piv);
+      double d = f.at(k, k);
+      if (std::abs(d) < kPivotFloor) {
+        d = perturbed_pivot(d);
+        f.at(k, k) = d;
+        ++result.perturbations;
+      }
+      double* lcol = f.col(k);
+      for (index_t r = k + 1; r < n; ++r) lcol[r] /= d;
+      for (index_t c = k + 1; c < k1; ++c) {
+        const double ukc = f.at(k, c);
+        double* col = f.col(c);
+        for (index_t r = k + 1; r < n; ++r) col[r] -= lcol[r] * ukc;
+      }
+    }
+    // Bring the rest of the front in line with the interchanges, oldest
+    // pivot first (row contents just move; values are untouched).
+    for (index_t k = k0; k < k1; ++k) {
+      const index_t piv = result.pivot_rows[static_cast<std::size_t>(k)];
+      if (piv == k) continue;
+      for (index_t c = 0; c < k0; ++c) std::swap(f.at(k, c), f.at(piv, c));
+      for (index_t c = k1; c < n; ++c) std::swap(f.at(k, c), f.at(piv, c));
+    }
+    if (k1 == n) continue;
+    // U12 rows of this panel: unit-lower triangular solve. Each element
+    // (r,c) subtracts its products for k = k0..r-1 in order — the scalar
+    // loop's exact sequence for those rows.
+    for (index_t c = k1; c < n; ++c) {
+      double* col = f.col(c);
+      for (index_t r = k0 + 1; r < k1; ++r) {
+        double s = col[r];
+        for (index_t k = k0; k < r; ++k) s -= f.at(r, k) * col[k];
+        col[r] = s;
+      }
+    }
+    // Trailing Schur update: rows/cols >= k1 against this panel's L and U.
+    schur_update(n - k1, n - k1, k1 - k0, &f.at(k1, k0), f.ld, &f.at(k0, k1),
+                 f.ld, &f.at(k1, k1), f.ld);
+  }
+  return result;
+}
+
+PartialFactorResult partial_ldlt_blocked(FrontView f, index_t npiv) {
+  const index_t n = f.n;
+  check(npiv >= 0 && npiv <= n, "partial_ldlt: bad npiv");
+  check(f.ld >= n, "partial_ldlt: bad leading dimension");
+  PartialFactorResult result;
+  result.pivot_rows.reserve(static_cast<std::size_t>(npiv));
+
+  for (index_t k0 = 0; k0 < npiv; k0 += kPanelWidth) {
+    const index_t k1 = std::min<index_t>(k0 + kPanelWidth, npiv);
+    for (index_t k = k0; k < k1; ++k) {
+      result.pivot_rows.push_back(k);  // no pivoting
+      double d = f.at(k, k);
+      if (std::abs(d) < kPivotFloor) {
+        d = perturbed_pivot(d);
+        f.at(k, k) = d;
+        ++result.perturbations;
+      }
+      double* lcol = f.col(k);
+      for (index_t r = k + 1; r < n; ++r) lcol[r] /= d;
+      for (index_t c = k + 1; c < k1; ++c) {
+        const double lck = f.at(c, k);
+        const double w = lck * d;
+        double* col = f.col(c);
+        for (index_t r = k + 1; r < n; ++r) col[r] -= lcol[r] * w;
+      }
+      // Panel part of the mirrored pivot row (Lᵀ view).
+      for (index_t r = k + 1; r < k1; ++r) f.at(k, r) = f.at(r, k) * d;
+    }
+    if (k1 == n) continue;
+    // Trailing part of the mirrored pivot rows. These are exactly the
+    // scalar loop's `w = l(c,k) * d` values, written where the scalar
+    // mirror would land them — so the block below IS the GEMM's B operand
+    // and the trailing columns' panel rows are final without any update
+    // (the scalar loop's updates to those rows are dead stores: the
+    // mirror at step r overwrites row r before anything reads it).
+    for (index_t k = k0; k < k1; ++k) {
+      const double d = f.at(k, k);
+      const double* lcol = f.col(k);
+      for (index_t c = k1; c < n; ++c) f.at(k, c) = lcol[c] * d;
+    }
+    schur_update(n - k1, n - k1, k1 - k0, &f.at(k1, k0), f.ld, &f.at(k0, k1),
+                 f.ld, &f.at(k1, k1), f.ld);
+  }
+  return result;
+}
+
+// ---- pre-blocking scalar kernels (bit-exactness baseline) ------------------
+//
+// The column-at-a-time kernels this layer replaced, with two shared
+// changes: the static-pivot perturbation uses std::signbit (the old
+// `d >= 0` test mapped -0.0 to +kPivotFloor), and the old `== 0.0`
+// column-skip shortcuts are dropped so the arithmetic matches the
+// blocked kernels *unconditionally* — with the skips, a zero U entry
+// against a non-finite or -0.0 operand (e.g. an overflowed L column
+// after a perturbed pivot) would leave different bits than the blocked
+// path's explicit `c -= a * 0.0`. On finite inputs without signed
+// zeros the skip is unobservable, so these remain the scalar baseline.
+
+PartialFactorResult partial_lu_reference(FrontView f, index_t npiv) {
+  const index_t n = f.n;
+  check(npiv >= 0 && npiv <= n, "partial_lu: bad npiv");
+  PartialFactorResult result;
+  result.pivot_rows.reserve(static_cast<std::size_t>(npiv));
+
+  for (index_t k = 0; k < npiv; ++k) {
+    // Pivot search restricted to the fully-summed rows [k, npiv).
+    index_t piv = k;
+    double best = std::abs(f.at(k, k));
+    for (index_t r = k + 1; r < npiv; ++r) {
+      const double v = std::abs(f.at(r, k));
+      if (v > best) {
+        best = v;
+        piv = r;
+      }
+    }
+    if (piv != k)
+      for (index_t c = 0; c < n; ++c) std::swap(f.at(k, c), f.at(piv, c));
+    result.pivot_rows.push_back(piv);
+    double d = f.at(k, k);
+    if (std::abs(d) < kPivotFloor) {
+      d = perturbed_pivot(d);
+      f.at(k, k) = d;
+      ++result.perturbations;
+    }
+    // Scale the column (L part), then rank-1 update the trailing block.
+    double* lcol = f.col(k);
+    for (index_t r = k + 1; r < n; ++r) lcol[r] /= d;
+    for (index_t c = k + 1; c < n; ++c) {
+      const double ukc = f.at(k, c);
+      double* col = f.col(c);
+      for (index_t r = k + 1; r < n; ++r) col[r] -= lcol[r] * ukc;
+    }
+  }
+  return result;
+}
+
+PartialFactorResult partial_ldlt_reference(FrontView f, index_t npiv) {
+  const index_t n = f.n;
+  check(npiv >= 0 && npiv <= n, "partial_ldlt: bad npiv");
+  PartialFactorResult result;
+  result.pivot_rows.reserve(static_cast<std::size_t>(npiv));
+
+  for (index_t k = 0; k < npiv; ++k) {
+    result.pivot_rows.push_back(k);  // no pivoting
+    double d = f.at(k, k);
+    if (std::abs(d) < kPivotFloor) {
+      d = perturbed_pivot(d);
+      f.at(k, k) = d;
+      ++result.perturbations;
+    }
+    double* lcol = f.col(k);
+    for (index_t r = k + 1; r < n; ++r) lcol[r] /= d;
+    // Symmetric rank-1 update of the trailing block, kept full so the
+    // storage stays numerically symmetric.
+    for (index_t c = k + 1; c < n; ++c) {
+      const double lck = f.at(c, k);
+      const double w = lck * d;
+      double* col = f.col(c);
+      for (index_t r = k + 1; r < n; ++r) col[r] -= lcol[r] * w;
+    }
+    // Mirror the scaled column into the pivot row (Lᵀ view) for readers
+    // that index the upper triangle.
+    for (index_t r = k + 1; r < n; ++r) f.at(k, r) = f.at(r, k) * d;
+  }
+  return result;
+}
+
+}  // namespace memfront

@@ -1,0 +1,69 @@
+// Blocked frontal kernels: panel factorization + cache-tiled trailing
+// updates over raw column-major storage.
+//
+// The blocked kernels are *bit-identical* to the scalar column-at-a-time
+// reference kernels (kept below for tests and benchmarks). The invariant
+// that makes this true: every trailing-block element receives its rank-1
+// updates as individual subtractions `c -= a * b`, in increasing pivot
+// order — exactly the operation sequence the scalar loop applies to that
+// element — and the operands of each product are the same finished panel
+// entries. Register blocking reorders work *across* elements (which FP
+// arithmetic cannot observe), never within one element's update chain, and
+// no partial products are pre-accumulated. Pivot search is untouched, so
+// pivot sequences are identical too.
+#pragma once
+
+#include <vector>
+
+#include "memfront/support/types.hpp"
+
+namespace memfront {
+
+/// Smallest pivot magnitude accepted before static perturbation kicks in.
+inline constexpr double kPivotFloor = 1e-12;
+
+/// Column-major view of a square frontal matrix in caller-owned storage
+/// (arena slot, scratch buffer, or a DenseMatrix's vector).
+struct FrontView {
+  double* data = nullptr;
+  index_t n = 0;   // order of the front
+  index_t ld = 0;  // leading dimension (>= n)
+
+  double& at(index_t r, index_t c) const {
+    return data[static_cast<std::size_t>(c) * static_cast<std::size_t>(ld) +
+                static_cast<std::size_t>(r)];
+  }
+  double* col(index_t c) const {
+    return data + static_cast<std::size_t>(c) * static_cast<std::size_t>(ld);
+  }
+};
+
+struct PartialFactorResult {
+  /// Local pivot row chosen at each elimination step k (a row in [k,npiv)).
+  std::vector<index_t> pivot_rows;
+  /// Number of pivots that needed a static perturbation.
+  index_t perturbations = 0;
+};
+
+/// C(0:m,0:n) -= A(0:m,0:kb) * B(0:kb,0:n), all column-major with leading
+/// dimensions lda/ldb/ldc. Cache-tiled with a register-blocked microkernel;
+/// per-element update order is increasing k (see header comment).
+void schur_update(index_t m, index_t n, index_t kb, const double* a,
+                  index_t lda, const double* b, index_t ldb, double* c,
+                  index_t ldc);
+
+/// Blocked right-looking partial LU with row pivoting among the
+/// fully-summed rows. Semantics (and bits) of partial_lu_reference.
+PartialFactorResult partial_lu_blocked(FrontView front, index_t npiv);
+
+/// Blocked partial LDLt (no pivoting, full-square storage kept numerically
+/// symmetric). Semantics (and bits) of partial_ldlt_reference.
+PartialFactorResult partial_ldlt_blocked(FrontView front, index_t npiv);
+
+/// The pre-blocking scalar kernels, verbatim: the bit-exactness baseline
+/// of tests/numeric_kernels_test.cpp and the "before" side of
+/// bench_numeric's kernel sweep.
+PartialFactorResult partial_lu_reference(FrontView front, index_t npiv);
+PartialFactorResult partial_ldlt_reference(FrontView front, index_t npiv);
+
+}  // namespace memfront

@@ -1,87 +1,19 @@
 #include "memfront/frontal/partial_factor.hpp"
 
-#include <cmath>
-
 #include "memfront/support/error.hpp"
 
 namespace memfront {
-namespace {
-
-constexpr double kPivotFloor = 1e-12;
-
-}  // namespace
 
 PartialFactorResult partial_lu(DenseMatrix& front, index_t npiv) {
-  const index_t n = front.rows();
-  check(front.cols() == n, "partial_lu: front must be square");
-  check(npiv >= 0 && npiv <= n, "partial_lu: bad npiv");
-  PartialFactorResult result;
-  result.pivot_rows.reserve(static_cast<std::size_t>(npiv));
-
-  for (index_t k = 0; k < npiv; ++k) {
-    // Pivot search restricted to the fully-summed rows [k, npiv).
-    index_t piv = k;
-    double best = std::abs(front(k, k));
-    for (index_t r = k + 1; r < npiv; ++r) {
-      const double v = std::abs(front(r, k));
-      if (v > best) {
-        best = v;
-        piv = r;
-      }
-    }
-    front.swap_rows(k, piv);
-    result.pivot_rows.push_back(piv);
-    double d = front(k, k);
-    if (std::abs(d) < kPivotFloor) {
-      // Static pivoting: perturb instead of delaying the pivot.
-      d = (d >= 0.0 ? 1.0 : -1.0) * kPivotFloor;
-      front(k, k) = d;
-      ++result.perturbations;
-    }
-    // Scale the column (L part), then rank-1 update the trailing block.
-    for (index_t r = k + 1; r < n; ++r) front(r, k) /= d;
-    for (index_t c = k + 1; c < n; ++c) {
-      const double ukc = front(k, c);
-      if (ukc == 0.0) continue;
-      auto col = front.column(c);
-      auto lcol = front.column(k);
-      for (index_t r = k + 1; r < n; ++r) col[r] -= lcol[r] * ukc;
-    }
-  }
-  return result;
+  check(front.cols() == front.rows(), "partial_lu: front must be square");
+  return partial_lu_blocked(
+      FrontView{front.data().data(), front.rows(), front.rows()}, npiv);
 }
 
 PartialFactorResult partial_ldlt(DenseMatrix& front, index_t npiv) {
-  const index_t n = front.rows();
-  check(front.cols() == n, "partial_ldlt: front must be square");
-  check(npiv >= 0 && npiv <= n, "partial_ldlt: bad npiv");
-  PartialFactorResult result;
-  result.pivot_rows.reserve(static_cast<std::size_t>(npiv));
-
-  for (index_t k = 0; k < npiv; ++k) {
-    result.pivot_rows.push_back(k);  // no pivoting
-    double d = front(k, k);
-    if (std::abs(d) < kPivotFloor) {
-      d = (d >= 0.0 ? 1.0 : -1.0) * kPivotFloor;
-      front(k, k) = d;
-      ++result.perturbations;
-    }
-    for (index_t r = k + 1; r < n; ++r) front(r, k) /= d;
-    // Symmetric rank-1 update of the trailing block, kept full so the
-    // storage stays numerically symmetric.
-    for (index_t c = k + 1; c < n; ++c) {
-      const double lck = front(c, k);
-      if (lck == 0.0) continue;
-      const double w = lck * d;
-      auto col = front.column(c);
-      auto lcol = front.column(k);
-      for (index_t r = k + 1; r < n; ++r) col[r] -= lcol[r] * w;
-    }
-    // Mirror the scaled column into the pivot row (Lᵀ view) for readers
-    // that index the upper triangle.
-    for (index_t r = k + 1; r < n; ++r) front(k, r) = front(r, k) * d;
-  }
-  return result;
+  check(front.cols() == front.rows(), "partial_ldlt: front must be square");
+  return partial_ldlt_blocked(
+      FrontView{front.data().data(), front.rows(), front.rows()}, npiv);
 }
 
 }  // namespace memfront

@@ -6,20 +6,16 @@
 // (the multifrontal constraint); pivots that would be numerically tiny are
 // perturbed (static pivoting), which is safe for the diagonally-dominant
 // matrices our generators emit.
+//
+// These are the DenseMatrix-facing wrappers over the blocked kernels in
+// frontal/kernels.hpp (which also hosts PartialFactorResult and the
+// pre-blocking scalar reference kernels).
 #pragma once
 
-#include <vector>
-
 #include "memfront/frontal/dense_matrix.hpp"
+#include "memfront/frontal/kernels.hpp"
 
 namespace memfront {
-
-struct PartialFactorResult {
-  /// Local pivot row chosen at each elimination step k (a row in [k,npiv)).
-  std::vector<index_t> pivot_rows;
-  /// Number of pivots that needed a static perturbation.
-  index_t perturbations = 0;
-};
 
 /// In-place partial LU with row pivoting among the fully-summed rows.
 /// After return, the leading npiv columns hold L (unit diagonal) below the

@@ -22,6 +22,9 @@ struct DiskParams {
   double read_bandwidth = 2e8;   // entries / second, sequential read
   double seek_latency = 1e-3;    // seconds per operation (seek + syscall)
   bool shared = false;           // one channel for the whole node?
+
+  /// Field-wise equality (the planner memo keys on disk parameters).
+  friend bool operator==(const DiskParams&, const DiskParams&) = default;
 };
 
 /// Serial disk channels with issue-order queueing, in simulated time.

@@ -44,6 +44,10 @@ struct PlannerOptions {
   /// Extra sweep of the feasible range [min_budget, incore_peak] with this
   /// many evenly spaced budgets (0 = no curve).
   index_t curve_points = 0;
+
+  /// Field-wise equality (part of the planner memo key).
+  friend bool operator==(const PlannerOptions&,
+                         const PlannerOptions&) = default;
 };
 
 struct PlannerResult {

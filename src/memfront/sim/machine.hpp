@@ -18,6 +18,9 @@ struct MachineParams {
   /// Age of the remote state every processor sees (Section 4 "as
   /// up-to-date view as possible"). Defaults to one message latency.
   double info_delay = 2e-5;
+
+  /// Field-wise equality (the planner memo keys on machine parameters).
+  friend bool operator==(const MachineParams&, const MachineParams&) = default;
 };
 
 class Machine {

@@ -35,6 +35,27 @@ std::vector<index_t> traversal_order(const AssemblyTree& tree) {
 
 }  // namespace
 
+std::size_t Analysis::memory_bytes() const {
+  std::size_t bytes = sizeof(Analysis);
+  if (permuted) {
+    bytes += permuted->colptr().size() * sizeof(count_t);
+    bytes += permuted->rowind().size() * sizeof(index_t);
+    bytes += permuted->values().size() * sizeof(double);
+  }
+  const std::size_t nn = static_cast<std::size_t>(tree.num_nodes());
+  bytes += nn * (sizeof(AssemblyTree::Node) + sizeof(std::vector<index_t>));
+  for (index_t i = 0; i < tree.num_nodes(); ++i)
+    bytes += tree.children(i).size() * sizeof(index_t);
+  bytes += perm.size() * sizeof(index_t);
+  if (structure)
+    bytes += static_cast<std::size_t>(structure->total_entries()) *
+                 sizeof(index_t) +
+             (nn + 1) * sizeof(count_t);
+  bytes += memory.subtree_peak.size() * sizeof(count_t);
+  bytes += traversal.size() * sizeof(index_t);
+  return bytes;
+}
+
 Analysis analyze(const CscMatrix& a, const AnalysisOptions& options) {
   using Clock = std::chrono::steady_clock;
   const auto seconds = [](Clock::time_point from, Clock::time_point to) {

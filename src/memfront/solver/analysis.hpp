@@ -68,6 +68,11 @@ struct Analysis {
     double total_s = 0.0;
   };
   Timings timings;
+
+  /// Estimated resident size in bytes (permuted matrix, tree, structure,
+  /// memory analysis, traversal) — what the prepared cache's LRU bound
+  /// accounts for a retained analysis.
+  std::size_t memory_bytes() const;
 };
 
 Analysis analyze(const CscMatrix& a, const AnalysisOptions& options);

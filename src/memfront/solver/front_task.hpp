@@ -1,0 +1,67 @@
+// Shared per-node engine of the numeric factorization drivers.
+//
+// One call of process_front does everything a single assembly-tree node
+// needs — zero the front scratch, assemble the original entries, scatter
+// the children's contribution blocks through the precomputed local map,
+// run the (blocked or reference) partial factorization, record the pivot
+// row swaps, extract the factor panel, and copy the contribution block
+// out — against caller-owned storage. The sequential driver calls it down
+// the postorder with an arena CB stack; the parallel driver calls it from
+// subtree and upper-part tasks with per-worker workspaces.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "memfront/solver/numeric_factor.hpp"
+
+namespace memfront::numeric_detail {
+
+/// Immutable, shareable inputs of every node task.
+struct FrontContext {
+  const AssemblyTree* tree = nullptr;
+  const FrontalStructure* structure = nullptr;
+  const CscMatrix* a = nullptr;   // permuted matrix, with values
+  const CscMatrix* at = nullptr;  // its transpose (unsymmetric only)
+  bool symmetric = false;
+  FrontalKernel kernel = FrontalKernel::kBlocked;
+};
+
+/// Per-worker reusable buffers (never shared between threads).
+struct FrontWorkspace {
+  std::vector<double> front;      // scratch for the current front
+  std::vector<index_t> local;     // global row -> front-local row, kNone-init
+  std::vector<index_t> positions;  // child CB scatter map scratch
+
+  void init(index_t num_cols) {
+    local.assign(static_cast<std::size_t>(num_cols), kNone);
+  }
+  /// The front scratch for an order-n node, grown on demand and zeroed.
+  FrontView acquire_front(index_t n) {
+    const std::size_t need =
+        static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+    if (front.size() < need) front.resize(need);
+    std::fill(front.begin(), front.begin() + static_cast<std::ptrdiff_t>(need),
+              0.0);
+    return FrontView{front.data(), n, n};
+  }
+};
+
+/// Factors node i into `front` (from ws.acquire_front(nfront(i))).
+/// `child_cbs[c]` is child c's contribution block (order ncb(child),
+/// column-major, leading dimension = its order), in the tree's child
+/// order. Pivot row swaps are applied to `row_of` (node-local index
+/// range, so concurrent callers on distinct nodes never conflict).
+/// Returns the perturbation count. The caller then releases the children
+/// and extracts the CB from the still-live front (extract_cb) — that
+/// split is what lets the drivers keep the arena LIFO discipline.
+index_t process_front(const FrontContext& ctx, index_t i,
+                      std::span<const double* const> child_cbs,
+                      FrontWorkspace& ws, FrontView front, NodeFactor& out,
+                      std::vector<index_t>& row_of);
+
+/// Copies the Schur block of a factored front (order ncb = n - npiv) into
+/// `cb_out` (column-major, leading dimension ncb).
+void extract_cb(FrontView front, index_t npiv, double* cb_out);
+
+}  // namespace memfront::numeric_detail

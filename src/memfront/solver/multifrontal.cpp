@@ -8,8 +8,8 @@ MultifrontalSolver::MultifrontalSolver(const CscMatrix& a,
                                        AnalysisOptions options)
     : analysis_(analyze(a, options)) {}
 
-void MultifrontalSolver::factorize() {
-  factorization_ = numeric_factorize(analysis_);
+void MultifrontalSolver::factorize(const NumericOptions& options) {
+  factorization_ = numeric_factorize(analysis_, options);
   factorized_ = true;
 }
 

@@ -19,8 +19,9 @@ class MultifrontalSolver {
   /// Runs the analysis phase immediately.
   explicit MultifrontalSolver(const CscMatrix& a, AnalysisOptions options = {});
 
-  /// Numeric phase; must precede solve().
-  void factorize();
+  /// Numeric phase; must precede solve(). Options select the frontal
+  /// kernels (blocked by default; reference for A/B comparisons).
+  void factorize(const NumericOptions& options = {});
 
   /// Solves A x = b (original ordering). Requires factorize().
   std::vector<double> solve(std::span<const double> b) const;

@@ -3,20 +3,19 @@
 #include <algorithm>
 #include <optional>
 
-#include "memfront/frontal/extend_add.hpp"
-#include "memfront/frontal/partial_factor.hpp"
+#include "memfront/frontal/arena.hpp"
+#include "memfront/solver/front_task.hpp"
 #include "memfront/support/error.hpp"
 
 namespace memfront {
 
-Factorization numeric_factorize(const Analysis& analysis) {
+Factorization numeric_factorize(const Analysis& analysis,
+                                const NumericOptions& options) {
   check(analysis.structure.has_value(),
         "numeric_factorize: analysis ran without structure");
   check(analysis.permuted.has_value() && analysis.permuted->has_values(),
         "numeric_factorize: matrix has no values");
   const AssemblyTree& tree = analysis.tree;
-  const FrontalStructure& structure = *analysis.structure;
-  const CscMatrix& a = *analysis.permuted;
   const bool sym = tree.symmetric();
   const index_t n = tree.num_cols();
 
@@ -29,116 +28,89 @@ Factorization numeric_factorize(const Analysis& analysis) {
 
   // Transposed matrix for unsymmetric row assembly.
   std::optional<CscMatrix> at;
-  if (!sym) at = a.transpose();
+  if (!sym) at = analysis.permuted->transpose();
 
-  std::vector<std::optional<DenseMatrix>> cb(
-      static_cast<std::size_t>(tree.num_nodes()));
-  std::vector<index_t> local(static_cast<std::size_t>(n), kNone);
-  count_t stack = 0;
+  numeric_detail::FrontContext ctx;
+  ctx.tree = &tree;
+  ctx.structure = &*analysis.structure;
+  ctx.a = &*analysis.permuted;
+  ctx.at = at ? &*at : nullptr;
+  ctx.symmetric = sym;
+  ctx.kernel = options.kernel;
 
+  numeric_detail::FrontWorkspace ws;
+  ws.init(n);
+
+  const count_t predicted_arena = predict_arena_peak(tree, analysis.traversal);
+  FrontalArena arena(options.reserve_arena
+                         ? static_cast<std::size_t>(predicted_arena)
+                         : 0);
+  // CB slots of the nodes whose parent has not run yet (arena pointers).
+  std::vector<double*> cb(static_cast<std::size_t>(tree.num_nodes()), nullptr);
+  std::vector<const double*> child_cbs;
+
+  count_t stack = 0;  // model entries, the paper's unit
+  std::size_t physical_peak = 0;
   auto bump = [&](count_t delta) {
     stack += delta;
     fact.stats.measured_stack_peak =
         std::max(fact.stats.measured_stack_peak, stack);
   };
+  auto sample_physical = [&](std::size_t front_doubles) {
+    physical_peak = std::max(physical_peak, arena.in_use() + front_doubles);
+  };
 
   for (index_t i : analysis.traversal) {
     const index_t nfront = tree.nfront(i);
     const index_t npiv = tree.npiv(i);
-    const index_t fc = tree.first_col(i);
-    const auto rows = structure.rows(i);
+    const index_t ncb = nfront - npiv;
+    const std::size_t front_doubles =
+        static_cast<std::size_t>(nfront) * static_cast<std::size_t>(nfront);
+    const auto children = tree.children(i);
 
     // Chain-link children hand their CB storage over in place (Section 6
     // splitting): account their release before the front allocation.
-    for (index_t child : tree.children(i))
+    for (index_t child : children)
       if (tree.is_chain_link(child)) bump(-tree.cb_entries(child));
 
-    DenseMatrix front(nfront, nfront);
+    FrontView front = ws.acquire_front(nfront);
     bump(tree.front_entries(i));
+    sample_physical(front_doubles);  // children CBs still stacked
 
-    for (index_t r = 0; r < nfront; ++r)
-      local[static_cast<std::size_t>(rows[r])] = r;
+    child_cbs.clear();
+    for (index_t child : children)
+      child_cbs.push_back(cb[static_cast<std::size_t>(child)]);
 
-    // Assemble original entries owned by this node's pivots.
-    for (index_t c = fc; c < fc + npiv; ++c) {
-      const index_t lc = c - fc;
-      auto cr = a.column(c);
-      auto cv = a.column_values(c);
-      for (std::size_t k = 0; k < cr.size(); ++k) {
-        const index_t r = cr[k];
-        if (r < fc) continue;  // assembled at an earlier node
-        const index_t lr = local[static_cast<std::size_t>(r)];
-        check(lr != kNone, "numeric_factorize: entry outside front");
-        front(lr, lc) += cv[k];
-        // Symmetric storage keeps the full square in sync; the mirror of a
-        // pivot-block entry arrives via the other pivot's column.
-        if (sym && r >= fc + npiv) front(lc, lr) += cv[k];
-      }
-      if (!sym) {
-        auto rr = at->column(c);
-        auto rv = at->column_values(c);
-        for (std::size_t k = 0; k < rr.size(); ++k) {
-          const index_t x = rr[k];
-          if (x < fc + npiv) continue;  // pivot block handled above
-          const index_t lx = local[static_cast<std::size_t>(x)];
-          check(lx != kNone, "numeric_factorize: row entry outside front");
-          front(lc, lx) += rv[k];
-        }
-      }
-    }
-
-    // Extend-add the children, then release their blocks (the stack model
-    // frees ordinary children only after the parent front exists; chain
-    // links were already accounted above).
-    for (index_t child : tree.children(i)) {
-      const auto child_rows = structure.rows(child);
-      extend_add(front, rows, *cb[static_cast<std::size_t>(child)],
-                 child_rows.subspan(static_cast<std::size_t>(tree.npiv(child))));
-      cb[static_cast<std::size_t>(child)].reset();
-      if (!tree.is_chain_link(child)) bump(-tree.cb_entries(child));
-    }
-
-    const PartialFactorResult pf =
-        sym ? partial_ldlt(front, npiv) : partial_lu(front, npiv);
-    fact.stats.perturbations += pf.perturbations;
-    if (!sym) {
-      for (index_t k = 0; k < npiv; ++k) {
-        const index_t piv = pf.pivot_rows[static_cast<std::size_t>(k)];
-        std::swap(fact.row_of[static_cast<std::size_t>(fc + k)],
-                  fact.row_of[static_cast<std::size_t>(fc + piv)]);
-      }
-    }
-
-    // Extract factors.
-    NodeFactor& nf = fact.nodes[static_cast<std::size_t>(i)];
-    nf.panel.resize(static_cast<std::size_t>(nfront) * npiv);
-    for (index_t j = 0; j < npiv; ++j)
-      for (index_t r = 0; r < nfront; ++r)
-        nf.panel[static_cast<std::size_t>(j) * nfront + r] = front(r, j);
-    const index_t ncb = nfront - npiv;
-    if (!sym && ncb > 0) {
-      nf.u12.resize(static_cast<std::size_t>(npiv) * ncb);
-      for (index_t j = 0; j < ncb; ++j)
-        for (index_t r = 0; r < npiv; ++r)
-          nf.u12[static_cast<std::size_t>(j) * npiv + r] =
-              front(r, npiv + j);
-    }
+    fact.stats.perturbations += numeric_detail::process_front(
+        ctx, i, child_cbs, ws, front, fact.nodes[static_cast<std::size_t>(i)],
+        fact.row_of);
     fact.stats.factor_entries += tree.factor_entries(i);
 
-    // Keep the contribution block; the front itself is released.
-    if (ncb > 0) {
-      DenseMatrix block(ncb, ncb);
-      for (index_t c = 0; c < ncb; ++c)
-        for (index_t r = 0; r < ncb; ++r)
-          block(r, c) = front(npiv + r, npiv + c);
-      cb[static_cast<std::size_t>(i)] = std::move(block);
+    // Release the children LIFO (the stack model frees ordinary children
+    // only after the parent front exists; chain links were already
+    // accounted above), then stack this node's CB from the live front.
+    for (std::size_t c = children.size(); c-- > 0;) {
+      const index_t child = children[c];
+      const count_t child_sq = square(tree.ncb(child));
+      arena.pop(cb[static_cast<std::size_t>(child)],
+                static_cast<std::size_t>(child_sq));
+      cb[static_cast<std::size_t>(child)] = nullptr;
+      if (!tree.is_chain_link(child)) bump(-tree.cb_entries(child));
     }
+    if (ncb > 0) {
+      double* slot = arena.push(static_cast<std::size_t>(square(ncb)));
+      numeric_detail::extract_cb(front, npiv, slot);
+      cb[static_cast<std::size_t>(i)] = slot;
+    }
+    sample_physical(front_doubles);  // own CB pushed, front still live
     bump(tree.cb_entries(i) - tree.front_entries(i));
-
-    for (index_t r = 0; r < nfront; ++r)
-      local[static_cast<std::size_t>(rows[r])] = kNone;
   }
   check(stack == 0, "numeric_factorize: stack not empty at the end");
+  check(arena.in_use() == 0, "numeric_factorize: arena not empty at the end");
+  fact.stats.arena_peak_doubles = static_cast<count_t>(physical_peak);
+  fact.stats.arena_slabs = static_cast<count_t>(arena.slab_allocations());
+  check(fact.stats.arena_peak_doubles == predicted_arena,
+        "numeric_factorize: arena peak diverged from the predicted peak");
   return fact;
 }
 

@@ -1,15 +1,32 @@
 // Numeric multifrontal factorization (sequential, in-core).
 //
-// Follows the analysis traversal; maintains the paper's three storage
-// areas (factors / CB stack / current front) and *measures* the stack peak
-// in model entries, which tests compare against the analysis prediction.
+// Follows the analysis traversal with the paper's three storage areas —
+// factors / CB stack / current front — where the CB stack is an
+// arena-backed LIFO (frontal/arena.hpp), the front is a reused scratch
+// buffer, and the elimination runs the blocked kernels of
+// frontal/kernels.hpp. Two peaks are measured: the model-entry stack
+// peak (compared against the analysis prediction, tree_memory) and the
+// physical arena peak in doubles (compared against predict_arena_peak).
 #pragma once
 
 #include <vector>
 
+#include "memfront/frontal/kernels.hpp"
 #include "memfront/solver/analysis.hpp"
 
 namespace memfront {
+
+/// Which partial-factorization kernels the numeric drivers run. The
+/// reference kernels are the pre-blocking scalar loops — bit-identical
+/// results, kept for tests and as bench_numeric's baseline.
+enum class FrontalKernel : unsigned char { kBlocked, kReference };
+
+struct NumericOptions {
+  FrontalKernel kernel = FrontalKernel::kBlocked;
+  /// Pre-size the CB arena to the predicted physical peak so the whole
+  /// factorization runs in one slab.
+  bool reserve_arena = true;
+};
 
 struct NodeFactor {
   /// nfront x npiv panel, column-major: L (unit diagonal) strictly below
@@ -23,6 +40,12 @@ struct FactorStats {
   count_t measured_stack_peak = 0;  // entries (model units)
   count_t factor_entries = 0;
   index_t perturbations = 0;
+  /// Physical high-water mark of the CB arena plus the live front, in
+  /// doubles of full-square storage. For the sequential driver this
+  /// equals predict_arena_peak(tree, traversal) exactly.
+  count_t arena_peak_doubles = 0;
+  /// Slab allocations the arena performed (1 when the reserve fit).
+  count_t arena_slabs = 0;
 };
 
 struct Factorization {
@@ -35,6 +58,7 @@ struct Factorization {
 };
 
 /// Requires analysis.structure and values on analysis.permuted.
-Factorization numeric_factorize(const Analysis& analysis);
+Factorization numeric_factorize(const Analysis& analysis,
+                                const NumericOptions& options = {});
 
 }  // namespace memfront

@@ -1,0 +1,345 @@
+#include "memfront/solver/parallel_numeric.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <optional>
+
+#include "memfront/frontal/arena.hpp"
+#include "memfront/solver/front_task.hpp"
+#include "memfront/support/error.hpp"
+#include "memfront/support/parallel_for.hpp"
+
+namespace memfront {
+namespace {
+
+using numeric_detail::FrontContext;
+using numeric_detail::FrontWorkspace;
+
+/// Everything the worker tasks share. Synchronization discipline: a
+/// node's CB (cb_heap) and factor slots are written by exactly one task
+/// and only read by its parent's task, which is ordered after it through
+/// the mutex (the completion's dependency decrement happens-before the
+/// parent's claim of the ready entry).
+struct Runtime {
+  const Analysis* analysis = nullptr;
+  FrontContext ctx;
+  Factorization* fact = nullptr;
+
+  // Static task structure. worker_subtrees[w] is the LPT share of worker
+  // w; a worker *claims* its list (claimed[w], guarded by mu) before
+  // running it, and idle workers adopt unclaimed lists — so the work
+  // still drains even if a pool thread failed to spawn.
+  Subtrees subtrees;
+  std::vector<std::vector<index_t>> subtree_nodes;  // postorder per subtree
+  std::vector<std::vector<index_t>> worker_subtrees;
+  std::vector<char> claimed;
+  std::vector<index_t> upper_nodes;
+
+  // Dynamic state (guarded by mu unless noted).
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<index_t> deps;    // upper node -> unfinished children
+  std::vector<index_t> ready;   // upper nodes ready to run (LIFO)
+  std::size_t remaining = 0;    // unfinished tasks (subtrees + upper nodes)
+  bool failed = false;
+  std::exception_ptr error;
+  count_t factor_entries = 0;
+  index_t perturbations = 0;
+  count_t max_arena_peak = 0;
+  count_t total_arena_peak = 0;
+
+  /// Heap CB slots: subtree roots and upper nodes (arena slots never
+  /// cross a task boundary).
+  std::vector<std::vector<double>> cb_heap;
+  /// Arena CB slots, only ever touched by the owning subtree's task.
+  std::vector<double*> cb_arena;
+
+  const AssemblyTree& tree() const { return analysis->tree; }
+
+  /// Called (under mu) when `node`'s factorization is complete and its CB
+  /// published: resolves the parent's dependency.
+  void complete_locked(index_t node) {
+    const index_t parent = tree().parent(node);
+    if (parent != kNone) {
+      if (--deps[static_cast<std::size_t>(parent)] == 0)
+        ready.push_back(parent);
+    }
+    --remaining;
+    cv.notify_all();
+  }
+
+  void fail(std::exception_ptr e) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!error) error = e;
+    failed = true;
+    cv.notify_all();
+  }
+};
+
+/// Runs one whole subtree on the calling worker with its private arena.
+/// Statistics accumulate locally and flush under one lock at the end.
+void run_subtree(Runtime& rt, index_t s, FrontWorkspace& ws,
+                 FrontalArena& arena, count_t& arena_peak,
+                 std::vector<const double*>& child_cbs) {
+  const AssemblyTree& tree = rt.tree();
+  const index_t root = rt.subtrees.roots[static_cast<std::size_t>(s)];
+  index_t perturbations = 0;
+  count_t factor_entries = 0;
+  for (index_t i : rt.subtree_nodes[static_cast<std::size_t>(s)]) {
+    const index_t nfront = tree.nfront(i);
+    const index_t npiv = tree.npiv(i);
+    const index_t ncb = nfront - npiv;
+    const std::size_t front_doubles =
+        static_cast<std::size_t>(nfront) * static_cast<std::size_t>(nfront);
+    const auto children = tree.children(i);
+
+    FrontView front = ws.acquire_front(nfront);
+    arena_peak = std::max(
+        arena_peak, static_cast<count_t>(arena.in_use() + front_doubles));
+
+    child_cbs.clear();
+    for (index_t child : children)
+      child_cbs.push_back(rt.cb_arena[static_cast<std::size_t>(child)]);
+
+    perturbations += numeric_detail::process_front(
+        rt.ctx, i, child_cbs, ws, front,
+        rt.fact->nodes[static_cast<std::size_t>(i)], rt.fact->row_of);
+    factor_entries += tree.factor_entries(i);
+
+    for (std::size_t c = children.size(); c-- > 0;) {
+      const index_t child = children[c];
+      arena.pop(rt.cb_arena[static_cast<std::size_t>(child)],
+                static_cast<std::size_t>(square(tree.ncb(child))));
+      rt.cb_arena[static_cast<std::size_t>(child)] = nullptr;
+    }
+    if (ncb > 0) {
+      if (i == root) {
+        // The root's CB outlives this task: publish it on the heap for
+        // the upper-part parent.
+        auto& slot = rt.cb_heap[static_cast<std::size_t>(i)];
+        slot.resize(static_cast<std::size_t>(square(ncb)));
+        numeric_detail::extract_cb(front, npiv, slot.data());
+      } else {
+        double* slot = arena.push(static_cast<std::size_t>(square(ncb)));
+        numeric_detail::extract_cb(front, npiv, slot);
+        rt.cb_arena[static_cast<std::size_t>(i)] = slot;
+      }
+    }
+    arena_peak = std::max(
+        arena_peak, static_cast<count_t>(arena.in_use() + front_doubles));
+  }
+  check(arena.in_use() == 0, "parallel_numeric: subtree left CBs stacked");
+  std::lock_guard<std::mutex> lock(rt.mu);
+  rt.perturbations += perturbations;
+  rt.factor_entries += factor_entries;
+  rt.complete_locked(root);
+}
+
+/// Runs one upper-part node task (children are subtree roots or other
+/// upper nodes; all CBs live on the heap).
+void run_upper(Runtime& rt, index_t i, FrontWorkspace& ws,
+               std::vector<const double*>& child_cbs) {
+  const AssemblyTree& tree = rt.tree();
+  const index_t npiv = tree.npiv(i);
+  const index_t ncb = tree.ncb(i);
+  const auto children = tree.children(i);
+
+  FrontView front = ws.acquire_front(tree.nfront(i));
+  child_cbs.clear();
+  for (index_t child : children)
+    child_cbs.push_back(rt.cb_heap[static_cast<std::size_t>(child)].data());
+
+  const index_t perturbations = numeric_detail::process_front(
+      rt.ctx, i, child_cbs, ws, front,
+      rt.fact->nodes[static_cast<std::size_t>(i)], rt.fact->row_of);
+
+  for (index_t child : children) {
+    auto& slot = rt.cb_heap[static_cast<std::size_t>(child)];
+    std::vector<double>().swap(slot);  // actually release the storage
+  }
+  if (ncb > 0) {
+    auto& slot = rt.cb_heap[static_cast<std::size_t>(i)];
+    slot.resize(static_cast<std::size_t>(square(ncb)));
+    numeric_detail::extract_cb(front, npiv, slot.data());
+  }
+
+  std::lock_guard<std::mutex> lock(rt.mu);
+  rt.perturbations += perturbations;
+  rt.factor_entries += tree.factor_entries(i);
+  rt.complete_locked(i);
+}
+
+void worker_loop(Runtime& rt, unsigned w) {
+  try {
+    FrontWorkspace ws;
+    ws.init(rt.tree().num_cols());
+    FrontalArena arena;
+    count_t arena_peak = 0;
+    std::vector<const double*> child_cbs;
+
+    const auto run_list = [&](const std::vector<index_t>& list) {
+      for (index_t s : list) {
+        {
+          std::lock_guard<std::mutex> lock(rt.mu);
+          if (rt.failed) return;
+        }
+        run_subtree(rt, s, ws, arena, arena_peak, child_cbs);
+      }
+    };
+    const auto claim = [&](std::size_t u) {
+      // Caller holds rt.mu.
+      rt.claimed[u] = 1;
+      return std::move(rt.worker_subtrees[u]);
+    };
+
+    // This worker's own LPT share first (the proportional mapping).
+    std::vector<index_t> mine;
+    {
+      std::lock_guard<std::mutex> lock(rt.mu);
+      if (!rt.claimed[w]) mine = claim(w);
+    }
+    run_list(mine);
+
+    std::unique_lock<std::mutex> lock(rt.mu);
+    while (!rt.failed && rt.remaining > 0) {
+      if (!rt.ready.empty()) {
+        const index_t i = rt.ready.back();
+        rt.ready.pop_back();
+        lock.unlock();
+        run_upper(rt, i, ws, child_cbs);
+        lock.lock();
+        continue;
+      }
+      // Adopt the share of a worker that never started (pool threads can
+      // fail to spawn under resource limits); without this, its subtrees
+      // would never run and everyone would wait forever.
+      std::size_t orphan = rt.claimed.size();
+      for (std::size_t u = 0; u < rt.claimed.size(); ++u)
+        if (!rt.claimed[u] && !rt.worker_subtrees[u].empty()) {
+          orphan = u;
+          break;
+        }
+      if (orphan < rt.claimed.size()) {
+        mine = claim(orphan);
+        lock.unlock();
+        run_list(mine);
+        lock.lock();
+        continue;
+      }
+      rt.cv.wait(lock);
+    }
+    lock.unlock();
+
+    std::lock_guard<std::mutex> stats_lock(rt.mu);
+    rt.max_arena_peak = std::max(rt.max_arena_peak, arena_peak);
+    rt.total_arena_peak += arena_peak;
+  } catch (...) {
+    rt.fail(std::current_exception());
+  }
+}
+
+}  // namespace
+
+Factorization parallel_numeric_factorize(const Analysis& analysis,
+                                         const ParallelNumericOptions& options,
+                                         ParallelNumericStats* stats) {
+  check(analysis.structure.has_value(),
+        "parallel_numeric_factorize: analysis ran without structure");
+  check(analysis.permuted.has_value() && analysis.permuted->has_values(),
+        "parallel_numeric_factorize: matrix has no values");
+  const AssemblyTree& tree = analysis.tree;
+  const bool sym = tree.symmetric();
+  const index_t n = tree.num_cols();
+  const index_t nn = tree.num_nodes();
+
+  const unsigned workers =
+      options.nthreads > 0 ? options.nthreads : default_thread_count();
+  const index_t nprocs =
+      options.nprocs > 0 ? options.nprocs : static_cast<index_t>(workers);
+
+  Factorization fact;
+  fact.symmetric = sym;
+  fact.nodes.resize(static_cast<std::size_t>(nn));
+  fact.row_of.resize(static_cast<std::size_t>(n));
+  for (index_t k = 0; k < n; ++k)
+    fact.row_of[static_cast<std::size_t>(k)] = k;
+
+  std::optional<CscMatrix> at;
+  if (!sym) at = analysis.permuted->transpose();
+
+  Runtime rt;
+  rt.analysis = &analysis;
+  rt.fact = &fact;
+  rt.ctx.tree = &tree;
+  rt.ctx.structure = &*analysis.structure;
+  rt.ctx.a = &*analysis.permuted;
+  rt.ctx.at = at ? &*at : nullptr;
+  rt.ctx.symmetric = sym;
+  rt.ctx.kernel = options.kernel;
+
+  // The paper's static decomposition: Geist-Ng subtrees, LPT-mapped onto
+  // `nprocs` processors, everything above as individual node tasks.
+  rt.subtrees =
+      find_subtrees(tree, analysis.memory, nprocs, options.subtree_options);
+  const index_t num_subtrees =
+      static_cast<index_t>(rt.subtrees.roots.size());
+  rt.subtree_nodes.resize(static_cast<std::size_t>(num_subtrees));
+  for (index_t i : analysis.traversal) {
+    const index_t s = rt.subtrees.node_subtree[static_cast<std::size_t>(i)];
+    if (s != kNone)
+      rt.subtree_nodes[static_cast<std::size_t>(s)].push_back(i);
+    else
+      rt.upper_nodes.push_back(i);
+  }
+
+  // Whole-subtree tasks go to the worker their LPT processor folds onto;
+  // each worker runs its biggest subtrees first (the LPT order).
+  rt.worker_subtrees.resize(workers);
+  rt.claimed.assign(workers, 0);
+  for (index_t s = 0; s < num_subtrees; ++s)
+    rt.worker_subtrees[static_cast<std::size_t>(
+                           rt.subtrees.proc[static_cast<std::size_t>(s)]) %
+                       workers]
+        .push_back(s);
+  for (auto& list : rt.worker_subtrees)
+    std::sort(list.begin(), list.end(), [&](index_t a, index_t b) {
+      const count_t fa = rt.subtrees.flops[static_cast<std::size_t>(a)];
+      const count_t fb = rt.subtrees.flops[static_cast<std::size_t>(b)];
+      return fa != fb ? fa > fb : a < b;
+    });
+
+  rt.cb_heap.resize(static_cast<std::size_t>(nn));
+  rt.cb_arena.assign(static_cast<std::size_t>(nn), nullptr);
+  rt.deps.assign(static_cast<std::size_t>(nn), 0);
+  for (index_t i : rt.upper_nodes)
+    rt.deps[static_cast<std::size_t>(i)] =
+        static_cast<index_t>(tree.children(i).size());
+  // Upper leaves (no children at all) start ready.
+  for (index_t i : rt.upper_nodes)
+    if (rt.deps[static_cast<std::size_t>(i)] == 0) rt.ready.push_back(i);
+  rt.remaining = static_cast<std::size_t>(num_subtrees) +
+                 rt.upper_nodes.size();
+
+  if (rt.remaining > 0)
+    parallel_for(
+        workers, [&](std::size_t w) { worker_loop(rt, static_cast<unsigned>(w)); },
+        workers);
+  if (rt.error) std::rethrow_exception(rt.error);
+  check(rt.remaining == 0, "parallel_numeric_factorize: tasks left behind");
+
+  fact.stats.perturbations = rt.perturbations;
+  fact.stats.factor_entries = rt.factor_entries;
+  fact.stats.arena_peak_doubles = rt.max_arena_peak;
+  if (stats) {
+    stats->workers = workers;
+    stats->num_subtrees = num_subtrees;
+    stats->num_upper_nodes = static_cast<index_t>(rt.upper_nodes.size());
+    stats->max_arena_peak_doubles = rt.max_arena_peak;
+    stats->total_arena_peak_doubles = rt.total_arena_peak;
+  }
+  return fact;
+}
+
+}  // namespace memfront

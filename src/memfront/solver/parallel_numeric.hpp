@@ -1,0 +1,51 @@
+// Task-parallel numeric multifrontal factorization over the assembly
+// tree, driven by the same static decisions the scheduling simulator
+// studies: the Geist-Ng subtree-to-processor mapping (symbolic/subtrees)
+// cuts the bottom of the tree into whole-subtree tasks — each runs on one
+// worker with a *private* frontal arena, pure type-1 parallelism — and
+// the upper part runs as dependency-counted node tasks that become ready
+// when their children finish, claimed from a shared pool.
+//
+// The result is bit-identical to the sequential driver: every node is
+// assembled and eliminated by exactly one task, the child extend-add
+// order is the tree's child order, and the kernels are shared — so the
+// parallel factorization is deterministic (independent of the execution
+// interleaving) given a fixed subtree assignment, and in fact equal to
+// numeric_factorize() output bit for bit.
+#pragma once
+
+#include "memfront/solver/numeric_factor.hpp"
+#include "memfront/symbolic/subtrees.hpp"
+
+namespace memfront {
+
+struct ParallelNumericOptions {
+  /// Worker threads (0 = default_thread_count(), which honors the
+  /// MEMFRONT_THREADS environment variable).
+  unsigned nthreads = 0;
+  /// Width of the Geist-Ng subtree mapping; 0 = the worker count. Values
+  /// above the worker count fold onto workers round-robin.
+  index_t nprocs = 0;
+  SubtreeOptions subtree_options{};
+  FrontalKernel kernel = FrontalKernel::kBlocked;
+};
+
+struct ParallelNumericStats {
+  unsigned workers = 0;
+  index_t num_subtrees = 0;
+  index_t num_upper_nodes = 0;
+  /// Physical arena high-water marks over the subtree phase (doubles of
+  /// full-square storage): the worst single worker and the sum of all
+  /// workers. Each worker's private arena obeys the sequential stack
+  /// discipline inside every subtree it runs.
+  count_t max_arena_peak_doubles = 0;
+  count_t total_arena_peak_doubles = 0;
+};
+
+/// Requires analysis.structure and values on analysis.permuted (same
+/// contract as numeric_factorize). `stats` is optional.
+Factorization parallel_numeric_factorize(
+    const Analysis& analysis, const ParallelNumericOptions& options = {},
+    ParallelNumericStats* stats = nullptr);
+
+}  // namespace memfront

@@ -1,0 +1,245 @@
+// Blocked frontal kernels vs the pre-blocking scalar references: the
+// blocked panel/TRSM/GEMM pipeline must reproduce the scalar kernels bit
+// for bit (pivot sequences AND every stored value), the signbit
+// perturbation fix, the mapped extend-add scatter, and the arena's LIFO
+// discipline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "memfront/frontal/arena.hpp"
+#include "memfront/frontal/extend_add.hpp"
+#include "memfront/frontal/kernels.hpp"
+#include "memfront/support/rng.hpp"
+
+namespace memfront {
+namespace {
+
+std::vector<double> random_front(index_t n, std::uint64_t seed,
+                                 bool dominant) {
+  Rng rng(seed);
+  std::vector<double> data(static_cast<std::size_t>(n) * n);
+  for (double& v : data) v = rng.real(-1.0, 1.0);
+  if (dominant) {
+    for (index_t r = 0; r < n; ++r) {
+      double sum = 0.0;
+      for (index_t c = 0; c < n; ++c)
+        sum += std::abs(data[static_cast<std::size_t>(c) * n + r]);
+      data[static_cast<std::size_t>(r) * n + r] = sum + 1.0;
+    }
+  }
+  return data;
+}
+
+std::vector<double> random_symmetric(index_t n, std::uint64_t seed) {
+  std::vector<double> a = random_front(n, seed, true);
+  std::vector<double> s(a.size());
+  for (index_t c = 0; c < n; ++c)
+    for (index_t r = 0; r < n; ++r)
+      s[static_cast<std::size_t>(c) * n + r] =
+          0.5 * (a[static_cast<std::size_t>(c) * n + r] +
+                 a[static_cast<std::size_t>(r) * n + c]);
+  return s;
+}
+
+void expect_bitwise_equal(const std::vector<double>& a,
+                          const std::vector<double>& b, index_t n,
+                          const char* what) {
+  ASSERT_EQ(a.size(), b.size());
+  if (std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0) return;
+  for (index_t c = 0; c < n; ++c)
+    for (index_t r = 0; r < n; ++r) {
+      const std::size_t k = static_cast<std::size_t>(c) * n + r;
+      ASSERT_EQ(a[k], b[k]) << what << ": first differing entry (" << r
+                            << "," << c << ")";
+    }
+  FAIL() << what << ": bit pattern differs (signed zero or NaN)";
+}
+
+void check_lu_bitwise(index_t n, index_t npiv, std::uint64_t seed,
+                      bool dominant) {
+  std::vector<double> blocked = random_front(n, seed, dominant);
+  std::vector<double> reference = blocked;
+  const PartialFactorResult br =
+      partial_lu_blocked(FrontView{blocked.data(), n, n}, npiv);
+  const PartialFactorResult rr =
+      partial_lu_reference(FrontView{reference.data(), n, n}, npiv);
+  EXPECT_EQ(br.pivot_rows, rr.pivot_rows)
+      << "n=" << n << " npiv=" << npiv << " seed=" << seed;
+  EXPECT_EQ(br.perturbations, rr.perturbations);
+  expect_bitwise_equal(blocked, reference, n, "partial_lu");
+}
+
+void check_ldlt_bitwise(index_t n, index_t npiv, std::uint64_t seed) {
+  std::vector<double> blocked = random_symmetric(n, seed);
+  std::vector<double> reference = blocked;
+  const PartialFactorResult br =
+      partial_ldlt_blocked(FrontView{blocked.data(), n, n}, npiv);
+  const PartialFactorResult rr =
+      partial_ldlt_reference(FrontView{reference.data(), n, n}, npiv);
+  EXPECT_EQ(br.pivot_rows, rr.pivot_rows)
+      << "n=" << n << " npiv=" << npiv << " seed=" << seed;
+  EXPECT_EQ(br.perturbations, rr.perturbations);
+  expect_bitwise_equal(blocked, reference, n, "partial_ldlt");
+}
+
+TEST(NumericKernels, BlockedLuBitIdenticalToReference) {
+  // Sizes straddling every tile boundary: inside one panel, exactly one
+  // panel, several panels, microkernel edge remainders.
+  check_lu_bitwise(1, 1, 1, true);
+  check_lu_bitwise(5, 3, 2, true);
+  check_lu_bitwise(16, 9, 3, true);
+  check_lu_bitwise(48, 48, 4, true);
+  check_lu_bitwise(49, 30, 5, true);
+  check_lu_bitwise(96, 64, 6, true);
+  check_lu_bitwise(130, 130, 7, true);
+  check_lu_bitwise(150, 70, 8, true);
+  check_lu_bitwise(257, 129, 9, true);
+}
+
+TEST(NumericKernels, BlockedLuBitIdenticalUnderHeavyPivoting) {
+  // Non-dominant fronts: the pivot search actually moves rows, so the
+  // deferred interchange application is exercised for real.
+  check_lu_bitwise(32, 20, 11, false);
+  check_lu_bitwise(97, 60, 12, false);
+  check_lu_bitwise(144, 144, 13, false);
+  check_lu_bitwise(200, 101, 14, false);
+}
+
+TEST(NumericKernels, BlockedLdltBitIdenticalToReference) {
+  check_ldlt_bitwise(1, 1, 21);
+  check_ldlt_bitwise(7, 4, 22);
+  check_ldlt_bitwise(48, 48, 23);
+  check_ldlt_bitwise(50, 29, 24);
+  check_ldlt_bitwise(96, 50, 25);
+  check_ldlt_bitwise(131, 131, 26);
+  check_ldlt_bitwise(190, 95, 27);
+}
+
+TEST(NumericKernels, SchurUpdateMatchesScalarRankUpdates) {
+  // C -= A·B must equal the k-ordered sequence of rank-1 subtractions
+  // bit for bit (that equivalence is what makes the blocked kernels
+  // exact drop-ins).
+  const index_t m = 37, n = 29, kb = 13;
+  Rng rng(99);
+  std::vector<double> a(static_cast<std::size_t>(m) * kb);
+  std::vector<double> b(static_cast<std::size_t>(kb) * n);
+  std::vector<double> c(static_cast<std::size_t>(m) * n);
+  for (double& v : a) v = rng.real(-1.0, 1.0);
+  for (double& v : b) v = rng.real(-1.0, 1.0);
+  for (double& v : c) v = rng.real(-1.0, 1.0);
+  std::vector<double> expected = c;
+  for (index_t k = 0; k < kb; ++k)
+    for (index_t j = 0; j < n; ++j) {
+      const double w = b[static_cast<std::size_t>(j) * kb + k];
+      for (index_t i = 0; i < m; ++i)
+        expected[static_cast<std::size_t>(j) * m + i] -=
+            a[static_cast<std::size_t>(k) * m + i] * w;
+    }
+  schur_update(m, n, kb, a.data(), m, b.data(), kb, c.data(), m);
+  EXPECT_EQ(0, std::memcmp(c.data(), expected.data(),
+                           c.size() * sizeof(double)));
+}
+
+TEST(NumericKernels, SignbitPreservingPerturbation) {
+  // -0.0 pivots must perturb to -kPivotFloor (the old `d >= 0` test
+  // flipped them positive).
+  for (const bool blocked : {true, false}) {
+    std::vector<double> lu{-0.0, 0.0, 1.0, 1.0};  // column-major 2x2
+    const PartialFactorResult lr =
+        blocked ? partial_lu_blocked(FrontView{lu.data(), 2, 2}, 1)
+                : partial_lu_reference(FrontView{lu.data(), 2, 2}, 1);
+    EXPECT_EQ(lr.perturbations, 1);
+    EXPECT_EQ(lu[0], -kPivotFloor) << "blocked=" << blocked;
+
+    std::vector<double> ld{-0.0, 0.0, 0.0, 1.0};
+    const PartialFactorResult dr =
+        blocked ? partial_ldlt_blocked(FrontView{ld.data(), 2, 2}, 1)
+                : partial_ldlt_reference(FrontView{ld.data(), 2, 2}, 1);
+    EXPECT_EQ(dr.perturbations, 1);
+    EXPECT_EQ(ld[0], -kPivotFloor) << "blocked=" << blocked;
+
+    std::vector<double> pos{0.0, 0.0, 1.0, 1.0};
+    const PartialFactorResult pr =
+        blocked ? partial_lu_blocked(FrontView{pos.data(), 2, 2}, 1)
+                : partial_lu_reference(FrontView{pos.data(), 2, 2}, 1);
+    EXPECT_EQ(pr.perturbations, 1);
+    EXPECT_EQ(pos[0], kPivotFloor);
+  }
+}
+
+TEST(NumericKernels, ExtendAddMappedScattersThroughLocalMap) {
+  std::vector<double> parent(16, 0.0);  // 4x4
+  FrontView pv{parent.data(), 4, 4};
+  const std::vector<double> cb{1.0, 3.0, 2.0, 4.0};  // 2x2 column-major
+  const std::vector<index_t> positions{1, 3};
+  extend_add_mapped(pv, cb.data(), 2, 2, positions);
+  extend_add_mapped(pv, cb.data(), 2, 2, positions);  // accumulates
+  EXPECT_DOUBLE_EQ(pv.at(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(pv.at(1, 3), 4.0);
+  EXPECT_DOUBLE_EQ(pv.at(3, 1), 6.0);
+  EXPECT_DOUBLE_EQ(pv.at(3, 3), 8.0);
+  EXPECT_DOUBLE_EQ(pv.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(pv.at(2, 2), 0.0);
+}
+
+TEST(FrontalArenaTest, LifoPushPopTracksPeak) {
+  FrontalArena arena;
+  double* a = arena.push(100);
+  double* b = arena.push(50);
+  EXPECT_EQ(arena.in_use(), 150u);
+  EXPECT_EQ(arena.peak(), 150u);
+  arena.pop(b, 50);
+  double* c = arena.push(25);
+  EXPECT_EQ(arena.in_use(), 125u);
+  EXPECT_EQ(arena.peak(), 150u);
+  arena.pop(c, 25);
+  arena.pop(a, 100);
+  EXPECT_EQ(arena.in_use(), 0u);
+  EXPECT_EQ(arena.peak(), 150u);
+}
+
+TEST(FrontalArenaTest, PopOutOfOrderThrows) {
+  FrontalArena arena;
+  double* a = arena.push(10);
+  double* b = arena.push(20);
+  EXPECT_THROW(arena.pop(a, 10), std::logic_error);
+  arena.pop(b, 20);
+  arena.pop(a, 10);
+}
+
+TEST(FrontalArenaTest, GrowsAcrossSlabsWithStablePointers) {
+  FrontalArena arena(128);  // deliberately tiny reserve
+  std::vector<std::pair<double*, std::size_t>> live;
+  for (int i = 0; i < 20; ++i) {
+    const std::size_t count = 100'000;  // forces fresh slabs
+    double* p = arena.push(count);
+    p[0] = static_cast<double>(i);
+    p[count - 1] = -static_cast<double>(i);
+    live.emplace_back(p, count);
+  }
+  EXPECT_GE(arena.slab_allocations(), 2u);
+  for (int i = 0; i < 20; ++i) {  // earlier slots untouched by growth
+    EXPECT_EQ(live[static_cast<std::size_t>(i)].first[0], i);
+  }
+  for (std::size_t i = live.size(); i-- > 0;)
+    arena.pop(live[i].first, live[i].second);
+  EXPECT_EQ(arena.in_use(), 0u);
+  // Emptied slabs are reused, not reallocated.
+  const std::size_t slabs = arena.slab_allocations();
+  double* again = arena.push(100'000);
+  EXPECT_EQ(arena.slab_allocations(), slabs);
+  arena.pop(again, 100'000);
+}
+
+TEST(FrontalArenaTest, ZeroSizedAllocationsAreNoops) {
+  FrontalArena arena;
+  EXPECT_EQ(arena.push(0), nullptr);
+  arena.pop(nullptr, 0);
+  EXPECT_EQ(arena.in_use(), 0u);
+}
+
+}  // namespace
+}  // namespace memfront

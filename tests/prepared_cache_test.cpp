@@ -181,5 +181,159 @@ TEST(PreparedCache, GlobalCacheIsAProcessSingleton) {
   EXPECT_EQ(&PreparedCache::global(), &PreparedCache::global());
 }
 
+TEST(PreparedCacheEviction, UnboundedByDefault) {
+  PreparedCache cache;
+  EXPECT_EQ(cache.capacity_bytes(), 0u);
+  for (ProblemId id :
+       {ProblemId::kTwotone, ProblemId::kXenon2, ProblemId::kMsdoor}) {
+    const Problem p = make_problem(id, 0.2);
+    (void)cache.prepared(p.matrix, small_setup(p));
+  }
+  EXPECT_EQ(cache.analysis_entries(), 3u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_GT(cache.retained_bytes(), 0u);
+}
+
+TEST(PreparedCacheEviction, LruBoundEvictsOldestAnalyses) {
+  PreparedCache cache;
+  const Problem p1 = make_problem(ProblemId::kTwotone, 0.2);
+  const Problem p2 = make_problem(ProblemId::kXenon2, 0.2);
+  const Problem p3 = make_problem(ProblemId::kMsdoor, 0.2);
+  const auto a1 = cache.analysis(p1.matrix, {});
+  // A capacity just above one retained analysis: every further analysis
+  // evicts the least recently used one.
+  cache.set_capacity_bytes(cache.retained_bytes() + 1);
+  (void)cache.analysis(p2.matrix, {});
+  EXPECT_EQ(cache.stats().evictions, 1u);  // p1 aged out
+  EXPECT_EQ(cache.analysis_entries(), 1u);
+  EXPECT_LE(cache.retained_bytes(), cache.capacity_bytes());
+  (void)cache.analysis(p3.matrix, {});
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  // The outstanding pointer to the evicted analysis stays valid.
+  EXPECT_GT(a1->tree.num_nodes(), 0);
+  // Re-asking for the evicted key is a fresh miss, not a hit.
+  const PreparedCacheStats before = cache.stats();
+  (void)cache.analysis(p1.matrix, {});
+  EXPECT_EQ(cache.stats().analysis_misses, before.analysis_misses + 1);
+}
+
+TEST(PreparedCacheEviction, TouchKeepsHotEntriesResident) {
+  PreparedCache cache;
+  const Problem hot = make_problem(ProblemId::kTwotone, 0.2);
+  const Problem cold = make_problem(ProblemId::kXenon2, 0.2);
+  (void)cache.analysis(hot.matrix, {});
+  const std::size_t one = cache.retained_bytes();
+  (void)cache.analysis(cold.matrix, {});
+  // Room for roughly one entry; touch `hot` so `cold` is the LRU victim.
+  (void)cache.analysis(hot.matrix, {});
+  cache.set_capacity_bytes(one + 1);
+  EXPECT_GE(cache.stats().evictions, 1u);
+  const PreparedCacheStats before = cache.stats();
+  (void)cache.analysis(hot.matrix, {});  // still resident: a hit
+  EXPECT_EQ(cache.stats().analysis_hits, before.analysis_hits + 1);
+}
+
+TEST(PreparedCacheEviction, OversizedSingleAnalysisStillCaches) {
+  PreparedCache cache;
+  cache.set_capacity_bytes(1);  // below any real analysis
+  const Problem p = make_problem(ProblemId::kShip003, 0.2);
+  (void)cache.analysis(p.matrix, {});
+  // The most recently used entry is never evicted, so a bound smaller
+  // than one analysis degrades to "cache of one", not "cache of none".
+  EXPECT_EQ(cache.analysis_entries(), 1u);
+  const PreparedCacheStats before = cache.stats();
+  (void)cache.analysis(p.matrix, {});
+  EXPECT_EQ(cache.stats().analysis_hits, before.analysis_hits + 1);
+}
+
+TEST(PreparedCacheEviction, EvictionDropsDependentMappings) {
+  PreparedCache cache;
+  const Problem p1 = make_problem(ProblemId::kTwotone, 0.2);
+  const Problem p2 = make_problem(ProblemId::kXenon2, 0.2);
+  (void)cache.prepared(p1.matrix, small_setup(p1, 8));
+  (void)cache.prepared(p1.matrix, small_setup(p1, 16));
+  EXPECT_EQ(cache.mapping_entries(), 2u);
+  cache.set_capacity_bytes(cache.retained_bytes() + 1);
+  (void)cache.prepared(p2.matrix, small_setup(p2));
+  // p1's analysis was evicted; the two mappings built on it went along
+  // (they retain the Analysis through shared_ptr, so keeping them would
+  // silently defeat the byte bound).
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.analysis_entries(), 1u);
+  EXPECT_EQ(cache.mapping_entries(), 1u);
+}
+
+TEST(PlannerMemo, SameSetupSharesOnePlan) {
+  PreparedCache cache;
+  const Problem p = make_problem(ProblemId::kTwotone, 0.2);
+  const ExperimentSetup setup = small_setup(p);
+  const auto a = cache.planner(p.matrix, setup);
+  const auto b = cache.planner(p.matrix, setup);
+  EXPECT_EQ(a.get(), b.get());
+  const PreparedCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.planner_misses, 1u);
+  EXPECT_EQ(stats.planner_hits, 1u);
+  EXPECT_GT(stats.planner_seconds, 0.0);
+  EXPECT_EQ(cache.planner_entries(), 1u);
+  EXPECT_GT(a->min_budget, 0);
+  EXPECT_GE(a->incore_peak, a->min_budget);
+}
+
+TEST(PlannerMemo, MatchesUncachedPlanner) {
+  PreparedCache cache;
+  const Problem p = make_problem(ProblemId::kXenon2, 0.2);
+  const ExperimentSetup setup = small_setup(p);
+  const auto cached = cache.planner(p.matrix, setup);
+  const PreparedExperiment fresh = prepare_experiment(p.matrix, setup);
+  const PlannerResult direct = plan_minimum_budget(
+      fresh.analysis->tree, fresh.analysis->memory, fresh.mapping,
+      fresh.analysis->traversal, sched_config(setup));
+  EXPECT_EQ(cached->min_budget, direct.min_budget);
+  EXPECT_EQ(cached->incore_peak, direct.incore_peak);
+  EXPECT_EQ(cached->at_min.makespan, direct.at_min.makespan);
+}
+
+TEST(PlannerMemo, BudgetAndEnableDoNotSplitTheKey) {
+  // The planner overrides ooc.enabled/budget on every probe, so two
+  // setups differing only there share one plan.
+  PreparedCache cache;
+  const Problem p = make_problem(ProblemId::kMsdoor, 0.2);
+  ExperimentSetup on = small_setup(p);
+  on.ooc.enabled = true;
+  on.ooc.budget = 98765;
+  const auto a = cache.planner(p.matrix, small_setup(p));
+  const auto b = cache.planner(p.matrix, on);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(cache.stats().planner_misses, 1u);
+}
+
+TEST(PlannerMemo, DynamicStrategyAndDiskSplitTheKey) {
+  // Unlike the mapping level, the planner consumes the dynamic strategy
+  // and the disk model — those fields are part of its key.
+  PreparedCache cache;
+  const Problem p = make_problem(ProblemId::kTwotone, 0.2);
+  const auto base = cache.planner(p.matrix, small_setup(p));
+  ExperimentSetup memory = small_setup(p);
+  memory.slave_strategy = SlaveStrategy::kMemoryImproved;
+  memory.task_strategy = TaskStrategy::kMemoryAware;
+  const auto strat = cache.planner(p.matrix, memory);
+  EXPECT_NE(base.get(), strat.get());
+  ExperimentSetup slow_disk = small_setup(p);
+  slow_disk.ooc.disk.write_bandwidth /= 4;
+  const auto disk = cache.planner(p.matrix, slow_disk);
+  EXPECT_NE(base.get(), disk.get());
+  PlannerOptions curve;
+  curve.curve_points = 4;
+  const auto curved = cache.planner(p.matrix, small_setup(p), curve);
+  EXPECT_NE(base.get(), curved.get());
+  if (curved->incore_peak > curved->min_budget)
+    EXPECT_EQ(static_cast<index_t>(curved->curve.size()), 4);
+  EXPECT_EQ(cache.stats().planner_misses, 4u);
+  EXPECT_EQ(cache.planner_entries(), 4u);
+  // All four reused one analysis/mapping underneath.
+  EXPECT_EQ(cache.analysis_entries(), 1u);
+  EXPECT_EQ(cache.mapping_entries(), 1u);
+}
+
 }  // namespace
 }  // namespace memfront
