@@ -9,21 +9,106 @@
 #pragma once
 
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <map>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "memfront/core/experiment.hpp"
 #include "memfront/core/prepared_cache.hpp"
+#include "memfront/obs/chrome_trace.hpp"
+#include "memfront/obs/metrics.hpp"
+#include "memfront/sim/trace.hpp"
 #include "memfront/sparse/problems.hpp"
 #include "memfront/support/parallel_for.hpp"
 #include "memfront/support/table.hpp"
 
 namespace memfront::bench {
+
+/// The shared telemetry flags every bench accepts:
+///   --trace-out <file>    enable span tracing, export Chrome trace JSON
+///   --metrics-out <file>  export the metrics registry snapshot as JSON
+/// --trace-out without --metrics-out still writes a metrics snapshot next
+/// to the trace (<trace>.metrics.json), so one flag yields both halves.
+struct ObsArgs {
+  std::string trace_out;
+  std::string metrics_out;
+
+  bool tracing() const { return !trace_out.empty(); }
+
+  /// Turns the tracer on (call before the measured work).
+  void begin() const {
+    if (tracing()) obs::Tracer::set_enabled(true);
+  }
+
+  /// Exports whatever was requested. `sim_timelines` are re-emitted on
+  /// the same Chrome trace document, one process row each, so simulated
+  /// schedules render beside the real run. Call after all worker threads
+  /// have joined (the tracer snapshot requires quiescence).
+  void finish(const std::vector<std::pair<std::string, const Trace*>>&
+                  sim_timelines = {}) const {
+    if (tracing()) {
+      obs::Tracer::set_enabled(false);
+      obs::ChromeTraceWriter writer;
+      writer.add_tracer_snapshot(obs::Tracer::global().snapshot());
+      for (const auto& [label, trace] : sim_timelines)
+        if (trace) writer.add_sim_timeline(label, *trace);
+      std::ofstream os(trace_out);
+      writer.write(os);
+      std::cout << "trace written to " << trace_out;
+      if (writer.dropped() > 0)
+        std::cout << " (" << writer.dropped() << " events dropped)";
+      std::cout << "\n";
+    }
+    std::string metrics_path = metrics_out;
+    if (metrics_path.empty() && tracing()) {
+      metrics_path = trace_out;
+      const std::string suffix = ".json";
+      if (metrics_path.size() >= suffix.size() &&
+          metrics_path.compare(metrics_path.size() - suffix.size(),
+                               suffix.size(), suffix) == 0)
+        metrics_path.resize(metrics_path.size() - suffix.size());
+      metrics_path += ".metrics.json";
+    }
+    if (metrics_path.empty()) return;
+    obs::record_cache_stats(PreparedCache::global().stats());
+    obs::record_process_metrics();
+    std::ofstream os(metrics_path);
+    obs::MetricsRegistry::global().write_json(os);
+    std::cout << "metrics written to " << metrics_path << "\n";
+  }
+};
+
+/// Strips `--trace-out <file>` / `--metrics-out <file>` out of argv
+/// (compacting it in place) so each bench's own parsing only sees what
+/// remains. Exits with a usage error on a flag without a value.
+inline ObsArgs extract_obs_args(int& argc, char** argv) {
+  ObsArgs obs_args;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const auto take_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " requires a file argument\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--trace-out") == 0)
+      obs_args.trace_out = take_value("--trace-out");
+    else if (std::strcmp(argv[i], "--metrics-out") == 0)
+      obs_args.metrics_out = take_value("--metrics-out");
+    else
+      argv[out++] = argv[i];
+  }
+  argc = out;
+  return obs_args;
+}
 
 /// Command-line knobs shared by all benches:
 ///   bench_tableX [scale] [nprocs]

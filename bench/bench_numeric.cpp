@@ -14,9 +14,12 @@
 //      BENCH_numeric.json so CI archives the trajectory.
 //
 //   bench_numeric [scale] [--smoke] [--threads N] [--json PATH]
+//                 [--trace-out FILE] [--metrics-out FILE]
 //
 // --smoke shrinks the run for CI (scale 0.3) unless an explicit scale is
-// given.
+// given. --trace-out records the real factorizations as a Perfetto
+// timeline (per-worker subtree/upper-part/kernel spans) and writes a
+// metrics snapshot next to it.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -52,7 +55,8 @@ struct NumericOptionsCli {
 
 [[noreturn]] void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [scale] [--smoke] [--threads N] [--json PATH]\n";
+            << " [scale] [--smoke] [--threads N] [--json PATH]"
+               " [--trace-out FILE] [--metrics-out FILE]\n";
   std::exit(2);
 }
 
@@ -136,6 +140,7 @@ struct ProblemRow {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const ObsArgs obs_args = extract_obs_args(argc, argv);
   const NumericOptionsCli opt = parse(argc, argv);
   const unsigned threads =
       opt.threads > 0 ? opt.threads : default_thread_count();
@@ -144,6 +149,7 @@ int main(int argc, char** argv) {
                "parallelism (scale="
             << opt.scale << ", threads=" << threads
             << (opt.smoke ? ", smoke" : "") << ")\n\n";
+  obs_args.begin();
 
   // ---- 1. kernel sweep on the largest LU fronts ----------------------------
   // PRE2 is the biggest unsymmetric Table-1 problem; its largest fronts
@@ -313,6 +319,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cout << "\nwrote " << opt.json_path << '\n';
+  obs_args.finish();
   if (!arena_matches) {
     std::cerr << "bench_numeric: arena peak diverged from prediction\n";
     return 1;

@@ -13,11 +13,13 @@
 int main(int argc, char** argv) {
   using namespace memfront;
   using namespace memfront::bench;
+  const ObsArgs obs_args = extract_obs_args(argc, argv);
   const BenchOptions opt = parse_options(argc, argv);
 
   std::cout << "Out-of-core planner: minimum feasible per-processor budget\n"
             << opt.nprocs << " simulated processors, scale=" << opt.scale
             << ", per-processor disks\n\n";
+  obs_args.begin();
   TextTable table({"Matrix", "Strategy", "in-core peak (M)", "min budget (M)",
                    "min/peak %", "spill@min (M)", "stall@min %",
                    "slowdown@min x"});
@@ -135,5 +137,6 @@ int main(int argc, char** argv) {
                "blocks through the disk. The write-behind buffer hides the\n"
                "factor stream behind compute: the overlap column is disk\n"
                "time that cost no makespan.\n";
+  obs_args.finish();
   return 0;
 }

@@ -14,7 +14,7 @@
 // future PRs can be diffed against this one.
 //
 //   bench_perf [scale] [nprocs] [--smoke] [--threads N] [--json PATH]
-//              [--assert-cache]
+//              [--assert-cache] [--trace-out FILE] [--metrics-out FILE]
 //
 // --smoke shrinks the sweep for CI (scale 0.3, 8 processors) unless an
 // explicit scale/nprocs is also given. --assert-cache exits nonzero
@@ -31,31 +31,12 @@
 #include "bench_common.hpp"
 #include "memfront/support/parallel_for.hpp"
 
-#if defined(__unix__) || defined(__APPLE__)
-#include <sys/resource.h>
-#endif
-
 namespace {
 
 using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-/// Peak resident set size in kilobytes (0 when the platform hides it).
-long peak_rss_kb() {
-#if defined(__unix__) || defined(__APPLE__)
-  struct rusage usage {};
-  if (getrusage(RUSAGE_SELF, &usage) == 0) {
-#if defined(__APPLE__)
-    return usage.ru_maxrss / 1024;  // bytes on macOS
-#else
-    return usage.ru_maxrss;  // kilobytes on Linux
-#endif
-  }
-#endif
-  return 0;
 }
 
 struct PerfOptions {
@@ -70,7 +51,7 @@ struct PerfOptions {
 [[noreturn]] void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [scale] [nprocs] [--smoke] [--threads N] [--json PATH]"
-               " [--assert-cache]\n";
+               " [--assert-cache] [--trace-out FILE] [--metrics-out FILE]\n";
   std::exit(2);
 }
 
@@ -109,6 +90,7 @@ PerfOptions parse(int argc, char** argv) {
 int main(int argc, char** argv) {
   using namespace memfront;
   using namespace memfront::bench;
+  const ObsArgs obs_args = extract_obs_args(argc, argv);
   const PerfOptions opt = parse(argc, argv);
   const unsigned threads =
       opt.threads > 0 ? opt.threads : default_thread_count();
@@ -116,6 +98,7 @@ int main(int argc, char** argv) {
   std::cout << "bench_perf: simulator throughput (scale=" << opt.scale
             << ", nprocs=" << opt.nprocs << ", threads=" << threads
             << (opt.smoke ? ", smoke" : "") << ")\n\n";
+  obs_args.begin();
 
   // ---- 1. the default Table-1 sweep, parallel legs -------------------------
   PreparedCache::global().reset_stats();
@@ -208,7 +191,8 @@ int main(int argc, char** argv) {
   micro.cell(micro_rate, 0);
   micro.print(std::cout);
 
-  const long rss_kb = peak_rss_kb();
+  const long long rss_bytes = obs::peak_rss_bytes();
+  const long long rss_kb = rss_bytes / 1024;
   std::cout << "\npeak RSS: " << rss_kb << " kB\n";
 
   // ---- BENCH_perf.json ------------------------------------------------------
@@ -238,13 +222,15 @@ int main(int argc, char** argv) {
        << "  \"phase_finalize_s\": " << cache.finalize_seconds << ",\n"
        << "  \"phase_mapping_s\": " << cache.mapping_seconds << ",\n"
        << "  \"phase_analysis_total_s\": " << cache.analysis_seconds << ",\n"
-       << "  \"peak_rss_kb\": " << rss_kb << "\n"
+       << "  \"peak_rss_kb\": " << rss_kb << ",\n"
+       << "  \"peak_rss_bytes\": " << rss_bytes << "\n"
        << "}\n";
   if (!json) {
     std::cerr << "bench_perf: failed to write " << opt.json_path << '\n';
     return 1;
   }
   std::cout << "\nwrote " << opt.json_path << '\n';
+  obs_args.finish();
 
   // Checked after the JSON write so a failing CI run still archives the
   // artifact with the counters that explain the failure.

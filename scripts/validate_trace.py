@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by the obs layer.
+
+Checks the envelope (displayTimeUnit + traceEvents array) and, per
+event, the fields each phase type requires:
+
+    X (complete slice): name, pid, tid, ts, dur >= 0
+    i (instant):        name, pid, tid, ts, s
+    C (counter):        name, pid, tid, ts, numeric args
+    M (metadata):       name in {process_name, thread_name}, args.name
+
+Exits 0 when the file is loadable in Perfetto / chrome://tracing,
+nonzero with a diagnostic otherwise.
+
+usage: validate_trace.py trace.json [trace2.json ...]
+"""
+import json
+import sys
+
+ALLOWED_PHASES = {"X", "i", "C", "M"}
+METADATA_NAMES = {"process_name", "thread_name"}
+
+
+def fail(path, i, msg):
+    print(f"{path}: traceEvents[{i}]: {msg}", file=sys.stderr)
+    return False
+
+
+def check_event(path, i, ev):
+    if not isinstance(ev, dict):
+        return fail(path, i, "event is not an object")
+    ph = ev.get("ph")
+    if ph not in ALLOWED_PHASES:
+        return fail(path, i, f"unknown phase {ph!r}")
+    if not isinstance(ev.get("name"), str) or not ev["name"]:
+        return fail(path, i, "missing/empty name")
+    for key in ("pid", "tid"):
+        if not isinstance(ev.get(key), int):
+            return fail(path, i, f"missing integer {key}")
+    if ph == "M":
+        if ev["name"] not in METADATA_NAMES:
+            return fail(path, i, f"unknown metadata kind {ev['name']!r}")
+        if not isinstance(ev.get("args", {}).get("name"), str):
+            return fail(path, i, "metadata without args.name")
+        return True
+    ts = ev.get("ts")
+    if not isinstance(ts, (int, float)) or ts < 0:
+        return fail(path, i, f"bad ts {ts!r}")
+    if ph == "X":
+        dur = ev.get("dur")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            return fail(path, i, f"bad dur {dur!r}")
+    if ph == "i" and ev.get("s") not in ("t", "p", "g"):
+        return fail(path, i, f"instant without scope: {ev.get('s')!r}")
+    if ph == "C":
+        args = ev.get("args")
+        if not isinstance(args, dict) or not args or not all(
+            isinstance(v, (int, float)) for v in args.values()
+        ):
+            return fail(path, i, f"counter without numeric args: {args!r}")
+    return True
+
+
+def validate(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{path}: {e}", file=sys.stderr)
+        return False
+    if doc.get("displayTimeUnit") not in ("ms", "ns"):
+        print(f"{path}: missing/invalid displayTimeUnit", file=sys.stderr)
+        return False
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        print(f"{path}: traceEvents missing or empty", file=sys.stderr)
+        return False
+    ok = all(check_event(path, i, ev) for i, ev in enumerate(events))
+    if ok:
+        slices = sum(1 for e in events if e["ph"] == "X")
+        tracks = len({(e["pid"], e["tid"]) for e in events})
+        print(f"{path}: OK ({len(events)} events, {slices} slices, "
+              f"{tracks} tracks)")
+    return ok
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    return 0 if all([validate(p) for p in argv[1:]]) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,8 +1,11 @@
 #include "memfront/core/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
+#include "memfront/obs/metrics.hpp"
+#include "memfront/obs/span_tracer.hpp"
 #include "memfront/support/error.hpp"
 
 namespace memfront {
@@ -46,10 +49,17 @@ Engine::Engine(const AssemblyTree& tree, const TreeMemory& memory,
 }
 
 ParallelResult Engine::run() {
+  MEMFRONT_SPAN("sim_run");
+  const auto wall_t0 = std::chrono::steady_clock::now();
   initialize();
   Queue::Event ev;
   while (queue_.pop(ev)) dispatch(ev.payload);
-  return finalize();
+  ParallelResult result = finalize();
+  obs::record_sim_result(
+      result, std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            wall_t0)
+                  .count());
+  return result;
 }
 
 void Engine::dispatch(const SimEvent& ev) {

@@ -33,6 +33,7 @@
 #include "memfront/core/policy.hpp"
 #include "memfront/core/task_pool.hpp"
 #include "memfront/frontal/block_cyclic.hpp"
+#include "memfront/obs/span_tracer.hpp"
 #include "memfront/ooc/engine.hpp"
 #include "memfront/sim/event_queue.hpp"
 #include "memfront/sim/machine.hpp"
@@ -83,6 +84,7 @@ class Engine final : public PolicyHost, public OocHost {
   void record_io(double time, double finish, index_t p, count_t entries,
                  TraceIo kind) override {
     if (trace_) trace_->record_io(time, finish, p, entries, kind);
+    MEMFRONT_INSTANT(trace_io_name(kind), entries);
   }
 
  private:

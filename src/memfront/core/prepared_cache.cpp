@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "memfront/obs/span_tracer.hpp"
 #include "memfront/support/hash.hpp"
 
 namespace memfront {
@@ -221,6 +222,7 @@ struct PreparedCache::Impl {
       ++evicted;
     }
     if (evicted > 0) {
+      MEMFRONT_INSTANT("cache_evict", static_cast<std::int64_t>(evicted));
       std::lock_guard<std::mutex> lock(stats_mutex);
       stats.evictions += evicted;
     }
@@ -261,6 +263,7 @@ struct PreparedCache::Impl {
     auto entry = slot(analyses, key, &PreparedCacheStats::analysis_hits,
                       &PreparedCacheStats::analysis_misses);
     std::call_once(entry->once, [&] {
+      MEMFRONT_SPAN("cache_analysis_miss");
       auto result = std::make_shared<Analysis>(analyze(matrix, key.options));
       std::lock_guard<std::mutex> lock(stats_mutex);
       ++stats.recomputes;
@@ -292,6 +295,7 @@ std::shared_ptr<const PreparedExperiment> PreparedCache::prepared(
                            &PreparedCacheStats::mapping_hits,
                            &PreparedCacheStats::mapping_misses);
   std::call_once(entry->once, [&] {
+    MEMFRONT_SPAN("cache_mapping_miss");
     auto prepared = std::make_shared<PreparedExperiment>(
         make_prepared(impl_->analysis_for(matrix, key.analysis), key.options));
     std::lock_guard<std::mutex> lock(impl_->stats_mutex);
@@ -314,6 +318,7 @@ std::shared_ptr<const PlannerResult> PreparedCache::planner(
                            &PreparedCacheStats::planner_hits,
                            &PreparedCacheStats::planner_misses);
   std::call_once(entry->once, [&] {
+    MEMFRONT_SPAN("cache_planner_miss");
     using Clock = std::chrono::steady_clock;
     const auto start = Clock::now();
     const std::shared_ptr<const PreparedExperiment> prep =

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "memfront/obs/span_tracer.hpp"
 #include "memfront/support/error.hpp"
 
 namespace memfront {
@@ -30,11 +31,13 @@ double* FrontalArena::push(std::size_t count) {
         slabs_[next].data.size() >= count) {
       top_ = next;
     } else {
-      slabs_.insert(
-          slabs_.begin() + static_cast<std::ptrdiff_t>(next),
-          {std::vector<double>(std::max(count, kMinSlabDoubles)), 0});
+      const std::size_t slab_doubles = std::max(count, kMinSlabDoubles);
+      slabs_.insert(slabs_.begin() + static_cast<std::ptrdiff_t>(next),
+                    {std::vector<double>(slab_doubles), 0});
       ++growths_;
       top_ = next;
+      MEMFRONT_INSTANT("arena_slab",
+                       static_cast<std::int64_t>(slab_doubles));
     }
   }
   Slab& slab = slabs_[top_];

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "memfront/obs/span_tracer.hpp"
 #include "memfront/support/error.hpp"
 
 namespace memfront {
@@ -125,58 +126,66 @@ PartialFactorResult partial_lu_blocked(FrontView f, index_t npiv) {
 
   for (index_t k0 = 0; k0 < npiv; k0 += kPanelWidth) {
     const index_t k1 = std::min<index_t>(k0 + kPanelWidth, npiv);
-    // Panel factorization: scalar right-looking on columns [k0,k1), full
-    // rows, interchanges applied panel-locally. Column k is fully updated
-    // (earlier panels via their trailing updates, this panel right here)
-    // when its pivot search runs, so the search sees the scalar values.
-    for (index_t k = k0; k < k1; ++k) {
-      index_t piv = k;
-      double best = std::abs(f.at(k, k));
-      for (index_t r = k + 1; r < npiv; ++r) {
-        const double v = std::abs(f.at(r, k));
-        if (v > best) {
-          best = v;
-          piv = r;
+    {
+      MEMFRONT_SPAN("panel", k0);
+      // Panel factorization: scalar right-looking on columns [k0,k1), full
+      // rows, interchanges applied panel-locally. Column k is fully updated
+      // (earlier panels via their trailing updates, this panel right here)
+      // when its pivot search runs, so the search sees the scalar values.
+      for (index_t k = k0; k < k1; ++k) {
+        index_t piv = k;
+        double best = std::abs(f.at(k, k));
+        for (index_t r = k + 1; r < npiv; ++r) {
+          const double v = std::abs(f.at(r, k));
+          if (v > best) {
+            best = v;
+            piv = r;
+          }
+        }
+        if (piv != k)
+          for (index_t c = k0; c < k1; ++c)
+            std::swap(f.at(k, c), f.at(piv, c));
+        result.pivot_rows.push_back(piv);
+        double d = f.at(k, k);
+        if (std::abs(d) < kPivotFloor) {
+          d = perturbed_pivot(d);
+          f.at(k, k) = d;
+          ++result.perturbations;
+        }
+        double* lcol = f.col(k);
+        for (index_t r = k + 1; r < n; ++r) lcol[r] /= d;
+        for (index_t c = k + 1; c < k1; ++c) {
+          const double ukc = f.at(k, c);
+          double* col = f.col(c);
+          for (index_t r = k + 1; r < n; ++r) col[r] -= lcol[r] * ukc;
         }
       }
-      if (piv != k)
-        for (index_t c = k0; c < k1; ++c) std::swap(f.at(k, c), f.at(piv, c));
-      result.pivot_rows.push_back(piv);
-      double d = f.at(k, k);
-      if (std::abs(d) < kPivotFloor) {
-        d = perturbed_pivot(d);
-        f.at(k, k) = d;
-        ++result.perturbations;
+      // Bring the rest of the front in line with the interchanges, oldest
+      // pivot first (row contents just move; values are untouched).
+      for (index_t k = k0; k < k1; ++k) {
+        const index_t piv = result.pivot_rows[static_cast<std::size_t>(k)];
+        if (piv == k) continue;
+        for (index_t c = 0; c < k0; ++c) std::swap(f.at(k, c), f.at(piv, c));
+        for (index_t c = k1; c < n; ++c) std::swap(f.at(k, c), f.at(piv, c));
       }
-      double* lcol = f.col(k);
-      for (index_t r = k + 1; r < n; ++r) lcol[r] /= d;
-      for (index_t c = k + 1; c < k1; ++c) {
-        const double ukc = f.at(k, c);
-        double* col = f.col(c);
-        for (index_t r = k + 1; r < n; ++r) col[r] -= lcol[r] * ukc;
-      }
-    }
-    // Bring the rest of the front in line with the interchanges, oldest
-    // pivot first (row contents just move; values are untouched).
-    for (index_t k = k0; k < k1; ++k) {
-      const index_t piv = result.pivot_rows[static_cast<std::size_t>(k)];
-      if (piv == k) continue;
-      for (index_t c = 0; c < k0; ++c) std::swap(f.at(k, c), f.at(piv, c));
-      for (index_t c = k1; c < n; ++c) std::swap(f.at(k, c), f.at(piv, c));
     }
     if (k1 == n) continue;
-    // U12 rows of this panel: unit-lower triangular solve. Each element
-    // (r,c) subtracts its products for k = k0..r-1 in order — the scalar
-    // loop's exact sequence for those rows.
-    for (index_t c = k1; c < n; ++c) {
-      double* col = f.col(c);
-      for (index_t r = k0 + 1; r < k1; ++r) {
-        double s = col[r];
-        for (index_t k = k0; k < r; ++k) s -= f.at(r, k) * col[k];
-        col[r] = s;
+    {
+      MEMFRONT_SPAN("trsm", k0);
+      // U12 rows of this panel: unit-lower triangular solve. Each element
+      // (r,c) subtracts its products for k = k0..r-1 in order — the scalar
+      // loop's exact sequence for those rows.
+      for (index_t c = k1; c < n; ++c) {
+        double* col = f.col(c);
+        for (index_t r = k0 + 1; r < k1; ++r) {
+          double s = col[r];
+          for (index_t k = k0; k < r; ++k) s -= f.at(r, k) * col[k];
+          col[r] = s;
+        }
       }
     }
     // Trailing Schur update: rows/cols >= k1 against this panel's L and U.
+    MEMFRONT_SPAN("schur", k0);
     schur_update(n - k1, n - k1, k1 - k0, &f.at(k1, k0), f.ld, &f.at(k0, k1),
                  f.ld, &f.at(k1, k1), f.ld);
   }
@@ -192,37 +201,44 @@ PartialFactorResult partial_ldlt_blocked(FrontView f, index_t npiv) {
 
   for (index_t k0 = 0; k0 < npiv; k0 += kPanelWidth) {
     const index_t k1 = std::min<index_t>(k0 + kPanelWidth, npiv);
-    for (index_t k = k0; k < k1; ++k) {
-      result.pivot_rows.push_back(k);  // no pivoting
-      double d = f.at(k, k);
-      if (std::abs(d) < kPivotFloor) {
-        d = perturbed_pivot(d);
-        f.at(k, k) = d;
-        ++result.perturbations;
+    {
+      MEMFRONT_SPAN("panel", k0);
+      for (index_t k = k0; k < k1; ++k) {
+        result.pivot_rows.push_back(k);  // no pivoting
+        double d = f.at(k, k);
+        if (std::abs(d) < kPivotFloor) {
+          d = perturbed_pivot(d);
+          f.at(k, k) = d;
+          ++result.perturbations;
+        }
+        double* lcol = f.col(k);
+        for (index_t r = k + 1; r < n; ++r) lcol[r] /= d;
+        for (index_t c = k + 1; c < k1; ++c) {
+          const double lck = f.at(c, k);
+          const double w = lck * d;
+          double* col = f.col(c);
+          for (index_t r = k + 1; r < n; ++r) col[r] -= lcol[r] * w;
+        }
+        // Panel part of the mirrored pivot row (Lᵀ view).
+        for (index_t r = k + 1; r < k1; ++r) f.at(k, r) = f.at(r, k) * d;
       }
-      double* lcol = f.col(k);
-      for (index_t r = k + 1; r < n; ++r) lcol[r] /= d;
-      for (index_t c = k + 1; c < k1; ++c) {
-        const double lck = f.at(c, k);
-        const double w = lck * d;
-        double* col = f.col(c);
-        for (index_t r = k + 1; r < n; ++r) col[r] -= lcol[r] * w;
-      }
-      // Panel part of the mirrored pivot row (Lᵀ view).
-      for (index_t r = k + 1; r < k1; ++r) f.at(k, r) = f.at(r, k) * d;
     }
     if (k1 == n) continue;
-    // Trailing part of the mirrored pivot rows. These are exactly the
-    // scalar loop's `w = l(c,k) * d` values, written where the scalar
-    // mirror would land them — so the block below IS the GEMM's B operand
-    // and the trailing columns' panel rows are final without any update
-    // (the scalar loop's updates to those rows are dead stores: the
-    // mirror at step r overwrites row r before anything reads it).
-    for (index_t k = k0; k < k1; ++k) {
-      const double d = f.at(k, k);
-      const double* lcol = f.col(k);
-      for (index_t c = k1; c < n; ++c) f.at(k, c) = lcol[c] * d;
+    {
+      MEMFRONT_SPAN("trsm", k0);
+      // Trailing part of the mirrored pivot rows. These are exactly the
+      // scalar loop's `w = l(c,k) * d` values, written where the scalar
+      // mirror would land them — so the block below IS the GEMM's B operand
+      // and the trailing columns' panel rows are final without any update
+      // (the scalar loop's updates to those rows are dead stores: the
+      // mirror at step r overwrites row r before anything reads it).
+      for (index_t k = k0; k < k1; ++k) {
+        const double d = f.at(k, k);
+        const double* lcol = f.col(k);
+        for (index_t c = k1; c < n; ++c) f.at(k, c) = lcol[c] * d;
+      }
     }
+    MEMFRONT_SPAN("schur", k0);
     schur_update(n - k1, n - k1, k1 - k0, &f.at(k1, k0), f.ld, &f.at(k0, k1),
                  f.ld, &f.at(k1, k1), f.ld);
   }

@@ -1,0 +1,161 @@
+#include "memfront/obs/chrome_trace.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "memfront/sim/trace.hpp"
+
+namespace memfront::obs {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Microseconds with nanosecond resolution, the trace-event time unit.
+std::string fmt_us(double us) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", us);
+  return buf;
+}
+
+std::string metadata_event(const char* kind, int pid, int tid,
+                           const std::string& name) {
+  std::ostringstream os;
+  os << "{\"name\": \"" << kind << "\", \"ph\": \"M\", \"pid\": " << pid
+     << ", \"tid\": " << tid << ", \"args\": {\"name\": \""
+     << json_escape(name) << "\"}}";
+  return os.str();
+}
+
+}  // namespace
+
+void ChromeTraceWriter::add_tracer_snapshot(
+    const std::vector<Tracer::TrackSnapshot>& tracks,
+    const std::string& process_name) {
+  const int pid = next_pid_++;
+  events_.push_back(metadata_event("process_name", pid, 0, process_name));
+  for (const Tracer::TrackSnapshot& track : tracks) {
+    const int tid = static_cast<int>(track.tid);
+    std::string thread_name =
+        !track.name.empty() ? track.name : "thread-" + std::to_string(tid);
+    events_.push_back(metadata_event("thread_name", pid, tid, thread_name));
+    dropped_ += track.dropped;
+    for (const TraceEvent& ev : track.events) {
+      std::ostringstream os;
+      const double ts_us = static_cast<double>(ev.t0_ns) / 1000.0;
+      switch (ev.kind) {
+        case TraceEventKind::kSpan: {
+          const double dur_us =
+              static_cast<double>(ev.t1_ns - ev.t0_ns) / 1000.0;
+          os << "{\"name\": \"" << ev.name << "\", \"ph\": \"X\", \"pid\": "
+             << pid << ", \"tid\": " << tid << ", \"ts\": " << fmt_us(ts_us)
+             << ", \"dur\": " << fmt_us(dur_us);
+          if (ev.arg >= 0) os << ", \"args\": {\"id\": " << ev.arg << "}";
+          os << "}";
+          break;
+        }
+        case TraceEventKind::kInstant:
+          os << "{\"name\": \"" << ev.name
+             << "\", \"ph\": \"i\", \"s\": \"t\", \"pid\": " << pid
+             << ", \"tid\": " << tid << ", \"ts\": " << fmt_us(ts_us);
+          if (ev.arg >= 0) os << ", \"args\": {\"id\": " << ev.arg << "}";
+          os << "}";
+          break;
+        case TraceEventKind::kCounter:
+          os << "{\"name\": \"" << ev.name << "\", \"ph\": \"C\", \"pid\": "
+             << pid << ", \"tid\": " << tid << ", \"ts\": " << fmt_us(ts_us)
+             << ", \"args\": {\"value\": " << ev.arg << "}}";
+          break;
+      }
+      events_.push_back(os.str());
+    }
+  }
+}
+
+void ChromeTraceWriter::add_sim_timeline(const std::string& label,
+                                         const Trace& trace) {
+  const int pid = next_pid_++;
+  events_.push_back(metadata_event("process_name", pid, 0, label));
+
+  std::set<index_t> procs;
+  for (const Trace::Sample& s : trace.samples()) procs.insert(s.proc);
+  for (const Trace::IoSample& s : trace.io_samples()) procs.insert(s.proc);
+  for (const Trace::Annotation& a : trace.annotations()) procs.insert(a.proc);
+  for (index_t p : procs)
+    events_.push_back(metadata_event("thread_name", pid, static_cast<int>(p),
+                                     "proc-" + std::to_string(p)));
+
+  // Simulated seconds -> the shared microsecond axis.
+  constexpr double kSecToUs = 1e6;
+  for (const Trace::Sample& s : trace.samples()) {
+    std::ostringstream os;
+    os << "{\"name\": \"stack.p" << s.proc << "\", \"ph\": \"C\", \"pid\": "
+       << pid << ", \"tid\": " << s.proc << ", \"ts\": "
+       << fmt_us(s.time * kSecToUs) << ", \"args\": {\"entries\": "
+       << s.stack_entries << "}}";
+    events_.push_back(os.str());
+  }
+  for (const Trace::IoSample& s : trace.io_samples()) {
+    std::ostringstream os;
+    os << "{\"name\": \"" << trace_io_name(s.kind)
+       << "\", \"ph\": \"X\", \"pid\": " << pid << ", \"tid\": " << s.proc
+       << ", \"ts\": " << fmt_us(s.time * kSecToUs) << ", \"dur\": "
+       << fmt_us((s.finish - s.time) * kSecToUs)
+       << ", \"args\": {\"entries\": " << s.entries << "}}";
+    events_.push_back(os.str());
+  }
+  for (const Trace::Annotation& a : trace.annotations()) {
+    std::ostringstream os;
+    os << "{\"name\": \"" << json_escape(a.label)
+       << "\", \"ph\": \"i\", \"s\": \"t\", \"pid\": " << pid
+       << ", \"tid\": " << a.proc << ", \"ts\": " << fmt_us(a.time * kSecToUs)
+       << "}";
+    events_.push_back(os.str());
+  }
+}
+
+void ChromeTraceWriter::write(std::ostream& os) const {
+  os << "{\"displayTimeUnit\": \"ms\",\n \"traceEvents\": [";
+  bool first = true;
+  for (const std::string& ev : events_) {
+    os << (first ? "\n  " : ",\n  ") << ev;
+    first = false;
+  }
+  os << "\n]}\n";
+}
+
+void write_stack_csv(std::ostream& os, const Trace& trace) {
+  os << "time,proc,stack_entries\n";
+  for (const Trace::Sample& s : trace.samples())
+    os << s.time << ',' << s.proc << ',' << s.stack_entries << '\n';
+}
+
+void write_io_csv(std::ostream& os, const Trace& trace) {
+  os << "time,finish,proc,entries,kind\n";
+  for (const Trace::IoSample& s : trace.io_samples())
+    os << s.time << ',' << s.finish << ',' << s.proc << ',' << s.entries
+       << ',' << trace_io_name(s.kind) << '\n';
+}
+
+}  // namespace memfront::obs

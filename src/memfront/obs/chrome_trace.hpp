@@ -1,0 +1,63 @@
+// Chrome trace-event JSON export (Perfetto / chrome://tracing loadable)
+// plus the one CSV convention the sim trace delegates to.
+//
+// A ChromeTraceWriter merges timelines from different sources into one
+// document:
+//   - add_tracer_snapshot(): the real-execution spans recorded by
+//     obs::Tracer, one thread track per worker, under the "real run"
+//     process row (timestamps: nanoseconds since the tracer epoch).
+//   - add_sim_timeline(): a simulator Trace re-emitted on the same
+//     microsecond axis under its own process row (stack samples as
+//     per-processor counter tracks, disk operations as slices,
+//     annotations as instants), so a simulated schedule and a real run
+//     of the same problem render side by side.
+//
+// Output shape: {"displayTimeUnit": "ms", "traceEvents": [...]} with
+// "M" metadata events naming every process and thread track.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "memfront/obs/span_tracer.hpp"
+
+namespace memfront {
+class Trace;
+}  // namespace memfront
+
+namespace memfront::obs {
+
+class ChromeTraceWriter {
+ public:
+  /// Adds every per-thread track of a Tracer snapshot under one process
+  /// row (default name "real run").
+  void add_tracer_snapshot(const std::vector<Tracer::TrackSnapshot>& tracks,
+                           const std::string& process_name = "real run");
+
+  /// Re-emits a simulator Trace under its own process row named `label`.
+  /// Simulated seconds land on the shared microsecond axis.
+  void add_sim_timeline(const std::string& label, const Trace& trace);
+
+  /// The assembled JSON document.
+  void write(std::ostream& os) const;
+
+  /// Total events dropped to ring wraparound across added snapshots.
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  int next_pid_ = 1;
+  std::uint64_t dropped_ = 0;
+  std::vector<std::string> events_;  // pre-rendered JSON objects
+};
+
+// ---- the CSV convention (sim/trace.cpp delegates here) ---------------------
+//
+// Legacy formats, byte-for-byte:
+//   stack: "time,proc,stack_entries" — one line per recorded change
+//   io:    "time,finish,proc,entries,kind" — one line per disk operation
+
+void write_stack_csv(std::ostream& os, const Trace& trace);
+void write_io_csv(std::ostream& os, const Trace& trace);
+
+}  // namespace memfront::obs

@@ -1,0 +1,282 @@
+#include "memfront/obs/metrics.hpp"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <ostream>
+
+#include "memfront/core/parallel_factor.hpp"
+#include "memfront/core/prepared_cache.hpp"
+#include "memfront/solver/parallel_numeric.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace memfront::obs {
+
+void Histogram::observe(std::int64_t v) noexcept {
+  std::size_t idx = 0;
+  if (v > 0)
+    idx = static_cast<std::size_t>(
+        std::bit_width(static_cast<std::uint64_t>(v)));
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  std::int64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<std::int64_t>::max(),
+             std::memory_order_relaxed);
+  max_.store(std::numeric_limits<std::int64_t>::min(),
+             std::memory_order_relaxed);
+}
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mutex;
+  // std::map: sorted iteration gives a stable JSON layout; unique_ptr
+  // slots give stable references across rehash-free growth.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(std::make_unique<Impl>()) {}
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto& slot = impl_->counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto& slot = impl_->gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto& slot = impl_->histograms[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>();
+    slot->reset();  // min/max start at the identity elements
+  }
+  return *slot;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->counters.find(name);
+  return it != impl_->counters.end() ? it->second.get() : nullptr;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->gauges.find(name);
+  return it != impl_->gauges.end() ? it->second.get() : nullptr;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->histograms.find(name);
+  return it != impl_->histograms.end() ? it->second.get() : nullptr;
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : impl_->counters) {
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": " << c->value();
+    first = false;
+  }
+  os << (first ? "},\n" : "\n  },\n");
+  os << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : impl_->gauges) {
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": " << g->value();
+    first = false;
+  }
+  os << (first ? "},\n" : "\n  },\n");
+  os << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : impl_->histograms) {
+    const std::int64_t n = h->count();
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": {\"count\": " << n
+       << ", \"sum\": " << h->sum() << ", \"min\": " << (n > 0 ? h->min() : 0)
+       << ", \"max\": " << (n > 0 ? h->max() : 0) << ", \"mean\": "
+       << (n > 0 ? static_cast<double>(h->sum()) / static_cast<double>(n)
+                 : 0.0)
+       << ", \"buckets\": [";
+    bool bfirst = true;
+    // Bucket i counts observations v with bit_width(v) == i, i.e.
+    // v in [2^(i-1), 2^i); bucket 0 counts v <= 0.
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      const std::int64_t c = h->bucket(i);
+      if (c == 0) continue;
+      os << (bfirst ? "" : ", ") << "{\"pow2\": " << i << ", \"count\": " << c
+         << "}";
+      bfirst = false;
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "}\n" : "\n  }\n") << "}\n";
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (auto& [name, c] : impl_->counters) c->reset();
+  for (auto& [name, g] : impl_->gauges) g->reset();
+  for (auto& [name, h] : impl_->histograms) h->reset();
+}
+
+std::int64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    return static_cast<std::int64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+    return static_cast<std::int64_t>(usage.ru_maxrss) * 1024;  // kB on Linux
+#endif
+  }
+#endif
+  return 0;
+}
+
+// ---- adapters --------------------------------------------------------------
+
+namespace {
+
+inline std::int64_t seconds_to_ns(double s) {
+  return static_cast<std::int64_t>(std::llround(s * 1e9));
+}
+inline std::int64_t seconds_to_us(double s) {
+  return static_cast<std::int64_t>(std::llround(s * 1e6));
+}
+
+}  // namespace
+
+void record_factor_stats(const FactorStats& stats) {
+  MetricsRegistry& m = MetricsRegistry::global();
+  m.counter("solver.factor.runs").add();
+  m.counter("solver.factor.factor_entries").add(stats.factor_entries);
+  m.counter("solver.factor.perturbations").add(stats.perturbations);
+  m.counter("solver.factor.arena_slabs").add(stats.arena_slabs);
+  m.gauge("solver.factor.stack_peak_entries")
+      .max_of(stats.measured_stack_peak);
+  m.gauge("solver.factor.stack_peak_bytes")
+      .max_of(entries_to_bytes(stats.measured_stack_peak));
+  m.gauge("solver.factor.arena_peak_doubles")
+      .max_of(stats.arena_peak_doubles);
+  m.gauge("solver.factor.arena_peak_bytes")
+      .max_of(doubles_to_bytes(stats.arena_peak_doubles));
+}
+
+void record_parallel_numeric_stats(const ParallelNumericStats& stats,
+                                   double wall_seconds) {
+  MetricsRegistry& m = MetricsRegistry::global();
+  m.counter("solver.parallel.runs").add();
+  m.counter("solver.parallel.subtree_tasks").add(stats.num_subtrees);
+  m.counter("solver.parallel.upper_tasks").add(stats.num_upper_nodes);
+  m.gauge("solver.parallel.workers").set(stats.workers);
+  m.gauge("solver.parallel.max_arena_peak_doubles")
+      .max_of(stats.max_arena_peak_doubles);
+  m.gauge("solver.parallel.max_arena_peak_bytes")
+      .max_of(doubles_to_bytes(stats.max_arena_peak_doubles));
+  m.gauge("solver.parallel.total_arena_peak_doubles")
+      .max_of(stats.total_arena_peak_doubles);
+  m.gauge("solver.parallel.total_arena_peak_bytes")
+      .max_of(doubles_to_bytes(stats.total_arena_peak_doubles));
+  m.histogram("solver.parallel.run_wall_ns")
+      .observe(seconds_to_ns(wall_seconds));
+}
+
+void record_sim_result(const ParallelResult& result, double wall_seconds) {
+  MetricsRegistry& m = MetricsRegistry::global();
+  m.counter("sim.runs").add();
+  m.counter("sim.events_processed")
+      .add(static_cast<std::int64_t>(result.events_processed));
+  m.counter("sim.io_events").add(static_cast<std::int64_t>(result.io_events));
+  m.counter("sim.messages").add(result.messages);
+  m.counter("sim.comm_entries").add(result.comm_entries);
+  m.gauge("sim.max_stack_peak_entries").max_of(result.max_stack_peak);
+  m.gauge("sim.max_stack_peak_bytes")
+      .max_of(entries_to_bytes(result.max_stack_peak));
+  m.histogram("sim.run_wall_ns").observe(seconds_to_ns(wall_seconds));
+  if (wall_seconds > 0.0)
+    m.gauge("sim.last_events_per_sec")
+        .set(static_cast<std::int64_t>(
+            static_cast<double>(result.events_processed) / wall_seconds));
+  if (result.ooc_enabled) {
+    m.counter("sim.ooc.runs").add();
+    m.counter("sim.ooc.factor_write_entries")
+        .add(result.ooc_factor_write_entries);
+    m.counter("sim.ooc.spill_entries").add(result.ooc_spill_entries);
+    m.counter("sim.ooc.reload_entries").add(result.ooc_reload_entries);
+    // Simulated seconds, kept at microsecond resolution so the counters
+    // stay integers.
+    m.counter("sim.ooc.stall_sim_us").add(seconds_to_us(result.ooc_stall_time));
+    m.counter("sim.ooc.overlap_sim_us")
+        .add(seconds_to_us(result.ooc_overlap_time));
+    m.gauge("sim.ooc.buffer_high_water_entries")
+        .max_of(result.ooc_buffer_high_water);
+    m.gauge("sim.ooc.overrun_peak_entries").max_of(result.ooc_overrun_peak);
+  }
+}
+
+void record_cache_stats(const PreparedCacheStats& stats) {
+  MetricsRegistry& m = MetricsRegistry::global();
+  // The cache keeps its own monotone counters; mirror the snapshot as
+  // absolute gauge values instead of re-accumulating.
+  m.gauge("cache.analysis_hits").set(static_cast<std::int64_t>(stats.analysis_hits));
+  m.gauge("cache.analysis_misses")
+      .set(static_cast<std::int64_t>(stats.analysis_misses));
+  m.gauge("cache.mapping_hits").set(static_cast<std::int64_t>(stats.mapping_hits));
+  m.gauge("cache.mapping_misses")
+      .set(static_cast<std::int64_t>(stats.mapping_misses));
+  m.gauge("cache.planner_hits").set(static_cast<std::int64_t>(stats.planner_hits));
+  m.gauge("cache.planner_misses")
+      .set(static_cast<std::int64_t>(stats.planner_misses));
+  m.gauge("cache.recomputes").set(static_cast<std::int64_t>(stats.recomputes));
+  m.gauge("cache.evictions").set(static_cast<std::int64_t>(stats.evictions));
+  const std::uint64_t lookups = stats.hits() + stats.misses();
+  if (lookups > 0)
+    m.gauge("cache.hit_ratio_ppm")
+        .set(static_cast<std::int64_t>(stats.hits() * 1'000'000 / lookups));
+  m.gauge("cache.analysis_seconds_us")
+      .set(seconds_to_us(stats.analysis_seconds));
+  m.gauge("cache.mapping_seconds_us").set(seconds_to_us(stats.mapping_seconds));
+  m.gauge("cache.planner_seconds_us").set(seconds_to_us(stats.planner_seconds));
+}
+
+void record_process_metrics() {
+  MetricsRegistry::global().gauge("process.peak_rss_bytes")
+      .set(peak_rss_bytes());
+}
+
+}  // namespace memfront::obs

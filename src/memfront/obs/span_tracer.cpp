@@ -1,0 +1,143 @@
+#include "memfront/obs/span_tracer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+
+namespace memfront::obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kDefaultRingCapacity = 1 << 16;  // events per thread
+
+}  // namespace
+
+std::atomic<bool> Tracer::enabled_{false};
+
+/// One thread's bounded event ring. Only its owning thread writes; the
+/// snapshot reader runs after that thread has been joined (or is
+/// otherwise quiescent), so the plain fields need no atomics.
+struct Tracer::ThreadTrack {
+  std::uint32_t tid = 0;
+  std::string name;
+  std::vector<TraceEvent> ring;  // pre-sized to capacity at registration
+  std::uint64_t writes = 0;      // monotone; slot = writes % ring.size()
+
+  void record(const TraceEvent& ev) {
+    ring[static_cast<std::size_t>(writes % ring.size())] = ev;
+    ++writes;
+  }
+};
+
+struct Tracer::Impl {
+  mutable std::mutex registry_mutex;
+  std::vector<std::unique_ptr<ThreadTrack>> tracks;  // stable addresses
+  std::size_t ring_capacity = kDefaultRingCapacity;
+  /// Bumped by clear(); invalidates cached thread-local track pointers.
+  /// Atomic so the hot path can validate its cache without the mutex.
+  std::atomic<std::uint64_t> epoch_id{0};
+  Clock::time_point epoch = Clock::now();
+};
+
+namespace {
+/// The calling thread's cached track, valid for one tracer epoch.
+struct CachedTrack {
+  Tracer::ThreadTrack* track = nullptr;
+  std::uint64_t epoch_id = ~std::uint64_t{0};
+};
+thread_local CachedTrack tl_track;
+}  // namespace
+
+Tracer::Tracer() : impl_(std::make_unique<Impl>()) {}
+Tracer::~Tracer() = default;
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::uint64_t Tracer::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           impl_->epoch)
+          .count());
+}
+
+Tracer::ThreadTrack& Tracer::track() {
+  // Hot path: the cached per-thread pointer, validated against the epoch
+  // without touching the registry mutex.
+  const std::uint64_t current =
+      impl_->epoch_id.load(std::memory_order_acquire);
+  if (tl_track.track != nullptr && tl_track.epoch_id == current)
+    return *tl_track.track;
+  std::lock_guard<std::mutex> lock(impl_->registry_mutex);
+  auto track = std::make_unique<ThreadTrack>();
+  track->tid = static_cast<std::uint32_t>(impl_->tracks.size());
+  track->ring.resize(impl_->ring_capacity);
+  impl_->tracks.push_back(std::move(track));
+  tl_track.track = impl_->tracks.back().get();
+  tl_track.epoch_id = impl_->epoch_id.load(std::memory_order_relaxed);
+  return *tl_track.track;
+}
+
+void Tracer::record_span(const char* name, std::uint64_t t0_ns,
+                         std::uint64_t t1_ns, std::int64_t id) {
+  track().record({t0_ns, t1_ns, name, id, TraceEventKind::kSpan});
+}
+
+void Tracer::record_instant(const char* name, std::int64_t id) {
+  const std::uint64_t t = now_ns();
+  track().record({t, t, name, id, TraceEventKind::kInstant});
+}
+
+void Tracer::record_counter(const char* name, std::int64_t value) {
+  const std::uint64_t t = now_ns();
+  track().record({t, t, name, value, TraceEventKind::kCounter});
+}
+
+void Tracer::set_thread_name(std::string name) {
+  track().name = std::move(name);
+}
+
+void Tracer::set_ring_capacity(std::size_t events) {
+  std::lock_guard<std::mutex> lock(impl_->registry_mutex);
+  impl_->ring_capacity = events > 0 ? events : 1;
+}
+
+std::size_t Tracer::ring_capacity() const {
+  std::lock_guard<std::mutex> lock(impl_->registry_mutex);
+  return impl_->ring_capacity;
+}
+
+std::vector<Tracer::TrackSnapshot> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->registry_mutex);
+  std::vector<TrackSnapshot> out;
+  out.reserve(impl_->tracks.size());
+  for (const auto& track : impl_->tracks) {
+    TrackSnapshot snap;
+    snap.tid = track->tid;
+    snap.name = track->name;
+    const std::uint64_t cap = track->ring.size();
+    const std::uint64_t kept = std::min<std::uint64_t>(track->writes, cap);
+    snap.dropped = track->writes - kept;
+    snap.events.reserve(static_cast<std::size_t>(kept));
+    // Oldest surviving event first: the ring holds writes [writes-kept,
+    // writes), each at slot (write index % cap).
+    for (std::uint64_t w = track->writes - kept; w < track->writes; ++w)
+      snap.events.push_back(track->ring[static_cast<std::size_t>(w % cap)]);
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(impl_->registry_mutex);
+  impl_->tracks.clear();
+  // Cached thread_local pointers become stale and re-register. Like
+  // snapshot(), clear() requires quiescence: no thread may be recording.
+  impl_->epoch_id.fetch_add(1, std::memory_order_release);
+  impl_->epoch = Clock::now();
+}
+
+}  // namespace memfront::obs

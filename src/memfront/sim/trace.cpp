@@ -2,6 +2,8 @@
 
 #include <ostream>
 
+#include "memfront/obs/chrome_trace.hpp"
+
 namespace memfront {
 
 const char* trace_io_name(TraceIo kind) {
@@ -13,17 +15,16 @@ const char* trace_io_name(TraceIo kind) {
   return "?";
 }
 
+// Deprecated thin wrappers: the format convention lives in
+// obs/chrome_trace.cpp alongside the Chrome trace-event exporter, so the
+// sim trace and the real-execution tracer share one timestamp/format
+// home. Output is byte-identical to the historical CSV.
 void Trace::write_csv(std::ostream& os) const {
-  os << "time,proc,stack_entries\n";
-  for (const Sample& s : samples_)
-    os << s.time << ',' << s.proc << ',' << s.stack_entries << '\n';
+  obs::write_stack_csv(os, *this);
 }
 
 void Trace::write_io_csv(std::ostream& os) const {
-  os << "time,finish,proc,entries,kind\n";
-  for (const IoSample& s : io_samples_)
-    os << s.time << ',' << s.finish << ',' << s.proc << ',' << s.entries
-       << ',' << trace_io_name(s.kind) << '\n';
+  obs::write_io_csv(os, *this);
 }
 
 }  // namespace memfront

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "memfront/frontal/extend_add.hpp"
+#include "memfront/obs/metrics.hpp"
+#include "memfront/obs/span_tracer.hpp"
 #include "memfront/support/error.hpp"
 
 namespace memfront::numeric_detail {
@@ -11,6 +13,9 @@ index_t process_front(const FrontContext& ctx, index_t i,
                       std::span<const double* const> child_cbs,
                       FrontWorkspace& ws, FrontView front, NodeFactor& out,
                       std::vector<index_t>& row_of) {
+  MEMFRONT_SPAN("factor_front", i);
+  const std::uint64_t front_t0 =
+      obs::Tracer::enabled() ? obs::Tracer::global().now_ns() : 0;
   const AssemblyTree& tree = *ctx.tree;
   const CscMatrix& a = *ctx.a;
   const bool sym = ctx.symmetric;
@@ -23,30 +28,33 @@ index_t process_front(const FrontContext& ctx, index_t i,
   for (index_t r = 0; r < nfront; ++r)
     ws.local[static_cast<std::size_t>(rows[r])] = r;
 
-  // Assemble original entries owned by this node's pivots.
-  for (index_t c = fc; c < fc + npiv; ++c) {
-    const index_t lc = c - fc;
-    auto cr = a.column(c);
-    auto cv = a.column_values(c);
-    for (std::size_t k = 0; k < cr.size(); ++k) {
-      const index_t r = cr[k];
-      if (r < fc) continue;  // assembled at an earlier node
-      const index_t lr = ws.local[static_cast<std::size_t>(r)];
-      check(lr != kNone, "numeric_factorize: entry outside front");
-      front.at(lr, lc) += cv[k];
-      // Symmetric storage keeps the full square in sync; the mirror of a
-      // pivot-block entry arrives via the other pivot's column.
-      if (sym && r >= fc + npiv) front.at(lc, lr) += cv[k];
-    }
-    if (!sym) {
-      auto rr = ctx.at->column(c);
-      auto rv = ctx.at->column_values(c);
-      for (std::size_t k = 0; k < rr.size(); ++k) {
-        const index_t x = rr[k];
-        if (x < fc + npiv) continue;  // pivot block handled above
-        const index_t lx = ws.local[static_cast<std::size_t>(x)];
-        check(lx != kNone, "numeric_factorize: row entry outside front");
-        front.at(lc, lx) += rv[k];
+  {
+    MEMFRONT_SPAN("assemble", i);
+    // Assemble original entries owned by this node's pivots.
+    for (index_t c = fc; c < fc + npiv; ++c) {
+      const index_t lc = c - fc;
+      auto cr = a.column(c);
+      auto cv = a.column_values(c);
+      for (std::size_t k = 0; k < cr.size(); ++k) {
+        const index_t r = cr[k];
+        if (r < fc) continue;  // assembled at an earlier node
+        const index_t lr = ws.local[static_cast<std::size_t>(r)];
+        check(lr != kNone, "numeric_factorize: entry outside front");
+        front.at(lr, lc) += cv[k];
+        // Symmetric storage keeps the full square in sync; the mirror of a
+        // pivot-block entry arrives via the other pivot's column.
+        if (sym && r >= fc + npiv) front.at(lc, lr) += cv[k];
+      }
+      if (!sym) {
+        auto rr = ctx.at->column(c);
+        auto rv = ctx.at->column_values(c);
+        for (std::size_t k = 0; k < rr.size(); ++k) {
+          const index_t x = rr[k];
+          if (x < fc + npiv) continue;  // pivot block handled above
+          const index_t lx = ws.local[static_cast<std::size_t>(x)];
+          check(lx != kNone, "numeric_factorize: row entry outside front");
+          front.at(lc, lx) += rv[k];
+        }
       }
     }
   }
@@ -56,26 +64,32 @@ index_t process_front(const FrontContext& ctx, index_t i,
   const auto children = tree.children(i);
   check(children.size() == child_cbs.size(),
         "process_front: child CB count mismatch");
-  for (std::size_t c = 0; c < children.size(); ++c) {
-    const index_t child = children[c];
-    const index_t ncb_child = tree.ncb(child);
-    const auto child_rows = ctx.structure->rows(child);
-    ws.positions.resize(static_cast<std::size_t>(ncb_child));
-    for (index_t k = 0; k < ncb_child; ++k)
-      ws.positions[static_cast<std::size_t>(k)] =
-          ws.local[static_cast<std::size_t>(
-              child_rows[static_cast<std::size_t>(tree.npiv(child) + k)])];
-    extend_add_mapped(front, child_cbs[c], ncb_child, ncb_child,
-                      ws.positions);
+  {
+    MEMFRONT_SPAN("extend_add", i);
+    for (std::size_t c = 0; c < children.size(); ++c) {
+      const index_t child = children[c];
+      const index_t ncb_child = tree.ncb(child);
+      const auto child_rows = ctx.structure->rows(child);
+      ws.positions.resize(static_cast<std::size_t>(ncb_child));
+      for (index_t k = 0; k < ncb_child; ++k)
+        ws.positions[static_cast<std::size_t>(k)] =
+            ws.local[static_cast<std::size_t>(
+                child_rows[static_cast<std::size_t>(tree.npiv(child) + k)])];
+      extend_add_mapped(front, child_cbs[c], ncb_child, ncb_child,
+                        ws.positions);
+    }
   }
 
-  const PartialFactorResult pf =
-      sym ? (ctx.kernel == FrontalKernel::kBlocked
-                 ? partial_ldlt_blocked(front, npiv)
-                 : partial_ldlt_reference(front, npiv))
-          : (ctx.kernel == FrontalKernel::kBlocked
-                 ? partial_lu_blocked(front, npiv)
-                 : partial_lu_reference(front, npiv));
+  PartialFactorResult pf;
+  {
+    MEMFRONT_SPAN("kernel", i);
+    pf = sym ? (ctx.kernel == FrontalKernel::kBlocked
+                    ? partial_ldlt_blocked(front, npiv)
+                    : partial_ldlt_reference(front, npiv))
+             : (ctx.kernel == FrontalKernel::kBlocked
+                    ? partial_lu_blocked(front, npiv)
+                    : partial_lu_reference(front, npiv));
+  }
   if (!sym) {
     for (index_t k = 0; k < npiv; ++k) {
       const index_t piv = pf.pivot_rows[static_cast<std::size_t>(k)];
@@ -84,25 +98,36 @@ index_t process_front(const FrontContext& ctx, index_t i,
     }
   }
 
-  // Extract factors (contiguous column slices of the front).
-  out.panel.resize(static_cast<std::size_t>(nfront) * npiv);
-  for (index_t j = 0; j < npiv; ++j) {
-    const double* col = front.col(j);
-    std::copy(col, col + nfront,
-              out.panel.data() + static_cast<std::size_t>(j) * nfront);
-  }
-  const index_t ncb = nfront - npiv;
-  if (!sym && ncb > 0) {
-    out.u12.resize(static_cast<std::size_t>(npiv) * ncb);
-    for (index_t j = 0; j < ncb; ++j) {
-      const double* col = front.col(npiv + j);
-      std::copy(col, col + npiv,
-                out.u12.data() + static_cast<std::size_t>(j) * npiv);
+  {
+    MEMFRONT_SPAN("extract", i);
+    // Extract factors (contiguous column slices of the front).
+    out.panel.resize(static_cast<std::size_t>(nfront) * npiv);
+    for (index_t j = 0; j < npiv; ++j) {
+      const double* col = front.col(j);
+      std::copy(col, col + nfront,
+                out.panel.data() + static_cast<std::size_t>(j) * nfront);
+    }
+    const index_t ncb = nfront - npiv;
+    if (!sym && ncb > 0) {
+      out.u12.resize(static_cast<std::size_t>(npiv) * ncb);
+      for (index_t j = 0; j < ncb; ++j) {
+        const double* col = front.col(npiv + j);
+        std::copy(col, col + npiv,
+                  out.u12.data() + static_cast<std::size_t>(j) * npiv);
+      }
     }
   }
 
   for (index_t r = 0; r < nfront; ++r)
     ws.local[static_cast<std::size_t>(rows[r])] = kNone;
+  if (front_t0 != 0 && obs::Tracer::enabled()) {
+    // Per-front latency distribution, gated behind the tracing switch so
+    // the disabled path pays only the relaxed loads above.
+    static obs::Histogram& latency =
+        obs::MetricsRegistry::global().histogram("solver.front.latency_ns");
+    latency.observe(static_cast<std::int64_t>(obs::Tracer::global().now_ns() -
+                                              front_t0));
+  }
   return pf.perturbations;
 }
 

@@ -4,6 +4,8 @@
 #include <optional>
 
 #include "memfront/frontal/arena.hpp"
+#include "memfront/obs/metrics.hpp"
+#include "memfront/obs/span_tracer.hpp"
 #include "memfront/solver/front_task.hpp"
 #include "memfront/support/error.hpp"
 
@@ -11,6 +13,7 @@ namespace memfront {
 
 Factorization numeric_factorize(const Analysis& analysis,
                                 const NumericOptions& options) {
+  MEMFRONT_SPAN("numeric_factorize");
   check(analysis.structure.has_value(),
         "numeric_factorize: analysis ran without structure");
   check(analysis.permuted.has_value() && analysis.permuted->has_values(),
@@ -111,6 +114,7 @@ Factorization numeric_factorize(const Analysis& analysis,
   fact.stats.arena_slabs = static_cast<count_t>(arena.slab_allocations());
   check(fact.stats.arena_peak_doubles == predicted_arena,
         "numeric_factorize: arena peak diverged from the predicted peak");
+  obs::record_factor_stats(fact.stats);
   return fact;
 }
 

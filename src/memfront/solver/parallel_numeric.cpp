@@ -1,12 +1,16 @@
 #include "memfront/solver/parallel_numeric.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <mutex>
 #include <optional>
+#include <string>
 
 #include "memfront/frontal/arena.hpp"
+#include "memfront/obs/metrics.hpp"
+#include "memfront/obs/span_tracer.hpp"
 #include "memfront/solver/front_task.hpp"
 #include "memfront/support/error.hpp"
 #include "memfront/support/parallel_for.hpp"
@@ -85,6 +89,7 @@ void run_subtree(Runtime& rt, index_t s, FrontWorkspace& ws,
                  std::vector<const double*>& child_cbs) {
   const AssemblyTree& tree = rt.tree();
   const index_t root = rt.subtrees.roots[static_cast<std::size_t>(s)];
+  MEMFRONT_SPAN("subtree", root);
   index_t perturbations = 0;
   count_t factor_entries = 0;
   for (index_t i : rt.subtree_nodes[static_cast<std::size_t>(s)]) {
@@ -141,6 +146,7 @@ void run_subtree(Runtime& rt, index_t s, FrontWorkspace& ws,
 /// upper nodes; all CBs live on the heap).
 void run_upper(Runtime& rt, index_t i, FrontWorkspace& ws,
                std::vector<const double*>& child_cbs) {
+  MEMFRONT_SPAN("upper_front", i);
   const AssemblyTree& tree = rt.tree();
   const index_t npiv = tree.npiv(i);
   const index_t ncb = tree.ncb(i);
@@ -173,6 +179,7 @@ void run_upper(Runtime& rt, index_t i, FrontWorkspace& ws,
 
 void worker_loop(Runtime& rt, unsigned w) {
   try {
+    MEMFRONT_THREAD_NAME("worker-" + std::to_string(w));
     FrontWorkspace ws;
     ws.init(rt.tree().num_cols());
     FrontalArena arena;
@@ -322,23 +329,28 @@ Factorization parallel_numeric_factorize(const Analysis& analysis,
   rt.remaining = static_cast<std::size_t>(num_subtrees) +
                  rt.upper_nodes.size();
 
+  const auto wall_t0 = std::chrono::steady_clock::now();
   if (rt.remaining > 0)
     parallel_for(
         workers, [&](std::size_t w) { worker_loop(rt, static_cast<unsigned>(w)); },
         workers);
   if (rt.error) std::rethrow_exception(rt.error);
   check(rt.remaining == 0, "parallel_numeric_factorize: tasks left behind");
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_t0)
+          .count();
 
   fact.stats.perturbations = rt.perturbations;
   fact.stats.factor_entries = rt.factor_entries;
   fact.stats.arena_peak_doubles = rt.max_arena_peak;
-  if (stats) {
-    stats->workers = workers;
-    stats->num_subtrees = num_subtrees;
-    stats->num_upper_nodes = static_cast<index_t>(rt.upper_nodes.size());
-    stats->max_arena_peak_doubles = rt.max_arena_peak;
-    stats->total_arena_peak_doubles = rt.total_arena_peak;
-  }
+  ParallelNumericStats local_stats;
+  ParallelNumericStats& out = stats ? *stats : local_stats;
+  out.workers = workers;
+  out.num_subtrees = num_subtrees;
+  out.num_upper_nodes = static_cast<index_t>(rt.upper_nodes.size());
+  out.max_arena_peak_doubles = rt.max_arena_peak;
+  out.total_arena_peak_doubles = rt.total_arena_peak;
+  obs::record_parallel_numeric_stats(out, wall_seconds);
   return fact;
 }
 
