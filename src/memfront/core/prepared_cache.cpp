@@ -7,7 +7,9 @@
 #include <utility>
 
 #include "memfront/obs/span_tracer.hpp"
+#include "memfront/support/error.hpp"
 #include "memfront/support/hash.hpp"
+#include "memfront/support/parallel_for.hpp"
 
 namespace memfront {
 namespace {
@@ -107,6 +109,30 @@ struct PlannerKey {
   }
 };
 
+/// Factorization memo key: the analysis key plus the numeric knobs and
+/// the solve graph's mapping knobs. The solve *worker count* is absent
+/// on purpose: the sweep's result bits and its task graph are
+/// worker-independent, so one handle serves any thread count.
+struct FactorKey {
+  AnalysisKey analysis;
+  NumericOptions numeric;
+  index_t nprocs = 0;  // resolved solve-graph mapping width
+  SubtreeOptions subtree_options;
+
+  friend bool operator==(const FactorKey&, const FactorKey&) = default;
+
+  std::uint64_t hash() const {
+    std::uint64_t h = hash_mix(analysis.hash(),
+                               static_cast<std::uint64_t>(0x082efa98ec4e6c89ULL));
+    h = hash_mix(h, static_cast<std::uint64_t>(numeric.kernel));
+    h = hash_mix(h, static_cast<std::uint64_t>(numeric.reserve_arena));
+    h = hash_mix(h, static_cast<std::uint64_t>(nprocs));
+    h = hash_mix(h, subtree_options.balance_factor);
+    h = hash_mix(h, subtree_options.memory_balance_factor);
+    return h;
+  }
+};
+
 PlannerKey make_planner_key(const MappingKey& mapping,
                             const SchedConfig& config,
                             const PlannerOptions& options) {
@@ -168,6 +194,9 @@ struct PreparedCache::Impl {
   std::unordered_map<PlannerKey, std::shared_ptr<Entry<PlannerResult>>,
                      KeyHash<PlannerKey>>
       planners;
+  std::unordered_map<FactorKey, std::shared_ptr<Entry<FactorizationHandle>>,
+                     KeyHash<FactorKey>>
+      factorizations;
 
   // LRU over *resident* analysis entries, most recent first; `retained`
   // sums their Analysis::memory_bytes(). All guarded by map_mutex.
@@ -218,6 +247,12 @@ struct PreparedCache::Impl {
           mit = mappings.erase(mit);
         else
           ++mit;
+      }
+      for (auto fit = factorizations.begin(); fit != factorizations.end();) {
+        if (fit->first.analysis == victim)
+          fit = factorizations.erase(fit);
+        else
+          ++fit;
       }
       ++evicted;
     }
@@ -336,6 +371,47 @@ std::shared_ptr<const PlannerResult> PreparedCache::planner(
   return entry->value;
 }
 
+std::shared_ptr<const FactorizationHandle> PreparedCache::factorization(
+    const CscMatrix& matrix, const AnalysisOptions& analysis_options,
+    const NumericOptions& numeric_options, const SolveOptions& solve_options) {
+  check(analysis_options.want_structure,
+        "PreparedCache::factorization: analysis options must keep "
+        "want_structure (the numeric solver needs frontal structures)");
+  FactorKey key;
+  key.analysis = {matrix.fingerprint(), analysis_options};
+  key.numeric = numeric_options;
+  key.nprocs =
+      solve_options.nprocs > 0
+          ? solve_options.nprocs
+          : static_cast<index_t>(solve_options.nthreads > 0
+                                     ? solve_options.nthreads
+                                     : default_thread_count());
+  key.subtree_options = solve_options.subtree_options;
+  auto entry = impl_->slot(impl_->factorizations, key,
+                           &PreparedCacheStats::factorization_hits,
+                           &PreparedCacheStats::factorization_misses);
+  std::call_once(entry->once, [&] {
+    MEMFRONT_SPAN("cache_factor_miss");
+    using Clock = std::chrono::steady_clock;
+    const auto start = Clock::now();
+    auto handle = std::make_shared<FactorizationHandle>();
+    handle->analysis = impl_->analysis_for(matrix, key.analysis);
+    handle->factorization =
+        numeric_factorize(*handle->analysis, numeric_options);
+    SolveOptions graph_options = solve_options;
+    graph_options.nprocs = key.nprocs;
+    handle->solve_graph = build_solve_graph(*handle->analysis, graph_options);
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+    ++impl_->stats.recomputes;
+    impl_->stats.factor_seconds += seconds;
+    entry->value = std::move(handle);
+  });
+  impl_->touch_analysis(key.analysis);
+  return entry->value;
+}
+
 PreparedCacheStats PreparedCache::stats() const {
   std::lock_guard<std::mutex> lock(impl_->stats_mutex);
   return impl_->stats;
@@ -367,6 +443,7 @@ void PreparedCache::clear() {
   impl_->analyses.clear();
   impl_->mappings.clear();
   impl_->planners.clear();
+  impl_->factorizations.clear();
   impl_->lru.clear();
   impl_->retained = 0;
 }
@@ -384,6 +461,11 @@ std::size_t PreparedCache::mapping_entries() const {
 std::size_t PreparedCache::planner_entries() const {
   std::lock_guard<std::mutex> lock(impl_->map_mutex);
   return impl_->planners.size();
+}
+
+std::size_t PreparedCache::factorization_entries() const {
+  std::lock_guard<std::mutex> lock(impl_->map_mutex);
+  return impl_->factorizations.size();
 }
 
 PreparedCache& PreparedCache::global() {

@@ -26,6 +26,12 @@
 // and enable flag are *excluded* from the key: the planner overrides
 // both on every probe.
 //
+// A fourth level memoizes *factorizations* (numeric factors + solve task
+// graph), keyed on (analysis key, NumericOptions, solve-graph mapping
+// knobs): the solve-as-a-service shape — one factorization amortized
+// over many triangular solves — served the way analyses are served to
+// scheduling sweeps. See FactorizationHandle.
+//
 // Thread-safe: concurrent lookups of the same key block on one in-flight
 // computation (std::call_once per entry) instead of duplicating it, so
 // sweeps running legs on the support/parallel_for pool get one analysis
@@ -41,6 +47,7 @@
 
 #include "memfront/core/experiment.hpp"
 #include "memfront/ooc/planner.hpp"
+#include "memfront/solver/solve.hpp"
 
 namespace memfront {
 
@@ -57,6 +64,8 @@ struct PreparedCacheStats {
   std::uint64_t mapping_misses = 0;
   std::uint64_t planner_hits = 0;
   std::uint64_t planner_misses = 0;
+  std::uint64_t factorization_hits = 0;
+  std::uint64_t factorization_misses = 0;
   std::uint64_t recomputes = 0;
   /// Analysis entries dropped by the LRU byte bound.
   std::uint64_t evictions = 0;
@@ -67,13 +76,25 @@ struct PreparedCacheStats {
   double finalize_seconds = 0.0;
   double mapping_seconds = 0.0;
   double analysis_seconds = 0.0;  // total analyze() wall of all misses
+  double factor_seconds = 0.0;    // wall of factorization-level misses
 
   std::uint64_t hits() const noexcept {
-    return analysis_hits + mapping_hits + planner_hits;
+    return analysis_hits + mapping_hits + planner_hits + factorization_hits;
   }
   std::uint64_t misses() const noexcept {
-    return analysis_misses + mapping_misses + planner_misses;
+    return analysis_misses + mapping_misses + planner_misses +
+           factorization_misses;
   }
+};
+
+/// One served factorization: the shared analysis it was computed on, the
+/// numeric factors, and the solve task graph ready for
+/// solve_factorized_multi. Immutable once published; solves share the
+/// handle and bring their own SolveWorkspace.
+struct FactorizationHandle {
+  std::shared_ptr<const Analysis> analysis;
+  Factorization factorization;
+  SolveGraph solve_graph;
 };
 
 class PreparedCache {
@@ -103,13 +124,25 @@ class PreparedCache {
       const CscMatrix& matrix, const ExperimentSetup& setup,
       const PlannerOptions& options = {});
 
+  /// Factorization-level lookup: numeric factors + solve graph on top of
+  /// a cached analysis, keyed on (analysis key, NumericOptions, resolved
+  /// solve-graph nprocs, SubtreeOptions). The solve worker count is NOT
+  /// part of the key — the sweep's bits and graph are worker-independent
+  /// — so one handle serves clients at any thread count. This is the
+  /// solve-service entry point bench_solve replays against.
+  std::shared_ptr<const FactorizationHandle> factorization(
+      const CscMatrix& matrix, const AnalysisOptions& analysis_options,
+      const NumericOptions& numeric_options = {},
+      const SolveOptions& solve_options = {});
+
   PreparedCacheStats stats() const;
   void reset_stats();
 
   /// LRU byte bound on retained Analysis objects (0 = unbounded, the
   /// default). Shrinking below the current retained size evicts
-  /// immediately. Mapping entries built on an evicted analysis are
-  /// dropped with it; planner results (plain numbers) are kept.
+  /// immediately. Mapping and factorization entries built on an evicted
+  /// analysis are dropped with it; planner results (plain numbers) are
+  /// kept.
   void set_capacity_bytes(std::size_t bytes);
   std::size_t capacity_bytes() const;
   /// Bytes of Analysis currently retained by the analysis level.
@@ -120,6 +153,7 @@ class PreparedCache {
   std::size_t analysis_entries() const;
   std::size_t mapping_entries() const;
   std::size_t planner_entries() const;
+  std::size_t factorization_entries() const;
 
   /// The process-wide cache the bench/example sweeps share.
   static PreparedCache& global();

@@ -245,6 +245,92 @@ PartialFactorResult partial_ldlt_blocked(FrontView f, index_t npiv) {
   return result;
 }
 
+// ---- RHS-panel kernels (solve phase) ---------------------------------------
+//
+// Column-grouped triangular panel solves: the triangular operand's column
+// (or strided row) is loaded once per group of kRhsGroup RHS columns, and
+// each RHS column keeps the scalar loop's per-element subtraction order.
+
+namespace {
+constexpr index_t kRhsGroup = 8;
+}  // namespace
+
+void rhs_trsm_lower_unit(index_t n, index_t k, const double* l, index_t ldl,
+                         double* b, index_t ldb) {
+  for (index_t c0 = 0; c0 < k; c0 += kRhsGroup) {
+    const index_t c1 = std::min<index_t>(c0 + kRhsGroup, k);
+    for (index_t j = 0; j < n; ++j) {
+      const double* lcol = l + stride(j, ldl);
+      for (index_t c = c0; c < c1; ++c) {
+        double* bc = b + stride(c, ldb);
+        const double xj = bc[j];
+        for (index_t r = j + 1; r < n; ++r) bc[r] -= lcol[r] * xj;
+      }
+    }
+  }
+}
+
+void rhs_trsm_upper(index_t n, index_t k, const double* u, index_t ldu,
+                    double* b, index_t ldb) {
+  for (index_t c0 = 0; c0 < k; c0 += kRhsGroup) {
+    const index_t c1 = std::min<index_t>(c0 + kRhsGroup, k);
+    for (index_t j = n - 1; j >= 0; --j) {
+      const double d = u[stride(j, ldu) + j];
+      for (index_t c = c0; c < c1; ++c) {
+        double* bc = b + stride(c, ldb);
+        double s = bc[j];
+        for (index_t t = j + 1; t < n; ++t) s -= u[stride(t, ldu) + j] * bc[t];
+        bc[j] = s / d;
+      }
+    }
+  }
+}
+
+void rhs_trsm_lower_trans_unit(index_t n, index_t k, const double* l,
+                               index_t ldl, double* b, index_t ldb) {
+  for (index_t c0 = 0; c0 < k; c0 += kRhsGroup) {
+    const index_t c1 = std::min<index_t>(c0 + kRhsGroup, k);
+    for (index_t j = n - 1; j >= 0; --j) {
+      const double* lcol = l + stride(j, ldl);
+      for (index_t c = c0; c < c1; ++c) {
+        double* bc = b + stride(c, ldb);
+        double s = bc[j];
+        for (index_t t = j + 1; t < n; ++t) s -= lcol[t] * bc[t];
+        bc[j] = s;
+      }
+    }
+  }
+}
+
+void rhs_gemm_at_sub(index_t m, index_t n, index_t kb, const double* a,
+                     index_t lda, const double* b, index_t ldb, double* c,
+                     index_t ldc) {
+  if (m <= 0 || n <= 0 || kb <= 0) return;
+  // 4x4 register blocking over (row of A^T, RHS column); each C element
+  // owns one accumulator chain, subtracting its dot products in
+  // increasing kb index — contiguous loads on both operands.
+  for (index_t j0 = 0; j0 < n; j0 += kMicroCols) {
+    const index_t nr = std::min(kMicroCols, n - j0);
+    for (index_t i0 = 0; i0 < m; i0 += kMicroRows) {
+      const index_t mr = std::min(kMicroRows, m - i0);
+      double acc[kMicroRows][kMicroCols];
+      for (index_t j = 0; j < nr; ++j)
+        for (index_t i = 0; i < mr; ++i)
+          acc[i][j] = c[stride(j0 + j, ldc) + i0 + i];
+      for (index_t t = 0; t < kb; ++t) {
+        for (index_t j = 0; j < nr; ++j) {
+          const double w = b[stride(j0 + j, ldb) + t];
+          for (index_t i = 0; i < mr; ++i)
+            acc[i][j] -= a[stride(i0 + i, lda) + t] * w;
+        }
+      }
+      for (index_t j = 0; j < nr; ++j)
+        for (index_t i = 0; i < mr; ++i)
+          c[stride(j0 + j, ldc) + i0 + i] = acc[i][j];
+    }
+  }
+}
+
 // ---- pre-blocking scalar kernels (bit-exactness baseline) ------------------
 //
 // The column-at-a-time kernels this layer replaced, with two shared

@@ -66,4 +66,41 @@ PartialFactorResult partial_ldlt_blocked(FrontView front, index_t npiv);
 PartialFactorResult partial_lu_reference(FrontView front, index_t npiv);
 PartialFactorResult partial_ldlt_reference(FrontView front, index_t npiv);
 
+// ---- RHS-panel kernels (solve phase) ---------------------------------------
+//
+// Triangular solves and rank-k updates over n x k right-hand-side panels
+// (column-major, leading dimension ldb/ldc). The bit-exactness discipline
+// of the factor kernels applies: every panel element's update chain is
+// the scalar loop's chain — products subtracted one at a time in
+// increasing pivot/row order — and blocking only reorders work across
+// elements (different rows, different RHS columns), never within one
+// element's chain. The solve drivers rely on this to keep the blocked
+// multi-RHS sweep bitwise equal to the scalar single-RHS reference.
+
+/// B(0:n,0:k) <- L^-1 B for a unit-lower-triangular L (strictly-below-
+/// diagonal entries of an n x n column-major block with leading dimension
+/// ldl; the diagonal is implicit 1 and never read). Forward order: for
+/// each column, products subtracted in increasing pivot j.
+void rhs_trsm_lower_unit(index_t n, index_t k, const double* l, index_t ldl,
+                         double* b, index_t ldb);
+
+/// B(0:n,0:k) <- U^-1 B for an upper-triangular U (on-and-above-diagonal
+/// entries, non-unit diagonal). Backward order: row j subtracts products
+/// for t = j+1..n-1 in increasing t, then divides by U(j,j).
+void rhs_trsm_upper(index_t n, index_t k, const double* u, index_t ldu,
+                    double* b, index_t ldb);
+
+/// B(0:n,0:k) <- L^-T B for the unit-lower L above (the LDLt back-solve).
+/// Backward order: row j subtracts L(t,j) * B(t,:) for t = j+1..n-1 in
+/// increasing t; no divide (unit diagonal).
+void rhs_trsm_lower_trans_unit(index_t n, index_t k, const double* l,
+                               index_t ldl, double* b, index_t ldb);
+
+/// C(0:m,0:n) -= A^T(0:m,0:kb) * B(0:kb,0:n) where A is stored kb x m
+/// column-major (so A^T rows are A's columns, contiguous dot products).
+/// Per-element products in increasing kb index, like schur_update.
+void rhs_gemm_at_sub(index_t m, index_t n, index_t kb, const double* a,
+                     index_t lda, const double* b, index_t ldb, double* c,
+                     index_t ldc);
+
 }  // namespace memfront

@@ -262,6 +262,10 @@ void record_cache_stats(const PreparedCacheStats& stats) {
   m.gauge("cache.planner_hits").set(static_cast<std::int64_t>(stats.planner_hits));
   m.gauge("cache.planner_misses")
       .set(static_cast<std::int64_t>(stats.planner_misses));
+  m.gauge("cache.factorization_hits")
+      .set(static_cast<std::int64_t>(stats.factorization_hits));
+  m.gauge("cache.factorization_misses")
+      .set(static_cast<std::int64_t>(stats.factorization_misses));
   m.gauge("cache.recomputes").set(static_cast<std::int64_t>(stats.recomputes));
   m.gauge("cache.evictions").set(static_cast<std::int64_t>(stats.evictions));
   const std::uint64_t lookups = stats.hits() + stats.misses();
@@ -272,6 +276,15 @@ void record_cache_stats(const PreparedCacheStats& stats) {
       .set(seconds_to_us(stats.analysis_seconds));
   m.gauge("cache.mapping_seconds_us").set(seconds_to_us(stats.mapping_seconds));
   m.gauge("cache.planner_seconds_us").set(seconds_to_us(stats.planner_seconds));
+  m.gauge("cache.factor_seconds_us").set(seconds_to_us(stats.factor_seconds));
+}
+
+void record_solve_stats(index_t nrhs, unsigned workers, double wall_seconds) {
+  MetricsRegistry& m = MetricsRegistry::global();
+  m.counter("solver.solve.count").add();
+  m.counter("solver.solve.rhs_cols").add(nrhs);
+  m.gauge("solver.solve.workers").set(static_cast<std::int64_t>(workers));
+  m.histogram("solver.solve.latency_ns").observe(seconds_to_ns(wall_seconds));
 }
 
 void record_process_metrics() {

@@ -175,6 +175,10 @@ void record_sim_result(const ParallelResult& result, double wall_seconds);
 /// *sets* gauges rather than accumulating, matching the cache's own
 /// monotone counters).
 void record_cache_stats(const PreparedCacheStats& stats);
+/// solver.solve.* — one triangular-solve sweep (any nrhs, any worker
+/// count): solve count + RHS-column counters, worker gauge, and the
+/// per-solve latency histogram bench_solve's percentiles come from.
+void record_solve_stats(index_t nrhs, unsigned workers, double wall_seconds);
 /// process.* — peak RSS, recorded at snapshot time.
 void record_process_metrics();
 

@@ -1,6 +1,7 @@
 #include "memfront/solver/multifrontal.hpp"
 
 #include "memfront/support/error.hpp"
+#include "memfront/support/parallel_for.hpp"
 
 namespace memfront {
 
@@ -13,9 +14,37 @@ void MultifrontalSolver::factorize(const NumericOptions& options) {
   factorized_ = true;
 }
 
-std::vector<double> MultifrontalSolver::solve(std::span<const double> b) const {
+void MultifrontalSolver::bind_solve_graph(const SolveOptions& options) const {
+  const index_t nprocs =
+      options.nprocs > 0
+          ? options.nprocs
+          : static_cast<index_t>(options.nthreads > 0 ? options.nthreads
+                                                      : default_thread_count());
+  if (solve_graph_built_ && solve_graph_nprocs_ == nprocs &&
+      solve_graph_subtree_options_ == options.subtree_options)
+    return;
+  SolveOptions graph_options = options;
+  graph_options.nprocs = nprocs;
+  solve_graph_ = build_solve_graph(analysis_, graph_options);
+  solve_graph_built_ = true;
+  solve_graph_nprocs_ = nprocs;
+  solve_graph_subtree_options_ = options.subtree_options;
+}
+
+std::vector<double> MultifrontalSolver::solve(
+    std::span<const double> b, const SolveOptions& options) const {
+  return solve_multi(b, 1, options);
+}
+
+std::vector<double> MultifrontalSolver::solve_multi(
+    std::span<const double> b, index_t nrhs,
+    const SolveOptions& options) const {
   require(factorized_, "MultifrontalSolver::solve before factorize()");
-  return solve_factorized(analysis_, factorization_, b);
+  bind_solve_graph(options);
+  std::vector<double> x(b.size());
+  solve_factorized_multi(analysis_, factorization_, solve_graph_, b, nrhs, x,
+                         solve_workspace_, options);
+  return x;
 }
 
 const Factorization& MultifrontalSolver::factorization() const {

@@ -4,6 +4,7 @@
 //   MultifrontalSolver solver(matrix, {.ordering = OrderingKind::kAmd});
 //   solver.factorize();
 //   std::vector<double> x = solver.solve(b);
+//   std::vector<double> xs = solver.solve_multi(panel, k, {.nthreads = 4});
 #pragma once
 
 #include <span>
@@ -24,16 +25,38 @@ class MultifrontalSolver {
   void factorize(const NumericOptions& options = {});
 
   /// Solves A x = b (original ordering). Requires factorize().
-  std::vector<double> solve(std::span<const double> b) const;
+  /// options.nthreads > 1 runs the tree-parallel sweep; the result is
+  /// bit-identical at any worker count.
+  std::vector<double> solve(std::span<const double> b,
+                            const SolveOptions& options = {}) const;
+
+  /// Solves A X = B for an n x nrhs column-major panel through the
+  /// blocked multi-RHS sweep. Column j of the result is bit-identical to
+  /// solve() of column j of b.
+  std::vector<double> solve_multi(std::span<const double> b, index_t nrhs,
+                                  const SolveOptions& options = {}) const;
 
   const Analysis& analysis() const noexcept { return analysis_; }
   const Factorization& factorization() const;
   bool factorized() const noexcept { return factorized_; }
 
  private:
+  void bind_solve_graph(const SolveOptions& options) const;
+
   Analysis analysis_;
   Factorization factorization_;
   bool factorized_ = false;
+
+  // Solve task graph + workspace, built on first solve and reused until
+  // the mapping knobs change. Mutable caches only — they never change
+  // observable results — but they make concurrent solve() calls on one
+  // solver object a data race: share the analysis through
+  // PreparedCache::factorization instead for multi-threaded clients.
+  mutable SolveGraph solve_graph_;
+  mutable bool solve_graph_built_ = false;
+  mutable index_t solve_graph_nprocs_ = 0;
+  mutable SubtreeOptions solve_graph_subtree_options_{};
+  mutable SolveWorkspace solve_workspace_;
 };
 
 }  // namespace memfront

@@ -26,6 +26,9 @@ struct NumericOptions {
   /// Pre-size the CB arena to the predicted physical peak so the whole
   /// factorization runs in one slab.
   bool reserve_arena = true;
+
+  friend bool operator==(const NumericOptions&,
+                         const NumericOptions&) = default;
 };
 
 struct NodeFactor {

@@ -1,97 +1,632 @@
 #include "memfront/solver/solve.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <string>
+
+#include "memfront/frontal/kernels.hpp"
+#include "memfront/obs/metrics.hpp"
+#include "memfront/obs/span_tracer.hpp"
 #include "memfront/support/error.hpp"
+#include "memfront/support/parallel_for.hpp"
 
 namespace memfront {
+namespace {
 
-std::vector<double> solve_factorized(const Analysis& analysis,
-                                     const Factorization& fact,
-                                     std::span<const double> b) {
-  const AssemblyTree& tree = analysis.tree;
-  const FrontalStructure& structure = *analysis.structure;
-  const index_t n = tree.num_cols();
-  check(b.size() == static_cast<std::size_t>(n), "solve: rhs size mismatch");
-  const bool sym = fact.symmetric;
+inline std::size_t sz(index_t i) { return static_cast<std::size_t>(i); }
+inline std::size_t off(index_t a, index_t b) {
+  return static_cast<std::size_t>(a) * static_cast<std::size_t>(b);
+}
 
-  // Permute the rhs into elimination order, then apply the pivoting row
-  // permutation picked up during factorization.
-  std::vector<double> y(static_cast<std::size_t>(n));
-  for (index_t k = 0; k < n; ++k)
-    y[static_cast<std::size_t>(k)] = b[static_cast<std::size_t>(
-        analysis.perm[static_cast<std::size_t>(fact.row_of[k])])];
+/// Everything the per-node sweep steps read. `y` is the n x k panel in
+/// elimination order; `cb` the CB-RHS slab (node i's ncb x k block
+/// starts at row graph->cb_offset[i]).
+struct SolveContext {
+  const Analysis* analysis = nullptr;
+  const Factorization* fact = nullptr;
+  const SolveGraph* graph = nullptr;
+  double* y = nullptr;
+  double* cb = nullptr;
+  index_t n = 0;
+  index_t k = 0;
+  bool scalar = false;  // solve_reference: scalar loops instead of kernels
+};
 
-  // Forward: L y' = y, node by node in elimination order. Updates to rows
-  // outside the node's pivots land on ancestor pivots directly.
-  for (index_t i = 0; i < tree.num_nodes(); ++i) {
-    const index_t nfront = tree.nfront(i);
-    const index_t npiv = tree.npiv(i);
-    const index_t fc = tree.first_col(i);
-    const auto rows = structure.rows(i);
-    const NodeFactor& nf = fact.nodes[static_cast<std::size_t>(i)];
-    for (index_t j = 0; j < npiv; ++j) {
-      const double xj = y[static_cast<std::size_t>(fc + j)];
-      if (xj == 0.0) continue;
-      const double* col = nf.panel.data() + static_cast<std::size_t>(j) * nfront;
-      for (index_t r = j + 1; r < nfront; ++r)
-        y[static_cast<std::size_t>(rows[r])] -= col[r] * xj;
+inline double* cb_block(const SolveContext& ctx, index_t node) {
+  return ctx.cb + static_cast<std::size_t>(
+                      ctx.graph->cb_offset[sz(node)]) *
+                      static_cast<std::size_t>(ctx.k);
+}
+
+/// Forward elimination of one front: gather, extend-add the children's
+/// CB-RHS blocks (tree child order), unit-lower TRSM + Schur update,
+/// scatter. The only shared writes are this node's own pivot rows of y
+/// and its own slab slice, so tasks for different nodes never conflict.
+void forward_node(const SolveContext& ctx, index_t i,
+                  SolveWorkspace::Scratch& s) {
+  const AssemblyTree& tree = ctx.analysis->tree;
+  const FrontalStructure& structure = *ctx.analysis->structure;
+  const index_t nfront = tree.nfront(i);
+  const index_t npiv = tree.npiv(i);
+  const index_t ncb = nfront - npiv;
+  const index_t fc = tree.first_col(i);
+  const index_t k = ctx.k;
+  const auto rows = structure.rows(i);
+  const NodeFactor& nf = ctx.fact->nodes[sz(i)];
+  double* F = s.front.data();
+
+  // Gather: the pivot rows are columns [fc, fc+npiv) — a contiguous
+  // slice of every y column; the CB rows start from zero.
+  for (index_t c = 0; c < k; ++c) {
+    double* fcol = F + off(c, nfront);
+    std::memcpy(fcol, ctx.y + off(c, ctx.n) + fc,
+                sz(npiv) * sizeof(double));
+    std::fill(fcol + npiv, fcol + nfront, 0.0);
+  }
+
+  // Extend-add the children's CB-RHS blocks in tree child order. Both
+  // row lists are sorted and the child's CB set is a subset of this
+  // front's rows, so one merge walk yields the local positions.
+  for (index_t child : tree.children(i)) {
+    const index_t ccb = tree.ncb(child);
+    if (ccb == 0) continue;
+    const auto crows = structure.rows(child).subspan(sz(tree.npiv(child)));
+    index_t* pos = s.pos.data();
+    index_t p = 0;
+    for (index_t t = 0; t < ccb; ++t) {
+      while (p < nfront && rows[sz(p)] < crows[sz(t)]) ++p;
+      check(p < nfront && rows[sz(p)] == crows[sz(t)],
+            "solve: child CB row missing from parent front");
+      pos[t] = p;
+    }
+    const double* block = cb_block(ctx, child);
+    for (index_t c = 0; c < k; ++c) {
+      double* fcol = F + off(c, nfront);
+      const double* bcol = block + off(c, ccb);
+      for (index_t t = 0; t < ccb; ++t) fcol[pos[t]] += bcol[t];
     }
   }
 
-  if (sym) {
-    // Diagonal scaling, then the Lᵀ sweep in reverse order.
-    for (index_t i = 0; i < tree.num_nodes(); ++i) {
-      const index_t nfront = tree.nfront(i);
-      const index_t npiv = tree.npiv(i);
-      const index_t fc = tree.first_col(i);
-      const NodeFactor& nf = fact.nodes[static_cast<std::size_t>(i)];
-      for (index_t j = 0; j < npiv; ++j)
-        y[static_cast<std::size_t>(fc + j)] /=
-            nf.panel[static_cast<std::size_t>(j) * nfront + j];
-    }
-    for (index_t i = tree.num_nodes() - 1; i >= 0; --i) {
-      const index_t nfront = tree.nfront(i);
-      const index_t npiv = tree.npiv(i);
-      const index_t fc = tree.first_col(i);
-      const auto rows = structure.rows(i);
-      const NodeFactor& nf = fact.nodes[static_cast<std::size_t>(i)];
-      for (index_t j = npiv - 1; j >= 0; --j) {
-        double s = y[static_cast<std::size_t>(fc + j)];
-        const double* col =
-            nf.panel.data() + static_cast<std::size_t>(j) * nfront;
-        for (index_t r = j + 1; r < nfront; ++r)
-          s -= col[r] * y[static_cast<std::size_t>(rows[r])];
-        y[static_cast<std::size_t>(fc + j)] = s;
+  // Eliminate. The scalar loop and the kernel pair apply the same
+  // per-element update chains (products in increasing pivot order, the
+  // multiplier read after its own row finished) — bit-identical.
+  const double* panel = nf.panel.data();
+  if (ctx.scalar) {
+    for (index_t c = 0; c < k; ++c) {
+      double* fcol = F + off(c, nfront);
+      for (index_t j = 0; j < npiv; ++j) {
+        const double xj = fcol[j];
+        const double* col = panel + off(j, nfront);
+        for (index_t r = j + 1; r < nfront; ++r) fcol[r] -= col[r] * xj;
       }
+    }
+  } else if (npiv > 0) {
+    rhs_trsm_lower_unit(npiv, k, panel, nfront, F, nfront);
+    if (ncb > 0)
+      schur_update(ncb, k, npiv, panel + npiv, nfront, F, nfront, F + npiv,
+                   nfront);
+  }
+
+  // Scatter: solved pivots back to y, CB rows into this node's slab
+  // slice for the parent's extend-add.
+  for (index_t c = 0; c < k; ++c)
+    std::memcpy(ctx.y + off(c, ctx.n) + fc, F + off(c, nfront),
+                sz(npiv) * sizeof(double));
+  if (ncb > 0) {
+    double* block = cb_block(ctx, i);
+    for (index_t c = 0; c < k; ++c)
+      std::memcpy(block + off(c, ncb), F + off(c, nfront) + npiv,
+                  sz(ncb) * sizeof(double));
+  }
+}
+
+/// Back-substitution of one front: gather the forward-solved pivot
+/// values and the already-solved ancestor values its CB rows reference,
+/// subtract their products, solve the pivot block, scatter. Writes only
+/// this node's pivot rows of y.
+void backward_node(const SolveContext& ctx, index_t i,
+                   SolveWorkspace::Scratch& s) {
+  const AssemblyTree& tree = ctx.analysis->tree;
+  const FrontalStructure& structure = *ctx.analysis->structure;
+  const index_t nfront = tree.nfront(i);
+  const index_t npiv = tree.npiv(i);
+  const index_t ncb = nfront - npiv;
+  const index_t fc = tree.first_col(i);
+  const index_t k = ctx.k;
+  if (npiv == 0) return;
+  const auto rows = structure.rows(i);
+  const NodeFactor& nf = ctx.fact->nodes[sz(i)];
+  double* F = s.front.data();   // npiv x k
+  double* G = s.gather.data();  // ncb x k
+
+  for (index_t c = 0; c < k; ++c)
+    std::memcpy(F + off(c, npiv), ctx.y + off(c, ctx.n) + fc,
+                sz(npiv) * sizeof(double));
+  for (index_t c = 0; c < k; ++c) {
+    double* gcol = G + off(c, ncb);
+    const double* ycol = ctx.y + off(c, ctx.n);
+    for (index_t t = 0; t < ncb; ++t) gcol[t] = ycol[rows[sz(npiv + t)]];
+  }
+
+  const double* panel = nf.panel.data();
+  if (ctx.fact->symmetric) {
+    // LDLt: scale by D, subtract the L21-transposed products of the
+    // ancestor values, then the unit-lower transposed backward solve.
+    for (index_t c = 0; c < k; ++c) {
+      double* fcol = F + off(c, npiv);
+      for (index_t j = 0; j < npiv; ++j)
+        fcol[j] /= panel[off(j, nfront) + sz(j)];
+    }
+    if (ctx.scalar) {
+      for (index_t c = 0; c < k; ++c) {
+        double* fcol = F + off(c, npiv);
+        const double* gcol = G + off(c, ncb);
+        for (index_t j = 0; j < npiv; ++j) {
+          const double* col = panel + off(j, nfront);
+          double sum = fcol[j];
+          for (index_t t = 0; t < ncb; ++t) sum -= col[npiv + t] * gcol[t];
+          fcol[j] = sum;
+        }
+        for (index_t j = npiv - 1; j >= 0; --j) {
+          const double* col = panel + off(j, nfront);
+          double sum = fcol[j];
+          for (index_t t = j + 1; t < npiv; ++t) sum -= col[t] * fcol[t];
+          fcol[j] = sum;
+        }
+      }
+    } else {
+      if (ncb > 0)
+        rhs_gemm_at_sub(npiv, k, ncb, panel + npiv, nfront, G, ncb, F, npiv);
+      rhs_trsm_lower_trans_unit(npiv, k, panel, nfront, F, npiv);
     }
   } else {
-    // Backward: U x = y', reverse node order; U12 references ancestor
-    // pivots already solved.
-    for (index_t i = tree.num_nodes() - 1; i >= 0; --i) {
-      const index_t nfront = tree.nfront(i);
-      const index_t npiv = tree.npiv(i);
-      const index_t ncb = nfront - npiv;
-      const index_t fc = tree.first_col(i);
-      const auto rows = structure.rows(i);
-      const NodeFactor& nf = fact.nodes[static_cast<std::size_t>(i)];
-      for (index_t j = npiv - 1; j >= 0; --j) {
-        double s = y[static_cast<std::size_t>(fc + j)];
-        for (index_t t = 0; t < ncb; ++t)
-          s -= nf.u12[static_cast<std::size_t>(t) * npiv + j] *
-               y[static_cast<std::size_t>(rows[npiv + t])];
-        for (index_t t = j + 1; t < npiv; ++t)
-          s -= nf.panel[static_cast<std::size_t>(t) * nfront + j] *
-               y[static_cast<std::size_t>(fc + t)];
-        y[static_cast<std::size_t>(fc + j)] =
-            s / nf.panel[static_cast<std::size_t>(j) * nfront + j];
+    // LU: subtract the U12 products of the ancestor values, then the
+    // non-unit upper backward solve on U11.
+    if (ctx.scalar) {
+      const double* u12 = nf.u12.data();
+      for (index_t c = 0; c < k; ++c) {
+        double* fcol = F + off(c, npiv);
+        const double* gcol = G + off(c, ncb);
+        for (index_t j = 0; j < npiv; ++j) {
+          double sum = fcol[j];
+          for (index_t t = 0; t < ncb; ++t)
+            sum -= u12[off(t, npiv) + sz(j)] * gcol[t];
+          fcol[j] = sum;
+        }
+        for (index_t j = npiv - 1; j >= 0; --j) {
+          double sum = fcol[j];
+          for (index_t t = j + 1; t < npiv; ++t)
+            sum -= panel[off(t, nfront) + sz(j)] * fcol[t];
+          fcol[j] = sum / panel[off(j, nfront) + sz(j)];
+        }
       }
+    } else {
+      if (ncb > 0)
+        schur_update(npiv, k, ncb, nf.u12.data(), npiv, G, ncb, F, npiv);
+      rhs_trsm_upper(npiv, k, panel, nfront, F, npiv);
     }
+  }
+
+  for (index_t c = 0; c < k; ++c)
+    std::memcpy(ctx.y + off(c, ctx.n) + fc, F + off(c, npiv),
+                sz(npiv) * sizeof(double));
+}
+
+void run_serial(const SolveContext& ctx, SolveWorkspace::Scratch& s) {
+  {
+    MEMFRONT_SPAN("solve_forward");
+    for (index_t i : ctx.analysis->traversal) forward_node(ctx, i, s);
+  }
+  {
+    MEMFRONT_SPAN("solve_backward");
+    const std::vector<index_t>& t = ctx.analysis->traversal;
+    for (auto it = t.rbegin(); it != t.rend(); ++it)
+      backward_node(ctx, *it, s);
+  }
+}
+
+/// Shared worker-pool state of the parallel sweeps (the
+/// parallel_numeric discipline: dependency decrements happen-before the
+/// dependent task's claim through the mutex).
+struct SweepState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t remaining = 0;
+  bool failed = false;
+  std::exception_ptr error;
+
+  void fail(std::exception_ptr e) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!error) error = e;
+    failed = true;
+    cv.notify_all();
+  }
+};
+
+/// Forward sweep: the factorization's task graph verbatim — whole
+/// Geist-Ng subtrees claimed per worker (LPT share first, orphans
+/// adopted), dependency-counted upper-part node tasks above them.
+void run_forward_parallel(const SolveContext& ctx, SolveWorkspace& ws,
+                          unsigned workers) {
+  MEMFRONT_SPAN("solve_forward");
+  const AssemblyTree& tree = ctx.analysis->tree;
+  const SolveGraph& g = *ctx.graph;
+  const index_t nn = tree.num_nodes();
+  const index_t num_subtrees = static_cast<index_t>(g.subtrees.roots.size());
+
+  ws.deps.assign(sz(nn), 0);
+  ws.ready.clear();
+  for (index_t i : g.upper_nodes)
+    ws.deps[sz(i)] = static_cast<index_t>(tree.children(i).size());
+  for (index_t i : g.upper_nodes)
+    if (ws.deps[sz(i)] == 0) ws.ready.push_back(i);
+
+  ws.worker_lists.resize(workers);
+  for (auto& list : ws.worker_lists) list.clear();
+  ws.claimed.assign(workers, 0);
+  for (index_t s = 0; s < num_subtrees; ++s)
+    ws.worker_lists[static_cast<std::size_t>(g.subtrees.proc[sz(s)]) %
+                    workers]
+        .push_back(s);
+  for (auto& list : ws.worker_lists)
+    std::sort(list.begin(), list.end(), [&](index_t a, index_t b) {
+      const count_t fa = g.subtrees.flops[sz(a)];
+      const count_t fb = g.subtrees.flops[sz(b)];
+      return fa != fb ? fa > fb : a < b;
+    });
+
+  SweepState st;
+  st.remaining = sz(num_subtrees) + g.upper_nodes.size();
+  if (st.remaining == 0) return;
+
+  // Caller holds st.mu.
+  const auto complete_locked = [&](index_t node) {
+    const index_t parent = tree.parent(node);
+    if (parent != kNone && --ws.deps[sz(parent)] == 0)
+      ws.ready.push_back(parent);
+    --st.remaining;
+    st.cv.notify_all();
+  };
+
+  const auto worker = [&](std::size_t w) {
+    try {
+      MEMFRONT_THREAD_NAME("solve-" + std::to_string(w));
+      SolveWorkspace::Scratch& scratch = ws.scratch[w];
+      const auto run_subtree = [&](index_t s) {
+        const index_t root = g.subtrees.roots[sz(s)];
+        MEMFRONT_SPAN("solve_fwd_subtree", root);
+        for (index_t i : g.subtree_nodes[sz(s)])
+          forward_node(ctx, i, scratch);
+        std::lock_guard<std::mutex> lock(st.mu);
+        complete_locked(root);
+      };
+      const auto run_list = [&](const std::vector<index_t>& list) {
+        for (index_t s : list) {
+          {
+            std::lock_guard<std::mutex> lock(st.mu);
+            if (st.failed) return;
+          }
+          run_subtree(s);
+        }
+      };
+      const auto claim = [&](std::size_t u) {
+        // Caller holds st.mu.
+        ws.claimed[u] = 1;
+        return std::move(ws.worker_lists[u]);
+      };
+
+      std::vector<index_t> mine;
+      {
+        std::lock_guard<std::mutex> lock(st.mu);
+        if (!ws.claimed[w]) mine = claim(w);
+      }
+      run_list(mine);
+
+      std::unique_lock<std::mutex> lock(st.mu);
+      while (!st.failed && st.remaining > 0) {
+        if (!ws.ready.empty()) {
+          const index_t i = ws.ready.back();
+          ws.ready.pop_back();
+          lock.unlock();
+          {
+            MEMFRONT_SPAN("solve_fwd_front", i);
+            forward_node(ctx, i, scratch);
+          }
+          lock.lock();
+          complete_locked(i);
+          continue;
+        }
+        std::size_t orphan = ws.claimed.size();
+        for (std::size_t u = 0; u < ws.claimed.size(); ++u)
+          if (!ws.claimed[u] && !ws.worker_lists[u].empty()) {
+            orphan = u;
+            break;
+          }
+        if (orphan < ws.claimed.size()) {
+          mine = claim(orphan);
+          lock.unlock();
+          run_list(mine);
+          lock.lock();
+          continue;
+        }
+        st.cv.wait(lock);
+      }
+    } catch (...) {
+      st.fail(std::current_exception());
+    }
+  };
+  parallel_for(workers, worker, workers);
+  if (st.error) std::rethrow_exception(st.error);
+  check(st.remaining == 0, "solve: forward sweep left tasks behind");
+}
+
+/// Backward sweep: the same tasks with the dependency edges inverted —
+/// a task becomes ready when its parent's task finished, subtree tasks
+/// walk their nodes in reverse postorder. Tasks are encoded in the
+/// ready queue as the upper node id (>= 0) or ~subtree_id (< 0).
+void run_backward_parallel(const SolveContext& ctx, SolveWorkspace& ws,
+                           unsigned workers) {
+  MEMFRONT_SPAN("solve_backward");
+  const AssemblyTree& tree = ctx.analysis->tree;
+  const SolveGraph& g = *ctx.graph;
+  const index_t num_subtrees = static_cast<index_t>(g.subtrees.roots.size());
+
+  const auto encode = [&](index_t node) {
+    const index_t s = g.subtrees.node_subtree[sz(node)];
+    return s == kNone ? node : ~s;
+  };
+
+  ws.ready.clear();
+  for (index_t r : tree.roots()) ws.ready.push_back(encode(r));
+
+  SweepState st;
+  st.remaining = sz(num_subtrees) + g.upper_nodes.size();
+  if (st.remaining == 0) return;
+
+  const auto worker = [&](std::size_t w) {
+    try {
+      MEMFRONT_THREAD_NAME("solve-" + std::to_string(w));
+      SolveWorkspace::Scratch& scratch = ws.scratch[w];
+      std::unique_lock<std::mutex> lock(st.mu);
+      while (!st.failed && st.remaining > 0) {
+        if (ws.ready.empty()) {
+          st.cv.wait(lock);
+          continue;
+        }
+        const index_t task = ws.ready.back();
+        ws.ready.pop_back();
+        lock.unlock();
+        if (task >= 0) {
+          // Upper-part node: solve it, then release its children (each
+          // is an upper node or a whole-subtree task).
+          {
+            MEMFRONT_SPAN("solve_bwd_front", task);
+            backward_node(ctx, task, scratch);
+          }
+          lock.lock();
+          for (index_t child : tree.children(task))
+            ws.ready.push_back(encode(child));
+          --st.remaining;
+          st.cv.notify_all();
+        } else {
+          const index_t s = ~task;
+          {
+            MEMFRONT_SPAN("solve_bwd_subtree", g.subtrees.roots[sz(s)]);
+            const std::vector<index_t>& nodes = g.subtree_nodes[sz(s)];
+            for (auto it = nodes.rbegin(); it != nodes.rend(); ++it)
+              backward_node(ctx, *it, scratch);
+          }
+          lock.lock();
+          --st.remaining;
+          st.cv.notify_all();
+        }
+      }
+    } catch (...) {
+      st.fail(std::current_exception());
+    }
+  };
+  parallel_for(workers, worker, workers);
+  if (st.error) std::rethrow_exception(st.error);
+  check(st.remaining == 0, "solve: backward sweep left tasks behind");
+}
+
+void fill_cb_offsets(const AssemblyTree& tree, SolveGraph& g) {
+  const index_t nn = tree.num_nodes();
+  g.cb_offset.resize(sz(nn) + 1);
+  count_t total = 0;
+  for (index_t i = 0; i < nn; ++i) {
+    g.cb_offset[sz(i)] = total;
+    total += tree.ncb(i);
+    g.max_nfront = std::max(g.max_nfront, tree.nfront(i));
+    g.max_ncb = std::max(g.max_ncb, tree.ncb(i));
+  }
+  g.cb_offset[sz(nn)] = total;
+  g.cb_rows = total;
+}
+
+unsigned resolve_workers(const SolveOptions& options) {
+  return options.nthreads > 0 ? options.nthreads : default_thread_count();
+}
+
+/// Permute in, sweep, permute out — shared by every public entry point.
+void run_solve(const Analysis& analysis, const Factorization& fact,
+               const SolveGraph& graph, std::span<const double> b,
+               index_t nrhs, std::span<double> x, SolveWorkspace& ws,
+               unsigned workers, bool scalar) {
+  const AssemblyTree& tree = analysis.tree;
+  const index_t n = tree.num_cols();
+  check(analysis.structure.has_value(), "solve: analysis ran without structure");
+  check(nrhs >= 1, "solve: nrhs must be positive");
+  check(b.size() == off(n, nrhs), "solve: rhs size mismatch");
+  check(x.size() == b.size(), "solve: solution size mismatch");
+  check(fact.nodes.size() == sz(tree.num_nodes()),
+        "solve: factorization does not match analysis");
+
+  ws.bind(graph, n, nrhs, workers);
+  SolveContext ctx;
+  ctx.analysis = &analysis;
+  ctx.fact = &fact;
+  ctx.graph = &graph;
+  ctx.y = ws.y.data();
+  ctx.cb = ws.cb.data();
+  ctx.n = n;
+  ctx.k = nrhs;
+  ctx.scalar = scalar;
+
+  // Permute the rhs into elimination order, composed with the pivoting
+  // row permutation picked up during factorization.
+  for (index_t c = 0; c < nrhs; ++c) {
+    double* ycol = ws.y.data() + off(c, n);
+    const double* bcol = b.data() + off(c, n);
+    for (index_t kk = 0; kk < n; ++kk)
+      ycol[kk] = bcol[analysis.perm[sz(fact.row_of[sz(kk)])]];
+  }
+
+  if (workers <= 1) {
+    run_serial(ctx, ws.scratch[0]);
+  } else {
+    run_forward_parallel(ctx, ws, workers);
+    run_backward_parallel(ctx, ws, workers);
   }
 
   // Back to the original ordering.
-  std::vector<double> x(static_cast<std::size_t>(n));
-  for (index_t k = 0; k < n; ++k)
-    x[static_cast<std::size_t>(analysis.perm[static_cast<std::size_t>(k)])] =
-        y[static_cast<std::size_t>(k)];
+  for (index_t c = 0; c < nrhs; ++c) {
+    const double* ycol = ws.y.data() + off(c, n);
+    double* xcol = x.data() + off(c, n);
+    for (index_t kk = 0; kk < n; ++kk) xcol[analysis.perm[sz(kk)]] = ycol[kk];
+  }
+}
+
+}  // namespace
+
+void SolveWorkspace::bind(const SolveGraph& graph, index_t n, index_t nrhs,
+                          unsigned workers) {
+  y.resize(off(n, nrhs));
+  cb.resize(static_cast<std::size_t>(graph.cb_rows) *
+            static_cast<std::size_t>(nrhs));
+  scratch.resize(workers);
+  for (Scratch& s : scratch) {
+    s.front.resize(off(graph.max_nfront, nrhs));
+    s.gather.resize(off(graph.max_ncb, nrhs));
+    s.pos.resize(sz(graph.max_ncb));
+  }
+}
+
+SolveGraph build_solve_graph(const Analysis& analysis,
+                             const SolveOptions& options) {
+  check(analysis.structure.has_value(),
+        "build_solve_graph: analysis ran without structure");
+  const AssemblyTree& tree = analysis.tree;
+  SolveGraph g;
+  g.nprocs = options.nprocs > 0
+                 ? options.nprocs
+                 : static_cast<index_t>(resolve_workers(options));
+  g.subtree_options = options.subtree_options;
+  g.subtrees =
+      find_subtrees(tree, analysis.memory, g.nprocs, options.subtree_options);
+  g.subtree_nodes.resize(g.subtrees.roots.size());
+  for (index_t i : analysis.traversal) {
+    const index_t s = g.subtrees.node_subtree[sz(i)];
+    if (s != kNone)
+      g.subtree_nodes[sz(s)].push_back(i);
+    else
+      g.upper_nodes.push_back(i);
+  }
+  fill_cb_offsets(tree, g);
+  return g;
+}
+
+void solve_factorized_multi(const Analysis& analysis,
+                            const Factorization& fact,
+                            const SolveGraph& graph,
+                            std::span<const double> b, index_t nrhs,
+                            std::span<double> x, SolveWorkspace& workspace,
+                            const SolveOptions& options) {
+  const unsigned workers = resolve_workers(options);
+  const auto start = std::chrono::steady_clock::now();
+  {
+    MEMFRONT_SPAN("solve", nrhs);
+    run_solve(analysis, fact, graph, b, nrhs, x, workspace, workers,
+              /*scalar=*/false);
+  }
+  obs::record_solve_stats(
+      nrhs, workers,
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+std::vector<double> solve_factorized_multi(const Analysis& analysis,
+                                           const Factorization& fact,
+                                           std::span<const double> b,
+                                           index_t nrhs,
+                                           const SolveOptions& options) {
+  const SolveGraph graph = build_solve_graph(analysis, options);
+  SolveWorkspace workspace;
+  std::vector<double> x(b.size());
+  solve_factorized_multi(analysis, fact, graph, b, nrhs, x, workspace,
+                         options);
+  return x;
+}
+
+std::vector<double> solve_factorized(const Analysis& analysis,
+                                     const Factorization& fact,
+                                     std::span<const double> b,
+                                     const SolveOptions& options) {
+  // Repeated single-RHS solves are the service hot path: keep one graph
+  // + workspace per thread, rebuilt only when the analysis (identified
+  // by address and shape) or the mapping knobs change.
+  struct Cache {
+    const Analysis* analysis = nullptr;
+    index_t n = -1;
+    index_t num_nodes = -1;
+    count_t factor_entries = -1;
+    index_t nprocs = -1;
+    SubtreeOptions subtree_options{};
+    SolveGraph graph;
+    SolveWorkspace workspace;
+  };
+  thread_local Cache cache;
+
+  const index_t n = analysis.tree.num_cols();
+  const index_t nn = analysis.tree.num_nodes();
+  const count_t fe = analysis.tree.total_factor_entries();
+  const index_t nprocs = options.nprocs > 0
+                             ? options.nprocs
+                             : static_cast<index_t>(resolve_workers(options));
+  if (cache.analysis != &analysis || cache.n != n || cache.num_nodes != nn ||
+      cache.factor_entries != fe || cache.nprocs != nprocs ||
+      !(cache.subtree_options == options.subtree_options)) {
+    SolveOptions gopts = options;
+    gopts.nprocs = nprocs;
+    cache.graph = build_solve_graph(analysis, gopts);
+    cache.analysis = &analysis;
+    cache.n = n;
+    cache.num_nodes = nn;
+    cache.factor_entries = fe;
+    cache.nprocs = nprocs;
+    cache.subtree_options = options.subtree_options;
+  }
+  std::vector<double> x(b.size());
+  solve_factorized_multi(analysis, fact, cache.graph, b, 1, x,
+                         cache.workspace, options);
+  return x;
+}
+
+std::vector<double> solve_reference(const Analysis& analysis,
+                                    const Factorization& fact,
+                                    std::span<const double> b) {
+  check(analysis.structure.has_value(),
+        "solve_reference: analysis ran without structure");
+  SolveGraph graph;  // serial sweep: only the slab layout is needed
+  fill_cb_offsets(analysis.tree, graph);
+  SolveWorkspace workspace;
+  std::vector<double> x(b.size());
+  run_solve(analysis, fact, graph, b, 1, x, workspace, /*workers=*/1,
+            /*scalar=*/true);
   return x;
 }
 

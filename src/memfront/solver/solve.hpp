@@ -1,16 +1,133 @@
 // Triangular solves using the multifrontal factors.
+//
+// The solve is a *front-based multifrontal sweep* over the assembly
+// tree, not a flat substitution over the assembled factors. Forward
+// elimination visits nodes bottom-up: gather the front's RHS panel
+// (pivot rows from the global panel, CB rows zeroed), extend-add the
+// children's CB-RHS blocks in tree child order, eliminate (unit-lower
+// TRSM on the pivot block, GEMM into the CB rows), scatter the solved
+// pivots back and the CB rows into a per-node slab. Back-substitution
+// visits nodes top-down with the dependency edges inverted: gather the
+// already-solved ancestor values referenced by the node's CB rows,
+// subtract their products, solve the pivot block, scatter.
+//
+// Because every floating-point association is fixed *per node* — by the
+// tree, its child order, and the kernels' per-element update chains —
+// the result is bit-identical across the serial sweep, the blocked
+// multi-RHS sweep, and the tree-parallel sweep at any worker count and
+// any nprocs mapping width. solve_reference is the scalar single-RHS
+// implementation of the same algorithm (the solve-phase analogue of
+// partial_lu_reference): the bit-exactness baseline of
+// tests/solve_test.cpp and the "before" side of bench_solve.
 #pragma once
 
 #include <span>
 #include <vector>
 
 #include "memfront/solver/numeric_factor.hpp"
+#include "memfront/symbolic/subtrees.hpp"
 
 namespace memfront {
 
-/// Solves A x = b (b and x in the ORIGINAL row/column order).
+struct SolveOptions {
+  /// Worker threads for the tree-parallel sweep: 1 (the default) runs
+  /// the serial sweep on the calling thread; 0 = default_thread_count()
+  /// (honors MEMFRONT_THREADS). Results are bit-identical at any value.
+  unsigned nthreads = 1;
+  /// Geist-Ng mapping width of the subtree task layer (parallel sweep
+  /// only); 0 = the resolved worker count. Does not affect the bits.
+  index_t nprocs = 0;
+  SubtreeOptions subtree_options{};
+
+  friend bool operator==(const SolveOptions&, const SolveOptions&) = default;
+};
+
+/// The static task structure of the solve sweeps, shared with the
+/// factorization's front-task graph: the Geist-Ng subtree tasks run
+/// bottom-up in the forward sweep and top-down (dependency edges
+/// inverted) in the backward sweep. Build once per analysis and reuse
+/// across solves; valid as long as the analysis it was built from.
+struct SolveGraph {
+  index_t nprocs = 0;  // effective mapping width
+  SubtreeOptions subtree_options{};
+  Subtrees subtrees;
+  /// Postorder node list per subtree (the forward order; the backward
+  /// sweep walks them reversed).
+  std::vector<std::vector<index_t>> subtree_nodes;
+  /// Upper-part nodes in traversal order.
+  std::vector<index_t> upper_nodes;
+  /// Row offset of each node's CB-RHS block in the slab (num_nodes + 1
+  /// prefix sums of ncb); the slab replaces the factorization's LIFO
+  /// arena — every node owns a fixed slice, so tasks never contend.
+  std::vector<count_t> cb_offset;
+  count_t cb_rows = 0;
+  index_t max_nfront = 0;
+  index_t max_ncb = 0;
+};
+
+SolveGraph build_solve_graph(const Analysis& analysis,
+                             const SolveOptions& options = {});
+
+/// Reusable solve buffers: the n x k panel in elimination order, the
+/// CB-RHS slab, and per-worker gather/scatter scratch. bind() resizes
+/// for a (graph, n, nrhs, workers) shape; repeated solves of the same
+/// shape perform no allocations. One workspace serves one solve at a
+/// time (the parallel sweep's workers share it by index).
+struct SolveWorkspace {
+  struct Scratch {
+    std::vector<double> front;   // max_nfront x nrhs front RHS panel
+    std::vector<double> gather;  // max_ncb x nrhs backward gather buffer
+    std::vector<index_t> pos;    // extend-add row positions
+  };
+
+  std::vector<double> y;   // n x nrhs, elimination order
+  std::vector<double> cb;  // cb_rows x nrhs slab
+  std::vector<Scratch> scratch;
+
+  // Parallel-runtime state, rebound per solve (kept here so the hot
+  // path allocates nothing once warm).
+  std::vector<index_t> deps;
+  std::vector<index_t> ready;
+  std::vector<std::vector<index_t>> worker_lists;
+  std::vector<char> claimed;
+
+  void bind(const SolveGraph& graph, index_t n, index_t nrhs,
+            unsigned workers);
+};
+
+/// Solves A X = B for an n x nrhs column-major panel (B and X in the
+/// ORIGINAL row/column order). The allocation-free entry point: `x`
+/// must be presized to b.size(), the graph must come from
+/// build_solve_graph on the same analysis. options.nthreads selects the
+/// serial or tree-parallel sweep; the bits do not depend on it.
+void solve_factorized_multi(const Analysis& analysis,
+                            const Factorization& fact,
+                            const SolveGraph& graph,
+                            std::span<const double> b, index_t nrhs,
+                            std::span<double> x, SolveWorkspace& workspace,
+                            const SolveOptions& options = {});
+
+/// Convenience overload: builds a graph and workspace per call.
+std::vector<double> solve_factorized_multi(const Analysis& analysis,
+                                           const Factorization& fact,
+                                           std::span<const double> b,
+                                           index_t nrhs,
+                                           const SolveOptions& options = {});
+
+/// Solves A x = b (b and x in the ORIGINAL row/column order). Routes
+/// through the panel sweep with nrhs = 1, reusing a thread_local graph +
+/// workspace so repeated solves against the same analysis allocate only
+/// the result vector.
 std::vector<double> solve_factorized(const Analysis& analysis,
                                      const Factorization& fact,
-                                     std::span<const double> b);
+                                     std::span<const double> b,
+                                     const SolveOptions& options = {});
+
+/// The scalar single-RHS serial sweep, verbatim per-element order of the
+/// blocked kernels: the bit-exactness baseline. Every solve_factorized*
+/// variant must reproduce its result bit for bit.
+std::vector<double> solve_reference(const Analysis& analysis,
+                                    const Factorization& fact,
+                                    std::span<const double> b);
 
 }  // namespace memfront
