@@ -33,6 +33,7 @@
 #include "bench_common.hpp"
 #include "memfront/frontal/arena.hpp"
 #include "memfront/frontal/kernels.hpp"
+#include "memfront/obs/metrics.hpp"
 #include "memfront/solver/parallel_numeric.hpp"
 #include "memfront/support/rng.hpp"
 
@@ -310,7 +311,27 @@ int main(int argc, char** argv) {
          << ", \"subtrees\": " << r.subtrees << "}"
          << (i + 1 < rows.size() ? "," : "") << "\n";
   }
+  // Numeric-robustness trajectory: pivot health across every run above
+  // (the registry accumulated them via record_factor_stats).
+  const auto& registry = obs::MetricsRegistry::global();
+  const obs::Counter* perturbed =
+      registry.find_counter("solver.factor.perturbed_pivots");
+  const obs::Counter* zero_pivots =
+      registry.find_counter("solver.factor.exact_zero_pivots");
+  const obs::FloatGauge* growth =
+      registry.find_float_gauge("solver.factor.pivot_growth_max");
+  const obs::Counter* injected =
+      registry.find_counter("fault.injected_count");
   json << "  ],\n"
+       << "  \"robustness\": {\n"
+       << "    \"perturbed_pivots\": " << (perturbed ? perturbed->value() : 0)
+       << ",\n"
+       << "    \"exact_zero_pivots\": "
+       << (zero_pivots ? zero_pivots->value() : 0) << ",\n"
+       << "    \"pivot_growth_max\": " << (growth ? growth->value() : 0.0)
+       << ",\n"
+       << "    \"fault_injected_count\": " << (injected ? injected->value() : 0)
+       << "\n  },\n"
        << "  \"worst_parallel_speedup\": " << worst_parallel_speedup << ",\n"
        << "  \"arena_peaks_match\": " << (arena_matches ? "true" : "false")
        << "\n}\n";

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "memfront/obs/metrics.hpp"
 #include "memfront/solver/solve.hpp"
 #include "memfront/support/rng.hpp"
 
@@ -399,6 +400,32 @@ int main(int argc, char** argv) {
             << "  factorization cache: " << cache_stats.factorization_hits
             << " hits, " << cache_stats.factorization_misses << " misses\n";
 
+  // ---- Iterative refinement cost -------------------------------------------
+  // One refined solve against the sweep factorization: a zero tolerance
+  // forces the loop to run until stagnation, so the measurement covers
+  // the full residual + re-solve cost and reports the converged
+  // backward error.
+  SolveOptions refine_options;
+  refine_options.max_refine_iters = 2;
+  refine_options.refine_tolerance = 0.0;
+  SolveStats refine_stats;
+  const std::vector<double> refine_b = random_panel(n, 1, 4242);
+  std::vector<double> refine_x(refine_b.size());
+  const double refine_s = time_repeated(
+      [&] {
+        solve_factorized_multi(*sweep_analysis, sweep_fact, serial_graph,
+                               refine_b, 1, refine_x, workspace,
+                               refine_options, &refine_stats);
+      },
+      min_reps);
+  const obs::Counter* refine_counter =
+      obs::MetricsRegistry::global().find_counter(
+          "solver.solve.refinement_iters");
+  std::cout << "refined solve: " << refine_stats.refine_iters
+            << " refinement sweeps, backward error "
+            << refine_stats.backward_error << ", " << refine_s * 1e3
+            << " ms\n";
+
   // ---- BENCH_solve.json ----------------------------------------------------
   std::ofstream json(opt.json_path);
   json << "{\n"
@@ -445,6 +472,12 @@ int main(int argc, char** argv) {
        << ",\n"
        << "    \"factorization_misses\": " << cache_stats.factorization_misses
        << "\n  },\n"
+       << "  \"refinement\": {\n"
+       << "    \"refine_iters\": " << refine_stats.refine_iters << ",\n"
+       << "    \"backward_error\": " << refine_stats.backward_error << ",\n"
+       << "    \"refined_solve_s\": " << refine_s << ",\n"
+       << "    \"registry_refinement_iters\": "
+       << (refine_counter ? refine_counter->value() : 0) << "\n  },\n"
        << "  \"bit_identical_to_reference\": "
        << (bit_identical ? "true" : "false") << "\n}\n";
   if (!json) {

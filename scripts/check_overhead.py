@@ -1,9 +1,14 @@
 #!/usr/bin/env python3
 """Compare bench throughput between two builds and fail on regression.
 
-The disabled-overhead gate: a build with the span macros compiled in
-(MEMFRONT_OBS=ON, tracing not enabled at runtime) must stay within
---threshold of a build with them compiled out (MEMFRONT_OBS=OFF).
+The disabled-overhead gates, both held to the same discipline:
+
+  * MEMFRONT_OBS: span macros compiled in (tracing not enabled at
+    runtime) must stay within --threshold of a build with them
+    compiled out (MEMFRONT_OBS=OFF).
+  * MEMFRONT_FAULTS: fault-injection sites compiled in (no plan armed)
+    must stay within --threshold of a build with them compiled out
+    (MEMFRONT_FAULTS=OFF).
 
 Both sides take one or more BENCH_*.json files (repeat runs); the best
 rate per side is compared, which filters scheduler noise the way
@@ -13,6 +18,7 @@ usage: check_overhead.py --baseline off1.json [off2.json ...]
                          --candidate on1.json [on2.json ...]
                          [--key single_run_events_per_sec]
                          [--threshold 0.02]
+                         [--label obs]
 """
 import argparse
 import json
@@ -39,16 +45,19 @@ def main():
     ap.add_argument("--key", default="single_run_events_per_sec")
     ap.add_argument("--threshold", type=float, default=0.02,
                     help="maximum fractional slowdown (default 2%%)")
+    ap.add_argument("--label", default="instrumentation",
+                    help="which compiled-in feature is being gated "
+                         "(obs, faults, ...) -- used in messages only")
     args = ap.parse_args()
 
     baseline = best_rate(args.baseline, args.key)
     candidate = best_rate(args.candidate, args.key)
     overhead = (baseline - candidate) / baseline
-    print(f"{args.key}: baseline {baseline:,.0f}/s, "
+    print(f"[{args.label}] {args.key}: baseline {baseline:,.0f}/s, "
           f"candidate {candidate:,.0f}/s, overhead {overhead:+.2%} "
           f"(threshold {args.threshold:.0%})")
     if overhead > args.threshold:
-        print("FAIL: disabled-mode instrumentation overhead above threshold",
+        print(f"FAIL: disabled-mode {args.label} overhead above threshold",
               file=sys.stderr)
         return 1
     print("OK")

@@ -765,6 +765,7 @@ ParallelResult Engine::finalize() {
       result.ooc_reload_entries += pr.ooc.reload_entries;
       result.ooc_stall_time += pr.ooc.stall_time;
       result.ooc_overlap_time += pr.ooc.overlap_time;
+      result.ooc_io_retries += pr.ooc.io_retries;
       result.ooc_overrun_peak =
           std::max(result.ooc_overrun_peak, pr.ooc.overrun_peak);
       result.ooc_buffer_high_water =

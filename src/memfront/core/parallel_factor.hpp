@@ -70,6 +70,7 @@ struct ParallelResult {
   count_t ooc_overrun_peak = 0;          // max over processors
   double ooc_overlap_time = 0.0;         // Σ I/O hidden behind compute (WB)
   count_t ooc_buffer_high_water = 0;     // max over processors (WB)
+  index_t ooc_io_retries = 0;            // Σ transient I/O faults retried
   /// Disk-completion events the run processed (0 when the mode is off).
   std::uint64_t io_events = 0;
   /// Total discrete events the run processed (perf denominator for

@@ -4,6 +4,8 @@
 
 #include "memfront/obs/span_tracer.hpp"
 #include "memfront/support/error.hpp"
+#include "memfront/support/fault.hpp"
+#include "memfront/support/status.hpp"
 
 namespace memfront {
 namespace {
@@ -15,7 +17,18 @@ constexpr std::size_t kMinSlabDoubles = std::size_t{1} << 16;  // 512 KiB
 
 FrontalArena::FrontalArena(std::size_t reserve_doubles) {
   if (reserve_doubles > 0) {
-    slabs_.push_back({std::vector<double>(reserve_doubles), 0});
+    // Same failure surface as push()'s fresh-slab branch: the upfront
+    // reserve is a slab allocation too.
+    if (MEMFRONT_FAULT("arena.slab_alloc"))
+      throw SolverError(ErrorCode::kResourceExhausted,
+                        "injected arena slab allocation failure");
+    try {
+      slabs_.push_back({std::vector<double>(reserve_doubles), 0});
+    } catch (const std::bad_alloc&) {
+      throw SolverError(ErrorCode::kResourceExhausted,
+                        "FrontalArena: slab allocation failed (" +
+                            std::to_string(reserve_doubles) + " doubles)");
+    }
     ++growths_;
   }
 }
@@ -32,8 +45,19 @@ double* FrontalArena::push(std::size_t count) {
       top_ = next;
     } else {
       const std::size_t slab_doubles = std::max(count, kMinSlabDoubles);
-      slabs_.insert(slabs_.begin() + static_cast<std::ptrdiff_t>(next),
-                    {std::vector<double>(slab_doubles), 0});
+      // Fault site: slab allocation failure (the only allocation on the
+      // numeric hot path) surfaces as kResourceExhausted, not bad_alloc.
+      if (MEMFRONT_FAULT("arena.slab_alloc"))
+        throw SolverError(ErrorCode::kResourceExhausted,
+                          "injected arena slab allocation failure");
+      try {
+        slabs_.insert(slabs_.begin() + static_cast<std::ptrdiff_t>(next),
+                      {std::vector<double>(slab_doubles), 0});
+      } catch (const std::bad_alloc&) {
+        throw SolverError(ErrorCode::kResourceExhausted,
+                          "FrontalArena: slab allocation failed (" +
+                              std::to_string(slab_doubles) + " doubles)");
+      }
       ++growths_;
       top_ = next;
       MEMFRONT_INSTANT("arena_slab",

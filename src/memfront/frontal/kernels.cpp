@@ -90,6 +90,21 @@ inline double perturbed_pivot(double d) {
   return std::signbit(d) ? -kPivotFloor : kPivotFloor;
 }
 
+/// Pivot bookkeeping shared by all four kernels: exact-zero detection
+/// (before perturbation), static perturbation, and max-|pivot| tracking.
+/// Besides the perturbation itself (unchanged semantics) this is
+/// comparisons and counters only, so the kernels stay bit-identical.
+inline double settle_pivot(double d, PartialFactorResult& result) {
+  if (d == 0.0) ++result.exact_zero_pivots;
+  if (std::abs(d) < kPivotFloor) {
+    d = perturbed_pivot(d);
+    ++result.perturbations;
+  }
+  const double mag = std::abs(d);
+  if (mag > result.max_pivot_abs) result.max_pivot_abs = mag;
+  return d;
+}
+
 }  // namespace
 
 void schur_update(index_t m, index_t n, index_t kb, const double* a,
@@ -146,12 +161,8 @@ PartialFactorResult partial_lu_blocked(FrontView f, index_t npiv) {
           for (index_t c = k0; c < k1; ++c)
             std::swap(f.at(k, c), f.at(piv, c));
         result.pivot_rows.push_back(piv);
-        double d = f.at(k, k);
-        if (std::abs(d) < kPivotFloor) {
-          d = perturbed_pivot(d);
-          f.at(k, k) = d;
-          ++result.perturbations;
-        }
+        const double d = settle_pivot(f.at(k, k), result);
+        f.at(k, k) = d;
         double* lcol = f.col(k);
         for (index_t r = k + 1; r < n; ++r) lcol[r] /= d;
         for (index_t c = k + 1; c < k1; ++c) {
@@ -205,12 +216,8 @@ PartialFactorResult partial_ldlt_blocked(FrontView f, index_t npiv) {
       MEMFRONT_SPAN("panel", k0);
       for (index_t k = k0; k < k1; ++k) {
         result.pivot_rows.push_back(k);  // no pivoting
-        double d = f.at(k, k);
-        if (std::abs(d) < kPivotFloor) {
-          d = perturbed_pivot(d);
-          f.at(k, k) = d;
-          ++result.perturbations;
-        }
+        const double d = settle_pivot(f.at(k, k), result);
+        f.at(k, k) = d;
         double* lcol = f.col(k);
         for (index_t r = k + 1; r < n; ++r) lcol[r] /= d;
         for (index_t c = k + 1; c < k1; ++c) {
@@ -363,12 +370,8 @@ PartialFactorResult partial_lu_reference(FrontView f, index_t npiv) {
     if (piv != k)
       for (index_t c = 0; c < n; ++c) std::swap(f.at(k, c), f.at(piv, c));
     result.pivot_rows.push_back(piv);
-    double d = f.at(k, k);
-    if (std::abs(d) < kPivotFloor) {
-      d = perturbed_pivot(d);
-      f.at(k, k) = d;
-      ++result.perturbations;
-    }
+    const double d = settle_pivot(f.at(k, k), result);
+    f.at(k, k) = d;
     // Scale the column (L part), then rank-1 update the trailing block.
     double* lcol = f.col(k);
     for (index_t r = k + 1; r < n; ++r) lcol[r] /= d;
@@ -389,12 +392,8 @@ PartialFactorResult partial_ldlt_reference(FrontView f, index_t npiv) {
 
   for (index_t k = 0; k < npiv; ++k) {
     result.pivot_rows.push_back(k);  // no pivoting
-    double d = f.at(k, k);
-    if (std::abs(d) < kPivotFloor) {
-      d = perturbed_pivot(d);
-      f.at(k, k) = d;
-      ++result.perturbations;
-    }
+    const double d = settle_pivot(f.at(k, k), result);
+    f.at(k, k) = d;
     double* lcol = f.col(k);
     for (index_t r = k + 1; r < n; ++r) lcol[r] /= d;
     // Symmetric rank-1 update of the trailing block, kept full so the

@@ -43,6 +43,14 @@ struct PartialFactorResult {
   std::vector<index_t> pivot_rows;
   /// Number of pivots that needed a static perturbation.
   index_t perturbations = 0;
+  /// Pivots that were *exactly* zero before perturbation: at those steps
+  /// the pivot block is exactly singular (structural or cancellation).
+  index_t exact_zero_pivots = 0;
+  /// Largest |pivot| actually divided by (post-perturbation). Together
+  /// with the matrix amax this gives the pivot-growth estimate
+  /// max|pivot| / max|a_ij| in FactorStats. Tracking is comparisons
+  /// only, so the kernels stay bit-identical.
+  double max_pivot_abs = 0.0;
 };
 
 /// C(0:m,0:n) -= A(0:m,0:kb) * B(0:kb,0:n), all column-major with leading

@@ -51,6 +51,7 @@ struct MetricsRegistry::Impl {
   // slots give stable references across rehash-free growth.
   std::map<std::string, std::unique_ptr<Counter>> counters;
   std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<FloatGauge>> float_gauges;
   std::map<std::string, std::unique_ptr<Histogram>> histograms;
 };
 
@@ -76,6 +77,13 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
   return *slot;
 }
 
+FloatGauge& MetricsRegistry::float_gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto& slot = impl_->float_gauges[name];
+  if (!slot) slot = std::make_unique<FloatGauge>();
+  return *slot;
+}
+
 Histogram& MetricsRegistry::histogram(const std::string& name) {
   std::lock_guard<std::mutex> lock(impl_->mutex);
   auto& slot = impl_->histograms[name];
@@ -98,6 +106,13 @@ const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
   return it != impl_->gauges.end() ? it->second.get() : nullptr;
 }
 
+const FloatGauge* MetricsRegistry::find_float_gauge(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->float_gauges.find(name);
+  return it != impl_->float_gauges.end() ? it->second.get() : nullptr;
+}
+
 const Histogram* MetricsRegistry::find_histogram(
     const std::string& name) const {
   std::lock_guard<std::mutex> lock(impl_->mutex);
@@ -117,6 +132,13 @@ void MetricsRegistry::write_json(std::ostream& os) const {
   os << "  \"gauges\": {";
   first = true;
   for (const auto& [name, g] : impl_->gauges) {
+    os << (first ? "\n" : ",\n") << "    \"" << name << "\": " << g->value();
+    first = false;
+  }
+  os << (first ? "},\n" : "\n  },\n");
+  os << "  \"float_gauges\": {";
+  first = true;
+  for (const auto& [name, g] : impl_->float_gauges) {
     os << (first ? "\n" : ",\n") << "    \"" << name << "\": " << g->value();
     first = false;
   }
@@ -151,6 +173,7 @@ void MetricsRegistry::reset() {
   std::lock_guard<std::mutex> lock(impl_->mutex);
   for (auto& [name, c] : impl_->counters) c->reset();
   for (auto& [name, g] : impl_->gauges) g->reset();
+  for (auto& [name, g] : impl_->float_gauges) g->reset();
   for (auto& [name, h] : impl_->histograms) h->reset();
 }
 
@@ -186,6 +209,12 @@ void record_factor_stats(const FactorStats& stats) {
   m.counter("solver.factor.runs").add();
   m.counter("solver.factor.factor_entries").add(stats.factor_entries);
   m.counter("solver.factor.perturbations").add(stats.perturbations);
+  // Taxonomy alias of the perturbation counter plus the new numeric-
+  // robustness signals (ISSUE 8 failure-model metrics).
+  m.counter("solver.factor.perturbed_pivots").add(stats.perturbations);
+  m.counter("solver.factor.exact_zero_pivots").add(stats.exact_zero_pivots);
+  m.float_gauge("solver.factor.pivot_growth_max")
+      .max_of(stats.pivot_growth_max);
   m.counter("solver.factor.arena_slabs").add(stats.arena_slabs);
   m.gauge("solver.factor.stack_peak_entries")
       .max_of(stats.measured_stack_peak);

@@ -75,6 +75,28 @@ class Gauge {
   std::atomic<std::int64_t> value_{0};
 };
 
+/// Last-write-wins double-valued level with a running-max helper — for
+/// the few metrics that are genuinely real-valued (pivot growth,
+/// backward error) where integer quantization would lose the signal.
+class FloatGauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` if larger (high-water semantics).
+  void max_of(double v) noexcept {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
 /// Power-of-two-bucketed histogram of non-negative values (latency in
 /// nanoseconds is the intended unit): bucket i counts observations v
 /// with bit_width(v) == i, i.e. v in [2^(i-1), 2^i). Bucket 0 holds
@@ -119,16 +141,19 @@ class MetricsRegistry {
   /// registry's lifetime; cache them at hot call sites.
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
+  FloatGauge& float_gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
 
   /// Lookup without creation (0 / nullptr when absent) — for tests and
   /// report code that must not materialize empty metrics.
   const Counter* find_counter(const std::string& name) const;
   const Gauge* find_gauge(const std::string& name) const;
+  const FloatGauge* find_float_gauge(const std::string& name) const;
   const Histogram* find_histogram(const std::string& name) const;
 
   /// One JSON document: {"counters": {...}, "gauges": {...},
-  /// "histograms": {...}}, keys sorted, stable across runs.
+  /// "float_gauges": {...}, "histograms": {...}}, keys sorted, stable
+  /// across runs.
   void write_json(std::ostream& os) const;
 
   /// Zeroes every registered metric (registrations survive).

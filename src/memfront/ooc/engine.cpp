@@ -3,8 +3,17 @@
 #include <algorithm>
 
 #include "memfront/support/error.hpp"
+#include "memfront/support/fault.hpp"
+#include "memfront/support/status.hpp"
 
 namespace memfront {
+
+namespace {
+/// Transient-I/O retry discipline: up to this many attempts per op, each
+/// retry delayed by a doubling backoff in simulated seconds.
+constexpr int kMaxIoAttempts = 3;
+constexpr double kIoRetryBackoff = 1e-3;
+}  // namespace
 
 const char* ooc_io_mode_name(OocIoMode mode) {
   switch (mode) {
@@ -34,6 +43,40 @@ OocEngine::OocEngine(const OocConfig& config, index_t nprocs, OocHost& host)
   procs_.resize(static_cast<std::size_t>(nprocs));
 }
 
+double OocEngine::disk_write_checked(index_t p, count_t entries, double now) {
+  double backoff = kIoRetryBackoff;
+  [[maybe_unused]] const std::int64_t op = io_ops_++;
+  for (int attempt = 0; attempt < kMaxIoAttempts; ++attempt) {
+    if (!MEMFRONT_FAULT("ooc.write", op * kMaxIoAttempts + attempt))
+      return disk_.write(p, entries, now);
+    ++host_.ooc_stats(p).io_retries;
+    now += backoff;
+    backoff *= 2;
+  }
+  throw SolverError(ErrorCode::kIoError,
+                    "ooc: disk write failed after bounded retries",
+                    std::source_location::current(),
+                    ErrorContext{.node = p, .input_line = -1,
+                                 .detail = "entries=" + std::to_string(entries)});
+}
+
+double OocEngine::disk_read_checked(index_t p, count_t entries, double now) {
+  double backoff = kIoRetryBackoff;
+  [[maybe_unused]] const std::int64_t op = io_ops_++;
+  for (int attempt = 0; attempt < kMaxIoAttempts; ++attempt) {
+    if (!MEMFRONT_FAULT("ooc.read", op * kMaxIoAttempts + attempt))
+      return disk_.read(p, entries, now);
+    ++host_.ooc_stats(p).io_retries;
+    now += backoff;
+    backoff *= 2;
+  }
+  throw SolverError(ErrorCode::kIoError,
+                    "ooc: disk read failed after bounded retries",
+                    std::source_location::current(),
+                    ErrorContext{.node = p, .input_line = -1,
+                                 .detail = "entries=" + std::to_string(entries)});
+}
+
 double OocEngine::buffer_push(index_t p, count_t entries, TraceIo kind) {
   ProcState& ps = proc(p);
   const double now = host_.now();
@@ -57,7 +100,7 @@ double OocEngine::buffer_push(index_t p, count_t entries, TraceIo kind) {
   // to drain earlier writes, whose service was already counted when they
   // were pushed), minus any buffer-full wait the processor did absorb.
   const double service_start = disk_.busy_until(p, now);
-  const double finish = disk_.write(p, entries, now);
+  const double finish = disk_write_checked(p, entries, now);
   host_.record_io(now, finish, p, entries, kind);
   st.overlap_time += std::max(0.0, (finish - service_start) - stall);
   ps.in_flight.push(InFlightWrite{finish, entries, false});
@@ -73,7 +116,7 @@ double OocEngine::write_back_factors(index_t p, count_t entries) {
       // The entries stay on the stack (they were allocated as part of the
       // front) until the write lands; budget admission may account them
       // as freed early.
-      const double finish = disk_.write(p, entries, host_.now());
+      const double finish = disk_write_checked(p, entries, host_.now());
       proc(p).pending_writes.push(InFlightWrite{finish, entries, false});
       host_.record_io(host_.now(), finish, p, entries,
                       TraceIo::kFactorWrite);
@@ -84,7 +127,7 @@ double OocEngine::write_back_factors(index_t p, count_t entries) {
       // Blocking write: the processor stalls until the panel lands.
       host_.release(p, entries);
       host_.announce_mem(p, -entries);
-      const double finish = disk_.write(p, entries, host_.now());
+      const double finish = disk_write_checked(p, entries, host_.now());
       host_.record_io(host_.now(), finish, p, entries,
                       TraceIo::kFactorWrite);
       const double stall = finish - host_.now();
@@ -174,7 +217,7 @@ double OocEngine::admit(index_t p, count_t incoming) {
       if (mode_ == OocIoMode::kWriteBehind) {
         stall = std::max(stall, buffer_push(p, entries, TraceIo::kSpill));
       } else {
-        const double finish = disk_.write(p, entries, host_.now());
+        const double finish = disk_write_checked(p, entries, host_.now());
         host_.record_io(host_.now(), finish, p, entries, TraceIo::kSpill);
         stall = std::max(stall, finish - host_.now());
       }
@@ -204,7 +247,7 @@ double OocEngine::reload(index_t p, count_t entries) {
   OocProcStats& st = host_.ooc_stats(p);
   st.reload_entries += entries;
   ++st.reload_events;
-  const double finish = disk_.read(p, entries, host_.now());
+  const double finish = disk_read_checked(p, entries, host_.now());
   host_.record_io(host_.now(), finish, p, entries, TraceIo::kReload);
   return finish - host_.now();
 }

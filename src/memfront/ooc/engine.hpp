@@ -170,6 +170,16 @@ class OocEngine {
   /// buffer-freeing completion. Returns the stall (not yet charged).
   double buffer_push(index_t p, count_t entries, TraceIo kind);
 
+  /// Disk ops routed through the fault-injection sites "ooc.write" /
+  /// "ooc.read": a fired site models a transient I/O error, retried with
+  /// bounded exponential backoff (each retry re-issues the op and counts
+  /// in OocProcStats::io_retries); exhausted attempts surface as a
+  /// structured kIoError. The op counter gives every attempt a stable
+  /// injection id (the simulation is single-threaded, so issue order —
+  /// and therefore the fault schedule — is deterministic).
+  double disk_write_checked(index_t p, count_t entries, double now);
+  double disk_read_checked(index_t p, count_t entries, double now);
+
   const OocIoMode mode_;
   const count_t budget_;
   const count_t capacity_;
@@ -177,6 +187,7 @@ class OocEngine {
   OocHost& host_;
   DiskModel disk_;
   std::vector<ProcState> procs_;
+  std::int64_t io_ops_ = 0;  // issue-order id source for fault injection
 };
 
 }  // namespace memfront

@@ -22,6 +22,9 @@ struct OocProcStats {
   /// in-flight volume the buffer ever held.
   double overlap_time = 0.0;
   count_t buffer_high_water = 0;
+  /// Transient disk errors (injected via the "ooc.write"/"ooc.read"
+  /// fault sites) absorbed by the bounded-backoff retry path.
+  index_t io_retries = 0;
 
   count_t io_entries() const noexcept {
     return factor_write_entries + spill_entries + reload_entries;

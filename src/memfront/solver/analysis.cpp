@@ -63,6 +63,7 @@ Analysis analyze(const CscMatrix& a, const AnalysisOptions& options) {
   };
   const auto t0 = Clock::now();
   require(a.nrows() == a.ncols(), "analyze: matrix must be square");
+  require(!a.has_nonfinite_values(), "analyze: matrix contains NaN/Inf values");
   const Graph adjacency = Graph::from_matrix(a);
   const std::vector<index_t> order =
       compute_ordering(adjacency, options.ordering, options.seed);

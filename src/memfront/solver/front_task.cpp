@@ -2,17 +2,22 @@
 
 #include <algorithm>
 
+#include <cmath>
+#include <limits>
+
 #include "memfront/frontal/extend_add.hpp"
 #include "memfront/obs/metrics.hpp"
 #include "memfront/obs/span_tracer.hpp"
 #include "memfront/support/error.hpp"
+#include "memfront/support/fault.hpp"
+#include "memfront/support/status.hpp"
 
 namespace memfront::numeric_detail {
 
-index_t process_front(const FrontContext& ctx, index_t i,
-                      std::span<const double* const> child_cbs,
-                      FrontWorkspace& ws, FrontView front, NodeFactor& out,
-                      std::vector<index_t>& row_of) {
+FrontResult process_front(const FrontContext& ctx, index_t i,
+                          std::span<const double* const> child_cbs,
+                          FrontWorkspace& ws, FrontView front, NodeFactor& out,
+                          std::vector<index_t>& row_of) {
   MEMFRONT_SPAN("factor_front", i);
   const std::uint64_t front_t0 =
       obs::Tracer::enabled() ? obs::Tracer::global().now_ns() : 0;
@@ -80,6 +85,12 @@ index_t process_front(const FrontContext& ctx, index_t i,
     }
   }
 
+  // Fault site: a NaN landing in the assembled front (simulating memory
+  // corruption or bad upstream data) must surface as kPivotBreakdown from
+  // the post-kernel pivot check below — never as silent corruption.
+  if (npiv > 0 && MEMFRONT_FAULT("front.assemble_nan", i))
+    front.at(0, 0) = std::numeric_limits<double>::quiet_NaN();
+
   PartialFactorResult pf;
   {
     MEMFRONT_SPAN("kernel", i);
@@ -89,6 +100,17 @@ index_t process_front(const FrontContext& ctx, index_t i,
              : (ctx.kernel == FrontalKernel::kBlocked
                     ? partial_lu_blocked(front, npiv)
                     : partial_lu_reference(front, npiv));
+  }
+  // Non-finite pivots mean the factorization is numerically dead from
+  // this node on (every descendant of a NaN pivot is NaN): O(npiv) scan,
+  // structured error instead of a silently poisoned factor.
+  for (index_t k = 0; k < npiv; ++k) {
+    if (!std::isfinite(front.at(k, k))) {
+      throw SolverError(ErrorCode::kPivotBreakdown,
+                        "non-finite pivot in factored front",
+                        std::source_location::current(),
+                        ErrorContext{.node = i, .input_line = -1, .detail = {}});
+    }
   }
   if (!sym) {
     for (index_t k = 0; k < npiv; ++k) {
@@ -128,7 +150,8 @@ index_t process_front(const FrontContext& ctx, index_t i,
     latency.observe(static_cast<std::int64_t>(obs::Tracer::global().now_ns() -
                                               front_t0));
   }
-  return pf.perturbations;
+  return FrontResult{pf.perturbations, pf.exact_zero_pivots,
+                     pf.max_pivot_abs};
 }
 
 void extract_cb(FrontView front, index_t npiv, double* cb_out) {

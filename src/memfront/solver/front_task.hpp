@@ -47,18 +47,27 @@ struct FrontWorkspace {
   }
 };
 
+/// Per-node numeric-robustness report the drivers fold into FactorStats.
+struct FrontResult {
+  index_t perturbations = 0;
+  index_t exact_zero_pivots = 0;
+  double max_pivot_abs = 0.0;
+};
+
 /// Factors node i into `front` (from ws.acquire_front(nfront(i))).
 /// `child_cbs[c]` is child c's contribution block (order ncb(child),
 /// column-major, leading dimension = its order), in the tree's child
 /// order. Pivot row swaps are applied to `row_of` (node-local index
 /// range, so concurrent callers on distinct nodes never conflict).
-/// Returns the perturbation count. The caller then releases the children
-/// and extracts the CB from the still-live front (extract_cb) — that
-/// split is what lets the drivers keep the arena LIFO discipline.
-index_t process_front(const FrontContext& ctx, index_t i,
-                      std::span<const double* const> child_cbs,
-                      FrontWorkspace& ws, FrontView front, NodeFactor& out,
-                      std::vector<index_t>& row_of);
+/// Returns the node's pivot report; throws SolverError(kPivotBreakdown)
+/// when a factored pivot comes out non-finite (NaN/Inf reached the pivot
+/// block). The caller then releases the children and extracts the CB
+/// from the still-live front (extract_cb) — that split is what lets the
+/// drivers keep the arena LIFO discipline.
+FrontResult process_front(const FrontContext& ctx, index_t i,
+                          std::span<const double* const> child_cbs,
+                          FrontWorkspace& ws, FrontView front, NodeFactor& out,
+                          std::vector<index_t>& row_of);
 
 /// Copies the Schur block of a factored front (order ncb = n - npiv) into
 /// `cb_out` (column-major, leading dimension ncb).

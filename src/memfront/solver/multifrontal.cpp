@@ -43,8 +43,29 @@ std::vector<double> MultifrontalSolver::solve_multi(
   bind_solve_graph(options);
   std::vector<double> x(b.size());
   solve_factorized_multi(analysis_, factorization_, solve_graph_, b, nrhs, x,
-                         solve_workspace_, options);
+                         solve_workspace_, options, &last_solve_stats_);
   return x;
+}
+
+Status MultifrontalSolver::try_factorize(const NumericOptions& options) noexcept {
+  try {
+    factorize(options);
+    return Status::success();
+  } catch (...) {
+    factorized_ = false;
+    return Status::from_current_exception();
+  }
+}
+
+Status MultifrontalSolver::try_solve(std::span<const double> b, index_t nrhs,
+                                     std::vector<double>& x,
+                                     const SolveOptions& options) const noexcept {
+  try {
+    x = solve_multi(b, nrhs, options);
+    return Status::success();
+  } catch (...) {
+    return Status::from_current_exception();
+  }
 }
 
 const Factorization& MultifrontalSolver::factorization() const {

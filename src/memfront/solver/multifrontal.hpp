@@ -12,6 +12,7 @@
 
 #include "memfront/solver/numeric_factor.hpp"
 #include "memfront/solver/solve.hpp"
+#include "memfront/support/status.hpp"
 
 namespace memfront {
 
@@ -36,6 +37,21 @@ class MultifrontalSolver {
   std::vector<double> solve_multi(std::span<const double> b, index_t nrhs,
                                   const SolveOptions& options = {}) const;
 
+  /// Exception-free twins of factorize()/solve_multi(): any failure —
+  /// singular matrix, pivot breakdown, invalid input, exhausted
+  /// resources, a worker-thread error — comes back as a Status carrying
+  /// the error taxonomy instead of escaping as an exception.
+  Status try_factorize(const NumericOptions& options = {}) noexcept;
+  Status try_solve(std::span<const double> b, index_t nrhs,
+                   std::vector<double>& x,
+                   const SolveOptions& options = {}) const noexcept;
+
+  /// Per-solve stats (refinement iterations, backward error) of the last
+  /// solve/solve_multi/try_solve call on this object.
+  const SolveStats& last_solve_stats() const noexcept {
+    return last_solve_stats_;
+  }
+
   const Analysis& analysis() const noexcept { return analysis_; }
   const Factorization& factorization() const;
   bool factorized() const noexcept { return factorized_; }
@@ -57,6 +73,7 @@ class MultifrontalSolver {
   mutable index_t solve_graph_nprocs_ = 0;
   mutable SubtreeOptions solve_graph_subtree_options_{};
   mutable SolveWorkspace solve_workspace_;
+  mutable SolveStats last_solve_stats_{};
 };
 
 }  // namespace memfront

@@ -18,6 +18,10 @@ Factorization numeric_factorize(const Analysis& analysis,
         "numeric_factorize: analysis ran without structure");
   check(analysis.permuted.has_value() && analysis.permuted->has_values(),
         "numeric_factorize: matrix has no values");
+  require(!analysis.permuted->has_nonfinite_values(),
+          "numeric_factorize: matrix contains NaN/Inf values");
+  // Denominator of the pivot-growth report; one O(nnz) scan.
+  const double amax = analysis.permuted->max_abs_value();
   const AssemblyTree& tree = analysis.tree;
   const bool sym = tree.symmetric();
   const index_t n = tree.num_cols();
@@ -54,6 +58,7 @@ Factorization numeric_factorize(const Analysis& analysis,
 
   count_t stack = 0;  // model entries, the paper's unit
   std::size_t physical_peak = 0;
+  double max_pivot_abs = 0.0;
   auto bump = [&](count_t delta) {
     stack += delta;
     fact.stats.measured_stack_peak =
@@ -84,9 +89,12 @@ Factorization numeric_factorize(const Analysis& analysis,
     for (index_t child : children)
       child_cbs.push_back(cb[static_cast<std::size_t>(child)]);
 
-    fact.stats.perturbations += numeric_detail::process_front(
+    const numeric_detail::FrontResult fr = numeric_detail::process_front(
         ctx, i, child_cbs, ws, front, fact.nodes[static_cast<std::size_t>(i)],
         fact.row_of);
+    fact.stats.perturbations += fr.perturbations;
+    fact.stats.exact_zero_pivots += fr.exact_zero_pivots;
+    max_pivot_abs = std::max(max_pivot_abs, fr.max_pivot_abs);
     fact.stats.factor_entries += tree.factor_entries(i);
 
     // Release the children LIFO (the stack model frees ordinary children
@@ -112,6 +120,7 @@ Factorization numeric_factorize(const Analysis& analysis,
   check(arena.in_use() == 0, "numeric_factorize: arena not empty at the end");
   fact.stats.arena_peak_doubles = static_cast<count_t>(physical_peak);
   fact.stats.arena_slabs = static_cast<count_t>(arena.slab_allocations());
+  fact.stats.pivot_growth_max = amax > 0.0 ? max_pivot_abs / amax : 0.0;
   check(fact.stats.arena_peak_doubles == predicted_arena,
         "numeric_factorize: arena peak diverged from the predicted peak");
   obs::record_factor_stats(fact.stats);

@@ -43,6 +43,14 @@ struct FactorStats {
   count_t measured_stack_peak = 0;  // entries (model units)
   count_t factor_entries = 0;
   index_t perturbations = 0;
+  /// Pivots that were exactly zero before static perturbation — the
+  /// factorization met an exactly singular pivot block.
+  index_t exact_zero_pivots = 0;
+  /// max |pivot used| / max |a_ij| over the whole factorization (0 when
+  /// the matrix has no values or no pivots). Large values flag the
+  /// accuracy loss that iterative refinement (SolveOptions::refine)
+  /// exists to recover.
+  double pivot_growth_max = 0.0;
   /// Physical high-water mark of the CB arena plus the live front, in
   /// doubles of full-square storage. For the sequential driver this
   /// equals predict_arena_peak(tree, traversal) exactly.

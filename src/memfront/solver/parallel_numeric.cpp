@@ -13,7 +13,9 @@
 #include "memfront/obs/span_tracer.hpp"
 #include "memfront/solver/front_task.hpp"
 #include "memfront/support/error.hpp"
+#include "memfront/support/fault.hpp"
 #include "memfront/support/parallel_for.hpp"
+#include "memfront/support/status.hpp"
 
 namespace memfront {
 namespace {
@@ -51,6 +53,8 @@ struct Runtime {
   std::exception_ptr error;
   count_t factor_entries = 0;
   index_t perturbations = 0;
+  index_t exact_zero_pivots = 0;
+  double max_pivot_abs = 0.0;
   count_t max_arena_peak = 0;
   count_t total_arena_peak = 0;
 
@@ -90,7 +94,7 @@ void run_subtree(Runtime& rt, index_t s, FrontWorkspace& ws,
   const AssemblyTree& tree = rt.tree();
   const index_t root = rt.subtrees.roots[static_cast<std::size_t>(s)];
   MEMFRONT_SPAN("subtree", root);
-  index_t perturbations = 0;
+  numeric_detail::FrontResult acc;
   count_t factor_entries = 0;
   for (index_t i : rt.subtree_nodes[static_cast<std::size_t>(s)]) {
     const index_t nfront = tree.nfront(i);
@@ -108,9 +112,19 @@ void run_subtree(Runtime& rt, index_t s, FrontWorkspace& ws,
     for (index_t child : children)
       child_cbs.push_back(rt.cb_arena[static_cast<std::size_t>(child)]);
 
-    perturbations += numeric_detail::process_front(
+    // Fault site: a worker task dying mid-subtree (any exception class)
+    // must drain the pool and surface exactly one structured error. The
+    // subtree root is the stable id, so the firing schedule is a pure
+    // function of the seed regardless of worker interleaving.
+    if (MEMFRONT_FAULT("worker.subtree_exception", root))
+      throw std::runtime_error("injected worker failure in subtree task");
+
+    const numeric_detail::FrontResult fr = numeric_detail::process_front(
         rt.ctx, i, child_cbs, ws, front,
         rt.fact->nodes[static_cast<std::size_t>(i)], rt.fact->row_of);
+    acc.perturbations += fr.perturbations;
+    acc.exact_zero_pivots += fr.exact_zero_pivots;
+    acc.max_pivot_abs = std::max(acc.max_pivot_abs, fr.max_pivot_abs);
     factor_entries += tree.factor_entries(i);
 
     for (std::size_t c = children.size(); c-- > 0;) {
@@ -137,7 +151,9 @@ void run_subtree(Runtime& rt, index_t s, FrontWorkspace& ws,
   }
   check(arena.in_use() == 0, "parallel_numeric: subtree left CBs stacked");
   std::lock_guard<std::mutex> lock(rt.mu);
-  rt.perturbations += perturbations;
+  rt.perturbations += acc.perturbations;
+  rt.exact_zero_pivots += acc.exact_zero_pivots;
+  rt.max_pivot_abs = std::max(rt.max_pivot_abs, acc.max_pivot_abs);
   rt.factor_entries += factor_entries;
   rt.complete_locked(root);
 }
@@ -157,7 +173,7 @@ void run_upper(Runtime& rt, index_t i, FrontWorkspace& ws,
   for (index_t child : children)
     child_cbs.push_back(rt.cb_heap[static_cast<std::size_t>(child)].data());
 
-  const index_t perturbations = numeric_detail::process_front(
+  const numeric_detail::FrontResult fr = numeric_detail::process_front(
       rt.ctx, i, child_cbs, ws, front,
       rt.fact->nodes[static_cast<std::size_t>(i)], rt.fact->row_of);
 
@@ -172,7 +188,9 @@ void run_upper(Runtime& rt, index_t i, FrontWorkspace& ws,
   }
 
   std::lock_guard<std::mutex> lock(rt.mu);
-  rt.perturbations += perturbations;
+  rt.perturbations += fr.perturbations;
+  rt.exact_zero_pivots += fr.exact_zero_pivots;
+  rt.max_pivot_abs = std::max(rt.max_pivot_abs, fr.max_pivot_abs);
   rt.factor_entries += tree.factor_entries(i);
   rt.complete_locked(i);
 }
@@ -256,6 +274,9 @@ Factorization parallel_numeric_factorize(const Analysis& analysis,
         "parallel_numeric_factorize: analysis ran without structure");
   check(analysis.permuted.has_value() && analysis.permuted->has_values(),
         "parallel_numeric_factorize: matrix has no values");
+  require(!analysis.permuted->has_nonfinite_values(),
+          "parallel_numeric_factorize: matrix contains NaN/Inf values");
+  const double amax = analysis.permuted->max_abs_value();
   const AssemblyTree& tree = analysis.tree;
   const bool sym = tree.symmetric();
   const index_t n = tree.num_cols();
@@ -334,13 +355,17 @@ Factorization parallel_numeric_factorize(const Analysis& analysis,
     parallel_for(
         workers, [&](std::size_t w) { worker_loop(rt, static_cast<unsigned>(w)); },
         workers);
-  if (rt.error) std::rethrow_exception(rt.error);
+  // Workers drained; surface the first failure with the taxonomy
+  // guaranteed (non-taxonomy exceptions wrap as kWorkerFailure).
+  if (rt.error) rethrow_structured(rt.error, "parallel_numeric_factorize");
   check(rt.remaining == 0, "parallel_numeric_factorize: tasks left behind");
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_t0)
           .count();
 
   fact.stats.perturbations = rt.perturbations;
+  fact.stats.exact_zero_pivots = rt.exact_zero_pivots;
+  fact.stats.pivot_growth_max = amax > 0.0 ? rt.max_pivot_abs / amax : 0.0;
   fact.stats.factor_entries = rt.factor_entries;
   fact.stats.arena_peak_doubles = rt.max_arena_peak;
   ParallelNumericStats local_stats;

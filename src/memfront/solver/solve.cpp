@@ -8,11 +8,16 @@
 #include <mutex>
 #include <string>
 
+#include <cmath>
+#include <limits>
+
 #include "memfront/frontal/kernels.hpp"
 #include "memfront/obs/metrics.hpp"
 #include "memfront/obs/span_tracer.hpp"
 #include "memfront/support/error.hpp"
+#include "memfront/support/fault.hpp"
 #include "memfront/support/parallel_for.hpp"
+#include "memfront/support/status.hpp"
 
 namespace memfront {
 namespace {
@@ -299,6 +304,11 @@ void run_forward_parallel(const SolveContext& ctx, SolveWorkspace& ws,
       const auto run_subtree = [&](index_t s) {
         const index_t root = g.subtrees.roots[sz(s)];
         MEMFRONT_SPAN("solve_fwd_subtree", root);
+        // Fault site: a solve worker dying mid-subtree must drain the
+        // sweep and surface one structured kWorkerFailure (id = root, so
+        // the schedule is interleaving-independent).
+        if (MEMFRONT_FAULT("worker.solve_exception", root))
+          throw std::runtime_error("injected worker failure in solve subtree");
         for (index_t i : g.subtree_nodes[sz(s)])
           forward_node(ctx, i, scratch);
         std::lock_guard<std::mutex> lock(st.mu);
@@ -360,7 +370,7 @@ void run_forward_parallel(const SolveContext& ctx, SolveWorkspace& ws,
     }
   };
   parallel_for(workers, worker, workers);
-  if (st.error) std::rethrow_exception(st.error);
+  if (st.error) rethrow_structured(st.error, "solve forward sweep");
   check(st.remaining == 0, "solve: forward sweep left tasks behind");
 }
 
@@ -430,7 +440,7 @@ void run_backward_parallel(const SolveContext& ctx, SolveWorkspace& ws,
     }
   };
   parallel_for(workers, worker, workers);
-  if (st.error) std::rethrow_exception(st.error);
+  if (st.error) rethrow_structured(st.error, "solve backward sweep");
   check(st.remaining == 0, "solve: backward sweep left tasks behind");
 }
 
@@ -501,6 +511,101 @@ void run_solve(const Analysis& analysis, const Factorization& fact,
   }
 }
 
+// ---- iterative refinement --------------------------------------------------
+
+/// Infinity norm of A (max absolute row sum) — permutation-invariant, so
+/// the permuted matrix gives the original matrix's norm directly.
+double matrix_inf_norm(const CscMatrix& a, std::vector<double>& rowsum) {
+  rowsum.assign(sz(a.nrows()), 0.0);
+  const auto rowind = a.rowind();
+  const auto values = a.values();
+  for (std::size_t p = 0; p < values.size(); ++p)
+    rowsum[sz(rowind[p])] += std::abs(values[p]);
+  double norm = 0.0;
+  for (double s : rowsum) norm = std::max(norm, s);
+  return norm;
+}
+
+/// y += A·x in ORIGINAL coordinates, scattered through the permuted
+/// matrix: analysis.permuted stores B = P A Pᵀ with B(i,j) =
+/// A(perm[i], perm[j]), so entry (i,j,v) contributes v·x[perm[j]] to
+/// y[perm[i]].
+void add_ax_original(const Analysis& analysis, const double* x, double* y) {
+  const CscMatrix& a = *analysis.permuted;
+  const auto& perm = analysis.perm;
+  const index_t n = a.ncols();
+  for (index_t j = 0; j < n; ++j) {
+    const auto rows = a.column(j);
+    const auto vals = a.column_values(j);
+    const double xj = x[perm[sz(j)]];
+    for (std::size_t p = 0; p < rows.size(); ++p)
+      y[perm[sz(rows[p])]] += vals[p] * xj;
+  }
+}
+
+/// Residual-driven refinement: r = b − A·x, worst-column normwise
+/// backward error, re-solve for a correction, repeat while improving.
+/// Returns the pass count and writes the final backward error.
+index_t refine_solution(const Analysis& analysis, const Factorization& fact,
+                        const SolveGraph& graph, std::span<const double> b,
+                        index_t nrhs, std::span<double> x, SolveWorkspace& ws,
+                        unsigned workers, const SolveOptions& options,
+                        double& backward_error) {
+  require(analysis.permuted.has_value() && analysis.permuted->has_values(),
+          "solve refinement: analysis kept no matrix values");
+  const index_t n = analysis.tree.num_cols();
+  std::vector<double> scratch;
+  const double anorm = matrix_inf_norm(*analysis.permuted, scratch);
+  std::vector<double> r(b.size());
+  std::vector<double> d(b.size());
+
+  const auto compute_berr = [&]() {
+    std::copy(b.begin(), b.end(), r.begin());
+    for (index_t c = 0; c < nrhs; ++c) {
+      // r_col = b_col − A·x_col: negate, add A·x, negate back keeps the
+      // scatter additive; cheaper to scatter −A·x then flip signs.
+      double* rcol = r.data() + off(c, n);
+      const double* xcol = x.data() + off(c, n);
+      d.assign(d.size(), 0.0);  // reuse d as the A·x buffer
+      add_ax_original(analysis, xcol, d.data() + off(c, n));
+      for (index_t i = 0; i < n; ++i) rcol[i] -= d[off(c, n) + sz(i)];
+    }
+    double worst = 0.0;
+    for (index_t c = 0; c < nrhs; ++c) {
+      const double* rcol = r.data() + off(c, n);
+      const double* xcol = x.data() + off(c, n);
+      const double* bcol = b.data() + off(c, n);
+      double rinf = 0.0, xinf = 0.0, binf = 0.0;
+      for (index_t i = 0; i < n; ++i) {
+        rinf = std::max(rinf, std::abs(rcol[i]));
+        xinf = std::max(xinf, std::abs(xcol[i]));
+        binf = std::max(binf, std::abs(bcol[i]));
+      }
+      const double denom = anorm * xinf + binf;
+      worst = std::max(worst, denom > 0.0 ? rinf / denom : rinf);
+    }
+    return worst;
+  };
+
+  double berr = compute_berr();
+  index_t iters = 0;
+  while (berr > options.refine_tolerance && iters < options.max_refine_iters) {
+    MEMFRONT_SPAN("solve_refine", iters);
+    run_solve(analysis, fact, graph, r, nrhs, d, ws, workers,
+              /*scalar=*/false);
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] += d[i];
+    ++iters;
+    const double next = compute_berr();
+    if (next >= berr) {
+      berr = next;
+      break;  // stagnated — rounding floor reached
+    }
+    berr = next;
+  }
+  backward_error = berr;
+  return iters;
+}
+
 }  // namespace
 
 void SolveWorkspace::bind(const SolveGraph& graph, index_t n, index_t nrhs,
@@ -545,13 +650,25 @@ void solve_factorized_multi(const Analysis& analysis,
                             const SolveGraph& graph,
                             std::span<const double> b, index_t nrhs,
                             std::span<double> x, SolveWorkspace& workspace,
-                            const SolveOptions& options) {
+                            const SolveOptions& options, SolveStats* stats) {
   const unsigned workers = resolve_workers(options);
   const auto start = std::chrono::steady_clock::now();
+  SolveStats local;
+  SolveStats& out = stats ? *stats : local;
   {
     MEMFRONT_SPAN("solve", nrhs);
     run_solve(analysis, fact, graph, b, nrhs, x, workspace, workers,
               /*scalar=*/false);
+    if (options.max_refine_iters > 0) {
+      out.refine_iters =
+          refine_solution(analysis, fact, graph, b, nrhs, x, workspace,
+                          workers, options, out.backward_error);
+      if (out.refine_iters > 0) {
+        static obs::Counter& refine_iters = obs::MetricsRegistry::global()
+            .counter("solver.solve.refinement_iters");
+        refine_iters.add(out.refine_iters);
+      }
+    }
   }
   obs::record_solve_stats(
       nrhs, workers,

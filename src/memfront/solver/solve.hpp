@@ -38,8 +38,29 @@ struct SolveOptions {
   /// only); 0 = the resolved worker count. Does not affect the bits.
   index_t nprocs = 0;
   SubtreeOptions subtree_options{};
+  /// Iterative refinement passes after the sweep (0 = off, the default —
+  /// fault-free results stay bit-identical to the unrefined sweep). Each
+  /// pass computes r = b − A·x against the analysis' matrix values and
+  /// re-solves for a correction; the loop stops early when the normwise
+  /// backward error reaches `refine_tolerance` or stops improving. This
+  /// is the standard accuracy-recovery companion of static pivot
+  /// perturbation (FactorStats::perturbations).
+  index_t max_refine_iters = 0;
+  /// Normwise backward-error target of the refinement loop:
+  /// ||r||_inf / (||A||_inf ||x||_inf + ||b||_inf), per RHS column.
+  double refine_tolerance = 1e-14;
 
   friend bool operator==(const SolveOptions&, const SolveOptions&) = default;
+};
+
+/// Per-solve report (filled when the caller passes a stats out-param).
+struct SolveStats {
+  /// Refinement passes actually run (0 when refinement is off or the
+  /// first residual already met the tolerance).
+  index_t refine_iters = 0;
+  /// Worst per-column normwise backward error after the last pass;
+  /// -1 when refinement was off (no residual computed).
+  double backward_error = -1.0;
 };
 
 /// The static task structure of the solve sweeps, shared with the
@@ -105,7 +126,8 @@ void solve_factorized_multi(const Analysis& analysis,
                             const SolveGraph& graph,
                             std::span<const double> b, index_t nrhs,
                             std::span<double> x, SolveWorkspace& workspace,
-                            const SolveOptions& options = {});
+                            const SolveOptions& options = {},
+                            SolveStats* stats = nullptr);
 
 /// Convenience overload: builds a graph and workspace per call.
 std::vector<double> solve_factorized_multi(const Analysis& analysis,

@@ -177,6 +177,18 @@ std::uint64_t CscMatrix::fingerprint() const {
   return h;
 }
 
+bool CscMatrix::has_nonfinite_values() const noexcept {
+  for (double v : values_)
+    if (!std::isfinite(v)) return true;
+  return false;
+}
+
+double CscMatrix::max_abs_value() const noexcept {
+  double amax = 0.0;
+  for (double v : values_) amax = std::max(amax, std::abs(v));
+  return amax;
+}
+
 double CscMatrix::residual_inf(std::span<const double> x,
                                std::span<const double> b) const {
   std::vector<double> ax(static_cast<std::size_t>(nrows_));

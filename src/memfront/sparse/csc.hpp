@@ -71,6 +71,14 @@ class CscMatrix {
   /// ordering.
   std::uint64_t fingerprint() const;
 
+  /// True when any stored value is NaN or ±Inf (false for pattern-only
+  /// matrices). O(nnz); the numeric entry points screen inputs with it.
+  bool has_nonfinite_values() const noexcept;
+
+  /// max |a_ij| over stored values (0 for pattern-only / empty matrices).
+  /// Pivot growth is reported relative to this.
+  double max_abs_value() const noexcept;
+
   /// Infinity norm of A·x − b; helper for residual checks.
   double residual_inf(std::span<const double> x, std::span<const double> b) const;
 

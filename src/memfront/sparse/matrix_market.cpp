@@ -2,11 +2,15 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "memfront/sparse/coo.hpp"
 #include "memfront/support/error.hpp"
+#include "memfront/support/fault.hpp"
+#include "memfront/support/status.hpp"
 
 namespace memfront {
 namespace {
@@ -17,45 +21,87 @@ std::string lower(std::string s) {
   return s;
 }
 
+/// Every parse failure carries the 1-based input line it happened on.
+[[noreturn]] void fail(long line_no, const std::string& message,
+                       std::source_location loc =
+                           std::source_location::current()) {
+  throw InvalidInputError(
+      "matrix market: " + message, loc,
+      ErrorContext{.node = kNone, .input_line = line_no, .detail = {}});
+}
+
+/// getline with line counting and an injectable truncation point: the
+/// "mm.truncate" fault site cuts the stream short mid-file, which must
+/// surface as a clean invalid_input, never as a garbage matrix.
+bool next_line(std::istream& in, std::string& line, long& line_no) {
+  if (MEMFRONT_FAULT("mm.truncate")) return false;
+  if (!std::getline(in, line)) return false;
+  ++line_no;
+  return true;
+}
+
 }  // namespace
 
 MatrixMarketData read_matrix_market(std::istream& in) {
+  long line_no = 0;
   std::string line;
-  require(static_cast<bool>(std::getline(in, line)),
-          "matrix market: empty stream");
+  if (in.bad()) fail(line_no, "stream in a failed state before reading");
+  if (!next_line(in, line, line_no)) fail(line_no, "empty stream");
+
   std::istringstream header(line);
   std::string banner, object, format, field, symmetry;
   header >> banner >> object >> format >> field >> symmetry;
-  require(banner == "%%MatrixMarket", "matrix market: bad banner");
-  require(lower(object) == "matrix" && lower(format) == "coordinate",
-          "matrix market: only coordinate matrices supported");
+  if (header.fail()) fail(line_no, "bad banner");
+  if (banner != "%%MatrixMarket") fail(line_no, "bad banner");
+  if (lower(object) != "matrix" || lower(format) != "coordinate")
+    fail(line_no, "only coordinate matrices supported");
   field = lower(field);
   symmetry = lower(symmetry);
-  require(field == "real" || field == "integer" || field == "pattern",
-          "matrix market: unsupported field type");
-  require(symmetry == "general" || symmetry == "symmetric",
-          "matrix market: unsupported symmetry type");
+  if (field != "real" && field != "integer" && field != "pattern")
+    fail(line_no, "unsupported field type '" + field + "'");
+  if (symmetry != "general" && symmetry != "symmetric")
+    fail(line_no, "unsupported symmetry type '" + symmetry + "'");
   const bool pattern = field == "pattern";
   const bool symmetric = symmetry == "symmetric";
 
   // Skip comments, read the size line.
-  while (std::getline(in, line)) {
-    if (!line.empty() && line[0] != '%') break;
+  bool have_sizes = false;
+  while (next_line(in, line, line_no)) {
+    if (!line.empty() && line[0] != '%') {
+      have_sizes = true;
+      break;
+    }
   }
+  if (!have_sizes) fail(line_no, "missing size line");
   std::istringstream sizes(line);
-  long nrows = 0, ncols = 0, nnz = 0;
+  long long nrows = 0, ncols = 0, nnz = 0;
   sizes >> nrows >> ncols >> nnz;
-  require(nrows > 0 && ncols > 0 && nnz >= 0, "matrix market: bad size line");
+  if (sizes.fail()) fail(line_no, "unparsable size line");
+  if (nrows <= 0 || ncols <= 0 || nnz < 0) fail(line_no, "bad size line");
+  constexpr long long kMaxDim = std::numeric_limits<index_t>::max();
+  if (nrows > kMaxDim || ncols > kMaxDim)
+    fail(line_no, "dimensions overflow the index type");
+  // Symmetric expansion at most doubles the entries; the CSC build uses
+  // 64-bit counts, so nnz itself only needs to be plausible: it cannot
+  // exceed the dense entry count.
+  if (nnz > nrows * ncols)
+    fail(line_no, "entry count exceeds the dense size");
 
   CooMatrix coo(static_cast<index_t>(nrows), static_cast<index_t>(ncols));
-  for (long k = 0; k < nnz; ++k) {
-    require(static_cast<bool>(std::getline(in, line)),
-            "matrix market: truncated file");
+  for (long long k = 0; k < nnz; ++k) {
+    if (!next_line(in, line, line_no))
+      fail(line_no, "truncated file (" + std::to_string(k) + " of " +
+                        std::to_string(nnz) + " entries read)");
     std::istringstream entry(line);
-    long r = 0, c = 0;
+    long long r = 0, c = 0;
     double v = 1.0;
     entry >> r >> c;
     if (!pattern) entry >> v;
+    if (entry.fail()) fail(line_no, "unparsable entry");
+    if (r < 1 || r > nrows || c < 1 || c > ncols)
+      fail(line_no, "entry index out of range");
+    if (!pattern && !std::isfinite(v))
+      fail(line_no, "non-finite entry value");
     const auto row = static_cast<index_t>(r - 1);
     const auto col = static_cast<index_t>(c - 1);
     if (symmetric)
@@ -63,6 +109,7 @@ MatrixMarketData read_matrix_market(std::istream& in) {
     else
       coo.add(row, col, v);
   }
+  if (in.bad()) fail(line_no, "stream failed while reading entries");
   return {coo.to_csc(), symmetric};
 }
 
@@ -86,6 +133,7 @@ void write_matrix_market(std::ostream& out, const CscMatrix& m) {
       out << '\n';
     }
   }
+  check(!out.fail(), "matrix market: write failed");
 }
 
 void write_matrix_market_file(const std::string& path, const CscMatrix& m) {

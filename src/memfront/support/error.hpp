@@ -1,31 +1,33 @@
 // Precondition / invariant checking helpers.
 //
 // `check` is for conditions that guard the public API and for test-visible
-// invariants: it always runs and throws std::logic_error with location info.
-// Hot inner loops use plain assert() instead.
+// invariants: it always runs and throws InternalError (a std::logic_error)
+// with location info. `require` validates user input and throws
+// InvalidInputError (a std::invalid_argument), with the same location
+// parity. Hot inner loops use plain assert() instead.
 #pragma once
 
 #include <source_location>
-#include <sstream>
-#include <stdexcept>
 #include <string_view>
+
+#include "memfront/support/status.hpp"
 
 namespace memfront {
 
-/// Throws std::logic_error when `condition` is false.
+/// Throws InternalError (catchable as std::logic_error) when `condition`
+/// is false.
 inline void check(bool condition, std::string_view message,
                   std::source_location loc = std::source_location::current()) {
   if (condition) return;
-  std::ostringstream os;
-  os << loc.file_name() << ':' << loc.line() << " in " << loc.function_name()
-     << ": check failed: " << message;
-  throw std::logic_error(os.str());
+  throw InternalError("check failed: " + std::string(message), loc);
 }
 
-/// Throws std::invalid_argument when `condition` is false; for user input.
-inline void require(bool condition, std::string_view message) {
+/// Throws InvalidInputError (catchable as std::invalid_argument) when
+/// `condition` is false; for user input.
+inline void require(bool condition, std::string_view message,
+                    std::source_location loc = std::source_location::current()) {
   if (condition) return;
-  throw std::invalid_argument(std::string(message));
+  throw InvalidInputError(std::string(message), loc);
 }
 
 }  // namespace memfront

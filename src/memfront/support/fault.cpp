@@ -1,0 +1,92 @@
+#include "memfront/support/fault.hpp"
+
+#include <cstring>
+
+#include "memfront/obs/metrics.hpp"
+
+namespace memfront::fault {
+
+namespace {
+
+// SplitMix64: a cheap, well-mixed stateless hash. The fire decision must
+// be a pure function of (seed, site, id) so that thread interleaving and
+// retry counts cannot change which calls fail.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_site(const char* site) {
+  // FNV-1a over the site name; names are short string literals.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char* p = site; *p != '\0'; ++p) {
+    h = (h ^ static_cast<unsigned char>(*p)) * 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::atomic<bool> Registry::armed_{false};
+
+Registry::Registry() = default;
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+void Registry::arm(const Plan& plan) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    plan_ = plan;
+    for (auto& site : sites_) {
+      site->period = plan.period;
+      site->next_auto_id.store(0, std::memory_order_relaxed);
+      for (const auto& ov : plan.overrides) {
+        if (ov.site == site->name) site->period = ov.period;
+      }
+    }
+  }
+  injected_.store(0, std::memory_order_relaxed);
+  armed_.store(true, std::memory_order_release);
+}
+
+void Registry::disarm() { armed_.store(false, std::memory_order_release); }
+
+Registry::SiteState& Registry::site_state(const char* site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& s : sites_) {
+    if (s->name == site) return *s;
+  }
+  auto state = std::make_unique<SiteState>();
+  state->name = site;
+  state->period = plan_.period;
+  for (const auto& ov : plan_.overrides) {
+    if (ov.site == state->name) state->period = ov.period;
+  }
+  sites_.push_back(std::move(state));
+  return *sites_.back();
+}
+
+bool Registry::should_fire(const char* site, std::int64_t id) {
+  if (!armed()) return false;
+  SiteState& state = site_state(site);
+  if (state.period == 0) return false;
+  if (id == kAutoId) {
+    id = state.next_auto_id.fetch_add(1, std::memory_order_relaxed);
+  }
+  const std::uint64_t h =
+      mix64(plan_.seed ^ hash_site(site) ^ mix64(static_cast<std::uint64_t>(id)));
+  if (h % state.period != 0) return false;
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  // Registered once; the reference is stable for the registry's lifetime.
+  static obs::Counter& injected_metric =
+      obs::MetricsRegistry::global().counter("fault.injected_count");
+  injected_metric.add(1);
+  return true;
+}
+
+}  // namespace memfront::fault

@@ -1,0 +1,78 @@
+#include "memfront/support/status.hpp"
+
+#include <new>
+#include <sstream>
+
+namespace memfront {
+
+const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kInvalidInput: return "invalid_input";
+    case ErrorCode::kSingularMatrix: return "singular_matrix";
+    case ErrorCode::kPivotBreakdown: return "pivot_breakdown";
+    case ErrorCode::kResourceExhausted: return "resource_exhausted";
+    case ErrorCode::kIoError: return "io_error";
+    case ErrorCode::kWorkerFailure: return "worker_failure";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "?";
+}
+
+namespace status_detail {
+
+std::string format_message(ErrorCode code, const std::string& message,
+                           const std::source_location& loc,
+                           const ErrorContext& ctx) {
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << " in " << loc.function_name()
+     << ": " << error_code_name(code) << ": " << message;
+  if (ctx.node != kNone) os << " [node " << ctx.node << ']';
+  if (ctx.input_line >= 0) os << " [line " << ctx.input_line << ']';
+  if (!ctx.detail.empty()) os << " [" << ctx.detail << ']';
+  return os.str();
+}
+
+}  // namespace status_detail
+
+Status Status::from_current_exception() noexcept {
+  try {
+    throw;
+  } catch (const SolverError& e) {
+    return {e.code(), e.what()};
+  } catch (const InvalidInputError& e) {
+    return {e.code(), e.what()};
+  } catch (const InternalError& e) {
+    return {e.code(), e.what()};
+  } catch (const std::bad_alloc& e) {
+    return {ErrorCode::kResourceExhausted, e.what()};
+  } catch (const std::invalid_argument& e) {
+    return {ErrorCode::kInvalidInput, e.what()};
+  } catch (const std::exception& e) {
+    return {ErrorCode::kInternal, e.what()};
+  } catch (...) {
+    return {ErrorCode::kInternal, "unknown exception"};
+  }
+}
+
+void rethrow_structured(std::exception_ptr error, const char* where,
+                        ErrorCode wrap_code) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const SolverError&) {
+    throw;
+  } catch (const InvalidInputError&) {
+    throw;
+  } catch (const InternalError&) {
+    throw;
+  } catch (const std::bad_alloc& e) {
+    throw SolverError(ErrorCode::kResourceExhausted,
+                      std::string(where) + ": " + e.what());
+  } catch (const std::exception& e) {
+    throw SolverError(wrap_code, std::string(where) + ": " + e.what());
+  } catch (...) {
+    throw SolverError(wrap_code, std::string(where) + ": unknown exception");
+  }
+}
+
+}  // namespace memfront
