@@ -5,16 +5,138 @@
 // scheduling strategies. This is the Section 7 question made
 // quantitative: once factors stream to disk, how small a machine fits
 // the factorization, and what does squeezing cost?
+//
+// The last section validates the *simulator against the real spill
+// path* (MEMFRONT_OOC_REAL): every Table 1 matrix is factorized for
+// real under a budget, in both I/O disciplines, and the measured
+// factor traffic, stall and overlap are held against the simulated
+// prediction within stated tolerances. Violations make the binary
+// exit nonzero, so CI gates on the sim-vs-real agreement. Results are
+// also written to BENCH_ooc.json (--json PATH).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "memfront/frontal/arena.hpp"
 #include "memfront/ooc/planner.hpp"
+#include "memfront/solver/numeric_factor.hpp"
+#include "memfront/solver/parallel_numeric.hpp"
+
+namespace {
+
+using namespace memfront;
+using namespace memfront::bench;
+
+struct OocCli {
+  double scale = 1.0;
+  index_t nprocs = 32;
+  bool smoke = false;
+  bool overhead_probe = false;
+  unsigned threads = 4;
+  std::string json_path = "BENCH_ooc.json";
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [scale] [nprocs] [--smoke] [--threads N] [--json PATH]"
+               " [--overhead-probe]"
+               " [--trace-out FILE] [--metrics-out FILE]\n";
+  std::exit(2);
+}
+
+OocCli parse(int argc, char** argv) {
+  OocCli opt;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      opt.smoke = true;
+    } else if (std::strcmp(argv[i], "--overhead-probe") == 0) {
+      opt.overhead_probe = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc) usage(argv[0]);
+      opt.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) usage(argv[0]);
+      opt.json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      usage(argv[0]);
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (opt.smoke) opt.scale = 0.3;
+  if (!positional.empty()) opt.scale = std::atof(positional[0]);
+  if (positional.size() > 1)
+    opt.nprocs = static_cast<index_t>(std::atoi(positional[1]));
+  return opt;
+}
+
+/// One problem's sim-vs-real record (real side only built when the
+/// real spill path is compiled in).
+struct SimRealRow {
+  std::string name;
+  // Simulated (workload-strategy leg, 1.2x budget).
+  count_t sim_factor_entries = 0;
+  double sim_stall_frac_sync = 0;    // stall / (makespan * nprocs)
+  double sim_overlap_s = 0;          // write-behind leg
+  // Real execution.
+  count_t real_factor_doubles = 0;
+  double real_stall_frac_sync = 0;   // stall / (wall * threads)
+  double real_overlap_s = 0;
+  double real_wall_wb_s = 0;
+  count_t real_budget = 0;
+  count_t real_charged_peak = 0;
+  count_t real_spill = 0;            // 0.8x-peak degradation run
+  count_t real_reload = 0;
+  bool real_feasible = false;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  using namespace memfront;
-  using namespace memfront::bench;
   const ObsArgs obs_args = extract_obs_args(argc, argv);
-  const BenchOptions opt = parse_options(argc, argv);
+  const OocCli cli = parse(argc, argv);
+  BenchOptions opt;
+  opt.scale = cli.scale;
+  opt.nprocs = cli.nprocs;
+
+  // ---- disabled-mode overhead probe ---------------------------------------
+  // The check_overhead.py measurement mode: time the *in-core* numeric
+  // factorization -- the hot path that carries the compiled-in OOC
+  // branches, all dormant -- so a -DMEMFRONT_OOC_REAL=OFF build can be
+  // held against the default build. Best-of-N inside one process, and
+  // CI repeats the binary; the gate takes the best rate per side.
+  // Skips the simulation tables: the probe must be cheap to repeat.
+  if (cli.overhead_probe) {
+    const Problem p = make_problem(ProblemId::kPre2, cli.scale);
+    AnalysisOptions aopt;
+    aopt.ordering = OrderingKind::kNestedDissection;
+    const Analysis analysis = analyze(p.matrix, aopt);
+    // Best-of-N: the max rate estimates the noise-free floor, and on a
+    // shared runner the floor needs many draws to show up.
+    double best_rate = 0;
+    for (int rep = 0; rep < 12; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const Factorization f = numeric_factorize(analysis);
+      const double s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      if (s > 0)
+        best_rate = std::max(
+            best_rate, static_cast<double>(f.stats.factor_entries) / s);
+    }
+    std::cout << "overhead probe (" << p.name << ", scale=" << cli.scale
+              << "): best " << best_rate / 1e6 << " M factor entries/s\n";
+    std::ofstream probe(cli.json_path);
+    probe << "{\n  \"bench\": \"bench_ooc\",\n"
+          << "  \"mode\": \"overhead-probe\",\n"
+          << "  \"incore_factor_entries_per_sec\": " << best_rate << "\n}\n";
+    return 0;
+  }
 
   std::cout << "Out-of-core planner: minimum feasible per-processor budget\n"
             << opt.nprocs << " simulated processors, scale=" << opt.scale
@@ -137,6 +259,183 @@ int main(int argc, char** argv) {
                "blocks through the disk. The write-behind buffer hides the\n"
                "factor stream behind compute: the overlap column is disk\n"
                "time that cost no makespan.\n";
+
+  // ---- sim vs real: the simulator's predictions against the actual
+  // spill path. Factor traffic must agree almost exactly (both count
+  // every factor entry once); stall/overlap are model-vs-wall-clock
+  // quantities, compared as fractions under a deliberately loose, but
+  // stated, tolerance — the gate catches structural disagreement (one
+  // side stalling the run away, overlap in the wrong discipline), not
+  // disk-model calibration error.
+  int violations = 0;
+  std::vector<SimRealRow> sim_real;
+#if MEMFRONT_OOC_REAL
+  constexpr double kFactorTol = 0.05;  // relative factor-volume mismatch
+  constexpr double kStallTol = 0.35;   // real-worse-than-sim stall margin
+  std::cout << "\nSim vs real out-of-core execution (real runs: "
+            << cli.threads << " threads, write-behind vs synchronous at "
+            << "1.2x the in-core peak; degradation at 0.8x):\n\n";
+  TextTable simreal({"Matrix", "factor sim (M)", "factor real (M)",
+                     "stall% sim", "stall% real", "overlap sim (s)",
+                     "overlap real (s)", "spill@0.8x (M)", "verdict"});
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    if (cases[i].memory_strategy) continue;  // one real run per matrix
+    const BudgetedCase& c = cases[i];
+    SimRealRow row;
+    row.name = c.problem.name;
+    const ExperimentOutcome& sim_sync = results[i].sync;
+    const ExperimentOutcome& sim_wb = results[i].wb;
+    row.sim_factor_entries = sim_wb.parallel.ooc_factor_write_entries;
+    row.sim_stall_frac_sync =
+        sim_sync.parallel.ooc_stall_time /
+        (sim_sync.makespan * static_cast<double>(opt.nprocs));
+    row.sim_overlap_s = sim_wb.parallel.ooc_overlap_time;
+
+    AnalysisOptions aopt;
+    aopt.ordering = OrderingKind::kNestedDissection;
+    const Analysis analysis = analyze(c.problem.matrix, aopt);
+    // Budgets are sized from the *serial* in-core peak (the exact
+    // LIFO-discipline prediction): the parallel driver's measured peak
+    // only covers subtree arenas, so on small matrices an upper node's
+    // window can exceed it.
+    const count_t peak =
+        predict_arena_peak(analysis.tree, analysis.traversal);
+
+    ParallelNumericOptions wb_opt;
+    wb_opt.nthreads = cli.threads;
+    wb_opt.ooc.enabled = true;
+    wb_opt.ooc.budget_doubles = peak + peak / 5;
+    wb_opt.ooc.io_mode = OocIoMode::kWriteBehind;
+    const auto wb_t0 = std::chrono::steady_clock::now();
+    const Factorization real_wb = parallel_numeric_factorize(analysis, wb_opt);
+    row.real_wall_wb_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wb_t0)
+            .count();
+    row.real_factor_doubles = real_wb.stats.ooc.factor_write_doubles;
+    row.real_overlap_s = real_wb.stats.ooc.overlap_seconds;
+
+    ParallelNumericOptions sync_opt = wb_opt;
+    sync_opt.ooc.io_mode = OocIoMode::kSynchronous;
+    const auto sync_t0 = std::chrono::steady_clock::now();
+    const Factorization real_sync =
+        parallel_numeric_factorize(analysis, sync_opt);
+    const double sync_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      sync_t0)
+            .count();
+    row.real_stall_frac_sync =
+        sync_wall > 0 ? real_sync.stats.ooc.stall_seconds /
+                            (sync_wall * static_cast<double>(cli.threads))
+                      : 0.0;
+
+    // Graceful degradation for real: 0.8x the in-core peak (raised to
+    // the predicted feasibility floor where 0.8x dips below it).
+    ParallelNumericOptions tight_opt = wb_opt;
+    tight_opt.ooc.budget_doubles =
+        std::max(peak * 8 / 10,
+                 predict_min_ooc_budget(analysis.tree, analysis.traversal));
+    const Factorization tight =
+        parallel_numeric_factorize(analysis, tight_opt);
+    row.real_budget = tight.stats.ooc.budget_doubles;
+    row.real_charged_peak = tight.stats.ooc.charged_peak_doubles;
+    row.real_spill = tight.stats.ooc.spill_doubles;
+    row.real_reload = tight.stats.ooc.reload_doubles;
+    row.real_feasible = tight.stats.ooc.overrun_peak_doubles == 0;
+
+    // The stated tolerances. The simulator counts a symmetric factor's
+    // triangular entries; the real LDLT driver writes the full
+    // rectangular panel — compare against twice the simulated volume
+    // there. The stall gate is one-sided: the simulator's disk model
+    // is deliberately punishing, so the real path failing to *beat* it
+    // by the stated margin is the pathology, not the model's pessimism.
+    std::string verdict = "ok";
+    const double sim_factor_as_panels =
+        static_cast<double>(row.sim_factor_entries) *
+        (c.problem.symmetric ? 2.0 : 1.0);
+    const double dfac =
+        std::abs(static_cast<double>(row.real_factor_doubles) -
+                 sim_factor_as_panels) /
+        std::max(1.0, sim_factor_as_panels);
+    if (dfac > kFactorTol) verdict = "FACTOR-VOLUME";
+    if (row.real_stall_frac_sync - row.sim_stall_frac_sync > kStallTol)
+      verdict = "STALL-FRACTION";
+    if (real_sync.stats.ooc.overlap_seconds != 0.0)
+      verdict = "SYNC-OVERLAP";  // synchronous mode cannot hide I/O
+    if (!row.real_feasible || row.real_spill != row.real_reload ||
+        row.real_charged_peak > row.real_budget)
+      verdict = "DEGRADATION";
+    if (verdict != "ok") ++violations;
+
+    simreal.row();
+    simreal.cell(row.name);
+    simreal.cell(mentries(row.sim_factor_entries), 3);
+    simreal.cell(mentries(static_cast<count_t>(row.real_factor_doubles)), 3);
+    simreal.cell(100.0 * row.sim_stall_frac_sync, 1);
+    simreal.cell(100.0 * row.real_stall_frac_sync, 1);
+    simreal.cell(row.sim_overlap_s, 4);
+    simreal.cell(row.real_overlap_s, 4);
+    simreal.cell(mentries(row.real_spill), 3);
+    simreal.cell(verdict);
+    sim_real.push_back(std::move(row));
+  }
+  simreal.print(std::cout);
+  std::cout << "\nTolerances: factor volume within " << 100.0 * kFactorTol
+            << "% (x2 for symmetric: sim counts the triangle, the real\n"
+               "driver writes full panels); real sync stall fraction at most "
+            << 100.0 * kStallTol
+            << " points\nabove the simulated one; synchronous overlap must "
+               "be exactly zero; the\n0.8x-budget run must stay feasible "
+               "with spill == reload.\n";
+  if (violations > 0)
+    std::cout << violations << " sim-vs-real violation(s) -- FAILING.\n";
+#else
+  std::cout << "\n(real out-of-core execution compiled out: sim-vs-real "
+               "section skipped)\n";
+#endif  // MEMFRONT_OOC_REAL
+
+  // ---- BENCH_ooc.json ------------------------------------------------------
+  std::ofstream json(cli.json_path);
+  json << "{\n"
+       << "  \"bench\": \"bench_ooc\",\n"
+       << "  \"smoke\": " << (cli.smoke ? "true" : "false") << ",\n"
+       << "  \"scale\": " << cli.scale << ",\n"
+       << "  \"nprocs\": " << opt.nprocs << ",\n"
+       << "  \"threads\": " << cli.threads << ",\n"
+       << "  \"write_behind_strictly_faster_legs\": " << wb_strictly_faster
+       << ",\n  \"legs\": " << legs << ",\n  \"planner\": [\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const BudgetedCase& c = cases[i];
+    const PlannerResult& plan = *results[i].plan;
+    json << "    {\"name\": \"" << c.problem.name << "\""
+         << ", \"strategy\": \""
+         << (c.memory_strategy ? "memory" : "workload") << "\""
+         << ", \"incore_peak\": " << plan.incore_peak
+         << ", \"min_budget\": " << plan.min_budget
+         << ", \"spill_at_min\": " << plan.at_min.spill_entries
+         << ", \"slowdown_at_min\": "
+         << plan.at_min.makespan / plan.unlimited.makespan << "}"
+         << (i + 1 < cases.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"sim_vs_real\": [\n";
+  for (std::size_t i = 0; i < sim_real.size(); ++i) {
+    const SimRealRow& r = sim_real[i];
+    json << "    {\"name\": \"" << r.name << "\""
+         << ", \"sim_factor_entries\": " << r.sim_factor_entries
+         << ", \"real_factor_doubles\": " << r.real_factor_doubles
+         << ", \"sim_stall_frac_sync\": " << r.sim_stall_frac_sync
+         << ", \"real_stall_frac_sync\": " << r.real_stall_frac_sync
+         << ", \"sim_overlap_s\": " << r.sim_overlap_s
+         << ", \"real_overlap_s\": " << r.real_overlap_s
+         << ", \"real_wall_wb_s\": " << r.real_wall_wb_s
+         << ", \"tight_budget\": " << r.real_budget
+         << ", \"tight_charged_peak\": " << r.real_charged_peak
+         << ", \"tight_spill\": " << r.real_spill
+         << ", \"tight_reload\": " << r.real_reload
+         << ", \"tight_feasible\": " << (r.real_feasible ? "true" : "false")
+         << "}" << (i + 1 < sim_real.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"violations\": " << violations << "\n}\n";
+
   obs_args.finish();
-  return 0;
+  return violations == 0 ? 0 : 1;
 }

@@ -126,6 +126,11 @@ struct FactorKey {
                                static_cast<std::uint64_t>(0x082efa98ec4e6c89ULL));
     h = hash_mix(h, static_cast<std::uint64_t>(numeric.kernel));
     h = hash_mix(h, static_cast<std::uint64_t>(numeric.reserve_arena));
+    h = hash_mix(h, static_cast<std::uint64_t>(numeric.ooc.enabled));
+    h = hash_mix(h, static_cast<std::uint64_t>(numeric.ooc.budget_doubles));
+    h = hash_mix(h, static_cast<std::uint64_t>(numeric.ooc.io_mode));
+    h = hash_mix(h, static_cast<std::uint64_t>(numeric.ooc.spill_policy));
+    h = hash_mix(h, static_cast<std::uint64_t>(numeric.ooc.spill_factors));
     h = hash_mix(h, static_cast<std::uint64_t>(nprocs));
     h = hash_mix(h, subtree_options.balance_factor);
     h = hash_mix(h, subtree_options.memory_balance_factor);

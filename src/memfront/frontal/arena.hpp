@@ -71,4 +71,19 @@ class FrontalArena {
 count_t predict_arena_peak(const AssemblyTree& tree,
                            std::span<const index_t> traversal);
 
+/// Smallest out-of-core budget (doubles) that can factorize `traversal`
+/// at all: the worst single-node coexistence window — the front plus
+/// one column panel of the widest child CB (spilled CBs stream through
+/// extend-add panel by panel) or the front plus one panel of the
+/// node's own CB (degraded extraction streams it to disk straight from
+/// the live front) — maximized over the tree. Below this even "spill
+/// everything else" cannot admit some node, and the budgeted drivers
+/// throw kResourceExhausted; at or above it a serial traversal always
+/// completes (the coordinator can evict every CB outside the current
+/// window). Always <= predict_arena_peak of the same traversal, and on
+/// real trees well below it — that headroom is what makes budgets like
+/// 0.8x the in-core peak feasible.
+count_t predict_min_ooc_budget(const AssemblyTree& tree,
+                               std::span<const index_t> traversal);
+
 }  // namespace memfront

@@ -19,6 +19,19 @@ namespace memfront {
 void extend_add_mapped(FrontView parent, const double* child_cb, index_t ncb,
                        index_t child_ld, std::span<const index_t> positions);
 
+/// Scatters one column panel of a child CB: `panel` holds CB columns
+/// [col_begin, col_end) — full rows, column-major, leading dimension
+/// child_ld — and positions is the whole CB's map. Splitting a CB into
+/// panels and scattering them in order performs exactly the additions
+/// of one whole-CB extend_add_mapped call (each front entry receives a
+/// single contribution per child), so the result is bit-identical; the
+/// out-of-core assembly uses it to stream spilled CBs through a memory
+/// window of one panel.
+void extend_add_mapped_cols(FrontView parent, const double* panel,
+                            index_t ncb, index_t child_ld, index_t col_begin,
+                            index_t col_end,
+                            std::span<const index_t> positions);
+
 /// parent_rows / child_rows are the sorted global index lists of the two
 /// fronts; every child row must appear among the parent's rows. The child
 /// matrix is its (ncb x ncb) contribution block, child_rows its index set.

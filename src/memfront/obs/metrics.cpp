@@ -9,6 +9,7 @@
 
 #include "memfront/core/parallel_factor.hpp"
 #include "memfront/core/prepared_cache.hpp"
+#include "memfront/ooc/config.hpp"
 #include "memfront/solver/parallel_numeric.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -314,6 +315,31 @@ void record_solve_stats(index_t nrhs, unsigned workers, double wall_seconds) {
   m.counter("solver.solve.rhs_cols").add(nrhs);
   m.gauge("solver.solve.workers").set(static_cast<std::int64_t>(workers));
   m.histogram("solver.solve.latency_ns").observe(seconds_to_ns(wall_seconds));
+}
+
+void record_ooc_exec_stats(const OocExecStats& stats) {
+  MetricsRegistry& m = MetricsRegistry::global();
+  m.counter("solver.ooc.runs").add();
+  m.gauge("solver.ooc.budget_bytes")
+      .max_of(doubles_to_bytes(stats.budget_doubles));
+  m.gauge("solver.ooc.charged_peak_bytes")
+      .max_of(doubles_to_bytes(stats.charged_peak_doubles));
+  m.gauge("solver.ooc.overrun_peak_bytes")
+      .max_of(doubles_to_bytes(stats.overrun_peak_doubles));
+  m.gauge("solver.ooc.buffer_high_water_bytes")
+      .max_of(doubles_to_bytes(stats.buffer_high_water_doubles));
+  m.counter("solver.ooc.spill_bytes")
+      .add(doubles_to_bytes(stats.spill_doubles));
+  m.counter("solver.ooc.reload_bytes")
+      .add(doubles_to_bytes(stats.reload_doubles));
+  m.counter("solver.ooc.factor_write_bytes")
+      .add(doubles_to_bytes(stats.factor_write_doubles));
+  m.counter("solver.ooc.spill_events").add(stats.spill_events);
+  m.counter("solver.ooc.reload_events").add(stats.reload_events);
+  m.counter("solver.ooc.io_retries").add(stats.io_retries);
+  m.counter("solver.ooc.stall_ns").add(seconds_to_ns(stats.stall_seconds));
+  m.counter("solver.ooc.overlap_ns")
+      .add(seconds_to_ns(stats.overlap_seconds));
 }
 
 void record_process_metrics() {

@@ -30,6 +30,7 @@
 
 namespace memfront {
 struct FactorStats;
+struct OocExecStats;
 struct ParallelNumericStats;
 struct ParallelResult;
 struct PreparedCacheStats;
@@ -204,6 +205,10 @@ void record_cache_stats(const PreparedCacheStats& stats);
 /// count): solve count + RHS-column counters, worker gauge, and the
 /// per-solve latency histogram bench_solve's percentiles come from.
 void record_solve_stats(index_t nrhs, unsigned workers, double wall_seconds);
+/// solver.ooc.* — one real out-of-core factorization: the budget gate's
+/// charged high-water mark vs the budget, spill/reload/factor-write
+/// traffic, buffer high water, and the stall/overlap seconds.
+void record_ooc_exec_stats(const OocExecStats& stats);
 /// process.* — peak RSS, recorded at snapshot time.
 void record_process_metrics();
 

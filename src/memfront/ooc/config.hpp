@@ -1,9 +1,18 @@
 // Configuration of the out-of-core execution mode.
 #pragma once
 
+#include <string>
+
 #include "memfront/ooc/disk.hpp"
 #include "memfront/ooc/spill.hpp"
 #include "memfront/support/types.hpp"
+
+// Compile-time master switch of the *real* spill path (CMake option
+// MEMFRONT_OOC_REAL, default ON). When OFF, the numeric drivers reject
+// OocExecConfig::enabled and the budget-gated branches compile out.
+#ifndef MEMFRONT_OOC_REAL
+#define MEMFRONT_OOC_REAL 1
+#endif
 
 namespace memfront {
 
@@ -54,6 +63,84 @@ struct OocConfig {
   /// 0 = auto: as large as the budget (double buffering), unbounded when
   /// the budget is unlimited too.
   count_t write_buffer_entries = 0;
+};
+
+/// Column-panel granularity of spilled contribution blocks. A CB of
+/// order n whose square is below kOocCbSplitDoubles spills as a single
+/// block; larger ones split into kOocCbPanels whole-column panels, one
+/// spill block each, so the budgeted assembly can stream a CB through
+/// extend-add (and extraction can stream one to disk) with a memory
+/// window of one panel instead of the whole block.
+/// predict_min_ooc_budget is a pure function of these values — change
+/// them together.
+inline constexpr count_t kOocCbSplitDoubles = count_t{1} << 15;
+inline constexpr index_t kOocCbPanels = 8;
+
+/// Columns per spill block of a CB of order n (n itself — one block —
+/// below the split threshold).
+constexpr index_t ooc_cb_panel_cols(index_t n) noexcept {
+  if (n <= 0) return 0;
+  if (square(n) < kOocCbSplitDoubles) return n;
+  return (n + kOocCbPanels - 1) / kOocCbPanels;
+}
+
+/// Real out-of-core execution (the spill path the numeric drivers run,
+/// as opposed to the OocConfig the *simulator* models). The budget is a
+/// hard admission gate over everything the factorization holds beyond
+/// the factor storage: resident contribution blocks, the live fronts,
+/// and the spill store's in-flight write buffer.
+struct OocExecConfig {
+  bool enabled = false;
+  /// Hard budget in doubles of full-square storage (the unit of
+  /// predict_arena_peak). 0 = unlimited: factors still stream to disk
+  /// when spill_factors is set, but nothing spills or stalls.
+  count_t budget_doubles = 0;
+  /// How spill/factor writes interact with compute — the same split the
+  /// simulator studies. kAdmissionDrain behaves like kWriteBehind here
+  /// (real admission always drains in-flight writes before giving up);
+  /// kSynchronous writes on the compute thread, the overlap baseline.
+  OocIoMode io_mode = OocIoMode::kWriteBehind;
+  /// Victim selection when admission must evict resident CBs.
+  SpillPolicy spill_policy = SpillPolicy::kLargestFirst;
+  /// Bound on the write-behind in-flight buffer, in doubles.
+  /// 0 = auto: budget/4, unbounded when the budget is unlimited too.
+  count_t write_buffer_doubles = 0;
+  /// Stream finished factor panels to disk (reloaded at solve time).
+  /// When false only contribution blocks spill.
+  bool spill_factors = true;
+  /// Spill-file directory ("" = MEMFRONT_SPILL_DIR or the system tmp).
+  std::string spill_dir;
+  /// Record an overrun instead of failing with kResourceExhausted when
+  /// the budget is infeasible for this tree.
+  bool allow_overrun = false;
+
+  friend bool operator==(const OocExecConfig&,
+                         const OocExecConfig&) = default;
+};
+
+/// What the real spill path did during one factorization (all zero when
+/// the mode is off). Doubles counts use the same full-square unit as
+/// the budget; the byte views are doubles * 8.
+struct OocExecStats {
+  count_t budget_doubles = 0;
+  /// High-water mark of the budget-charged bytes: resident CBs + live
+  /// fronts + in-flight spill/factor writes. <= budget when the run was
+  /// feasible (overrun_peak_doubles == 0).
+  count_t charged_peak_doubles = 0;
+  count_t overrun_peak_doubles = 0;
+  count_t spill_doubles = 0;         // CBs evicted to disk
+  count_t reload_doubles = 0;        // CBs read back at assembly
+  count_t factor_write_doubles = 0;  // factor panels streamed
+  index_t spill_events = 0;
+  index_t reload_events = 0;
+  index_t io_retries = 0;
+  count_t buffer_high_water_doubles = 0;
+  /// Compute-thread seconds lost to the budget: admission waits, demand
+  /// reloads, full-buffer appends and the final drain.
+  double stall_seconds = 0;
+  /// Disk-write seconds that proceeded while compute kept running (the
+  /// I/O the write-behind buffer hid). 0 in synchronous mode.
+  double overlap_seconds = 0;
 };
 
 }  // namespace memfront

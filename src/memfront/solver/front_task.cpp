@@ -18,6 +18,23 @@ FrontResult process_front(const FrontContext& ctx, index_t i,
                           std::span<const double* const> child_cbs,
                           FrontWorkspace& ws, FrontView front, NodeFactor& out,
                           std::vector<index_t>& row_of) {
+  check(ctx.tree->children(i).size() == child_cbs.size(),
+        "process_front: child CB count mismatch");
+  // The in-core drivers already hold every child CB: a trivial stream.
+  return process_front(
+      ctx, i,
+      ChildStream{[&](std::size_t c, FrontView f,
+                      std::span<const index_t> positions) {
+        const index_t ncb = static_cast<index_t>(positions.size());
+        extend_add_mapped(f, child_cbs[c], ncb, ncb, positions);
+      }},
+      ws, front, out, row_of);
+}
+
+FrontResult process_front(const FrontContext& ctx, index_t i,
+                          const ChildStream& stream, FrontWorkspace& ws,
+                          FrontView front, NodeFactor& out,
+                          std::vector<index_t>& row_of) {
   MEMFRONT_SPAN("factor_front", i);
   const std::uint64_t front_t0 =
       obs::Tracer::enabled() ? obs::Tracer::global().now_ns() : 0;
@@ -65,10 +82,9 @@ FrontResult process_front(const FrontContext& ctx, index_t i,
   }
 
   // Extend-add the children through the local map (O(ncb) per child, no
-  // index search), in the tree's child order.
+  // index search), in the tree's child order. The stream owns each
+  // child's storage for exactly the duration of its own scatter.
   const auto children = tree.children(i);
-  check(children.size() == child_cbs.size(),
-        "process_front: child CB count mismatch");
   {
     MEMFRONT_SPAN("extend_add", i);
     for (std::size_t c = 0; c < children.size(); ++c) {
@@ -80,8 +96,7 @@ FrontResult process_front(const FrontContext& ctx, index_t i,
         ws.positions[static_cast<std::size_t>(k)] =
             ws.local[static_cast<std::size_t>(
                 child_rows[static_cast<std::size_t>(tree.npiv(child) + k)])];
-      extend_add_mapped(front, child_cbs[c], ncb_child, ncb_child,
-                        ws.positions);
+      stream.assemble(c, front, ws.positions);
     }
   }
 

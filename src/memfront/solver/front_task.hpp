@@ -10,6 +10,7 @@
 // subtree and upper-part tasks with per-worker workspaces.
 #pragma once
 
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -54,6 +55,20 @@ struct FrontResult {
   double max_pivot_abs = 0.0;
 };
 
+/// Provider of the children's extend-adds, for drivers that cannot
+/// afford all the CBs resident at once (the out-of-core path):
+/// assemble(c, front, positions) must scatter child c's CB into the
+/// front through `positions` (the front-local row of each CB index) —
+/// exactly what extend_add_mapped does — but may source the CB from
+/// disk one column panel at a time, so the memory window is a single
+/// panel instead of the whole child. That window is what lets a budget
+/// smaller than the in-core arena peak run to completion.
+struct ChildStream {
+  std::function<void(std::size_t c, FrontView front,
+                     std::span<const index_t> positions)>
+      assemble;
+};
+
 /// Factors node i into `front` (from ws.acquire_front(nfront(i))).
 /// `child_cbs[c]` is child c's contribution block (order ncb(child),
 /// column-major, leading dimension = its order), in the tree's child
@@ -67,6 +82,14 @@ struct FrontResult {
 FrontResult process_front(const FrontContext& ctx, index_t i,
                           std::span<const double* const> child_cbs,
                           FrontWorkspace& ws, FrontView front, NodeFactor& out,
+                          std::vector<index_t>& row_of);
+
+/// The streaming variant: identical arithmetic in the identical order
+/// (bit-identical results), with each child CB materialized only for
+/// the duration of its own extend-add.
+FrontResult process_front(const FrontContext& ctx, index_t i,
+                          const ChildStream& children, FrontWorkspace& ws,
+                          FrontView front, NodeFactor& out,
                           std::vector<index_t>& row_of);
 
 /// Copies the Schur block of a factored front (order ncb = n - npiv) into

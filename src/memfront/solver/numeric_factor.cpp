@@ -6,10 +6,89 @@
 #include "memfront/frontal/arena.hpp"
 #include "memfront/obs/metrics.hpp"
 #include "memfront/obs/span_tracer.hpp"
+#include "memfront/ooc/coordinator.hpp"
 #include "memfront/solver/front_task.hpp"
 #include "memfront/support/error.hpp"
 
 namespace memfront {
+
+namespace {
+
+#if MEMFRONT_OOC_REAL
+/// The out-of-core variant of the sequential loop: same postorder, same
+/// process_front/extract_cb split — but every storage decision routes
+/// through the OocCoordinator's budget gate instead of the LIFO arena,
+/// so CBs can leave RAM mid-traversal and factor panels stream to disk.
+/// Bit-identical to the in-core loop: the storage location of a CB
+/// never changes the values assembled from it.
+Factorization factorize_ooc(const Analysis& analysis,
+                            const NumericOptions& options,
+                            const CscMatrix* at, double amax) {
+  MEMFRONT_SPAN("numeric_factorize_ooc");
+  const AssemblyTree& tree = analysis.tree;
+  const bool sym = tree.symmetric();
+  const index_t n = tree.num_cols();
+
+  Factorization fact;
+  fact.symmetric = sym;
+  fact.nodes.resize(static_cast<std::size_t>(tree.num_nodes()));
+  fact.row_of.resize(static_cast<std::size_t>(n));
+  for (index_t k = 0; k < n; ++k)
+    fact.row_of[static_cast<std::size_t>(k)] = k;
+
+  numeric_detail::FrontContext ctx;
+  ctx.tree = &tree;
+  ctx.structure = &*analysis.structure;
+  ctx.a = &*analysis.permuted;
+  ctx.at = at;
+  ctx.symmetric = sym;
+  ctx.kernel = options.kernel;
+
+  numeric_detail::FrontWorkspace ws;
+  ws.init(n);
+
+  OocCoordinator coord(options.ooc, tree, /*workers=*/1);
+  double max_pivot_abs = 0.0;
+
+  for (index_t i : analysis.traversal) {
+    const index_t nfront = tree.nfront(i);
+    const index_t npiv = tree.npiv(i);
+    const index_t ncb = nfront - npiv;
+    const auto children = tree.children(i);
+
+    coord.begin_node(i, /*worker=*/0);
+    FrontView front = ws.acquire_front(nfront);
+
+    // Children stream through the budget gate one at a time: a spilled
+    // one scatters panel by panel (prefetching the next sibling), so
+    // the window never exceeds the front plus one panel.
+    const numeric_detail::ChildStream stream{
+        [&](std::size_t c, FrontView f, std::span<const index_t> positions) {
+          coord.assemble_child(
+              children[c], /*worker=*/0,
+              c + 1 < children.size() ? children[c + 1] : kNone, f, positions);
+        }};
+    const numeric_detail::FrontResult fr = numeric_detail::process_front(
+        ctx, i, stream, ws, front, fact.nodes[static_cast<std::size_t>(i)],
+        fact.row_of);
+    fact.stats.perturbations += fr.perturbations;
+    fact.stats.exact_zero_pivots += fr.exact_zero_pivots;
+    max_pivot_abs = std::max(max_pivot_abs, fr.max_pivot_abs);
+    fact.stats.factor_entries += tree.factor_entries(i);
+
+    if (ncb > 0) coord.store_cb(i, /*worker=*/0, front, npiv);
+    coord.end_node(i, fact.nodes[static_cast<std::size_t>(i)], /*worker=*/0);
+  }
+  fact.stats.ooc = coord.finish();
+  if (options.ooc.spill_factors) fact.ooc_factors = coord.factor_state();
+  fact.stats.arena_peak_doubles = fact.stats.ooc.charged_peak_doubles;
+  fact.stats.pivot_growth_max = amax > 0.0 ? max_pivot_abs / amax : 0.0;
+  obs::record_factor_stats(fact.stats);
+  return fact;
+}
+#endif  // MEMFRONT_OOC_REAL
+
+}  // namespace
 
 Factorization numeric_factorize(const Analysis& analysis,
                                 const NumericOptions& options) {
@@ -22,6 +101,19 @@ Factorization numeric_factorize(const Analysis& analysis,
           "numeric_factorize: matrix contains NaN/Inf values");
   // Denominator of the pivot-growth report; one O(nnz) scan.
   const double amax = analysis.permuted->max_abs_value();
+  if (options.ooc.enabled) {
+#if MEMFRONT_OOC_REAL
+    std::optional<CscMatrix> at_ooc;
+    if (!analysis.tree.symmetric())
+      at_ooc = analysis.permuted->transpose();
+    return factorize_ooc(analysis, options, at_ooc ? &*at_ooc : nullptr,
+                         amax);
+#else
+    require(false,
+            "numeric_factorize: out-of-core execution requested but the "
+            "build has MEMFRONT_OOC_REAL=OFF");
+#endif
+  }
   const AssemblyTree& tree = analysis.tree;
   const bool sym = tree.symmetric();
   const index_t n = tree.num_cols();

@@ -9,12 +9,16 @@
 // physical arena peak in doubles (compared against predict_arena_peak).
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "memfront/frontal/kernels.hpp"
+#include "memfront/ooc/config.hpp"
 #include "memfront/solver/analysis.hpp"
 
 namespace memfront {
+
+struct OocFactorState;
 
 /// Which partial-factorization kernels the numeric drivers run. The
 /// reference kernels are the pre-blocking scalar loops — bit-identical
@@ -26,6 +30,11 @@ struct NumericOptions {
   /// Pre-size the CB arena to the predicted physical peak so the whole
   /// factorization runs in one slab.
   bool reserve_arena = true;
+  /// Real out-of-core execution: when ooc.enabled, the CB stack and the
+  /// live front run under ooc.budget_doubles, spilling to disk through
+  /// the OocCoordinator. The result is bit-identical to the in-core
+  /// driver; factor panels stream to disk and reload at solve time.
+  OocExecConfig ooc{};
 
   friend bool operator==(const NumericOptions&,
                          const NumericOptions&) = default;
@@ -57,6 +66,10 @@ struct FactorStats {
   count_t arena_peak_doubles = 0;
   /// Slab allocations the arena performed (1 when the reserve fit).
   count_t arena_slabs = 0;
+  /// Real out-of-core accounting (all zero for in-core runs). For OOC
+  /// runs arena_peak_doubles holds the budget ledger's high-water mark
+  /// (ooc.charged_peak_doubles) instead of the arena measurement.
+  OocExecStats ooc{};
 };
 
 struct Factorization {
@@ -66,10 +79,21 @@ struct Factorization {
   /// (permuted) matrix row row_of[k] after the in-front row swaps.
   std::vector<index_t> row_of;
   FactorStats stats;
+  /// Out-of-core runs: where the factor panels went (null for in-core).
+  /// Holds the spill store alive; the solve entry points call
+  /// ensure_factors_resident() before touching nodes[].
+  std::shared_ptr<OocFactorState> ooc_factors;
 };
 
 /// Requires analysis.structure and values on analysis.permuted.
 Factorization numeric_factorize(const Analysis& analysis,
                                 const NumericOptions& options = {});
+
+/// Reloads factor panels an out-of-core factorization left on disk
+/// (no-op for in-core factorizations or already-resident panels).
+/// Thread-safe; logically const — restores the exact bytes the
+/// factorization produced. Throws a structured kIoError on a truncated
+/// or corrupted spill block.
+void ensure_factors_resident(const Factorization& fact);
 
 }  // namespace memfront

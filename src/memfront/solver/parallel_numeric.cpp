@@ -11,6 +11,7 @@
 #include "memfront/frontal/arena.hpp"
 #include "memfront/obs/metrics.hpp"
 #include "memfront/obs/span_tracer.hpp"
+#include "memfront/ooc/coordinator.hpp"
 #include "memfront/solver/front_task.hpp"
 #include "memfront/support/error.hpp"
 #include "memfront/support/fault.hpp"
@@ -63,6 +64,10 @@ struct Runtime {
   std::vector<std::vector<double>> cb_heap;
   /// Arena CB slots, only ever touched by the owning subtree's task.
   std::vector<double*> cb_arena;
+  /// Out-of-core mode: the shared budget gate (null = in-core). When
+  /// set, every CB lives in the coordinator instead of cb_heap/cb_arena
+  /// and the arenas stay empty.
+  OocCoordinator* ooc = nullptr;
 
   const AssemblyTree& tree() const { return analysis->tree; }
 
@@ -79,16 +84,21 @@ struct Runtime {
   }
 
   void fail(std::exception_ptr e) {
-    std::lock_guard<std::mutex> lock(mu);
-    if (!error) error = e;
-    failed = true;
-    cv.notify_all();
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!error) error = e;
+      failed = true;
+      cv.notify_all();
+    }
+    // Admission waiters in the coordinator wait for memory a dead
+    // worker can no longer free: wake them with a failure too.
+    if (ooc) ooc->cancel();
   }
 };
 
 /// Runs one whole subtree on the calling worker with its private arena.
 /// Statistics accumulate locally and flush under one lock at the end.
-void run_subtree(Runtime& rt, index_t s, FrontWorkspace& ws,
+void run_subtree(Runtime& rt, index_t s, unsigned w, FrontWorkspace& ws,
                  FrontalArena& arena, count_t& arena_peak,
                  std::vector<const double*>& child_cbs) {
   const AssemblyTree& tree = rt.tree();
@@ -104,13 +114,11 @@ void run_subtree(Runtime& rt, index_t s, FrontWorkspace& ws,
         static_cast<std::size_t>(nfront) * static_cast<std::size_t>(nfront);
     const auto children = tree.children(i);
 
+    if (rt.ooc) rt.ooc->begin_node(i, static_cast<index_t>(w));
     FrontView front = ws.acquire_front(nfront);
-    arena_peak = std::max(
-        arena_peak, static_cast<count_t>(arena.in_use() + front_doubles));
-
-    child_cbs.clear();
-    for (index_t child : children)
-      child_cbs.push_back(rt.cb_arena[static_cast<std::size_t>(child)]);
+    if (!rt.ooc)
+      arena_peak = std::max(
+          arena_peak, static_cast<count_t>(arena.in_use() + front_doubles));
 
     // Fault site: a worker task dying mid-subtree (any exception class)
     // must drain the pool and surface exactly one structured error. The
@@ -119,14 +127,39 @@ void run_subtree(Runtime& rt, index_t s, FrontWorkspace& ws,
     if (MEMFRONT_FAULT("worker.subtree_exception", root))
       throw std::runtime_error("injected worker failure in subtree task");
 
-    const numeric_detail::FrontResult fr = numeric_detail::process_front(
-        rt.ctx, i, child_cbs, ws, front,
-        rt.fact->nodes[static_cast<std::size_t>(i)], rt.fact->row_of);
+    numeric_detail::FrontResult fr;
+    if (rt.ooc) {
+      // Budgeted assembly streams the children one at a time through
+      // the coordinator (a spilled child scatters panel by panel).
+      const numeric_detail::ChildStream stream{
+          [&](std::size_t c, FrontView f, std::span<const index_t> positions) {
+            rt.ooc->assemble_child(
+                children[c], static_cast<index_t>(w),
+                c + 1 < children.size() ? children[c + 1] : kNone, f,
+                positions);
+          }};
+      fr = numeric_detail::process_front(
+          rt.ctx, i, stream, ws, front,
+          rt.fact->nodes[static_cast<std::size_t>(i)], rt.fact->row_of);
+    } else {
+      child_cbs.clear();
+      for (index_t child : children)
+        child_cbs.push_back(rt.cb_arena[static_cast<std::size_t>(child)]);
+      fr = numeric_detail::process_front(
+          rt.ctx, i, child_cbs, ws, front,
+          rt.fact->nodes[static_cast<std::size_t>(i)], rt.fact->row_of);
+    }
     acc.perturbations += fr.perturbations;
     acc.exact_zero_pivots += fr.exact_zero_pivots;
     acc.max_pivot_abs = std::max(acc.max_pivot_abs, fr.max_pivot_abs);
     factor_entries += tree.factor_entries(i);
 
+    if (rt.ooc) {
+      if (ncb > 0) rt.ooc->store_cb(i, static_cast<index_t>(w), front, npiv);
+      rt.ooc->end_node(i, rt.fact->nodes[static_cast<std::size_t>(i)],
+                       static_cast<index_t>(w));
+      continue;
+    }
     for (std::size_t c = children.size(); c-- > 0;) {
       const index_t child = children[c];
       arena.pop(rt.cb_arena[static_cast<std::size_t>(child)],
@@ -160,7 +193,7 @@ void run_subtree(Runtime& rt, index_t s, FrontWorkspace& ws,
 
 /// Runs one upper-part node task (children are subtree roots or other
 /// upper nodes; all CBs live on the heap).
-void run_upper(Runtime& rt, index_t i, FrontWorkspace& ws,
+void run_upper(Runtime& rt, index_t i, unsigned w, FrontWorkspace& ws,
                std::vector<const double*>& child_cbs) {
   MEMFRONT_SPAN("upper_front", i);
   const AssemblyTree& tree = rt.tree();
@@ -168,23 +201,43 @@ void run_upper(Runtime& rt, index_t i, FrontWorkspace& ws,
   const index_t ncb = tree.ncb(i);
   const auto children = tree.children(i);
 
+  if (rt.ooc) rt.ooc->begin_node(i, static_cast<index_t>(w));
   FrontView front = ws.acquire_front(tree.nfront(i));
-  child_cbs.clear();
-  for (index_t child : children)
-    child_cbs.push_back(rt.cb_heap[static_cast<std::size_t>(child)].data());
 
-  const numeric_detail::FrontResult fr = numeric_detail::process_front(
-      rt.ctx, i, child_cbs, ws, front,
-      rt.fact->nodes[static_cast<std::size_t>(i)], rt.fact->row_of);
-
-  for (index_t child : children) {
-    auto& slot = rt.cb_heap[static_cast<std::size_t>(child)];
-    std::vector<double>().swap(slot);  // actually release the storage
+  numeric_detail::FrontResult fr;
+  if (rt.ooc) {
+    const numeric_detail::ChildStream stream{
+        [&](std::size_t c, FrontView f, std::span<const index_t> positions) {
+          rt.ooc->assemble_child(
+              children[c], static_cast<index_t>(w),
+              c + 1 < children.size() ? children[c + 1] : kNone, f, positions);
+        }};
+    fr = numeric_detail::process_front(
+        rt.ctx, i, stream, ws, front,
+        rt.fact->nodes[static_cast<std::size_t>(i)], rt.fact->row_of);
+  } else {
+    child_cbs.clear();
+    for (index_t child : children)
+      child_cbs.push_back(rt.cb_heap[static_cast<std::size_t>(child)].data());
+    fr = numeric_detail::process_front(
+        rt.ctx, i, child_cbs, ws, front,
+        rt.fact->nodes[static_cast<std::size_t>(i)], rt.fact->row_of);
   }
-  if (ncb > 0) {
-    auto& slot = rt.cb_heap[static_cast<std::size_t>(i)];
-    slot.resize(static_cast<std::size_t>(square(ncb)));
-    numeric_detail::extract_cb(front, npiv, slot.data());
+
+  if (rt.ooc) {
+    if (ncb > 0) rt.ooc->store_cb(i, static_cast<index_t>(w), front, npiv);
+    rt.ooc->end_node(i, rt.fact->nodes[static_cast<std::size_t>(i)],
+                     static_cast<index_t>(w));
+  } else {
+    for (index_t child : children) {
+      auto& slot = rt.cb_heap[static_cast<std::size_t>(child)];
+      std::vector<double>().swap(slot);  // actually release the storage
+    }
+    if (ncb > 0) {
+      auto& slot = rt.cb_heap[static_cast<std::size_t>(i)];
+      slot.resize(static_cast<std::size_t>(square(ncb)));
+      numeric_detail::extract_cb(front, npiv, slot.data());
+    }
   }
 
   std::lock_guard<std::mutex> lock(rt.mu);
@@ -210,7 +263,7 @@ void worker_loop(Runtime& rt, unsigned w) {
           std::lock_guard<std::mutex> lock(rt.mu);
           if (rt.failed) return;
         }
-        run_subtree(rt, s, ws, arena, arena_peak, child_cbs);
+        run_subtree(rt, s, w, ws, arena, arena_peak, child_cbs);
       }
     };
     const auto claim = [&](std::size_t u) {
@@ -233,7 +286,7 @@ void worker_loop(Runtime& rt, unsigned w) {
         const index_t i = rt.ready.back();
         rt.ready.pop_back();
         lock.unlock();
-        run_upper(rt, i, ws, child_cbs);
+        run_upper(rt, i, w, ws, child_cbs);
         lock.lock();
         continue;
       }
@@ -307,6 +360,19 @@ Factorization parallel_numeric_factorize(const Analysis& analysis,
   rt.ctx.symmetric = sym;
   rt.ctx.kernel = options.kernel;
 
+  std::unique_ptr<OocCoordinator> ooc;
+  if (options.ooc.enabled) {
+#if MEMFRONT_OOC_REAL
+    ooc = std::make_unique<OocCoordinator>(options.ooc, tree,
+                                           static_cast<index_t>(workers));
+    rt.ooc = ooc.get();
+#else
+    require(false,
+            "parallel_numeric_factorize: out-of-core execution requested "
+            "but the build has MEMFRONT_OOC_REAL=OFF");
+#endif
+  }
+
   // The paper's static decomposition: Geist-Ng subtrees, LPT-mapped onto
   // `nprocs` processors, everything above as individual node tasks.
   rt.subtrees =
@@ -368,6 +434,12 @@ Factorization parallel_numeric_factorize(const Analysis& analysis,
   fact.stats.pivot_growth_max = amax > 0.0 ? rt.max_pivot_abs / amax : 0.0;
   fact.stats.factor_entries = rt.factor_entries;
   fact.stats.arena_peak_doubles = rt.max_arena_peak;
+  if (ooc) {
+    fact.stats.ooc = ooc->finish();
+    if (options.ooc.spill_factors) fact.ooc_factors = ooc->factor_state();
+    fact.stats.arena_peak_doubles = fact.stats.ooc.charged_peak_doubles;
+    rt.max_arena_peak = fact.stats.ooc.charged_peak_doubles;
+  }
   ParallelNumericStats local_stats;
   ParallelNumericStats& out = stats ? *stats : local_stats;
   out.workers = workers;

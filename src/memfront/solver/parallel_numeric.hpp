@@ -28,6 +28,11 @@ struct ParallelNumericOptions {
   index_t nprocs = 0;
   SubtreeOptions subtree_options{};
   FrontalKernel kernel = FrontalKernel::kBlocked;
+  /// Real out-of-core execution: one OocCoordinator gates every worker
+  /// under a single global budget (ooc.budget_doubles); CBs spill to
+  /// per-worker files and factor panels stream to disk. The result
+  /// stays bit-identical to the in-core drivers.
+  OocExecConfig ooc{};
 };
 
 struct ParallelNumericStats {

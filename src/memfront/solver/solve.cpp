@@ -655,6 +655,9 @@ void solve_factorized_multi(const Analysis& analysis,
   const auto start = std::chrono::steady_clock::now();
   SolveStats local;
   SolveStats& out = stats ? *stats : local;
+  // Out-of-core factorizations leave factor panels on disk: page every
+  // panel back in before the sweeps touch fact.nodes[].
+  ensure_factors_resident(fact);
   {
     MEMFRONT_SPAN("solve", nrhs);
     run_solve(analysis, fact, graph, b, nrhs, x, workspace, workers,
@@ -738,6 +741,7 @@ std::vector<double> solve_reference(const Analysis& analysis,
                                     std::span<const double> b) {
   check(analysis.structure.has_value(),
         "solve_reference: analysis ran without structure");
+  ensure_factors_resident(fact);
   SolveGraph graph;  // serial sweep: only the slab layout is needed
   fill_cb_offsets(analysis.tree, graph);
   SolveWorkspace workspace;

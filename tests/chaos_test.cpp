@@ -221,6 +221,105 @@ TEST(ChaosHarness, OocDiskFaultSweep) {
   EXPECT_GT(io_failed, 0) << "no disk schedule ever exhausted its retries";
 }
 
+#if MEMFRONT_OOC_REAL
+
+constexpr std::uint64_t kRealOocSeedsPerCase = 24;
+
+/// The *real* spill path under disk chaos: factorize + solve with a
+/// binding budget while every store fault site fires on seeded
+/// schedules. The hardened-execution contract holds end to end: either
+/// the transients are absorbed and the factors AND solution are
+/// bit-identical to the fault-free budgeted baseline, or the run fails
+/// with a structured kIoError/kWorkerFailure — never a wrong answer.
+class RealOocDiskChaos : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RealOocDiskChaos, EverySpillScheduleIsBitIdenticalOrStructured) {
+  const unsigned workers = GetParam();
+  const Problem p = make_problem(ProblemId::kUltrasound3, 0.25);
+  AnalysisOptions aopt;
+  aopt.ordering = OrderingKind::kNestedDissection;
+  const Analysis analysis = analyze(p.matrix, aopt);
+  std::vector<double> b(static_cast<std::size_t>(p.matrix.nrows()), 1.0);
+
+  const Factorization incore = numeric_factorize(analysis);
+  ParallelNumericOptions popt;
+  popt.nthreads = workers;
+  popt.nprocs = 8;
+  popt.ooc.enabled = true;
+  popt.ooc.budget_doubles = incore.stats.arena_peak_doubles * 8 / 10;
+
+  auto run_ooc = [&]() -> RunResult {
+    RunResult r;
+    try {
+      r.fact = parallel_numeric_factorize(analysis, popt);
+      SolveOptions sopt;
+      sopt.nthreads = workers;
+      sopt.nprocs = 8;
+      r.x = solve_factorized_multi(analysis, r.fact, b, 1, sopt);
+    } catch (const SolverError& e) {
+      r.code = e.code();
+    } catch (const InvalidInputError& e) {
+      r.code = e.code();
+    }
+    return r;
+  };
+
+  const RunResult baseline = run_ooc();
+  ASSERT_EQ(baseline.code, ErrorCode::kOk) << "fault-free budgeted baseline";
+  ASSERT_GT(baseline.fact.stats.ooc.spill_events, 0)
+      << "budget not binding: the sweep would not touch the spill path";
+  expect_bitwise_identical(baseline, run_once(analysis, b, workers),
+                           "budgeted baseline vs in-core");
+
+  int clean = 0, failed = 0;
+  for (std::uint64_t seed = 0; seed < kRealOocSeedsPerCase; ++seed) {
+    const std::string label =
+        "real-ooc seed " + std::to_string(seed) + " workers " +
+        std::to_string(workers);
+    RunResult run;
+    {
+      fault::ScopedPlan scoped({.seed = seed,
+                                .period = 0,
+                                .overrides = {{"store.write", 9},
+                                              {"store.read", 9},
+                                              {"store.torn_read", 9},
+                                              {"store.short_write", 11},
+                                              {"store.enospc", 301},
+                                              {"store.fsync", 13}}});
+      run = run_ooc();
+    }
+    if (run.code == ErrorCode::kOk) {
+      ++clean;
+      expect_bitwise_identical(run, baseline, label);
+    } else {
+      ++failed;
+      // Disk chaos surfaces as kIoError from the failing worker; other
+      // workers then unwind with kWorkerFailure — whichever the joiner
+      // rethrows first, the code stays inside the taxonomy.
+      EXPECT_TRUE(run.code == ErrorCode::kIoError ||
+                  run.code == ErrorCode::kWorkerFailure)
+          << label << ": uncategorized code " << error_code_name(run.code);
+    }
+  }
+  EXPECT_GT(clean, 0) << "every disk schedule failed";
+  EXPECT_GT(failed, 0) << "no disk schedule ever escaped the retries";
+
+  // Fault-free execution after the sweep is still pristine (no leaked
+  // spill state, no poisoned store).
+  const RunResult after = run_ooc();
+  ASSERT_EQ(after.code, ErrorCode::kOk);
+  expect_bitwise_identical(after, baseline, "post-sweep rerun");
+}
+
+INSTANTIATE_TEST_SUITE_P(RealSpillPath, RealOocDiskChaos,
+                         ::testing::Values(1u, 4u),
+                         [](const auto& info) {
+                           return std::string("w") +
+                                  std::to_string(info.param);
+                         });
+
+#endif  // MEMFRONT_OOC_REAL
+
 // ctest runs every gtest case in its own process, so the acceptance
 // floor (>= 200 seeded schedules across the binary) is checked
 // statically from the sweep dimensions, not a runtime tally.

@@ -1,0 +1,268 @@
+// Real out-of-core execution under a hard memory budget: the budgeted
+// drivers must produce factors and solutions bit-identical to the
+// in-core ones while the charged footprint (resident CBs + live fronts
+// + in-flight spill writes) never exceeds the budget — checked at
+// 0.8x of the in-core arena peak on the largest Table-1 problem
+// (PRE2), serially and at 2/4/8 workers, in both I/O disciplines.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "memfront/frontal/arena.hpp"
+#include "memfront/obs/metrics.hpp"
+#include "memfront/solver/numeric_factor.hpp"
+#include "memfront/solver/parallel_numeric.hpp"
+#include "memfront/solver/solve.hpp"
+#include "memfront/sparse/problems.hpp"
+#include "memfront/support/status.hpp"
+
+#if MEMFRONT_OOC_REAL
+
+namespace memfront {
+namespace {
+
+constexpr double kScale = 0.2;
+
+bool bitwise_equal(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+void expect_factors_bitwise_identical(const Factorization& run,
+                                      const Factorization& base,
+                                      const std::string& label) {
+  // OOC runs leave the panels on disk: page them back before comparing
+  // (the same call every solve entry point makes).
+  ensure_factors_resident(run);
+  ASSERT_EQ(run.nodes.size(), base.nodes.size()) << label;
+  EXPECT_EQ(run.row_of, base.row_of) << label;
+  for (std::size_t i = 0; i < run.nodes.size(); ++i) {
+    ASSERT_TRUE(bitwise_equal(run.nodes[i].panel, base.nodes[i].panel))
+        << label << ": panel of node " << i;
+    ASSERT_TRUE(bitwise_equal(run.nodes[i].u12, base.nodes[i].u12))
+        << label << ": u12 of node " << i;
+  }
+}
+
+struct Pre2Fixture {
+  Problem p = make_problem(ProblemId::kPre2, kScale);
+  Analysis analysis;
+  std::vector<double> b;
+  Factorization incore;
+  std::vector<double> x_incore;
+  count_t arena_peak = 0;
+
+  Pre2Fixture() {
+    AnalysisOptions opt;
+    opt.ordering = OrderingKind::kNestedDissection;
+    analysis = analyze(p.matrix, opt);
+    b.assign(static_cast<std::size_t>(p.matrix.nrows()), 1.0);
+    incore = numeric_factorize(analysis);
+    x_incore = solve_factorized_multi(analysis, incore, b, 1);
+    arena_peak = incore.stats.arena_peak_doubles;
+  }
+};
+
+Pre2Fixture& pre2() {
+  static Pre2Fixture fixture;
+  return fixture;
+}
+
+OocExecConfig budgeted(count_t budget, OocIoMode mode = OocIoMode::kWriteBehind) {
+  OocExecConfig cfg;
+  cfg.enabled = true;
+  cfg.budget_doubles = budget;
+  cfg.io_mode = mode;
+  return cfg;
+}
+
+TEST(OocExec, SerialPre2At08PeakIsBitIdenticalAndWithinBudget) {
+  Pre2Fixture& f = pre2();
+  const count_t budget = f.arena_peak * 8 / 10;
+  ASSERT_GE(budget, predict_min_ooc_budget(f.analysis.tree,
+                                           f.analysis.traversal))
+      << "0.8x the in-core peak is below the structural floor for this "
+         "tree; the test problem no longer exercises the spill path";
+
+  obs::MetricsRegistry::global().reset();
+  NumericOptions opt;
+  opt.ooc = budgeted(budget);
+  const Factorization fact = numeric_factorize(f.analysis, opt);
+
+  // The factors must not depend on where the CBs lived.
+  expect_factors_bitwise_identical(fact, f.incore, "serial 0.8x");
+
+  // The budget was a *hard* bound on the charged footprint, and the run
+  // really degraded (spilled) instead of quietly fitting.
+  const OocExecStats& st = fact.stats.ooc;
+  EXPECT_LE(st.charged_peak_doubles, budget);
+  EXPECT_EQ(st.overrun_peak_doubles, 0);
+  EXPECT_GT(st.spill_events, 0) << "nothing spilled: budget not binding";
+  EXPECT_EQ(st.spill_doubles, st.reload_doubles)
+      << "every spilled CB must be reloaded exactly once";
+  EXPECT_GT(st.factor_write_doubles, 0);
+
+  // The same bound, observable from the outside through the obs gauges
+  // (the acceptance pin: arena + spill-buffer bytes <= budget bytes).
+  const auto* charged = obs::MetricsRegistry::global().find_gauge(
+      "solver.ooc.charged_peak_bytes");
+  const auto* buffer = obs::MetricsRegistry::global().find_gauge(
+      "solver.ooc.buffer_high_water_bytes");
+  ASSERT_NE(charged, nullptr);
+  ASSERT_NE(buffer, nullptr);
+  EXPECT_LE(charged->value(),
+            budget * static_cast<count_t>(sizeof(double)));
+  EXPECT_LE(buffer->value(),
+            budget * static_cast<count_t>(sizeof(double)));
+
+  // Factor panels went to disk and come back transparently at solve
+  // time, to the same solution bits.
+  ASSERT_NE(fact.ooc_factors, nullptr);
+  const std::vector<double> x = solve_factorized_multi(f.analysis, fact, f.b, 1);
+  EXPECT_TRUE(bitwise_equal(x, f.x_incore));
+}
+
+class OocExecWorkers : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(OocExecWorkers, ParallelPre2At08PeakIsBitIdentical) {
+  const unsigned workers = GetParam();
+  Pre2Fixture& f = pre2();
+  const count_t budget = f.arena_peak * 8 / 10;
+
+  ParallelNumericOptions opt;
+  opt.nthreads = workers;
+  opt.nprocs = 8;  // fixed mapping: bits must not depend on workers
+  opt.ooc = budgeted(budget);
+  const Factorization fact = parallel_numeric_factorize(f.analysis, opt);
+
+  expect_factors_bitwise_identical(
+      fact, f.incore, "workers " + std::to_string(workers));
+  const OocExecStats& st = fact.stats.ooc;
+  EXPECT_LE(st.charged_peak_doubles, budget);
+  EXPECT_EQ(st.overrun_peak_doubles, 0);
+  EXPECT_GT(st.spill_events, 0);
+
+  SolveOptions sopt;
+  sopt.nthreads = workers;
+  sopt.nprocs = 8;
+  const std::vector<double> x =
+      solve_factorized_multi(f.analysis, fact, f.b, 1, sopt);
+  EXPECT_TRUE(bitwise_equal(x, f.x_incore))
+      << "workers " << workers << ": solution bits";
+}
+
+INSTANTIATE_TEST_SUITE_P(BudgetSweep, OocExecWorkers,
+                         ::testing::Values(2u, 4u, 8u),
+                         [](const auto& info) {
+                           return std::string("w") +
+                                  std::to_string(info.param);
+                         });
+
+TEST(OocExec, SynchronousModeMatchesWriteBehindBitForBit) {
+  Pre2Fixture& f = pre2();
+  const count_t budget = f.arena_peak * 8 / 10;
+  NumericOptions opt;
+  opt.ooc = budgeted(budget, OocIoMode::kSynchronous);
+  const Factorization fact = numeric_factorize(f.analysis, opt);
+  expect_factors_bitwise_identical(fact, f.incore, "synchronous");
+  EXPECT_LE(fact.stats.ooc.charged_peak_doubles, budget);
+  // Synchronous writes never overlap compute by definition.
+  EXPECT_EQ(fact.stats.ooc.overlap_seconds, 0.0);
+}
+
+TEST(OocExec, AdmissionDrainModeMatchesToo) {
+  Pre2Fixture& f = pre2();
+  NumericOptions opt;
+  opt.ooc = budgeted(f.arena_peak * 8 / 10, OocIoMode::kAdmissionDrain);
+  const Factorization fact = numeric_factorize(f.analysis, opt);
+  expect_factors_bitwise_identical(fact, f.incore, "admission-drain");
+}
+
+TEST(OocExec, UnlimitedBudgetStillStreamsFactors) {
+  Pre2Fixture& f = pre2();
+  NumericOptions opt;
+  opt.ooc = budgeted(0);  // unlimited: nothing spills, factors stream
+  const Factorization fact = numeric_factorize(f.analysis, opt);
+  expect_factors_bitwise_identical(fact, f.incore, "unlimited");
+  EXPECT_EQ(fact.stats.ooc.spill_events, 0);
+  EXPECT_GT(fact.stats.ooc.factor_write_doubles, 0);
+  const std::vector<double> x = solve_factorized_multi(f.analysis, fact, f.b, 1);
+  EXPECT_TRUE(bitwise_equal(x, f.x_incore));
+}
+
+TEST(OocExec, CbOnlyModeKeepsFactorsResident) {
+  Pre2Fixture& f = pre2();
+  NumericOptions opt;
+  opt.ooc = budgeted(f.arena_peak * 8 / 10);
+  opt.ooc.spill_factors = false;
+  const Factorization fact = numeric_factorize(f.analysis, opt);
+  expect_factors_bitwise_identical(fact, f.incore, "cb-only");
+  EXPECT_EQ(fact.ooc_factors, nullptr);
+  EXPECT_EQ(fact.stats.ooc.factor_write_doubles, 0);
+  EXPECT_GT(fact.stats.ooc.spill_events, 0);
+}
+
+TEST(OocExec, InfeasibleBudgetIsAStructuredResourceError) {
+  Pre2Fixture& f = pre2();
+  const count_t floor =
+      predict_min_ooc_budget(f.analysis.tree, f.analysis.traversal);
+  NumericOptions opt;
+  opt.ooc = budgeted(floor / 2);  // below the single-node working set
+  try {
+    numeric_factorize(f.analysis, opt);
+    FAIL() << "infeasible budget did not throw";
+  } catch (const SolverError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kResourceExhausted);
+    EXPECT_NE(e.context().detail.find("budget="), std::string::npos)
+        << "the error does not carry the budget arithmetic: "
+        << e.context().detail;
+  }
+}
+
+TEST(OocExec, AllowOverrunRecordsInsteadOfFailing) {
+  Pre2Fixture& f = pre2();
+  const count_t floor =
+      predict_min_ooc_budget(f.analysis.tree, f.analysis.traversal);
+  NumericOptions opt;
+  opt.ooc = budgeted(floor / 2);
+  opt.ooc.allow_overrun = true;
+  const Factorization fact = numeric_factorize(f.analysis, opt);
+  expect_factors_bitwise_identical(fact, f.incore, "overrun");
+  EXPECT_GT(fact.stats.ooc.overrun_peak_doubles, 0);
+  EXPECT_GT(fact.stats.ooc.charged_peak_doubles, floor / 2);
+}
+
+TEST(OocExec, MinBudgetPredictorIsAFeasibilityBoundary) {
+  Pre2Fixture& f = pre2();
+  const count_t floor =
+      predict_min_ooc_budget(f.analysis.tree, f.analysis.traversal);
+  ASSERT_GT(floor, 0);
+  ASSERT_LE(floor, f.arena_peak);
+  // Exactly at the floor the serial traversal must still complete: the
+  // coordinator can spill everything outside one node's family.
+  NumericOptions opt;
+  opt.ooc = budgeted(floor);
+  const Factorization fact = numeric_factorize(f.analysis, opt);
+  expect_factors_bitwise_identical(fact, f.incore, "at the floor");
+  EXPECT_LE(fact.stats.ooc.charged_peak_doubles, floor);
+}
+
+TEST(OocExec, RepeatedSolvesAfterReloadStayIdentical) {
+  Pre2Fixture& f = pre2();
+  NumericOptions opt;
+  opt.ooc = budgeted(f.arena_peak * 8 / 10);
+  const Factorization fact = numeric_factorize(f.analysis, opt);
+  const std::vector<double> x1 = solve_factorized_multi(f.analysis, fact, f.b, 1);
+  const std::vector<double> x2 = solve_factorized_multi(f.analysis, fact, f.b, 1);
+  EXPECT_TRUE(bitwise_equal(x1, f.x_incore));
+  EXPECT_TRUE(bitwise_equal(x2, x1)) << "second solve (panels resident)";
+}
+
+}  // namespace
+}  // namespace memfront
+
+#endif  // MEMFRONT_OOC_REAL
