@@ -244,6 +244,28 @@ void record_parallel_numeric_stats(const ParallelNumericStats& stats,
       .max_of(doubles_to_bytes(stats.total_arena_peak_doubles));
   m.histogram("solver.parallel.run_wall_ns")
       .observe(seconds_to_ns(wall_seconds));
+  // The dynamic scheduler (solver/scheduler): policy consults, stealing
+  // traffic, and the targeted-wakeup discipline (wakeups << completions
+  // is the point — the old pool notified everyone on every completion).
+  m.gauge("solver.sched.dynamic").set(stats.steal ? 1 : 0);
+  m.counter("solver.sched.steals")
+      .add(static_cast<std::int64_t>(stats.sched.steals));
+  m.counter("solver.sched.steal_chunks")
+      .add(static_cast<std::int64_t>(stats.sched.steal_chunks));
+  m.counter("solver.sched.wakeups")
+      .add(static_cast<std::int64_t>(stats.sched.wakeups));
+  m.counter("solver.sched.completions")
+      .add(static_cast<std::int64_t>(stats.sched.completions));
+  m.counter("solver.sched.dispatch_consults")
+      .add(static_cast<std::int64_t>(stats.sched.dispatch_consults));
+  m.counter("solver.sched.admit_consults")
+      .add(static_cast<std::int64_t>(stats.sched.admit_consults));
+  m.counter("solver.sched.idle_ns")
+      .add(static_cast<std::int64_t>(stats.sched.idle_ns));
+  m.gauge("solver.sched.max_queue_depth")
+      .max_of(static_cast<std::int64_t>(stats.sched.max_queue_depth));
+  m.gauge("solver.sched.steal_arena_bound_doubles")
+      .max_of(stats.steal_arena_bound_doubles);
 }
 
 void record_sim_result(const ParallelResult& result, double wall_seconds) {
@@ -340,6 +362,9 @@ void record_ooc_exec_stats(const OocExecStats& stats) {
   m.counter("solver.ooc.stall_ns").add(seconds_to_ns(stats.stall_seconds));
   m.counter("solver.ooc.overlap_ns")
       .add(seconds_to_ns(stats.overlap_seconds));
+  m.counter("solver.ooc.policy_admissions").add(stats.policy_admissions);
+  m.counter("solver.ooc.policy_stall_ns")
+      .add(seconds_to_ns(stats.policy_stall_seconds));
 }
 
 void record_process_metrics() {

@@ -141,6 +141,11 @@ struct OocExecStats {
   /// Disk-write seconds that proceeded while compute kept running (the
   /// I/O the write-behind buffer hid). 0 in synchronous mode.
   double overlap_seconds = 0;
+  /// Scheduler-policy consultations ahead of reservation admissions
+  /// (OocSchedHooks::admit) and the model stall they returned. Zero
+  /// when no scheduler hooks are installed (numeric_factor).
+  index_t policy_admissions = 0;
+  double policy_stall_seconds = 0;
 };
 
 }  // namespace memfront

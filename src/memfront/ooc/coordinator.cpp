@@ -260,7 +260,15 @@ void OocCoordinator::prefetch_locked(index_t node) {
 void OocCoordinator::begin_node(index_t node, index_t worker) {
   MEMFRONT_SPAN("ooc.begin_node", node);
   const count_t window = square(tree_.nfront(node)) + reserve_doubles(node);
+  // The scheduler's policy sees every reservation admission. Consulted
+  // before mu_ is taken: the hook locks the scheduler mutex and the
+  // coordinator never calls out while holding its own.
+  double policy_stall = 0;
+  if (sched_hooks_.admit)
+    policy_stall = sched_hooks_.admit(worker, node, window);
   std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.policy_admissions;
+  stats_.policy_stall_seconds += policy_stall;
   // The node's whole degraded window — front scratch plus one column
   // panel — is admitted up front, so no later step of this node ever
   // waits for memory. mid_node_ counts only workers whose window is
@@ -268,6 +276,7 @@ void OocCoordinator::begin_node(index_t node, index_t worker) {
   // make other waiters believe someone can still free memory.
   admit_locked(lock, window, node, worker);
   ++mid_node_;
+  if (sched_hooks_.charged) sched_hooks_.charged(worker, window);
   // Start the first spilled child moving while the original-entry
   // assembly runs on this thread.
   for (index_t child : tree_.children(node)) {
@@ -427,6 +436,7 @@ void OocCoordinator::end_node(index_t node, NodeFactor& nf, index_t worker) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     charge_locked(-window);
+    if (sched_hooks_.charged) sched_hooks_.charged(worker, -window);
   }
 
   if (config_.spill_factors) {

@@ -44,6 +44,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -57,6 +58,21 @@
 namespace memfront {
 
 struct NodeFactor;
+
+/// Callbacks into the dynamic worker-pool scheduler (solver/scheduler).
+/// `admit` consults the SchedulerPolicy ahead of every reservation
+/// admission — called with no coordinator lock held (the scheduler
+/// takes its own mutex inside); the returned stall is a model quantity
+/// folded into the stats, the coordinator's own gate does the real
+/// waiting. `charged` mirrors a worker's reservation charge (+delta) /
+/// release (-delta) so the policy host's announced memory tracks
+/// in-flight OOC reservations; it must be lock-free (atomics only), as
+/// it runs under the coordinator mutex.
+struct OocSchedHooks {
+  std::function<double(index_t worker, index_t node, count_t window_doubles)>
+      admit;
+  std::function<void(index_t worker, count_t delta)> charged;
+};
 
 /// Where a factorization's panels went: kept by the Factorization so
 /// solve (or an explicit ensure_factors_resident call) can bring them
@@ -82,6 +98,10 @@ class OocCoordinator {
   ~OocCoordinator();
   OocCoordinator(const OocCoordinator&) = delete;
   OocCoordinator& operator=(const OocCoordinator&) = delete;
+
+  /// Installs the scheduler callbacks. Call before the workers start
+  /// (unsynchronized with begin_node/end_node otherwise).
+  void set_sched_hooks(OocSchedHooks hooks) { sched_hooks_ = std::move(hooks); }
 
   /// Admits node i's whole degraded window — front scratch plus one
   /// column panel — under the budget (spilling / stalling as needed);
@@ -164,6 +184,7 @@ class OocCoordinator {
   bool write_behind_ = true;
   std::shared_ptr<SpillStore> store_;
   std::shared_ptr<OocFactorState> factors_;
+  OocSchedHooks sched_hooks_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

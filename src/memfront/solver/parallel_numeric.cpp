@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <exception>
 #include <mutex>
 #include <optional>
@@ -13,6 +12,7 @@
 #include "memfront/obs/span_tracer.hpp"
 #include "memfront/ooc/coordinator.hpp"
 #include "memfront/solver/front_task.hpp"
+#include "memfront/solver/scheduler.hpp"
 #include "memfront/support/error.hpp"
 #include "memfront/support/fault.hpp"
 #include "memfront/support/parallel_for.hpp"
@@ -27,30 +27,24 @@ using numeric_detail::FrontWorkspace;
 /// Everything the worker tasks share. Synchronization discipline: a
 /// node's CB (cb_heap) and factor slots are written by exactly one task
 /// and only read by its parent's task, which is ordered after it through
-/// the mutex (the completion's dependency decrement happens-before the
-/// parent's claim of the ready entry).
+/// the scheduler mutex (the completion's dependency decrement
+/// happens-before the parent's dispatch). The mutex here only guards the
+/// statistics accumulators and the error slot.
 struct Runtime {
   const Analysis* analysis = nullptr;
   FrontContext ctx;
   Factorization* fact = nullptr;
 
-  // Static task structure. worker_subtrees[w] is the LPT share of worker
-  // w; a worker *claims* its list (claimed[w], guarded by mu) before
-  // running it, and idle workers adopt unclaimed lists — so the work
-  // still drains even if a pool thread failed to spawn.
+  // Static task structure (read-only while workers run).
   Subtrees subtrees;
   std::vector<std::vector<index_t>> subtree_nodes;  // postorder per subtree
-  std::vector<std::vector<index_t>> worker_subtrees;
-  std::vector<char> claimed;
   std::vector<index_t> upper_nodes;
 
-  // Dynamic state (guarded by mu unless noted).
+  /// The dynamic task source: dispatch, stealing, admission, wakeups.
+  NumericScheduler* sched = nullptr;
+
+  // Statistics and the first error (guarded by mu).
   std::mutex mu;
-  std::condition_variable cv;
-  std::vector<index_t> deps;    // upper node -> unfinished children
-  std::vector<index_t> ready;   // upper nodes ready to run (LIFO)
-  std::size_t remaining = 0;    // unfinished tasks (subtrees + upper nodes)
-  bool failed = false;
   std::exception_ptr error;
   count_t factor_entries = 0;
   index_t perturbations = 0;
@@ -71,25 +65,12 @@ struct Runtime {
 
   const AssemblyTree& tree() const { return analysis->tree; }
 
-  /// Called (under mu) when `node`'s factorization is complete and its CB
-  /// published: resolves the parent's dependency.
-  void complete_locked(index_t node) {
-    const index_t parent = tree().parent(node);
-    if (parent != kNone) {
-      if (--deps[static_cast<std::size_t>(parent)] == 0)
-        ready.push_back(parent);
-    }
-    --remaining;
-    cv.notify_all();
-  }
-
   void fail(std::exception_ptr e) {
     {
       std::lock_guard<std::mutex> lock(mu);
       if (!error) error = e;
-      failed = true;
-      cv.notify_all();
     }
+    sched->fail();
     // Admission waiters in the coordinator wait for memory a dead
     // worker can no longer free: wake them with a failure too.
     if (ooc) ooc->cancel();
@@ -188,7 +169,6 @@ void run_subtree(Runtime& rt, index_t s, unsigned w, FrontWorkspace& ws,
   rt.exact_zero_pivots += acc.exact_zero_pivots;
   rt.max_pivot_abs = std::max(rt.max_pivot_abs, acc.max_pivot_abs);
   rt.factor_entries += factor_entries;
-  rt.complete_locked(root);
 }
 
 /// Runs one upper-part node task (children are subtree roots or other
@@ -245,7 +225,6 @@ void run_upper(Runtime& rt, index_t i, unsigned w, FrontWorkspace& ws,
   rt.exact_zero_pivots += fr.exact_zero_pivots;
   rt.max_pivot_abs = std::max(rt.max_pivot_abs, fr.max_pivot_abs);
   rt.factor_entries += tree.factor_entries(i);
-  rt.complete_locked(i);
 }
 
 void worker_loop(Runtime& rt, unsigned w) {
@@ -257,58 +236,14 @@ void worker_loop(Runtime& rt, unsigned w) {
     count_t arena_peak = 0;
     std::vector<const double*> child_cbs;
 
-    const auto run_list = [&](const std::vector<index_t>& list) {
-      for (index_t s : list) {
-        {
-          std::lock_guard<std::mutex> lock(rt.mu);
-          if (rt.failed) return;
-        }
-        run_subtree(rt, s, w, ws, arena, arena_peak, child_cbs);
-      }
-    };
-    const auto claim = [&](std::size_t u) {
-      // Caller holds rt.mu.
-      rt.claimed[u] = 1;
-      return std::move(rt.worker_subtrees[u]);
-    };
-
-    // This worker's own LPT share first (the proportional mapping).
-    std::vector<index_t> mine;
-    {
-      std::lock_guard<std::mutex> lock(rt.mu);
-      if (!rt.claimed[w]) mine = claim(w);
+    NumericScheduler::Task task;
+    while (rt.sched->next_task(w, task)) {
+      if (task.kind == NumericScheduler::Task::Kind::kSubtree)
+        run_subtree(rt, task.id, w, ws, arena, arena_peak, child_cbs);
+      else
+        run_upper(rt, task.id, w, ws, child_cbs);
+      rt.sched->complete(w, task);
     }
-    run_list(mine);
-
-    std::unique_lock<std::mutex> lock(rt.mu);
-    while (!rt.failed && rt.remaining > 0) {
-      if (!rt.ready.empty()) {
-        const index_t i = rt.ready.back();
-        rt.ready.pop_back();
-        lock.unlock();
-        run_upper(rt, i, w, ws, child_cbs);
-        lock.lock();
-        continue;
-      }
-      // Adopt the share of a worker that never started (pool threads can
-      // fail to spawn under resource limits); without this, its subtrees
-      // would never run and everyone would wait forever.
-      std::size_t orphan = rt.claimed.size();
-      for (std::size_t u = 0; u < rt.claimed.size(); ++u)
-        if (!rt.claimed[u] && !rt.worker_subtrees[u].empty()) {
-          orphan = u;
-          break;
-        }
-      if (orphan < rt.claimed.size()) {
-        mine = claim(orphan);
-        lock.unlock();
-        run_list(mine);
-        lock.lock();
-        continue;
-      }
-      rt.cv.wait(lock);
-    }
-    lock.unlock();
 
     std::lock_guard<std::mutex> stats_lock(rt.mu);
     rt.max_arena_peak = std::max(rt.max_arena_peak, arena_peak);
@@ -360,44 +295,25 @@ Factorization parallel_numeric_factorize(const Analysis& analysis,
   rt.ctx.symmetric = sym;
   rt.ctx.kernel = options.kernel;
 
-  std::unique_ptr<OocCoordinator> ooc;
-  if (options.ooc.enabled) {
-#if MEMFRONT_OOC_REAL
-    ooc = std::make_unique<OocCoordinator>(options.ooc, tree,
-                                           static_cast<index_t>(workers));
-    rt.ooc = ooc.get();
-#else
-    require(false,
-            "parallel_numeric_factorize: out-of-core execution requested "
-            "but the build has MEMFRONT_OOC_REAL=OFF");
-#endif
-  }
-
   // The paper's static decomposition: Geist-Ng subtrees, LPT-mapped onto
-  // `nprocs` processors, everything above as individual node tasks.
+  // `nprocs` processors, everything above as individual node tasks. The
+  // mapping seeds the deques; from there the scheduler's policy decides.
   rt.subtrees =
       find_subtrees(tree, analysis.memory, nprocs, options.subtree_options);
   const index_t num_subtrees =
       static_cast<index_t>(rt.subtrees.roots.size());
-  rt.subtree_nodes.resize(static_cast<std::size_t>(num_subtrees));
-  for (index_t i : analysis.traversal) {
-    const index_t s = rt.subtrees.node_subtree[static_cast<std::size_t>(i)];
-    if (s != kNone)
-      rt.subtree_nodes[static_cast<std::size_t>(s)].push_back(i);
-    else
-      rt.upper_nodes.push_back(i);
-  }
+  split_subtree_nodes(rt.subtrees, analysis.traversal, rt.subtree_nodes,
+                      rt.upper_nodes);
 
   // Whole-subtree tasks go to the worker their LPT processor folds onto;
-  // each worker runs its biggest subtrees first (the LPT order).
-  rt.worker_subtrees.resize(workers);
-  rt.claimed.assign(workers, 0);
+  // each worker's share is ordered biggest subtree first (the LPT order).
+  std::vector<std::vector<index_t>> worker_subtrees(workers);
   for (index_t s = 0; s < num_subtrees; ++s)
-    rt.worker_subtrees[static_cast<std::size_t>(
-                           rt.subtrees.proc[static_cast<std::size_t>(s)]) %
-                       workers]
+    worker_subtrees[static_cast<std::size_t>(
+                        rt.subtrees.proc[static_cast<std::size_t>(s)]) %
+                    workers]
         .push_back(s);
-  for (auto& list : rt.worker_subtrees)
+  for (auto& list : worker_subtrees)
     std::sort(list.begin(), list.end(), [&](index_t a, index_t b) {
       const count_t fa = rt.subtrees.flops[static_cast<std::size_t>(a)];
       const count_t fb = rt.subtrees.flops[static_cast<std::size_t>(b)];
@@ -406,25 +322,46 @@ Factorization parallel_numeric_factorize(const Analysis& analysis,
 
   rt.cb_heap.resize(static_cast<std::size_t>(nn));
   rt.cb_arena.assign(static_cast<std::size_t>(nn), nullptr);
-  rt.deps.assign(static_cast<std::size_t>(nn), 0);
-  for (index_t i : rt.upper_nodes)
-    rt.deps[static_cast<std::size_t>(i)] =
-        static_cast<index_t>(tree.children(i).size());
-  // Upper leaves (no children at all) start ready.
-  for (index_t i : rt.upper_nodes)
-    if (rt.deps[static_cast<std::size_t>(i)] == 0) rt.ready.push_back(i);
-  rt.remaining = static_cast<std::size_t>(num_subtrees) +
-                 rt.upper_nodes.size();
+
+  NumericScheduler sched(
+      tree, rt.subtrees, rt.subtree_nodes, rt.upper_nodes, worker_subtrees,
+      workers, options.sched,
+      options.ooc.enabled ? options.ooc.budget_doubles : 0);
+  rt.sched = &sched;
+
+  // The coordinator is created after (and destroyed before) the
+  // scheduler: its sched hooks call back into it.
+  std::unique_ptr<OocCoordinator> ooc;
+  if (options.ooc.enabled) {
+#if MEMFRONT_OOC_REAL
+    ooc = std::make_unique<OocCoordinator>(options.ooc, tree,
+                                           static_cast<index_t>(workers));
+    ooc->set_sched_hooks(
+        {/*admit=*/[&sched](index_t w, index_t node, count_t window) {
+           return sched.consult_admission(w, node, window);
+         },
+         /*charged=*/[&sched](index_t w, count_t delta) {
+           sched.add_ooc_charge(w, delta);
+         }});
+    rt.ooc = ooc.get();
+#else
+    require(false,
+            "parallel_numeric_factorize: out-of-core execution requested "
+            "but the build has MEMFRONT_OOC_REAL=OFF");
+#endif
+  }
 
   const auto wall_t0 = std::chrono::steady_clock::now();
-  if (rt.remaining > 0)
+  if (num_subtrees > 0 || !rt.upper_nodes.empty())
     parallel_for(
         workers, [&](std::size_t w) { worker_loop(rt, static_cast<unsigned>(w)); },
         workers);
   // Workers drained; surface the first failure with the taxonomy
   // guaranteed (non-taxonomy exceptions wrap as kWorkerFailure).
   if (rt.error) rethrow_structured(rt.error, "parallel_numeric_factorize");
-  check(rt.remaining == 0, "parallel_numeric_factorize: tasks left behind");
+  check(sched.stats().completions ==
+            static_cast<std::uint64_t>(num_subtrees) + rt.upper_nodes.size(),
+        "parallel_numeric_factorize: tasks left behind");
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_t0)
           .count();
@@ -447,6 +384,10 @@ Factorization parallel_numeric_factorize(const Analysis& analysis,
   out.num_upper_nodes = static_cast<index_t>(rt.upper_nodes.size());
   out.max_arena_peak_doubles = rt.max_arena_peak;
   out.total_arena_peak_doubles = rt.total_arena_peak;
+  out.steal_arena_bound_doubles = sched.steal_arena_bound_doubles();
+  out.policy = sched.policy_name();
+  out.steal = options.sched.steal;
+  out.sched = sched.stats();
   obs::record_parallel_numeric_stats(out, wall_seconds);
   return fact;
 }

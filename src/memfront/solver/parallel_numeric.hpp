@@ -1,20 +1,26 @@
 // Task-parallel numeric multifrontal factorization over the assembly
-// tree, driven by the same static decisions the scheduling simulator
-// studies: the Geist-Ng subtree-to-processor mapping (symbolic/subtrees)
-// cuts the bottom of the tree into whole-subtree tasks — each runs on one
-// worker with a *private* frontal arena, pure type-1 parallelism — and
-// the upper part runs as dependency-counted node tasks that become ready
-// when their children finish, claimed from a shared pool.
+// tree. The Geist-Ng subtree-to-processor mapping (symbolic/subtrees)
+// cuts the bottom of the tree into whole-subtree tasks — each runs on
+// one worker with a *private* frontal arena, pure type-1 parallelism —
+// and the upper part runs as dependency-counted node tasks that become
+// ready when their children finish.
 //
-// The result is bit-identical to the sequential driver: every node is
-// assembled and eliminated by exactly one task, the child extend-add
-// order is the tree's child order, and the kernels are shared — so the
-// parallel factorization is deterministic (independent of the execution
-// interleaving) given a fixed subtree assignment, and in fact equal to
-// numeric_factorize() output bit for bit.
+// Execution order is *dynamic*: the NumericScheduler (solver/scheduler)
+// keeps per-worker task deques with chunked work stealing, and consults
+// a SchedulerPolicy — the same strategy objects the scheduling
+// simulator runs — for every dispatch and admission, fed live
+// per-worker memory and load through a RealPolicyHost. Determinism mode
+// (sched.steal = false) reproduces the static LPT schedule exactly.
+//
+// The result is bit-identical to the sequential driver under any
+// schedule: every node is assembled and eliminated by exactly one task,
+// the child extend-add order is the tree's child order, and the kernels
+// are shared — so the parallel factorization equals numeric_factorize()
+// output bit for bit at any worker count, stealing on or off.
 #pragma once
 
 #include "memfront/solver/numeric_factor.hpp"
+#include "memfront/solver/scheduler.hpp"
 #include "memfront/symbolic/subtrees.hpp"
 
 namespace memfront {
@@ -28,6 +34,9 @@ struct ParallelNumericOptions {
   index_t nprocs = 0;
   SubtreeOptions subtree_options{};
   FrontalKernel kernel = FrontalKernel::kBlocked;
+  /// Scheduling: which SchedulerPolicy drives dispatch/admission and
+  /// whether workers steal (sched.steal = false is determinism mode).
+  RealSchedOptions sched{};
   /// Real out-of-core execution: one OocCoordinator gates every worker
   /// under a single global budget (ooc.budget_doubles); CBs spill to
   /// per-worker files and factor panels stream to disk. The result
@@ -45,6 +54,15 @@ struct ParallelNumericStats {
   /// discipline inside every subtree it runs.
   count_t max_arena_peak_doubles = 0;
   count_t total_arena_peak_doubles = 0;
+  /// Stealing-aware bound (predict_steal_arena_bound): per-worker
+  /// footprint never exceeds it under any schedule;
+  /// max_arena_peak_doubles <= this <= the serial predicted peak.
+  count_t steal_arena_bound_doubles = 0;
+  /// Scheduler outcome: the policy that drove dispatch, whether
+  /// stealing was on, and the counters (steals, wakeups, consults...).
+  const char* policy = "workload";
+  bool steal = false;
+  SchedStats sched{};
 };
 
 /// Requires analysis.structure and values on analysis.permuted (same

@@ -1,0 +1,476 @@
+#include "memfront/solver/scheduler.hpp"
+
+#include <algorithm>
+
+#include "memfront/frontal/arena.hpp"
+#include "memfront/support/error.hpp"
+
+namespace memfront {
+namespace {
+
+/// Sleepers re-check the world on this tick even if a notify was lost;
+/// a safety net, not the signalling path (targeted wakeups are).
+constexpr std::chrono::milliseconds kIdleTick{50};
+
+SchedConfig sched_config_for(RealPolicy p, count_t ooc_budget) {
+  SchedConfig cfg;
+  if (p == RealPolicy::kMemory) {
+    cfg.slave_strategy = SlaveStrategy::kMemoryImproved;
+    cfg.task_strategy = TaskStrategy::kMemoryAware;
+  }
+  // The spill-aware branch of Algorithm 2 reads TaskQuery::spill_budget,
+  // which the scheduler sets directly; no OocAwarePolicy decorator (that
+  // one routes admission to the *simulated* OocEngine).
+  (void)ooc_budget;
+  return cfg;
+}
+
+}  // namespace
+
+const char* real_policy_name(RealPolicy p) {
+  switch (p) {
+    case RealPolicy::kWorkload: return "workload";
+    case RealPolicy::kMemory: return "memory";
+  }
+  return "?";
+}
+
+void split_subtree_nodes(const Subtrees& subtrees,
+                         std::span<const index_t> traversal,
+                         std::vector<std::vector<index_t>>& subtree_nodes,
+                         std::vector<index_t>& upper_nodes) {
+  subtree_nodes.assign(subtrees.roots.size(), {});
+  upper_nodes.clear();
+  for (index_t i : traversal) {
+    const index_t s = subtrees.node_subtree[static_cast<std::size_t>(i)];
+    if (s != kNone)
+      subtree_nodes[static_cast<std::size_t>(s)].push_back(i);
+    else
+      upper_nodes.push_back(i);
+  }
+}
+
+count_t predict_subtree_arena_peak(const AssemblyTree& tree,
+                                   std::span<const index_t> nodes,
+                                   index_t root) {
+  count_t cb_live = 0;
+  count_t peak = 0;
+  for (index_t i : nodes) {
+    const count_t fsq = square(tree.nfront(i));
+    // Assembly: the front coexists with every child CB still stacked.
+    peak = std::max(peak, cb_live + fsq);
+    for (index_t child : tree.children(i)) cb_live -= square(tree.ncb(child));
+    if (i == root) continue;  // the root's CB goes to the heap
+    // Extraction: the node's CB is pushed while the front is still live.
+    peak = std::max(peak, cb_live + square(tree.ncb(i)) + fsq);
+    cb_live += square(tree.ncb(i));
+  }
+  check(cb_live == 0, "predict_subtree_arena_peak: subtree left CBs stacked");
+  return peak;
+}
+
+count_t predict_steal_arena_bound(
+    const AssemblyTree& tree, const Subtrees& subtrees,
+    const std::vector<std::vector<index_t>>& subtree_nodes,
+    std::span<const index_t> upper_nodes) {
+  count_t bound = 0;
+  for (std::size_t s = 0; s < subtree_nodes.size(); ++s)
+    bound = std::max(bound,
+                     predict_subtree_arena_peak(tree, subtree_nodes[s],
+                                                subtrees.roots[s]));
+  for (index_t i : upper_nodes)
+    bound = std::max(bound, square(static_cast<count_t>(tree.nfront(i))));
+  return bound;
+}
+
+// ---------------------------------------------------------------------------
+// RealPolicyHost
+
+RealPolicyHost::RealPolicyHost(const AssemblyTree& tree,
+                               const Subtrees& subtrees,
+                               std::span<const count_t> subtree_peak_doubles,
+                               unsigned workers)
+    : tree_(tree), subtrees_(subtrees), workers_(workers) {
+  root_peak_.assign(static_cast<std::size_t>(tree.num_nodes()), 0);
+  for (std::size_t s = 0; s < subtrees.roots.size(); ++s)
+    root_peak_[static_cast<std::size_t>(subtrees.roots[s])] =
+        subtree_peak_doubles[s];
+}
+
+index_t RealPolicyHost::nprocs() const {
+  return static_cast<index_t>(workers_.size());
+}
+
+const AnnouncedState& RealPolicyHost::announced(index_t q) const {
+  return workers_[static_cast<std::size_t>(q)].announced;
+}
+
+count_t RealPolicyHost::activation_entries(index_t node) const {
+  const count_t peak = root_peak_[static_cast<std::size_t>(node)];
+  if (peak > 0) return peak;
+  return square(static_cast<count_t>(tree_.nfront(node)));
+}
+
+bool RealPolicyHost::in_subtree(index_t node) const {
+  return subtrees_.node_subtree[static_cast<std::size_t>(node)] != kNone;
+}
+
+// ---------------------------------------------------------------------------
+// NumericScheduler
+
+NumericScheduler::NumericScheduler(
+    const AssemblyTree& tree, const Subtrees& subtrees,
+    const std::vector<std::vector<index_t>>& subtree_nodes,
+    std::span<const index_t> upper_nodes,
+    const std::vector<std::vector<index_t>>& worker_subtrees, unsigned workers,
+    const RealSchedOptions& options, count_t ooc_budget_doubles)
+    : tree_(tree),
+      subtrees_(subtrees),
+      options_(options),
+      host_(tree, subtrees,
+            [&] {
+              subtree_peak_.reserve(subtree_nodes.size());
+              for (std::size_t s = 0; s < subtree_nodes.size(); ++s)
+                subtree_peak_.push_back(predict_subtree_arena_peak(
+                    tree, subtree_nodes[s], subtrees.roots[s]));
+              return std::span<const count_t>(subtree_peak_);
+            }(),
+            workers),
+      ooc_budget_(ooc_budget_doubles),
+      t0_(std::chrono::steady_clock::now()) {
+  steal_bound_ =
+      predict_steal_arena_bound(tree, subtrees, subtree_nodes, upper_nodes);
+  subtree_flops_ = subtrees.flops;
+  if (options_.policy_override) {
+    policy_ = options_.policy_override;
+  } else {
+    owned_policy_ = make_policy(
+        sched_config_for(options_.policy, ooc_budget_), host_, nullptr);
+    policy_ = owned_policy_.get();
+  }
+  policy_reads_host_ = options_.policy == RealPolicy::kMemory ||
+                       options_.policy_override != nullptr;
+
+  deques_.resize(workers);
+  started_.assign(workers, 0);
+  // worker_subtrees[w] arrives largest-first; the deque dispatches from
+  // the back, so push in reverse: back = the worker's biggest subtree
+  // (the LPT order), front = the cold end thieves take from.
+  for (unsigned w = 0; w < workers; ++w)
+    for (std::size_t k = worker_subtrees[w].size(); k-- > 0;)
+      push_task_locked(w, Task{Task::Kind::kSubtree, worker_subtrees[w][k]});
+
+  deps_.assign(static_cast<std::size_t>(tree.num_nodes()), 0);
+  for (index_t i : upper_nodes)
+    deps_[static_cast<std::size_t>(i)] =
+        static_cast<index_t>(tree.children(i).size());
+  // Upper leaves start ready: the shared LIFO in static mode (exactly
+  // the old seeding), round-robin across the deques in dynamic mode.
+  unsigned seed_w = 0;
+  for (index_t i : upper_nodes) {
+    if (deps_[static_cast<std::size_t>(i)] != 0) continue;
+    if (options_.steal) {
+      push_task_locked(seed_w % workers, Task{Task::Kind::kUpper, i});
+      ++seed_w;
+    } else {
+      shared_ready_.push_back(i);
+    }
+  }
+  remaining_ = subtrees.roots.size() + upper_nodes.size();
+}
+
+NumericScheduler::~NumericScheduler() = default;
+
+double NumericScheduler::now_locked() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+      .count();
+}
+
+count_t NumericScheduler::task_window(const Task& t) const {
+  if (t.kind == Task::Kind::kSubtree)
+    return subtree_peak_[static_cast<std::size_t>(t.id)];
+  return square(static_cast<count_t>(tree_.nfront(t.id)));
+}
+
+count_t NumericScheduler::task_flops(const Task& t) const {
+  if (t.kind == Task::Kind::kSubtree)
+    return subtree_flops_[static_cast<std::size_t>(t.id)];
+  return tree_.flops(t.id);
+}
+
+void NumericScheduler::refresh_announced_locked(double now) {
+  // queued_flops is maintained incrementally at every push/take/steal;
+  // only pending_master (a max over queued upper windows, which removal
+  // can lower) needs the deque scan — and only the memory policy (or an
+  // override) ever reads it.
+  for (std::size_t q = 0; q < deques_.size(); ++q) {
+    auto& ws = host_.workers_[q];
+    if (policy_reads_host_) {
+      count_t pending_master = 0;
+      for (const Task& t : deques_[q])
+        if (t.kind == Task::Kind::kUpper)
+          pending_master = std::max(pending_master, task_window(t));
+      ws.pending_master = pending_master;
+      ws.announced.pending_master.set(now, pending_master);
+      ws.announced.subtree_peak.set(now, ws.running_subtree_peak);
+      ws.announced.memory.set(
+          now, ws.charged + ws.ooc_charged.load(std::memory_order_relaxed));
+    }
+    ws.announced.workload.set(now, ws.queued_flops + ws.running_flops);
+  }
+}
+
+void NumericScheduler::push_task_locked(unsigned w, const Task& t) {
+  deques_[w].push_back(t);
+  host_.workers_[w].queued_flops += task_flops(t);
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, deques_[w].size());
+}
+
+/// The pool worker w's dispatch consult sees. Dynamic mode: the
+/// worker's own deque, back = pool top. Static mode: the shared upper
+/// LIFO *below* the worker's own subtrees, so a LIFO policy drains the
+/// own LPT share largest-first before touching uppers — today's static
+/// schedule exactly.
+void NumericScheduler::build_pool_locked(unsigned w) {
+  pool_nodes_.clear();
+  pool_refs_.clear();
+  if (!options_.steal) {
+    for (std::size_t k = 0; k < shared_ready_.size(); ++k) {
+      pool_nodes_.push_back(shared_ready_[k]);
+      pool_refs_.push_back(PoolRef{true, k});
+    }
+  }
+  for (std::size_t k = 0; k < deques_[w].size(); ++k) {
+    const Task& t = deques_[w][k];
+    pool_nodes_.push_back(t.kind == Task::Kind::kSubtree
+                              ? subtrees_.roots[static_cast<std::size_t>(t.id)]
+                              : t.id);
+    pool_refs_.push_back(PoolRef{false, k});
+  }
+}
+
+NumericScheduler::Task NumericScheduler::take_at_locked(unsigned w,
+                                                        std::size_t pos) {
+  const PoolRef ref = pool_refs_[pos];
+  if (ref.shared) {
+    const index_t node = shared_ready_[ref.idx];
+    shared_ready_.erase(shared_ready_.begin() +
+                        static_cast<std::ptrdiff_t>(ref.idx));
+    return Task{Task::Kind::kUpper, node};
+  }
+  const Task t = deques_[w][ref.idx];
+  deques_[w].erase(deques_[w].begin() + static_cast<std::ptrdiff_t>(ref.idx));
+  host_.workers_[w].queued_flops -= task_flops(t);
+  return t;
+}
+
+bool NumericScheduler::try_steal_locked(unsigned w, double now) {
+  // Victim = the policy's worst-off worker among those with work:
+  // slave_metric ranks announced workload (flops) or announced memory
+  // (+ static knowledge), so the workload policy steals from the most
+  // loaded worker and the memory policy from the most burdened one.
+  refresh_announced_locked(now);
+  SlaveQuery q;
+  q.master = static_cast<index_t>(w);
+  q.horizon = now;
+  q.master_load = host_.workers_[w].queued_flops +
+                  host_.workers_[w].running_flops;
+  index_t victim = kNone;
+  count_t best = 0;
+  for (std::size_t v = 0; v < deques_.size(); ++v) {
+    if (v == w || deques_[v].empty()) continue;
+    const count_t metric = policy_->slave_metric(static_cast<index_t>(v), q);
+    if (victim == kNone || metric > best) {
+      victim = static_cast<index_t>(v);
+      best = metric;
+    }
+  }
+  if (victim == kNone) return false;
+
+  auto& vd = deques_[static_cast<std::size_t>(victim)];
+  auto& vs = host_.workers_[static_cast<std::size_t>(victim)];
+  std::size_t moved = 0;
+  std::size_t num_subtrees = 0;
+  for (const Task& t : vd)
+    if (t.kind == Task::Kind::kSubtree) ++num_subtrees;
+  if (num_subtrees > 0) {
+    // Chunked subtree steal: half the victim's whole-subtree tasks
+    // (rounded up, at least one), taken from the cold end — the LPT
+    // order keeps the victim's biggest subtrees with the victim.
+    std::size_t want = (num_subtrees + 1) / 2;
+    for (std::size_t k = 0; k < vd.size() && moved < want;) {
+      if (vd[k].kind == Task::Kind::kSubtree) {
+        vs.queued_flops -= task_flops(vd[k]);
+        push_task_locked(w, vd[k]);
+        vd.erase(vd.begin() + static_cast<std::ptrdiff_t>(k));
+        ++moved;
+      } else {
+        ++k;
+      }
+    }
+  } else {
+    // No subtrees left anywhere on the victim: take its oldest ready
+    // upper front.
+    vs.queued_flops -= task_flops(vd.front());
+    push_task_locked(w, vd.front());
+    vd.erase(vd.begin());
+    moved = 1;
+  }
+  stats_.steals += moved;
+  ++stats_.steal_chunks;
+  // A multi-task chunk can feed more sleepers than this thief.
+  if (moved > 1 && waiting_ > 0) notify_one_locked();
+  return true;
+}
+
+bool NumericScheduler::try_adopt_locked(unsigned w) {
+  // Static mode only: adopt the whole share of a worker that never
+  // started (pool threads can fail to spawn under resource limits);
+  // without this its subtrees would never run.
+  for (std::size_t u = 0; u < deques_.size(); ++u) {
+    if (u == w || started_[u] || deques_[u].empty()) continue;
+    started_[u] = 1;
+    for (const Task& t : deques_[u]) push_task_locked(w, t);
+    deques_[u].clear();
+    host_.workers_[u].queued_flops = 0;
+    return true;
+  }
+  return false;
+}
+
+void NumericScheduler::notify_one_locked() {
+  ++stats_.wakeups;
+  cv_.notify_one();
+}
+
+void NumericScheduler::notify_all_locked() {
+  stats_.wakeups += waiting_;
+  cv_.notify_all();
+}
+
+bool NumericScheduler::next_task(unsigned w, Task& out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  started_[w] = 1;
+  auto& ws = host_.workers_[w];
+  for (;;) {
+    if (failed_ || remaining_ == 0) return false;
+    if (!deques_[w].empty() || (!options_.steal && !shared_ready_.empty())) {
+      // The workload policy's dispatch is pure LIFO — it never reads
+      // announced state, so skip the refresh on its hot path (steal
+      // ranking refreshes for itself).
+      if (policy_reads_host_) refresh_announced_locked(now_locked());
+      build_pool_locked(w);
+      TaskQuery q;
+      q.proc = static_cast<index_t>(w);
+      q.pool = pool_nodes_;
+      if (ooc_budget_ > 0) {
+        // The budget is global: Algorithm 2's spill-aware branch dodges
+        // activations the whole pool's in-flight reservations would not
+        // leave room for.
+        q.projected_memory =
+            ooc_charged_total_.load(std::memory_order_relaxed);
+        q.spill_budget = ooc_budget_;
+      } else {
+        q.projected_memory = ws.charged;
+      }
+      q.observed_peak = ws.observed_peak;
+      ++stats_.dispatch_consults;
+      const std::size_t pos = policy_->select_task(q);
+      check(pos < pool_nodes_.size(),
+            "scheduler: policy returned an out-of-pool position");
+      const Task t = take_at_locked(w, pos);
+      // Activation admission: the same consult the simulated engine
+      // makes ahead of every allocation. In-core policies admit
+      // instantly; the OOC coordinator's own gate does the real
+      // waiting (and consults again, per reservation).
+      ++stats_.admit_consults;
+      (void)policy_->admit(static_cast<index_t>(w), task_window(t));
+      ws.charged += ooc_budget_ > 0 ? 0 : task_window(t);
+      ws.observed_peak = std::max(
+          ws.observed_peak,
+          ws.charged + ws.ooc_charged.load(std::memory_order_relaxed));
+      ws.running_flops = task_flops(t);
+      if (t.kind == Task::Kind::kSubtree)
+        ws.running_subtree_peak = task_window(t);
+      out = t;
+      return true;
+    }
+    if (options_.steal ? try_steal_locked(w, now_locked())
+                       : try_adopt_locked(w))
+      continue;
+    ++waiting_;
+    const auto idle_t0 = std::chrono::steady_clock::now();
+    cv_.wait_for(lock, kIdleTick);
+    stats_.idle_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - idle_t0)
+            .count());
+    --waiting_;
+  }
+}
+
+void NumericScheduler::complete(unsigned w, const Task& task) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& ws = host_.workers_[w];
+  ws.charged -= ooc_budget_ > 0 ? 0 : task_window(task);
+  ws.running_flops = 0;
+  ws.running_subtree_peak = 0;
+  ++stats_.completions;
+
+  const index_t node = task.kind == Task::Kind::kSubtree
+                           ? subtrees_.roots[static_cast<std::size_t>(task.id)]
+                           : task.id;
+  const index_t parent = tree_.parent(node);
+  bool readied = false;
+  if (parent != kNone &&
+      --deps_[static_cast<std::size_t>(parent)] == 0) {
+    // The parent (always an upper node) became ready: locality says it
+    // lands on the completing worker's deque; idle workers steal it.
+    if (options_.steal)
+      push_task_locked(w, Task{Task::Kind::kUpper, parent});
+    else
+      shared_ready_.push_back(parent);
+    readied = true;
+  }
+  --remaining_;
+  // Targeted wakeups: sleepers only care when a task became ready (one
+  // of them can take it) or the pool drained (all of them must exit).
+  if (remaining_ == 0) {
+    if (waiting_ > 0) notify_all_locked();
+  } else if (readied && waiting_ > 0) {
+    notify_one_locked();
+  }
+}
+
+void NumericScheduler::fail() {
+  std::lock_guard<std::mutex> lock(mu_);
+  failed_ = true;
+  if (waiting_ > 0) notify_all_locked();
+}
+
+bool NumericScheduler::failed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failed_;
+}
+
+double NumericScheduler::consult_admission(index_t w, index_t node,
+                                           count_t window_doubles) {
+  (void)node;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.admit_consults;
+  return policy_->admit(w, window_doubles);
+}
+
+void NumericScheduler::add_ooc_charge(index_t w, count_t delta) {
+  host_.workers_[static_cast<std::size_t>(w)].ooc_charged.fetch_add(
+      delta, std::memory_order_relaxed);
+  ooc_charged_total_.fetch_add(delta, std::memory_order_relaxed);
+}
+
+bool NumericScheduler::would_admit_now(count_t need) const {
+  if (ooc_budget_ <= 0) return true;
+  return ooc_charged_total_.load(std::memory_order_relaxed) + need <=
+         ooc_budget_;
+}
+
+}  // namespace memfront

@@ -1,0 +1,266 @@
+// Dynamic, policy-consulted scheduling of the real tree-parallel
+// factorization — the sim→real loop closed.
+//
+// The simulator's SchedulerPolicy objects (core/policy) decide *real*
+// execution order here: every worker keeps a private task deque
+// (whole-subtree tasks at the bottom, freshly readied upper fronts
+// pushed on top), every dispatch builds a TaskQuery over the worker's
+// visible pool and asks the policy which entry to activate, and every
+// activation passes through SchedulerPolicy::admit. RealPolicyHost is
+// the PolicyHost the policies consult: it mirrors live per-worker state
+// — charged memory in full-square doubles (projected subtree arena
+// peaks, live upper windows, in-flight OOC reservations), queued and
+// running flops — into the same time-stamped AnnouncedState histories
+// the simulated processors announce, so WorkloadPolicy and MemoryPolicy
+// run unmodified against real workers.
+//
+// Work stealing (dynamic mode, the default): a worker whose deque runs
+// dry ranks the other workers by the policy's slave_metric — the most
+// loaded (workload) or most memory-burdened (memory) worker is the
+// victim — and steals a chunk: half the victim's whole-subtree tasks
+// from the cold end of its deque (the LPT order keeps the victim's
+// biggest subtrees with the victim), or, when the victim holds no
+// subtree tasks, one ready upper front. Determinism mode (steal=off)
+// reproduces the static PR-5 schedule exactly: each worker drains its
+// own LPT share largest-first, then takes upper fronts LIFO from a
+// shared pool, adopting the share of any worker that never spawned.
+//
+// Bitwise identity under any of this: a node is assembled and
+// eliminated by exactly one task, the extend-add order within a node is
+// the tree's child order, and the kernels are shared with the serial
+// driver — scheduling moves tasks between workers and reorders
+// independent tasks, which reorders *writes to disjoint storage* only.
+// Completions use targeted wakeups: a sleeper is notified only when a
+// task became stealable/ready or the run drained or failed, never on
+// every completion.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "memfront/core/policy.hpp"
+#include "memfront/symbolic/subtrees.hpp"
+
+namespace memfront {
+
+/// Which concrete SchedulerPolicy drives the worker pool.
+enum class RealPolicy : unsigned char { kWorkload, kMemory };
+
+const char* real_policy_name(RealPolicy p);
+
+struct RealSchedOptions {
+  /// Work stealing. Off = determinism mode: the exact static schedule
+  /// (own LPT share largest-first, shared upper LIFO, orphan adoption),
+  /// zero steals.
+  bool steal = true;
+  /// kWorkload = LIFO dispatch + flops-ranked victims (the MUMPS
+  /// default); kMemory = Algorithm 2 memory-aware dispatch +
+  /// memory-ranked victims with the Section 5.1 static knowledge.
+  RealPolicy policy = RealPolicy::kWorkload;
+  /// Tests: consult this caller-owned policy (e.g. a counting mock)
+  /// instead of building one from `policy`. Must outlive the
+  /// factorization; consults are serialized under the scheduler mutex.
+  SchedulerPolicy* policy_override = nullptr;
+};
+
+/// What the scheduler did during one factorization.
+struct SchedStats {
+  std::uint64_t steals = 0;             ///< tasks moved between deques
+  std::uint64_t steal_chunks = 0;       ///< steal transactions
+  std::uint64_t wakeups = 0;            ///< targeted cv notifies issued
+  std::uint64_t completions = 0;        ///< == subtrees + upper nodes
+  std::uint64_t dispatch_consults = 0;  ///< SchedulerPolicy::select_task
+  std::uint64_t admit_consults = 0;     ///< SchedulerPolicy::admit
+  std::uint64_t idle_ns = 0;            ///< summed worker wait time
+  std::size_t max_queue_depth = 0;      ///< deepest single deque seen
+};
+
+/// Splits a traversal into per-subtree postorder node lists (indexed by
+/// subtree) and the upper-part remainder, preserving traversal order.
+void split_subtree_nodes(const Subtrees& subtrees,
+                         std::span<const index_t> traversal,
+                         std::vector<std::vector<index_t>>& subtree_nodes,
+                         std::vector<index_t>& upper_nodes);
+
+/// Exact arena + live-front peak of one whole-subtree task (doubles of
+/// full-square storage): the predict_arena_peak model over the
+/// subtree's postorder, except the root's CB — published to the heap
+/// for the upper-part parent, never stacked — costs the arena nothing.
+count_t predict_subtree_arena_peak(const AssemblyTree& tree,
+                                   std::span<const index_t> nodes,
+                                   index_t root);
+
+/// Stealing-aware per-worker memory bound, in doubles of full-square
+/// storage. predict_arena_peak covers the *static* serial fold only; a
+/// stolen schedule still obeys, per worker and at every instant:
+///
+///   arena + live front  <=  max_s predict_subtree_arena_peak(s)
+///                           (each subtree task runs the sequential
+///                            stack discipline on a private arena that
+///                            is empty between tasks), and
+///   upper-front scratch <=  max_i nfront(i)^2 over upper nodes i
+///
+/// so a worker's footprint never exceeds the max of the two windows, no
+/// matter which tasks it stole. Returns that bound; also the admission
+/// charge the scheduler projects per task.
+count_t predict_steal_arena_bound(
+    const AssemblyTree& tree, const Subtrees& subtrees,
+    const std::vector<std::vector<index_t>>& subtree_nodes,
+    std::span<const index_t> upper_nodes);
+
+/// The live PolicyHost of the real worker pool. One "processor" per
+/// worker; announced histories are refreshed from live counters under
+/// the scheduler mutex before every policy consult (a shared-memory
+/// machine has zero information delay — announced == actual).
+class RealPolicyHost final : public PolicyHost {
+ public:
+  RealPolicyHost(const AssemblyTree& tree, const Subtrees& subtrees,
+                 std::span<const count_t> subtree_peak_doubles,
+                 unsigned workers);
+
+  index_t nprocs() const override;
+  const AnnouncedState& announced(index_t q) const override;
+  /// Full-square doubles the task rooted at `node` occupies while it
+  /// runs: the predicted arena peak of its whole subtree for a subtree
+  /// root, nfront^2 for an upper node.
+  count_t activation_entries(index_t node) const override;
+  bool in_subtree(index_t node) const override;
+
+ private:
+  friend class NumericScheduler;
+  struct WorkerState {
+    AnnouncedState announced;
+    count_t charged = 0;        ///< projected task windows (in-core)
+    count_t queued_flops = 0;   ///< sum over the worker's deque
+    count_t running_flops = 0;  ///< the task being executed
+    count_t running_subtree_peak = 0;
+    count_t pending_master = 0;  ///< largest queued upper window
+    count_t observed_peak = 0;
+    /// In-flight OOC reservations, mirrored lock-free from the
+    /// coordinator's charge/release path; folded into announced memory
+    /// at the next refresh under the scheduler mutex.
+    std::atomic<count_t> ooc_charged{0};
+  };
+
+  const AssemblyTree& tree_;
+  const Subtrees& subtrees_;
+  /// node -> predicted subtree arena peak for subtree roots, 0 else.
+  std::vector<count_t> root_peak_;
+  std::vector<WorkerState> workers_;
+};
+
+/// The worker pool's task source. One instance per factorization; the
+/// workers call next_task()/complete() until the tree drains. All
+/// scheduling state lives under one mutex; policy consults are
+/// serialized under it.
+class NumericScheduler {
+ public:
+  struct Task {
+    enum class Kind : unsigned char { kSubtree, kUpper };
+    Kind kind = Kind::kSubtree;
+    index_t id = kNone;  ///< subtree index or upper node id
+  };
+
+  /// `worker_subtrees[w]` is worker w's LPT share, largest subtree
+  /// first. `ooc_budget_doubles` > 0 arms the spill-aware branch of the
+  /// memory-aware task selection.
+  NumericScheduler(const AssemblyTree& tree, const Subtrees& subtrees,
+                   const std::vector<std::vector<index_t>>& subtree_nodes,
+                   std::span<const index_t> upper_nodes,
+                   const std::vector<std::vector<index_t>>& worker_subtrees,
+                   unsigned workers, const RealSchedOptions& options,
+                   count_t ooc_budget_doubles);
+  ~NumericScheduler();
+
+  /// Blocks until a task is dispatched to worker w (the policy picks it
+  /// and admits its activation), stealing when the worker's own pool is
+  /// dry. Returns false when all work is done or the run failed.
+  bool next_task(unsigned w, Task& out);
+
+  /// Reports the task done: releases its charges, resolves the parent
+  /// dependency (readying the parent wakes one sleeper), and, when the
+  /// last task finished, wakes everyone.
+  void complete(unsigned w, const Task& task);
+
+  /// Poisons the pool: every next_task returns false.
+  void fail();
+  bool failed() const;
+
+  /// SchedulerPolicy::admit consultation for an OOC reservation of
+  /// `window_doubles` on worker w — the coordinator's admission
+  /// callback. Counted; the returned stall is a model quantity (the
+  /// coordinator's own gate does the real waiting).
+  double consult_admission(index_t w, index_t node, count_t window_doubles);
+
+  /// Lock-free mirror of the coordinator's reservation ledger.
+  void add_ooc_charge(index_t w, count_t delta);
+
+  /// True when `need` doubles fit under the OOC budget right now
+  /// (relaxed snapshot; advisory only).
+  bool would_admit_now(count_t need) const;
+
+  const SchedStats& stats() const { return stats_; }
+  const char* policy_name() const { return policy_->name(); }
+  count_t steal_arena_bound_doubles() const { return steal_bound_; }
+
+ private:
+  struct PoolRef {
+    bool shared = false;    ///< static mode: the shared upper pool
+    std::size_t idx = 0;    ///< position in deque / shared pool
+  };
+
+  double now_locked() const;
+  void refresh_announced_locked(double now);
+  count_t task_window(const Task& t) const;
+  count_t task_flops(const Task& t) const;
+  void push_task_locked(unsigned w, const Task& t);
+  void build_pool_locked(unsigned w);
+  Task take_at_locked(unsigned w, std::size_t pos);
+  bool try_steal_locked(unsigned w, double now);
+  bool try_adopt_locked(unsigned w);
+  void notify_one_locked();
+  void notify_all_locked();
+
+  const AssemblyTree& tree_;
+  const Subtrees& subtrees_;
+  RealSchedOptions options_;
+  /// subtree index -> predicted arena peak (doubles); upper windows are
+  /// nfront^2. Declared before host_: its init feeds the host ctor.
+  std::vector<count_t> subtree_peak_;
+  std::vector<count_t> subtree_flops_;
+  RealPolicyHost host_;
+  std::unique_ptr<SchedulerPolicy> owned_policy_;
+  SchedulerPolicy* policy_ = nullptr;
+  /// Whether select_task can read announced host state (the memory
+  /// policy and any override do; the workload policy's LIFO dispatch
+  /// does not) — gates the per-dispatch announced refresh.
+  bool policy_reads_host_ = false;
+  count_t ooc_budget_ = 0;
+  count_t steal_bound_ = 0;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::vector<Task>> deques_;  ///< back = hottest
+  std::vector<index_t> shared_ready_;      ///< static mode upper LIFO
+  std::vector<char> started_;              ///< worker ever dispatched
+  std::vector<index_t> deps_;              ///< upper node -> open children
+  std::size_t remaining_ = 0;
+  std::size_t waiting_ = 0;
+  bool failed_ = false;
+  std::atomic<count_t> ooc_charged_total_{0};
+  SchedStats stats_;
+  std::chrono::steady_clock::time_point t0_;
+
+  /// Per-dispatch scratch (under mu_): the pool the policy sees and the
+  /// mapping back to deque/shared positions.
+  std::vector<index_t> pool_nodes_;
+  std::vector<PoolRef> pool_refs_;
+};
+
+}  // namespace memfront

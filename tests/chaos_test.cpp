@@ -57,13 +57,20 @@ bool bitwise_equal(const std::vector<double>& a,
 
 /// One factorize + solve under whatever plan is armed. Every taxonomy
 /// escape is captured; anything else propagates and fails the test.
+/// `sched_seed` rotates the scheduler through its modes (steal on/off x
+/// workload/memory policy) so the sweep — and the TSan build of it —
+/// exercises every dispatch path; results are mode-independent, so the
+/// bitwise baseline comparison stays valid.
 RunResult run_once(const Analysis& analysis, const std::vector<double>& b,
-                   unsigned workers) {
+                   unsigned workers, std::uint64_t sched_seed = 0) {
   RunResult r;
   try {
     ParallelNumericOptions popt;
     popt.nthreads = workers;
     popt.nprocs = 8;  // fixed mapping: bits must not depend on workers
+    popt.sched.steal = (sched_seed % 2 == 0);
+    popt.sched.policy =
+        (sched_seed % 4 < 2) ? RealPolicy::kWorkload : RealPolicy::kMemory;
     r.fact = parallel_numeric_factorize(analysis, popt);
     SolveOptions sopt;
     sopt.nthreads = workers;
@@ -130,7 +137,7 @@ TEST_P(ChaosHarness, EverySeedIsBitIdenticalOrCleanlyStructured) {
     RunResult run;
     {
       fault::ScopedPlan scoped(chaos_plan(seed));
-      run = run_once(analysis, b, workers);
+      run = run_once(analysis, b, workers, seed);
     }
     if (run.code == ErrorCode::kOk) {
       ++clean;
@@ -144,7 +151,7 @@ TEST_P(ChaosHarness, EverySeedIsBitIdenticalOrCleanlyStructured) {
     // (determinism) on the first failure only, to bound the cost.
     if (run.code != ErrorCode::kOk && failed == 1) {
       fault::ScopedPlan scoped(chaos_plan(seed));
-      EXPECT_EQ(run_once(analysis, b, workers).code, run.code)
+      EXPECT_EQ(run_once(analysis, b, workers, seed).code, run.code)
           << label << ": schedule did not replay";
     }
   }
@@ -248,10 +255,14 @@ TEST_P(RealOocDiskChaos, EverySpillScheduleIsBitIdenticalOrStructured) {
   popt.ooc.enabled = true;
   popt.ooc.budget_doubles = incore.stats.arena_peak_doubles * 8 / 10;
 
-  auto run_ooc = [&]() -> RunResult {
+  auto run_ooc = [&](std::uint64_t sched_seed = 0) -> RunResult {
     RunResult r;
     try {
-      r.fact = parallel_numeric_factorize(analysis, popt);
+      ParallelNumericOptions ropt = popt;
+      ropt.sched.steal = (sched_seed % 2 == 0);
+      ropt.sched.policy = (sched_seed % 4 < 2) ? RealPolicy::kWorkload
+                                               : RealPolicy::kMemory;
+      r.fact = parallel_numeric_factorize(analysis, ropt);
       SolveOptions sopt;
       sopt.nthreads = workers;
       sopt.nprocs = 8;
@@ -286,7 +297,7 @@ TEST_P(RealOocDiskChaos, EverySpillScheduleIsBitIdenticalOrStructured) {
                                               {"store.short_write", 11},
                                               {"store.enospc", 301},
                                               {"store.fsync", 13}}});
-      run = run_ooc();
+      run = run_ooc(seed);
     }
     if (run.code == ErrorCode::kOk) {
       ++clean;

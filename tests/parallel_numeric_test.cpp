@@ -144,6 +144,12 @@ TEST_P(NumericHarness, SerialParallelReferenceAgreeAndResidualsTiny) {
   EXPECT_EQ(serial.stats.arena_peak_doubles, predicted);
   EXPECT_EQ(serial.stats.arena_slabs, 1);
   EXPECT_LE(pstats.max_arena_peak_doubles, predicted);
+  // Stealing-aware bound (solver/scheduler): any schedule — static,
+  // stolen, any policy — keeps each worker inside the largest single
+  // subtree window / upper front window, which in turn never exceeds
+  // the serial predicted peak.
+  EXPECT_LE(pstats.max_arena_peak_doubles, pstats.steal_arena_bound_doubles);
+  EXPECT_LE(pstats.steal_arena_bound_doubles, predicted);
   // Some problems legitimately map zero subtrees at small scales (the
   // memory refinement moves everything to the upper part); the driver
   // must cope, so no positivity assertion here.

@@ -1,0 +1,279 @@
+// Coverage of the dynamic, policy-consulted worker-pool scheduler
+// (solver/scheduler):
+//   - bitwise identity to the serial driver at 1/2/4/8 workers, for
+//     both policies, with stealing on and off (the PR-5 goldens pin the
+//     serial driver, so identity to it is identity to the goldens),
+//   - determinism mode (steal=off) reproduces the static schedule:
+//     zero steals, bit-identical reruns,
+//   - steal-storm stress: a 1-wide chain tree with 8 workers — every
+//     upper task readies one at a time, everyone fights over it,
+//   - policy-consultation counting through a mock SchedulerPolicy: the
+//     pool consults select_task and admit for every dispatched task,
+//     and the OOC coordinator consults per reservation admission,
+//   - the targeted-wakeup discipline: wakeups stay near the number of
+//     readied tasks instead of completions x workers.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "memfront/frontal/arena.hpp"
+#include "memfront/solver/parallel_numeric.hpp"
+#include "memfront/solver/scheduler.hpp"
+#include "memfront/sparse/problems.hpp"
+
+namespace memfront {
+namespace {
+
+bool bitwise_equal(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+void expect_bitwise_equal(const Factorization& a, const Factorization& b,
+                          const std::string& label) {
+  ASSERT_EQ(a.nodes.size(), b.nodes.size()) << label;
+  EXPECT_EQ(a.row_of, b.row_of) << label << ": pivot sequences differ";
+  EXPECT_EQ(a.stats.factor_entries, b.stats.factor_entries) << label;
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    ASSERT_TRUE(bitwise_equal(a.nodes[i].panel, b.nodes[i].panel))
+        << label << ": panel of node " << i;
+    ASSERT_TRUE(bitwise_equal(a.nodes[i].u12, b.nodes[i].u12))
+        << label << ": u12 of node " << i;
+  }
+}
+
+Analysis analyzed_problem(ProblemId id, double scale, OrderingKind ord) {
+  const Problem p = make_problem(id, scale);
+  AnalysisOptions opt;
+  opt.ordering = ord;
+  return analyze(p.matrix, opt);
+}
+
+/// A 1-wide (chain) assembly tree: tridiagonal matrix under the natural
+/// ordering — every node has exactly one child, so at most one task is
+/// ever ready and 8 workers stampede over it.
+CscMatrix chain_matrix(index_t n) {
+  std::vector<count_t> colptr(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<index_t> rowind;
+  std::vector<double> values;
+  for (index_t j = 0; j < n; ++j) {
+    if (j > 0) {
+      rowind.push_back(j - 1);
+      values.push_back(-1.0);
+    }
+    rowind.push_back(j);
+    values.push_back(4.0 + 0.01 * static_cast<double>(j % 7));
+    if (j + 1 < n) {
+      rowind.push_back(j + 1);
+      values.push_back(-1.0);
+    }
+    colptr[static_cast<std::size_t>(j) + 1] =
+        static_cast<count_t>(rowind.size());
+  }
+  return CscMatrix(n, n, std::move(colptr), std::move(rowind),
+                   std::move(values));
+}
+
+TEST(Scheduler, BitIdenticalAcrossPoliciesWorkersAndStealing) {
+  const Analysis analysis =
+      analyzed_problem(ProblemId::kXenon2, 0.16, OrderingKind::kAmd);
+  const Factorization serial = numeric_factorize(analysis);
+  for (RealPolicy policy : {RealPolicy::kWorkload, RealPolicy::kMemory}) {
+    for (bool steal : {false, true}) {
+      for (unsigned nthreads : {1u, 2u, 4u, 8u}) {
+        ParallelNumericOptions popt;
+        popt.nthreads = nthreads;
+        popt.nprocs = 8;  // fixed mapping regardless of the host
+        popt.sched.policy = policy;
+        popt.sched.steal = steal;
+        ParallelNumericStats stats;
+        const Factorization fact =
+            parallel_numeric_factorize(analysis, popt, &stats);
+        const std::string label = std::string(real_policy_name(policy)) +
+                                  (steal ? "/steal" : "/static") +
+                                  "/workers=" + std::to_string(nthreads);
+        expect_bitwise_equal(serial, fact, label);
+        if (!steal) EXPECT_EQ(stats.sched.steals, 0u) << label;
+        EXPECT_EQ(stats.sched.completions,
+                  static_cast<std::uint64_t>(stats.num_subtrees) +
+                      static_cast<std::uint64_t>(stats.num_upper_nodes))
+            << label;
+      }
+    }
+  }
+}
+
+TEST(Scheduler, DeterminismModeIsRepeatableWithZeroSteals) {
+  const Analysis analysis =
+      analyzed_problem(ProblemId::kTwotone, 0.16, OrderingKind::kAmf);
+  ParallelNumericOptions popt;
+  popt.nthreads = 4;
+  popt.nprocs = 4;
+  popt.sched.steal = false;
+  ParallelNumericStats s1, s2;
+  const Factorization a = parallel_numeric_factorize(analysis, popt, &s1);
+  const Factorization b = parallel_numeric_factorize(analysis, popt, &s2);
+  expect_bitwise_equal(a, b, "determinism rerun");
+  EXPECT_EQ(s1.sched.steals, 0u);
+  EXPECT_EQ(s2.sched.steals, 0u);
+  EXPECT_EQ(s1.sched.steal_chunks, 0u);
+  EXPECT_FALSE(s1.steal);
+  EXPECT_STREQ(s1.policy, "workload");
+}
+
+TEST(Scheduler, StealStormOnChainTree) {
+  // 1-wide tree, 8 workers: at most one ready task exists at any time,
+  // so seven workers continuously try to steal it. The result must
+  // still match the serial driver bit for bit and every task must run
+  // exactly once.
+  const CscMatrix a = chain_matrix(600);
+  AnalysisOptions opt;
+  opt.ordering = OrderingKind::kNatural;
+  const Analysis analysis = analyze(a, opt);
+  const Factorization serial = numeric_factorize(analysis);
+  for (RealPolicy policy : {RealPolicy::kWorkload, RealPolicy::kMemory}) {
+    ParallelNumericOptions popt;
+    popt.nthreads = 8;
+    popt.nprocs = 8;
+    popt.sched.policy = policy;
+    ParallelNumericStats stats;
+    const Factorization fact =
+        parallel_numeric_factorize(analysis, popt, &stats);
+    expect_bitwise_equal(serial, fact, real_policy_name(policy));
+    EXPECT_EQ(stats.sched.completions,
+              static_cast<std::uint64_t>(stats.num_subtrees) +
+                  static_cast<std::uint64_t>(stats.num_upper_nodes));
+  }
+}
+
+/// Mock policy: LIFO dispatch, flat steal metric, instant admission —
+/// counts every consultation.
+class CountingPolicy final : public SchedulerPolicy {
+ public:
+  const char* name() const override { return "counting"; }
+  std::size_t select_task(const TaskQuery& query) override {
+    ++select_task_calls;
+    last_pool_size = query.pool.size();
+    return query.pool.size() - 1;
+  }
+  count_t slave_metric(index_t, const SlaveQuery&) const override {
+    ++slave_metric_calls;
+    return 0;
+  }
+  std::vector<SlaveShare> select_slaves(
+      const SlaveQuery&, std::vector<SlaveCandidate>) override {
+    ++select_slaves_calls;
+    return {};
+  }
+  double admit(index_t, count_t) override {
+    ++admit_calls;
+    return 0.0;
+  }
+
+  std::size_t select_task_calls = 0;
+  mutable std::size_t slave_metric_calls = 0;
+  std::size_t select_slaves_calls = 0;
+  std::size_t admit_calls = 0;
+  std::size_t last_pool_size = 0;
+};
+
+TEST(Scheduler, EveryDispatchAndAdmissionConsultsThePolicy) {
+  const Analysis analysis =
+      analyzed_problem(ProblemId::kXenon2, 0.16, OrderingKind::kAmd);
+  CountingPolicy counting;
+  ParallelNumericOptions popt;
+  popt.nthreads = 4;
+  popt.nprocs = 4;
+  popt.sched.policy_override = &counting;
+  ParallelNumericStats stats;
+  const Factorization fact =
+      parallel_numeric_factorize(analysis, popt, &stats);
+  const std::size_t tasks = static_cast<std::size_t>(stats.num_subtrees) +
+                            static_cast<std::size_t>(stats.num_upper_nodes);
+  ASSERT_GT(tasks, 0u);
+  // One select_task per dispatched task, one admit per activation.
+  EXPECT_EQ(counting.select_task_calls, tasks);
+  EXPECT_EQ(counting.admit_calls, tasks);
+  EXPECT_EQ(stats.sched.dispatch_consults, tasks);
+  EXPECT_EQ(stats.sched.admit_consults, tasks);
+  EXPECT_STREQ(stats.policy, "counting");
+  // The mock still produces the canonical result: it only reorders.
+  expect_bitwise_equal(numeric_factorize(analysis), fact, "counting policy");
+}
+
+TEST(Scheduler, OocAdmissionsConsultThePolicyPerReservation) {
+#if MEMFRONT_OOC_REAL
+  const Analysis analysis =
+      analyzed_problem(ProblemId::kTwotone, 0.14, OrderingKind::kAmd);
+  CountingPolicy counting;
+  ParallelNumericOptions popt;
+  popt.nthreads = 4;
+  popt.nprocs = 4;
+  popt.sched.policy_override = &counting;
+  popt.ooc.enabled = true;
+  popt.ooc.budget_doubles = 0;  // unlimited: no spills, still admitted
+  popt.ooc.spill_factors = false;
+  ParallelNumericStats stats;
+  const Factorization fact =
+      parallel_numeric_factorize(analysis, popt, &stats);
+  // Every node passes one begin_node reservation through the policy.
+  EXPECT_EQ(fact.stats.ooc.policy_admissions, analysis.tree.num_nodes());
+  const std::size_t tasks = static_cast<std::size_t>(stats.num_subtrees) +
+                            static_cast<std::size_t>(stats.num_upper_nodes);
+  // Dispatch admissions plus one per reservation.
+  EXPECT_EQ(counting.admit_calls,
+            tasks + static_cast<std::size_t>(analysis.tree.num_nodes()));
+  expect_bitwise_equal(numeric_factorize(analysis), fact, "ooc counting");
+#else
+  GTEST_SKIP() << "MEMFRONT_OOC_REAL=OFF";
+#endif
+}
+
+TEST(Scheduler, TargetedWakeupsStayFarBelowBroadcast) {
+  const Analysis analysis =
+      analyzed_problem(ProblemId::kXenon2, 0.16, OrderingKind::kAmd);
+  ParallelNumericOptions popt;
+  popt.nthreads = 4;
+  popt.nprocs = 4;
+  ParallelNumericStats stats;
+  (void)parallel_numeric_factorize(analysis, popt, &stats);
+  const std::uint64_t completions = stats.sched.completions;
+  ASSERT_GT(completions, 0u);
+  // The old pool broadcast on every completion: completions x (workers)
+  // notifies. Targeted wakeups fire only for readied tasks, steal
+  // cascades, and the final drain.
+  EXPECT_LE(stats.sched.wakeups,
+            completions + stats.sched.steal_chunks + stats.workers);
+}
+
+TEST(Scheduler, StealBoundHelpersAreConsistent) {
+  const Analysis analysis =
+      analyzed_problem(ProblemId::kXenon2, 0.16, OrderingKind::kAmd);
+  const Subtrees subtrees = find_subtrees(analysis.tree, analysis.memory, 4);
+  std::vector<std::vector<index_t>> subtree_nodes;
+  std::vector<index_t> upper_nodes;
+  split_subtree_nodes(subtrees, analysis.traversal, subtree_nodes,
+                      upper_nodes);
+  // Every node lands in exactly one bucket, in traversal order.
+  std::size_t total = upper_nodes.size();
+  for (const auto& nodes : subtree_nodes) total += nodes.size();
+  EXPECT_EQ(total, analysis.traversal.size());
+  const count_t bound = predict_steal_arena_bound(analysis.tree, subtrees,
+                                                  subtree_nodes, upper_nodes);
+  const count_t serial_peak =
+      predict_arena_peak(analysis.tree, analysis.traversal);
+  EXPECT_GT(bound, 0);
+  EXPECT_LE(bound, serial_peak);
+  // Per-subtree peaks are exact serial sub-traversal peaks and can
+  // never exceed the bound.
+  for (std::size_t s = 0; s < subtree_nodes.size(); ++s)
+    EXPECT_LE(predict_subtree_arena_peak(analysis.tree, subtree_nodes[s],
+                                         subtrees.roots[s]),
+              bound);
+}
+
+}  // namespace
+}  // namespace memfront
